@@ -1,0 +1,25 @@
+/// Appendix Figs. 14-19 — benchmarking + application-specific PISA for the
+/// remaining six scientific workflows (bwa, epigenomics, 1000genome,
+/// montage, seismology, soykb) at CCR in {0.2, 0.5, 1, 2, 5}.
+///
+/// To keep the default run short, the appendix binary evaluates the paper's
+/// CCR sweep at reduced restarts (SAGA_SCALE scales it back up). Expected
+/// shapes per workflow (paper appendix): bwa/epigenomics mostly mild ratios
+/// with isolated >5 blowups; genome shows frequent >5 columns against
+/// FastestNode; montage benchmarking already separates CPoP (~1.5) from the
+/// rest; seismology/soykb resemble genome with occasional >1000 cells.
+
+#include "app_specific_common.hpp"
+
+int main() {
+  using namespace saga;
+  bench::banner("bench_appendix_workflows",
+                "Appendix Figs. 14-19 (six workflows, 5 CCRs each)");
+  bench::ScopedTimer timer("appendix total");
+  const char* workflows[] = {"bwa", "epigenomics", "genome", "montage", "seismology", "soykb"};
+  std::uint64_t salt = 0;
+  for (const char* workflow : workflows) {
+    bench::run_app_specific_workflow(workflow, derive_seed(env_seed(), {0xa99e4d1ULL, salt++}));
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/env.hpp"
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the experiment binaries: a banner echoing the
+/// reproducibility knobs and a scoped wall-clock timer.
+
+namespace saga::bench {
+
+/// Prints the experiment banner with the environment configuration.
+inline void banner(const std::string& experiment, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("SAGA_SCALE=%.3g (1.0 = paper fidelity)  SAGA_SEED=%llu\n", env_scale(),
+              static_cast<unsigned long long>(env_seed()));
+  std::printf("================================================================\n");
+}
+
+/// RAII wall-clock timer; reports on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string label)
+      : label_(std::move(label)), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+    std::printf("[%s: %.2fs]\n", label_.c_str(), static_cast<double>(elapsed) / 1000.0);
+  }
+
+ private:
+  std::string label_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace saga::bench

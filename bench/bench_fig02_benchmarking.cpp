@@ -1,0 +1,55 @@
+/// Fig. 2 — Makespan ratios of 15 algorithms evaluated on 16 datasets.
+///
+/// For every dataset, every scheduler runs on every instance; the reported
+/// cell is the scheduler's *maximum* makespan ratio over the dataset
+/// (ratio baseline: the best of the 15 schedulers on that instance). The
+/// paper draws this as a heatmap with per-instance gradients; we print the
+/// max-ratio matrix plus per-scheduler five-number summaries, and write
+/// fig02.csv when SAGA_CSV_DIR is set.
+///
+/// Paper sizes: 1000 instances for random/IoT datasets, 100 for the
+/// scientific workflows — scaled by SAGA_SCALE (default 0.25).
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/benchmarking.hpp"
+#include "analysis/csv.hpp"
+#include "analysis/ratio_matrix.hpp"
+#include "bench_common.hpp"
+#include "datasets/registry.hpp"
+#include "sched/registry.hpp"
+
+int main() {
+  using namespace saga;
+  bench::banner("bench_fig02_benchmarking", "Fig. 2 (benchmarking grid, 15 x 16)");
+  bench::ScopedTimer timer("fig02 total");
+
+  const auto& roster = benchmark_scheduler_names();
+  std::vector<analysis::DatasetBenchmark> benchmarks;
+  for (const auto& spec : datasets::all_dataset_specs()) {
+    const std::size_t count = scaled_count(spec.paper_instance_count, 8);
+    bench::ScopedTimer dataset_timer(spec.name + " (" + std::to_string(count) + " instances)");
+    const auto dataset = datasets::generate_dataset(spec.name, env_seed(), count);
+    benchmarks.push_back(analysis::benchmark_dataset(dataset, roster, env_seed()));
+  }
+
+  const auto table =
+      analysis::benchmarking_table(benchmarks, roster, "Fig. 2: max makespan ratio per dataset");
+  std::printf("\n%s\n", table.render().c_str());
+
+  std::printf("Per-scheduler ratio distributions (all datasets pooled):\n");
+  for (const auto& name : roster) {
+    std::vector<double> pooled;
+    for (const auto& b : benchmarks) {
+      const auto& rs = b.for_scheduler(name).ratios;
+      pooled.insert(pooled.end(), rs.begin(), rs.end());
+    }
+    std::printf("  %-12s %s\n", name.c_str(), to_string(summarize(pooled)).c_str());
+  }
+
+  const auto csv = analysis::maybe_write_csv(
+      "fig02", [&](std::ostream& out) { analysis::write_benchmark_csv(out, benchmarks); });
+  if (!csv.empty()) std::printf("wrote %s\n", csv.c_str());
+  return 0;
+}

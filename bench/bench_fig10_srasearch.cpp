@@ -1,0 +1,18 @@
+/// Fig. 10 (= appendix Fig. 13) — benchmarking + application-specific PISA
+/// for the srasearch workflow at CCR in {0.2, 0.5, 1, 2, 5}.
+///
+/// Expected shape (paper): benchmarking rows are bland (everything near 1
+/// except FastestNode around 2.5-2.7); PISA rows reveal large gaps —
+/// WBA vs FastestNode can exceed 1000x at low CCR, MinMin loses ~2x to
+/// CPoP, and even the "good" algorithms (HEFT, MaxMin) lose 10-20% to each
+/// other in both directions.
+
+#include "app_specific_common.hpp"
+
+int main() {
+  using namespace saga;
+  bench::banner("bench_fig10_srasearch", "Fig. 10 (srasearch, 5 CCRs)");
+  bench::ScopedTimer timer("fig10 total");
+  bench::run_app_specific_workflow("srasearch", env_seed());
+  return 0;
+}

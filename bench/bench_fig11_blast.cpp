@@ -1,0 +1,17 @@
+/// Fig. 11 (= appendix Fig. 12) — benchmarking + application-specific PISA
+/// for the blast workflow at CCR in {0.2, 0.5, 1, 2, 5}.
+///
+/// Expected shape (paper): in contrast to srasearch, CPoP performs
+/// *poorly* on blast — PISA finds instances where CPoP loses to every other
+/// scheduler (>5x against most, >1000x against WBA at CCR 0.2) — the
+/// paper's argument that no single scheduler covers all workflows.
+
+#include "app_specific_common.hpp"
+
+int main() {
+  using namespace saga;
+  bench::banner("bench_fig11_blast", "Fig. 11 (blast, 5 CCRs)");
+  bench::ScopedTimer timer("fig11 total");
+  bench::run_app_specific_workflow("blast", env_seed());
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// Table I (runtime column) — scheduling-time microbenchmarks.
+///
+/// The paper's Table I quotes asymptotic scheduling complexities
+/// (e.g. HEFT/CPoP O(|T|^2 |V|), GDL O(|T| |V|^3), OLB O(|T|)). This
+/// google-benchmark binary measures wall-clock scheduling time on random
+/// layered DAGs at growing |T| (with |V| = 8), so the growth curves can be
+/// compared against those bounds. BruteForce/SMT are exponential and are
+/// measured only at |T| = 6.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "graph/problem_instance.hpp"
+#include "sched/registry.hpp"
+
+namespace {
+
+using namespace saga;
+
+/// Random layered DAG: `tasks` tasks in layers of ~4, each task drawing
+/// 1-3 predecessors from the previous layer.
+ProblemInstance layered_instance(std::size_t tasks, std::size_t nodes, std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  std::vector<TaskId> previous_layer;
+  std::vector<TaskId> current_layer;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const TaskId t = inst.graph.add_task(rng.uniform(0.5, 2.0));
+    if (!previous_layer.empty()) {
+      const auto preds = std::min<std::size_t>(previous_layer.size(),
+                                               1 + rng.index(3));
+      for (std::size_t p = 0; p < preds; ++p) {
+        inst.graph.add_dependency(previous_layer[rng.index(previous_layer.size())], t,
+                                  rng.uniform(0.1, 1.0));
+      }
+    }
+    current_layer.push_back(t);
+    if (current_layer.size() == 4) {
+      previous_layer = std::move(current_layer);
+      current_layer.clear();
+    }
+  }
+  inst.network = Network(nodes);
+  for (NodeId v = 0; v < nodes; ++v) inst.network.set_speed(v, rng.uniform(0.5, 2.0));
+  for (NodeId a = 0; a < nodes; ++a) {
+    for (NodeId b = a + 1; b < nodes; ++b) {
+      inst.network.set_strength(a, b, rng.uniform(0.5, 2.0));
+    }
+  }
+  return inst;
+}
+
+void schedule_benchmark(benchmark::State& state, const std::string& scheduler_name) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto inst = layered_instance(tasks, 8, 42);
+  const auto scheduler = make_scheduler(scheduler_name, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler->schedule(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void register_polynomial(const char* name) {
+  benchmark::RegisterBenchmark(name, [name = std::string(name)](benchmark::State& state) {
+    schedule_benchmark(state, name);
+  })
+      ->RangeMultiplier(2)
+      ->Range(16, 256)
+      ->Complexity();
+}
+
+void register_exponential(const char* name) {
+  benchmark::RegisterBenchmark((std::string(name) + "/tiny").c_str(),
+                               [name = std::string(name)](benchmark::State& state) {
+                                 const auto inst = layered_instance(6, 3, 7);
+                                 const auto scheduler = make_scheduler(name, 1);
+                                 for (auto _ : state) {
+                                   benchmark::DoNotOptimize(scheduler->schedule(inst));
+                                 }
+                               });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& name : benchmark_scheduler_names()) register_polynomial(name.c_str());
+  register_exponential("BruteForce");
+  register_exponential("SMT");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

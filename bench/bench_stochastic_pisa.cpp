@@ -1,0 +1,93 @@
+/// Stochastic-objective PISA — composing two of the paper's future-work
+/// directions: adversarial search where the objective is the *expected*
+/// makespan ratio under weight uncertainty, estimated by Monte Carlo.
+///
+/// For HEFT vs FastestNode: each candidate instance is lifted to a
+/// stochastic instance (clipped-Gaussian noise, cv = 0.3 on every weight);
+/// both schedulers plan on the mean instance and their plans are
+/// re-executed on K shared realisations; the objective is the mean of the
+/// per-realisation makespan ratios. This finds instances that are bad for
+/// HEFT *robustly* — not just at one lucky weight setting.
+///
+/// Expected shape: the expected-ratio witness scores lower than the
+/// deterministic PISA witness evaluated deterministically (noise blunts
+/// knife-edge constructions), but remains well above 1 — HEFT's
+/// over-parallelisation losses survive uncertainty.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/annealer.hpp"
+#include "sched/registry.hpp"
+#include "stochastic/robustness.hpp"
+
+namespace {
+
+using namespace saga;
+
+double expected_ratio(const Scheduler& target, const Scheduler& baseline,
+                      const ProblemInstance& inst, std::size_t samples, std::uint64_t seed) {
+  stochastic::StochasticInstance stoch(inst);
+  stoch.apply_relative_noise(0.3);
+  const ProblemInstance mean = stoch.mean_instance();
+  const Schedule target_plan = target.schedule(mean);
+  const Schedule baseline_plan = baseline.schedule(mean);
+  double total = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const ProblemInstance realization = stoch.realize(derive_seed(seed, {i}));
+    const double t = stochastic::reexecute(target_plan, realization).makespan();
+    const double b = stochastic::reexecute(baseline_plan, realization).makespan();
+    total += b > 0.0 ? t / b : 1.0;
+  }
+  return total / static_cast<double>(samples);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("bench_stochastic_pisa",
+                "PISA with an expected-makespan-ratio objective (future-work composition)");
+  bench::ScopedTimer timer("stochastic pisa total");
+
+  const auto heft = make_scheduler("HEFT");
+  const auto fastest = make_scheduler("FastestNode");
+  const std::size_t samples = 16;  // per objective evaluation
+  const std::size_t restarts = saga::scaled_count(5, 3);
+
+  const auto objective = [&](const ProblemInstance& inst) {
+    return expected_ratio(*heft, *fastest, inst, samples, 0xdecade);
+  };
+
+  double stochastic_best = 0.0;
+  ProblemInstance stochastic_witness;
+  for (std::size_t run = 0; run < restarts; ++run) {
+    const auto initial = pisa::random_chain_instance(derive_seed(env_seed(), {1, run}));
+    pisa::AnnealingParams params;
+    params.max_iterations = 300;  // Monte-Carlo objectives are ~16x pricier
+    const auto result = pisa::anneal_objective(
+        objective, initial, pisa::PerturbationConfig::generic(), params,
+        derive_seed(env_seed(), {2, run}));
+    if (result.best_ratio > stochastic_best) {
+      stochastic_best = result.best_ratio;
+      stochastic_witness = result.best_instance;
+    }
+  }
+
+  // Reference: the deterministic PISA witness and how it degrades under
+  // the same noise.
+  pisa::PisaOptions det_options;
+  det_options.restarts = restarts;
+  const auto det = pisa::run_pisa(*heft, *fastest, det_options, env_seed());
+  const double det_under_noise = expected_ratio(*heft, *fastest, det.best_instance, 64, 0xdecade);
+  const double stoch_deterministic = pisa::makespan_ratio(*heft, *fastest, stochastic_witness);
+
+  std::printf("\nHEFT vs FastestNode, weight noise cv=0.3, %zu-sample objectives:\n", samples);
+  std::printf("  deterministic PISA witness: ratio %.3f, expected ratio under noise %.3f\n",
+              det.best_ratio, det_under_noise);
+  std::printf("  stochastic   PISA witness: expected ratio %.3f, deterministic ratio %.3f\n",
+              stochastic_best, stoch_deterministic);
+  std::printf("(a robust witness keeps its expected ratio close to its deterministic one;\n"
+              " knife-edge witnesses collapse under noise)\n");
+  return 0;
+}

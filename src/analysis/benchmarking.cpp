@@ -1,0 +1,57 @@
+#include "analysis/benchmarking.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sched/registry.hpp"
+
+namespace saga::analysis {
+
+const SchedulerBenchmark& DatasetBenchmark::for_scheduler(const std::string& name) const {
+  for (const auto& sb : per_scheduler) {
+    if (sb.scheduler == name) return sb;
+  }
+  throw std::out_of_range("scheduler not in benchmark: " + name);
+}
+
+DatasetBenchmark benchmark_dataset(const saga::Dataset& dataset,
+                                   const std::vector<std::string>& scheduler_names,
+                                   std::uint64_t seed) {
+  const std::size_t n_instances = dataset.instances.size();
+  const std::size_t n_schedulers = scheduler_names.size();
+
+  // makespans[s][i]: scheduler s on instance i.
+  std::vector<std::vector<double>> makespans(n_schedulers,
+                                             std::vector<double>(n_instances, 0.0));
+
+  saga::global_pool().parallel_for(n_instances, [&](std::size_t i) {
+    for (std::size_t s = 0; s < n_schedulers; ++s) {
+      const auto scheduler =
+          saga::make_scheduler(scheduler_names[s], saga::derive_seed(seed, {0xbe5cULL, s, i}));
+      makespans[s][i] = scheduler->schedule(dataset.instances[i]).makespan();
+    }
+  });
+
+  DatasetBenchmark result;
+  result.dataset = dataset.name;
+  result.per_scheduler.resize(n_schedulers);
+  for (std::size_t i = 0; i < n_instances; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < n_schedulers; ++s) best = std::min(best, makespans[s][i]);
+    for (std::size_t s = 0; s < n_schedulers; ++s) {
+      const double m = makespans[s][i];
+      const double ratio = best == 0.0 ? (m == 0.0 ? 1.0 : std::numeric_limits<double>::infinity())
+                                       : m / best;
+      result.per_scheduler[s].ratios.push_back(ratio);
+    }
+  }
+  for (std::size_t s = 0; s < n_schedulers; ++s) {
+    result.per_scheduler[s].scheduler = scheduler_names[s];
+    result.per_scheduler[s].summary = saga::summarize(result.per_scheduler[s].ratios);
+  }
+  return result;
+}
+
+}  // namespace saga::analysis

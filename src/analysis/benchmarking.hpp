@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "datasets/dataset.hpp"
+#include "sched/scheduler.hpp"
+
+/// \file benchmarking.hpp
+/// The traditional benchmarking pipeline behind the paper's Fig. 2 (and the
+/// "Benchmarking" rows of Figs. 10-19): run every scheduler on every
+/// instance of a dataset and report makespan ratios
+///   m(S_A) / min over all schedulers B of m(S_B).
+
+namespace saga::analysis {
+
+/// Makespan ratios of one scheduler across a dataset's instances.
+struct SchedulerBenchmark {
+  std::string scheduler;
+  std::vector<double> ratios;  // one per instance, >= 1 by construction
+  saga::Summary summary;       // of `ratios`
+};
+
+struct DatasetBenchmark {
+  std::string dataset;
+  std::vector<SchedulerBenchmark> per_scheduler;
+
+  [[nodiscard]] const SchedulerBenchmark& for_scheduler(const std::string& name) const;
+};
+
+/// Runs all `scheduler_names` on every instance; the ratio baseline is the
+/// minimum makespan across the same roster (the paper's convention).
+/// Parallel over instances via the global pool; deterministic.
+[[nodiscard]] DatasetBenchmark benchmark_dataset(const saga::Dataset& dataset,
+                                                 const std::vector<std::string>& scheduler_names,
+                                                 std::uint64_t seed);
+
+}  // namespace saga::analysis

@@ -1,0 +1,52 @@
+#include "analysis/csv.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+namespace saga::analysis {
+
+void write_pairwise_csv(std::ostream& out, const saga::pisa::PairwiseResult& result) {
+  out << "baseline,target,ratio\n";
+  const auto& names = result.scheduler_names;
+  for (std::size_t row = 0; row < names.size(); ++row) {
+    for (std::size_t col = 0; col < names.size(); ++col) {
+      if (row == col) continue;
+      const double r = result.cell(row, col);
+      out << names[row] << ',' << names[col] << ',';
+      if (std::isnan(r)) {
+        out << "nan";
+      } else if (std::isinf(r)) {
+        out << "inf";
+      } else {
+        out << r;
+      }
+      out << '\n';
+    }
+  }
+}
+
+void write_benchmark_csv(std::ostream& out, const std::vector<DatasetBenchmark>& benchmarks) {
+  out << "dataset,scheduler,min,q1,median,q3,max,mean\n";
+  for (const auto& benchmark : benchmarks) {
+    for (const auto& sb : benchmark.per_scheduler) {
+      const auto& s = sb.summary;
+      out << benchmark.dataset << ',' << sb.scheduler << ',' << s.min << ',' << s.q1 << ','
+          << s.median << ',' << s.q3 << ',' << s.max << ',' << s.mean << '\n';
+    }
+  }
+}
+
+std::string maybe_write_csv(const std::string& name,
+                            const std::function<void(std::ostream&)>& writer) {
+  const char* dir = std::getenv("SAGA_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) return {};
+  writer(out);
+  return path;
+}
+
+}  // namespace saga::analysis

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/benchmarking.hpp"
+#include "core/pairwise.hpp"
+
+/// \file csv.hpp
+/// CSV export of experiment results, so figures can be re-plotted with
+/// external tooling (the paper's heatmaps were drawn with matplotlib; the
+/// bench binaries write CSVs next to their ASCII tables when given an
+/// output directory via SAGA_CSV_DIR).
+
+namespace saga::analysis {
+
+/// Header: "baseline,target,ratio"; one row per off-diagonal cell.
+void write_pairwise_csv(std::ostream& out, const saga::pisa::PairwiseResult& result);
+
+/// Header: "dataset,scheduler,min,q1,median,q3,max,mean"; one row per
+/// (dataset, scheduler).
+void write_benchmark_csv(std::ostream& out, const std::vector<DatasetBenchmark>& benchmarks);
+
+/// If SAGA_CSV_DIR is set, opens `<dir>/<name>.csv` and passes the stream
+/// to `writer`; otherwise does nothing. Returns the path written, if any.
+[[nodiscard]] std::string maybe_write_csv(const std::string& name,
+                                          const std::function<void(std::ostream&)>& writer);
+
+}  // namespace saga::analysis

@@ -1,0 +1,37 @@
+#include "analysis/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace saga::analysis {
+
+std::string render_gantt(const saga::ProblemInstance& inst, const saga::Schedule& schedule,
+                         const GanttOptions& options) {
+  const double makespan = schedule.makespan();
+  std::ostringstream out;
+  out << "makespan = " << makespan << "\n";
+  if (makespan <= 0.0) return out.str();
+
+  const double scale = static_cast<double>(options.width) / makespan;
+  for (saga::NodeId v = 0; v < inst.network.node_count(); ++v) {
+    std::string lane(options.width, '.');
+    for (const auto& a : schedule.on_node(v)) {
+      auto begin = static_cast<std::size_t>(std::floor(a.start * scale));
+      auto end = static_cast<std::size_t>(std::ceil(a.finish * scale));
+      begin = std::min(begin, options.width - 1);
+      end = std::clamp(end, begin + 1, options.width);
+      for (std::size_t i = begin; i < end; ++i) lane[i] = '#';
+      // Overlay the task name (clipped to the interval).
+      const std::string& name = inst.graph.name(a.task);
+      for (std::size_t i = 0; i < name.size() && begin + i < end; ++i) {
+        lane[begin + i] = name[i];
+      }
+    }
+    out << "node " << v << " |" << lane << "|\n";
+  }
+  out << "        0" << std::string(options.width - 1, ' ') << makespan << "\n";
+  return out.str();
+}
+
+}  // namespace saga::analysis

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "graph/problem_instance.hpp"
+#include "sched/schedule.hpp"
+
+/// \file gantt.hpp
+/// ASCII Gantt-chart rendering of schedules (the paper's Fig. 1c, 3d-3g,
+/// 5b/5d, 6b/6d panels). One row per node, time flowing rightward; each
+/// task paints its name across its busy interval.
+
+namespace saga::analysis {
+
+struct GanttOptions {
+  std::size_t width = 72;  // characters devoted to the time axis
+};
+
+[[nodiscard]] std::string render_gantt(const saga::ProblemInstance& inst,
+                                       const saga::Schedule& schedule,
+                                       const GanttOptions& options = {});
+
+}  // namespace saga::analysis

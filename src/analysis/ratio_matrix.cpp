@@ -1,0 +1,67 @@
+#include "analysis/ratio_matrix.hpp"
+
+#include <cmath>
+
+namespace saga::analysis {
+
+saga::Table pairwise_table(const saga::pisa::PairwiseResult& result, const std::string& title) {
+  const auto& names = result.scheduler_names;
+  saga::Table table(title, names);
+
+  // "Worst" summary row first, as in Fig. 4.
+  {
+    const auto worst = result.worst_per_target();
+    std::vector<std::string> cells;
+    for (double w : worst) cells.push_back(saga::format_ratio_cell(w));
+    table.add_row("Worst", std::move(cells));
+  }
+  for (std::size_t row = 0; row < names.size(); ++row) {
+    std::vector<std::string> cells;
+    for (std::size_t col = 0; col < names.size(); ++col) {
+      cells.push_back(saga::format_ratio_cell(result.cell(row, col)));
+    }
+    table.add_row(names[row], std::move(cells));
+  }
+  return table;
+}
+
+saga::Table app_specific_table(const DatasetBenchmark& benchmark,
+                               const saga::pisa::PairwiseResult& pisa,
+                               const std::string& title) {
+  const auto& names = pisa.scheduler_names;
+  saga::Table table(title, names);
+
+  // Top row: traditional benchmarking (max makespan ratio over the dataset),
+  // as in the top rows of Figs. 10-19.
+  {
+    std::vector<std::string> cells;
+    for (const auto& name : names) {
+      cells.push_back(saga::format_ratio_cell(benchmark.for_scheduler(name).summary.max));
+    }
+    table.add_row("Benchmarking", std::move(cells));
+  }
+  for (std::size_t row = 0; row < names.size(); ++row) {
+    std::vector<std::string> cells;
+    for (std::size_t col = 0; col < names.size(); ++col) {
+      cells.push_back(saga::format_ratio_cell(pisa.cell(row, col)));
+    }
+    table.add_row(names[row] + " (base)", std::move(cells));
+  }
+  return table;
+}
+
+saga::Table benchmarking_table(const std::vector<DatasetBenchmark>& benchmarks,
+                               const std::vector<std::string>& scheduler_names,
+                               const std::string& title) {
+  saga::Table table(title, scheduler_names);
+  for (const auto& benchmark : benchmarks) {
+    std::vector<std::string> cells;
+    for (const auto& name : scheduler_names) {
+      cells.push_back(saga::format_ratio_cell(benchmark.for_scheduler(name).summary.max));
+    }
+    table.add_row(benchmark.dataset, std::move(cells));
+  }
+  return table;
+}
+
+}  // namespace saga::analysis

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/benchmarking.hpp"
+#include "common/table.hpp"
+#include "core/pairwise.hpp"
+
+/// \file ratio_matrix.hpp
+/// Rendering of the paper's heatmap figures as ASCII tables: the pairwise
+/// PISA grid (Fig. 4) and the combined benchmarking-plus-PISA grids of the
+/// application-specific study (Figs. 10-19).
+
+namespace saga::analysis {
+
+/// Fig. 4-style table: rows are base schedulers (plus a "Worst" row at the
+/// top), columns are target schedulers, cells clamp at ">5.0" / ">1000".
+[[nodiscard]] saga::Table pairwise_table(const saga::pisa::PairwiseResult& result,
+                                         const std::string& title);
+
+/// Fig. 10/11-style table: the top row shows benchmarking results (max
+/// makespan ratio of each scheduler over the dataset) and the remaining
+/// rows the PISA grid.
+[[nodiscard]] saga::Table app_specific_table(const DatasetBenchmark& benchmark,
+                                             const saga::pisa::PairwiseResult& pisa,
+                                             const std::string& title);
+
+/// Fig. 2-style table: datasets × schedulers, each cell the max makespan
+/// ratio of the scheduler over the dataset (with ">5.0" clamping).
+[[nodiscard]] saga::Table benchmarking_table(const std::vector<DatasetBenchmark>& benchmarks,
+                                             const std::vector<std::string>& scheduler_names,
+                                             const std::string& title);
+
+}  // namespace saga::analysis

@@ -1,0 +1,49 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace saga {
+
+namespace {
+
+double read_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+std::uint64_t read_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return value;
+}
+
+}  // namespace
+
+double env_scale() {
+  const double s = read_double("SAGA_SCALE", 0.25);
+  return std::clamp(s, 0.001, 100.0);
+}
+
+std::uint64_t env_seed() { return read_u64("SAGA_SEED", 42); }
+
+std::size_t env_threads() {
+  return static_cast<std::size_t>(read_u64("SAGA_THREADS", 0));
+}
+
+std::size_t scaled_count(std::size_t paper_count, std::size_t floor_) {
+  const double scaled = std::round(static_cast<double>(paper_count) * env_scale());
+  const auto n = static_cast<std::size_t>(std::max(scaled, 1.0));
+  return std::max(n, std::min(floor_, paper_count));
+}
+
+}  // namespace saga

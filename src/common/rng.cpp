@@ -1,0 +1,101 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace saga {
+
+std::uint64_t derive_seed(std::uint64_t master,
+                          std::initializer_list<std::uint64_t> coords) noexcept {
+  std::uint64_t state = master ^ 0xa0761d6478bd642fULL;
+  std::uint64_t acc = splitmix64(state);
+  for (std::uint64_t c : coords) {
+    state ^= c + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2);
+    acc ^= splitmix64(state);
+  }
+  return acc;
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa from two 32-bit draws.
+  const std::uint64_t hi = engine_();
+  const std::uint64_t lo = engine_();
+  const std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((static_cast<std::uint64_t>(engine_()) << 32) | engine_());
+  }
+  // Lemire-style bounded draw on 64 bits of input, mapped uniformly with a
+  // 128-bit multiply (the bias of draw*span>>64 is < 2^-64 per bucket).
+  __extension__ using u128 = unsigned __int128;
+  const std::uint64_t draw = (static_cast<std::uint64_t>(engine_()) << 32) | engine_();
+  const u128 wide = static_cast<u128>(draw) * span;
+  return lo + static_cast<std::int64_t>(static_cast<std::uint64_t>(wide >> 64));
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+double Rng::clipped_gaussian(double mean, double stddev, double lo, double hi) {
+  const double x = gaussian(mean, stddev);
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return x;
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return index(weights.size());
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  // Floating point slack: fall back to the last positive-weight entry.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace saga

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+/// \file rng.hpp
+/// Deterministic, splittable random number generation.
+///
+/// Every stochastic component in this library (dataset generators, the WBA
+/// scheduler, the PISA annealer, experiment drivers) draws from an `Rng`
+/// seeded through `derive_seed`, so results are bit-reproducible for a given
+/// master seed regardless of thread count or evaluation order.
+
+namespace saga {
+
+/// SplitMix64 step: used both as a seed-mixing function and to bootstrap
+/// the PCG32 state. Reference: Steele, Lea & Flood (2014).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives an independent stream seed from a master seed and a sequence of
+/// integer coordinates (e.g. {dataset index, instance index}). Two distinct
+/// coordinate vectors yield (with overwhelming probability) unrelated streams.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master,
+                                        std::initializer_list<std::uint64_t> coords) noexcept;
+
+/// PCG32 (O'Neill 2014): small, fast, statistically solid generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  constexpr Pcg32() noexcept : Pcg32(0x853c49e6748fea9bULL) {}
+  constexpr explicit Pcg32(std::uint64_t seed) noexcept { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    state_ = splitmix64(sm);
+    inc_ = splitmix64(sm) | 1ULL;  // stream selector must be odd
+    (*this)();
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    const auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+/// Convenience wrapper bundling a PCG32 engine with the distributions this
+/// project needs. Distributions are hand-rolled (not <random>) so results
+/// are identical across standard library implementations.
+class Rng {
+ public:
+  Rng() = default;
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  void reseed(std::uint64_t seed) { engine_.reseed(seed); }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform();
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  /// Standard normal via Box-Muller (caches the second deviate).
+  [[nodiscard]] double gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double gaussian(double mean, double stddev);
+
+  /// Clipped Gaussian as used throughout the paper: a normal sample clamped
+  /// into [lo, hi]. (The paper's dataset generators all use this shape.)
+  [[nodiscard]] double clipped_gaussian(double mean, double stddev, double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Non-positive weights are treated as zero; if all weights are zero the
+  /// choice is uniform.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      using std::swap;
+      swap(items[i], items[index(i + 1)]);
+    }
+  }
+
+  /// Direct access for use with standard algorithms.
+  [[nodiscard]] Pcg32& engine() noexcept { return engine_; }
+
+ private:
+  Pcg32 engine_;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace saga

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file stats.hpp
+/// Small descriptive-statistics helpers used by the benchmarking drivers and
+/// the experiment harness (e.g. the box-plot style summaries behind the
+/// paper's Fig. 7/8 makespan distributions and the Fig. 2 gradients).
+
+namespace saga {
+
+/// Five-number summary plus mean of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+[[nodiscard]] double mean(const std::vector<double>& xs);
+[[nodiscard]] double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile (same convention as numpy's default).
+/// `q` must be in [0, 1]; `xs` must be non-empty.
+[[nodiscard]] double quantile(std::vector<double> xs, double q);
+
+/// Computes the full summary in one pass over a copy of the data.
+[[nodiscard]] Summary summarize(std::vector<double> xs);
+
+/// Renders a summary as a compact single-line string, e.g.
+/// "n=1000 min=1.00 q1=1.20 med=1.50 q3=2.10 max=5.30 mean=1.71".
+[[nodiscard]] std::string to_string(const Summary& s);
+
+}  // namespace saga

@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace saga {
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_ratio_cell(double value, double clamp_lo, double clamp_hi) {
+  if (std::isnan(value)) return "-";
+  if (std::isinf(value) || value > clamp_hi) return ">1000";
+  if (value > clamp_lo) return ">5.0";
+  return format_fixed(value, 2);
+}
+
+Table::Table(std::string title, std::vector<std::string> column_labels)
+    : title_(std::move(title)), column_labels_(std::move(column_labels)) {}
+
+void Table::add_row(std::string label, std::vector<std::string> cells) {
+  assert(cells.size() == column_labels_.size());
+  row_labels_.push_back(std::move(label));
+  cells_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  // Column widths: label column plus one per data column.
+  std::size_t label_width = 0;
+  for (const auto& l : row_labels_) label_width = std::max(label_width, l.size());
+  std::vector<std::size_t> widths(column_labels_.size());
+  for (std::size_t c = 0; c < column_labels_.size(); ++c) {
+    widths[c] = column_labels_[c].size();
+    for (const auto& row : cells_) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  out << std::string(label_width, ' ');
+  for (std::size_t c = 0; c < column_labels_.size(); ++c) {
+    out << "  " << std::string(widths[c] - column_labels_[c].size(), ' ') << column_labels_[c];
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < row_labels_.size(); ++r) {
+    out << row_labels_[r] << std::string(label_width - row_labels_[r].size(), ' ');
+    for (std::size_t c = 0; c < column_labels_.size(); ++c) {
+      out << "  " << std::string(widths[c] - cells_[r][c].size(), ' ') << cells_[r][c];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace saga

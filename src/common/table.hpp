@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// ASCII table / heatmap rendering. The paper presents its results as
+/// matplotlib heatmaps (Figs. 2, 4, 10-19); the bench binaries print the
+/// same matrices as aligned text tables using the paper's cell-clamping
+/// convention: values above 5 render as ">5.0" and values above 1000 as
+/// ">1000" (see Fig. 4 caption and discussion in Section VI-A).
+
+namespace saga {
+
+/// Formats a heatmap cell the way the paper prints it.
+///   clamp_lo: threshold above which the value prints as ">5.0" (default 5).
+///   clamp_hi: threshold above which the value prints as ">1000".
+[[nodiscard]] std::string format_ratio_cell(double value, double clamp_lo = 5.0,
+                                            double clamp_hi = 1000.0);
+
+/// A simple labelled matrix printer with right-aligned cells.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> column_labels);
+
+  /// Appends a row; `cells.size()` must equal the number of columns.
+  void add_row(std::string label, std::vector<std::string> cells);
+
+  /// Renders the table with box-drawing-free ASCII alignment.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return row_labels_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return column_labels_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> column_labels_;
+  std::vector<std::string> row_labels_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Fixed-point formatting helper ("%.2f").
+[[nodiscard]] std::string format_fixed(double value, int digits = 2);
+
+}  // namespace saga

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// Fixed-size thread pool for the embarrassingly parallel experiment drivers
+/// (pairwise PISA grids, dataset benchmarking sweeps). Determinism is
+/// preserved by giving every work item its own derived RNG stream and an
+/// output slot indexed by work-item id, so results are independent of
+/// scheduling order.
+
+namespace saga {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n), distributing work across the pool and
+  /// blocking until all iterations complete. Exceptions from iterations are
+  /// rethrown (the first one encountered).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Returns the globally shared pool, sized from the SAGA_THREADS environment
+/// variable if set (see env.hpp), otherwise hardware concurrency.
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace saga

@@ -1,0 +1,147 @@
+#include "core/annealer.hpp"
+
+#include <cmath>
+
+#include "core/constraints.hpp"
+
+namespace saga::pisa {
+
+double makespan_ratio(const Scheduler& target, const Scheduler& baseline,
+                      const ProblemInstance& inst) {
+  const double m_target = target.schedule(inst).makespan();
+  const double m_baseline = baseline.schedule(inst).makespan();
+  if (m_baseline == 0.0) {
+    return m_target == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return m_target / m_baseline;
+}
+
+AnnealResult anneal_objective(const InstanceObjective& objective,
+                              const ProblemInstance& initial, const PerturbationConfig& config,
+                              const AnnealingParams& params, std::uint64_t seed) {
+  Rng rng(seed);
+
+  AnnealResult result;
+  ProblemInstance current = initial;
+  double current_ratio = objective(current);
+  result.best_instance = current;
+  result.best_ratio = current_ratio;
+  result.initial_ratio = current_ratio;
+
+  if (params.record_trace) result.trace.reserve(params.max_iterations);
+
+  double temperature = params.t_max;
+  std::size_t iteration = 0;
+  while (temperature > params.t_min && iteration < params.max_iterations) {
+    auto candidate = perturb(current, config, rng);
+    const double candidate_ratio =
+        candidate.applied.has_value() ? objective(candidate.instance) : current_ratio;
+    const double ratio_before = current_ratio;
+
+    if (candidate_ratio > result.best_ratio) {
+      // Algorithm 1 line 6-7: improving candidates update the best solution
+      // (and become the current state).
+      result.best_instance = candidate.instance;
+      result.best_ratio = candidate_ratio;
+      current = std::move(candidate.instance);
+      current_ratio = candidate_ratio;
+      ++result.improved;
+    } else if (candidate_ratio >= current_ratio) {
+      // Better than (or equal to) the current state, though not a new best:
+      // always accept, as in standard simulated annealing (Algorithm 1
+      // leaves this case implicit).
+      current = std::move(candidate.instance);
+      current_ratio = candidate_ratio;
+    } else {
+      double accept_probability = 0.0;
+      switch (params.acceptance) {
+        case AnnealingParams::AcceptanceRule::kPaper: {
+          // Algorithm 1 line 9: exp(-(M'/M_best)/T). With an infinite best
+          // ratio the exponent underflows to exp(0) = 1; guard explicitly.
+          const double rel = std::isinf(result.best_ratio) || result.best_ratio == 0.0
+                                 ? 1.0
+                                 : candidate_ratio / result.best_ratio;
+          accept_probability = std::exp(-rel / temperature);
+          break;
+        }
+        case AnnealingParams::AcceptanceRule::kMetropolis: {
+          // Classic rule on the relative decrease from the *current* state.
+          if (current_ratio > 0.0 && std::isfinite(current_ratio)) {
+            const double decrease = (current_ratio - candidate_ratio) / current_ratio;
+            accept_probability = std::exp(-decrease / temperature);
+          }
+          break;
+        }
+      }
+      if (rng.bernoulli(accept_probability)) {
+        current = std::move(candidate.instance);
+        current_ratio = candidate_ratio;
+        ++result.accepted;
+      }
+    }
+
+    if (params.record_trace) {
+      result.trace.push_back({iteration, temperature, candidate_ratio, current_ratio,
+                              result.best_ratio, current_ratio != ratio_before});
+    }
+    temperature *= params.alpha;
+    ++iteration;
+  }
+  result.iterations = iteration;
+  return result;
+}
+
+AnnealResult anneal(const Scheduler& target, const Scheduler& baseline,
+                    const ProblemInstance& initial, const PerturbationConfig& config,
+                    const AnnealingParams& params, std::uint64_t seed) {
+  return anneal_objective(
+      [&](const ProblemInstance& inst) { return makespan_ratio(target, baseline, inst); },
+      initial, config, params, seed);
+}
+
+ProblemInstance random_chain_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+
+  const auto n_nodes = static_cast<std::size_t>(rng.uniform_int(3, 5));
+  inst.network = Network(n_nodes);
+  // Uniform weights in (0, 1]: floor at the division-safety epsilon.
+  const auto net_weight = [&] { return std::max(rng.uniform(), 1e-3); };
+  for (NodeId v = 0; v < n_nodes; ++v) inst.network.set_speed(v, net_weight());
+  for (NodeId a = 0; a < n_nodes; ++a) {
+    for (NodeId b = a + 1; b < n_nodes; ++b) inst.network.set_strength(a, b, net_weight());
+  }
+
+  const auto n_tasks = rng.uniform_int(3, 5);
+  TaskId prev = inst.graph.add_task(rng.uniform());
+  for (std::int64_t i = 1; i < n_tasks; ++i) {
+    const TaskId cur = inst.graph.add_task(rng.uniform());
+    inst.graph.add_dependency(prev, cur, rng.uniform());
+    prev = cur;
+  }
+  return inst;
+}
+
+AnnealResult run_pisa(const Scheduler& target, const Scheduler& baseline,
+                      const PisaOptions& options, std::uint64_t seed) {
+  // Honour the pair's combined homogeneity constraints.
+  const auto reqs = combine(target.requirements(), baseline.requirements());
+  PerturbationConfig config = options.config;
+  apply_requirements(config, reqs);
+
+  AnnealResult best;
+  best.best_ratio = -std::numeric_limits<double>::infinity();
+  for (std::size_t run = 0; run < options.restarts; ++run) {
+    const std::uint64_t run_seed = derive_seed(seed, {0x9155aULL, run});
+    ProblemInstance initial = options.make_initial
+                                  ? options.make_initial(derive_seed(run_seed, {0x1417ULL}))
+                                  : random_chain_instance(derive_seed(run_seed, {0x1417ULL}));
+    normalize_instance(initial, reqs);
+    AnnealResult result = anneal(target, baseline, initial, config, options.params,
+                                 derive_seed(run_seed, {0xa22eaULL}));
+    if (result.best_ratio > best.best_ratio) best = std::move(result);
+  }
+  return best;
+}
+
+}  // namespace saga::pisa

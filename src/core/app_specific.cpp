@@ -1,0 +1,63 @@
+#include "core/app_specific.hpp"
+
+#include <stdexcept>
+
+#include "datasets/workflows/blast.hpp"
+#include "datasets/workflows/bwa.hpp"
+#include "datasets/workflows/cycles.hpp"
+#include "datasets/workflows/epigenomics.hpp"
+#include "datasets/workflows/genome.hpp"
+#include "datasets/workflows/montage.hpp"
+#include "datasets/workflows/seismology.hpp"
+#include "datasets/workflows/soykb.hpp"
+#include "datasets/workflows/srasearch.hpp"
+
+namespace saga::pisa {
+
+namespace {
+
+workflows::WorkflowRecipe recipe_for(const std::string& workflow) {
+  using namespace workflows;
+  if (workflow == "blast") return {"blast", blast_stats(), blast_instance};
+  if (workflow == "bwa") return {"bwa", bwa_stats(), bwa_instance};
+  if (workflow == "cycles") return {"cycles", cycles_stats(), cycles_instance};
+  if (workflow == "epigenomics") {
+    return {"epigenomics", epigenomics_stats(), epigenomics_instance};
+  }
+  if (workflow == "genome") return {"genome", genome_stats(), genome_instance};
+  if (workflow == "montage") return {"montage", montage_stats(), montage_instance};
+  if (workflow == "seismology") return {"seismology", seismology_stats(), seismology_instance};
+  if (workflow == "soykb") return {"soykb", soykb_stats(), soykb_instance};
+  if (workflow == "srasearch") return {"srasearch", srasearch_stats(), srasearch_instance};
+  throw std::invalid_argument("unknown workflow: " + workflow);
+}
+
+}  // namespace
+
+PerturbationConfig app_specific_config(const workflows::TraceStats& stats) {
+  PerturbationConfig config;
+  // Weight ops scale into the trace envelope (Section VII-A).
+  config.node_speed = {stats.min_speed, stats.max_speed};
+  config.task_cost = {stats.min_runtime, stats.max_runtime};
+  config.dependency_cost = {stats.min_io, stats.max_io};
+  // Network edge weights are homogeneous and fixed to enforce the CCR;
+  // structure is frozen so instances stay representative of the app.
+  config.set_enabled(PerturbationOp::kChangeNetworkEdgeWeight, false);
+  config.set_enabled(PerturbationOp::kAddDependency, false);
+  config.set_enabled(PerturbationOp::kRemoveDependency, false);
+  return config;
+}
+
+PisaOptions app_specific_options(const std::string& workflow, double ccr, std::uint64_t seed) {
+  const auto recipe = recipe_for(workflow);
+  PisaOptions options;
+  options.config = app_specific_config(recipe.stats);
+  options.make_initial = [recipe, ccr, seed](std::uint64_t run_seed) {
+    ProblemInstance inst = recipe.make_instance(derive_seed(seed, {0xa99ULL, run_seed}));
+    workflows::set_homogeneous_ccr(inst, ccr);
+    return inst;
+  };
+  return options;
+}
+
+}  // namespace saga::pisa

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/annealer.hpp"
+#include "datasets/workflows/workflow.hpp"
+
+/// \file app_specific.hpp
+/// Application-specific PISA (paper Section VII): the search is restricted
+/// to well-structured, in-family problem instances of a scientific
+/// workflow:
+///   - the task-graph structure is frozen (no Add/Remove Dependency);
+///   - network link strengths are homogeneous and pinned to enforce a
+///     target CCR (no Change Network Edge Weight);
+///   - node speeds, task costs, and dependency weights remain perturbable,
+///     scaled into the ranges observed in the application's traces.
+
+namespace saga::pisa {
+
+/// Builds the restricted PERTURB configuration for a workflow's trace
+/// envelope (Section VII-A's adjusted implementation).
+[[nodiscard]] PerturbationConfig app_specific_config(const workflows::TraceStats& stats);
+
+/// PISA options for a workflow at a fixed CCR: initial instances are
+/// sampled from the workflow's own generator (like the benchmarking
+/// dataset) and re-pinned to the CCR after every generation. `restarts`
+/// and annealing parameters can be adjusted afterwards.
+[[nodiscard]] PisaOptions app_specific_options(const std::string& workflow, double ccr,
+                                               std::uint64_t seed);
+
+}  // namespace saga::pisa

@@ -1,0 +1,35 @@
+#include "core/constraints.hpp"
+
+namespace saga::pisa {
+
+void apply_requirements(PerturbationConfig& config, const NetworkRequirements& reqs) {
+  if (reqs.homogeneous_node_speeds) {
+    config.set_enabled(PerturbationOp::kChangeNetworkNodeWeight, false);
+  }
+  if (reqs.homogeneous_link_strengths) {
+    config.set_enabled(PerturbationOp::kChangeNetworkEdgeWeight, false);
+  }
+}
+
+NetworkRequirements combine(const NetworkRequirements& a, const NetworkRequirements& b) {
+  return {
+      .homogeneous_node_speeds = a.homogeneous_node_speeds || b.homogeneous_node_speeds,
+      .homogeneous_link_strengths =
+          a.homogeneous_link_strengths || b.homogeneous_link_strengths,
+  };
+}
+
+void normalize_instance(ProblemInstance& inst, const NetworkRequirements& reqs) {
+  if (reqs.homogeneous_node_speeds) {
+    for (NodeId v = 0; v < inst.network.node_count(); ++v) inst.network.set_speed(v, 1.0);
+  }
+  if (reqs.homogeneous_link_strengths) {
+    for (NodeId a = 0; a < inst.network.node_count(); ++a) {
+      for (NodeId b = a + 1; b < inst.network.node_count(); ++b) {
+        inst.network.set_strength(a, b, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace saga::pisa

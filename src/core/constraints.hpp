@@ -1,0 +1,29 @@
+#pragma once
+
+#include "core/perturbation.hpp"
+#include "sched/scheduler.hpp"
+
+/// \file constraints.hpp
+/// Homogeneity constraints PISA honours for schedulers that were designed
+/// for restricted network models (paper Section VI): "For ETF, FCP, and FLB,
+/// we set all node weights to be 1 initially and do not allow them to be
+/// changed. For BIL, GDL, FCP, and FLB we set all communication link
+/// weights to be 1 initially and do not allow them to be changed." When
+/// comparing a pair of schedulers, the union of both schedulers'
+/// requirements applies.
+
+namespace saga::pisa {
+
+/// Removes the disallowed perturbation ops from `config` for a comparison
+/// between schedulers with the given (combined) requirements.
+void apply_requirements(PerturbationConfig& config, const NetworkRequirements& reqs);
+
+/// Union of two requirement sets.
+[[nodiscard]] NetworkRequirements combine(const NetworkRequirements& a,
+                                          const NetworkRequirements& b);
+
+/// Normalises an initial instance for the given requirements: sets all node
+/// speeds and/or link strengths to 1 where homogeneity is required.
+void normalize_instance(ProblemInstance& inst, const NetworkRequirements& reqs);
+
+}  // namespace saga::pisa

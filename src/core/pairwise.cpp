@@ -1,0 +1,64 @@
+#include "core/pairwise.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/thread_pool.hpp"
+#include "sched/registry.hpp"
+
+namespace saga::pisa {
+
+std::vector<double> PairwiseResult::worst_per_target() const {
+  const std::size_t n = scheduler_names.size();
+  std::vector<double> worst(n, -std::numeric_limits<double>::infinity());
+  for (std::size_t col = 0; col < n; ++col) {
+    for (std::size_t row = 0; row < n; ++row) {
+      const double r = ratio[row][col];
+      if (!std::isnan(r) && r > worst[col]) worst[col] = r;
+    }
+  }
+  return worst;
+}
+
+PairwiseResult pairwise_compare(const std::vector<std::string>& scheduler_names,
+                                const PairwiseOptions& options, std::uint64_t seed) {
+  const std::size_t n = scheduler_names.size();
+  PairwiseResult result;
+  result.scheduler_names = scheduler_names;
+  result.ratio.assign(n, std::vector<double>(n, std::numeric_limits<double>::quiet_NaN()));
+
+  // Flatten the off-diagonal cells into a work list.
+  struct Cell {
+    std::size_t row;  // baseline
+    std::size_t col;  // target
+  };
+  std::vector<Cell> cells;
+  cells.reserve(n * (n - 1));
+  for (std::size_t row = 0; row < n; ++row) {
+    for (std::size_t col = 0; col < n; ++col) {
+      if (row != col) cells.push_back({row, col});
+    }
+  }
+
+  const auto run_cell = [&](std::size_t i) {
+    const auto [row, col] = cells[i];
+    // Fresh scheduler objects per cell: schedulers are stateless apart from
+    // WBA's seed, which we derive per cell for independence.
+    const auto baseline =
+        make_scheduler(scheduler_names[row], derive_seed(seed, {0xba5eULL, row, col}));
+    const auto target =
+        make_scheduler(scheduler_names[col], derive_seed(seed, {0x7a26e7ULL, row, col}));
+    const auto cell_result =
+        run_pisa(*target, *baseline, options.pisa, derive_seed(seed, {0xce11ULL, row, col}));
+    result.ratio[row][col] = cell_result.best_ratio;
+  };
+
+  if (options.parallel) {
+    global_pool().parallel_for(cells.size(), run_cell);
+  } else {
+    for (std::size_t i = 0; i < cells.size(); ++i) run_cell(i);
+  }
+  return result;
+}
+
+}  // namespace saga::pisa

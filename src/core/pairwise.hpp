@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/annealer.hpp"
+
+/// \file pairwise.hpp
+/// The pairwise PISA comparison grid behind the paper's Fig. 4 (and the
+/// per-workflow grids of Figs. 10-19): for every ordered pair of schedulers
+/// (target, baseline), the worst-case makespan ratio PISA can find.
+
+namespace saga::pisa {
+
+/// Result grid: ratio[i][j] is the best ratio found for *target* j against
+/// *baseline* i — matching the paper's figure layout, where the cell in row
+/// i (base scheduler) and column j (scheduler) reports scheduler j's worst
+/// case against baseline i. Diagonal cells are skipped (NaN).
+struct PairwiseResult {
+  std::vector<std::string> scheduler_names;
+  std::vector<std::vector<double>> ratio;
+
+  [[nodiscard]] double cell(std::size_t baseline_row, std::size_t target_col) const {
+    return ratio[baseline_row][target_col];
+  }
+
+  /// Per-target worst case across all baselines (the paper's "Worst" row).
+  [[nodiscard]] std::vector<double> worst_per_target() const;
+};
+
+struct PairwiseOptions {
+  PisaOptions pisa;
+  /// Worker threads (0 = use the global pool). Each (pair, restart) cell
+  /// derives an independent RNG stream, so parallel runs are reproducible.
+  bool parallel = true;
+};
+
+/// Runs PISA for every ordered pair of the named schedulers. WBA instances
+/// are constructed with per-pair derived seeds.
+[[nodiscard]] PairwiseResult pairwise_compare(const std::vector<std::string>& scheduler_names,
+                                              const PairwiseOptions& options,
+                                              std::uint64_t seed);
+
+}  // namespace saga::pisa

@@ -1,0 +1,114 @@
+#include "core/perturbation.hpp"
+
+#include <vector>
+
+namespace saga::pisa {
+
+std::string_view to_string(PerturbationOp op) {
+  switch (op) {
+    case PerturbationOp::kChangeNetworkNodeWeight: return "ChangeNetworkNodeWeight";
+    case PerturbationOp::kChangeNetworkEdgeWeight: return "ChangeNetworkEdgeWeight";
+    case PerturbationOp::kChangeTaskWeight: return "ChangeTaskWeight";
+    case PerturbationOp::kChangeDependencyWeight: return "ChangeDependencyWeight";
+    case PerturbationOp::kAddDependency: return "AddDependency";
+    case PerturbationOp::kRemoveDependency: return "RemoveDependency";
+  }
+  return "?";
+}
+
+PerturbationConfig PerturbationConfig::generic() { return {}; }
+
+namespace {
+
+/// Nudges `value` by a uniform delta in ±range.step(), clamped into range.
+double nudge(double value, const WeightRange& range, Rng& rng) {
+  const double delta = rng.uniform(-range.step(), range.step());
+  return range.clamp(value + delta);
+}
+
+bool apply_op(ProblemInstance& inst, PerturbationOp op, const PerturbationConfig& config,
+              Rng& rng) {
+  auto& g = inst.graph;
+  auto& net = inst.network;
+  switch (op) {
+    case PerturbationOp::kChangeNetworkNodeWeight: {
+      if (net.node_count() == 0) return false;
+      const auto v = static_cast<NodeId>(rng.index(net.node_count()));
+      net.set_speed(v, nudge(net.speed(v), config.node_speed, rng));
+      return true;
+    }
+    case PerturbationOp::kChangeNetworkEdgeWeight: {
+      if (net.node_count() < 2) return false;
+      // Uniform non-self unordered pair.
+      const auto a = static_cast<NodeId>(rng.index(net.node_count()));
+      auto b = static_cast<NodeId>(rng.index(net.node_count() - 1));
+      if (b >= a) ++b;
+      net.set_strength(a, b, nudge(net.strength(a, b), config.link_strength, rng));
+      return true;
+    }
+    case PerturbationOp::kChangeTaskWeight: {
+      if (g.task_count() == 0) return false;
+      const auto t = static_cast<TaskId>(rng.index(g.task_count()));
+      g.set_cost(t, nudge(g.cost(t), config.task_cost, rng));
+      return true;
+    }
+    case PerturbationOp::kChangeDependencyWeight: {
+      const auto deps = g.dependencies();
+      if (deps.empty()) return false;
+      const auto& [from, to] = deps[rng.index(deps.size())];
+      g.set_dependency_cost(from, to,
+                            nudge(g.dependency_cost(from, to), config.dependency_cost, rng));
+      return true;
+    }
+    case PerturbationOp::kAddDependency: {
+      if (g.task_count() < 2) return false;
+      // "Select a task t uniformly at random and add a dependency from t to
+      // a uniformly random task t' such that (t, t') is absent and acyclic."
+      const auto from = static_cast<TaskId>(rng.index(g.task_count()));
+      std::vector<TaskId> candidates;
+      for (TaskId to = 0; to < g.task_count(); ++to) {
+        if (to == from || g.has_dependency(from, to) || g.would_create_cycle(from, to)) {
+          continue;
+        }
+        candidates.push_back(to);
+      }
+      if (candidates.empty()) return false;
+      const TaskId to = candidates[rng.index(candidates.size())];
+      const double cost = rng.uniform(config.dependency_cost.lo, config.dependency_cost.hi);
+      return g.add_dependency(from, to, cost);
+    }
+    case PerturbationOp::kRemoveDependency: {
+      const auto deps = g.dependencies();
+      if (deps.empty()) return false;
+      const auto& [from, to] = deps[rng.index(deps.size())];
+      return g.remove_dependency(from, to);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PerturbationResult perturb(const ProblemInstance& inst, const PerturbationConfig& config,
+                           Rng& rng) {
+  PerturbationResult result{inst, std::nullopt};
+
+  std::vector<PerturbationOp> enabled;
+  for (std::size_t i = 0; i < kPerturbationOpCount; ++i) {
+    if (config.enabled[i]) enabled.push_back(static_cast<PerturbationOp>(i));
+  }
+  // Pick uniformly among enabled ops; if the chosen op is inapplicable
+  // (e.g. RemoveDependency on an edgeless graph), retry among the rest.
+  while (!enabled.empty()) {
+    const std::size_t pick = rng.index(enabled.size());
+    const PerturbationOp op = enabled[pick];
+    if (apply_op(result.instance, op, config, rng)) {
+      result.applied = op;
+      return result;
+    }
+    enabled.erase(enabled.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return result;
+}
+
+}  // namespace saga::pisa

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "graph/problem_instance.hpp"
+
+/// \file perturbation.hpp
+/// The PERTURB step of PISA (paper Section VI): one of six operators chosen
+/// uniformly at random among those enabled, each nudging a weight by a
+/// uniform delta or toggling a dependency. The application-specific variant
+/// (Section VII) reuses the same machinery with different weight ranges and
+/// with the structural operators disabled.
+
+namespace saga::pisa {
+
+enum class PerturbationOp : std::uint8_t {
+  kChangeNetworkNodeWeight = 0,
+  kChangeNetworkEdgeWeight,
+  kChangeTaskWeight,
+  kChangeDependencyWeight,
+  kAddDependency,
+  kRemoveDependency,
+};
+
+inline constexpr std::size_t kPerturbationOpCount = 6;
+
+[[nodiscard]] std::string_view to_string(PerturbationOp op);
+
+/// Closed weight range [lo, hi] a perturbed weight is clamped into.
+struct WeightRange {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  [[nodiscard]] double clamp(double x) const { return x < lo ? lo : (x > hi ? hi : x); }
+  /// Step size: the paper perturbs by a uniform delta in ±1/10 of the unit
+  /// range; for scaled ranges the delta scales with the span.
+  [[nodiscard]] double step() const { return (hi - lo) / 10.0; }
+};
+
+/// Configuration of the PERTURB function.
+struct PerturbationConfig {
+  /// Which of the six operators may fire. Section VI enables all six;
+  /// Section VII disables network-edge and structural changes.
+  std::array<bool, kPerturbationOpCount> enabled = {true, true, true, true, true, true};
+
+  /// Weight ranges. Section VI uses [0, 1] everywhere (network weights with
+  /// a small positive floor to keep makespans finite); Section VII scales
+  /// these to the ranges observed in execution traces.
+  WeightRange node_speed{1e-3, 1.0};
+  WeightRange link_strength{1e-3, 1.0};
+  WeightRange task_cost{0.0, 1.0};
+  WeightRange dependency_cost{0.0, 1.0};
+
+  /// Enables/disables an operator.
+  void set_enabled(PerturbationOp op, bool value) {
+    enabled[static_cast<std::size_t>(op)] = value;
+  }
+  [[nodiscard]] bool is_enabled(PerturbationOp op) const {
+    return enabled[static_cast<std::size_t>(op)];
+  }
+
+  /// The paper's Section VI defaults.
+  [[nodiscard]] static PerturbationConfig generic();
+};
+
+/// Applies one random perturbation (drawn uniformly among the enabled,
+/// currently applicable operators) to a copy of the instance. Returns the
+/// operator applied alongside the new instance; returns std::nullopt for
+/// the op if no operator was applicable (the instance copy is unchanged).
+struct PerturbationResult {
+  ProblemInstance instance;
+  std::optional<PerturbationOp> applied;
+};
+
+[[nodiscard]] PerturbationResult perturb(const ProblemInstance& inst,
+                                         const PerturbationConfig& config, Rng& rng);
+
+}  // namespace saga::pisa

@@ -1,0 +1,24 @@
+#include "datasets/chameleon.hpp"
+
+#include "common/rng.hpp"
+
+namespace saga::datasets {
+
+saga::Network chameleon_network(std::uint64_t seed, std::size_t min_nodes,
+                                std::size_t max_nodes) {
+  saga::Rng rng(seed);
+  const auto nodes = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(min_nodes), static_cast<std::int64_t>(max_nodes)));
+  saga::Network net(nodes);
+  for (saga::NodeId v = 0; v < nodes; ++v) {
+    net.set_speed(v, rng.clipped_gaussian(1.0, 0.25, 0.5, 1.5));
+  }
+  for (saga::NodeId a = 0; a < nodes; ++a) {
+    for (saga::NodeId b = a + 1; b < nodes; ++b) {
+      net.set_strength(a, b, saga::Network::kInfiniteStrength);
+    }
+  }
+  return net;
+}
+
+}  // namespace saga::datasets

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/network.hpp"
+
+/// \file chameleon.hpp
+/// Chameleon-cloud inspired networks (paper Section IV-B): machine speeds
+/// sampled from a distribution fitted to WfCommons execution traces, and —
+/// because Chameleon uses a shared filesystem whose transfer cost is
+/// absorbed into task runtimes — infinite communication strength between
+/// all nodes.
+
+namespace saga::datasets {
+
+/// Complete network with `min_nodes`..`max_nodes` nodes (uniform), speeds
+/// from a clipped Gaussian around 1 (Chameleon nodes are near-homogeneous
+/// bare-metal instances: mean 1, std 0.25, clipped to [0.5, 1.5]), and
+/// infinite link strengths.
+[[nodiscard]] saga::Network chameleon_network(std::uint64_t seed, std::size_t min_nodes = 4,
+                                              std::size_t max_nodes = 12);
+
+}  // namespace saga::datasets

@@ -1,0 +1,6 @@
+#include "datasets/dataset.hpp"
+
+// Dataset is a plain aggregate; this TU exists so the module has a home for
+// future out-of-line helpers and to keep one .cpp per module rule intact.
+
+namespace saga {}  // namespace saga

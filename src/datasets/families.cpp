@@ -1,0 +1,93 @@
+#include "datasets/families.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "datasets/dataset.hpp"
+
+namespace saga::families {
+
+using saga::NodeId;
+using saga::TaskId;
+
+saga::ProblemInstance heft_adversarial_instance(std::uint64_t seed) {
+  saga::Rng rng(seed);
+  saga::ProblemInstance inst;
+  auto& g = inst.graph;
+  const auto inner_cost = [&] {
+    return std::max(0.0, rng.gaussian(10.0, 10.0 / 3.0));
+  };
+  const TaskId a = g.add_task("A", 1.0);
+  const TaskId b = g.add_task("B", inner_cost());
+  const TaskId c = g.add_task("C", inner_cost());
+  const TaskId d = g.add_task("D", 1.0);
+  g.add_dependency(a, b, 1.0);
+  g.add_dependency(a, c, std::max(0.0, rng.gaussian(100.0, 100.0 / 3.0)));
+  g.add_dependency(b, d, 1.0);
+  g.add_dependency(c, d, 1.0);
+
+  inst.network = saga::Network(3);  // all speeds/strengths at their default of 1
+  return inst;
+}
+
+saga::ProblemInstance fig3_instance(bool weakened_network) {
+  saga::ProblemInstance inst;
+  auto& g = inst.graph;
+  const TaskId t1 = g.add_task("1", 3.0);
+  const TaskId t2 = g.add_task("2", 3.0);
+  const TaskId t3 = g.add_task("3", 3.0);
+  const TaskId t4 = g.add_task("4", 3.0);
+  const TaskId t5 = g.add_task("5", 3.0);
+  for (TaskId mid : {t2, t3, t4}) {
+    g.add_dependency(t1, mid, 2.0);
+    g.add_dependency(mid, t5, 3.0);
+  }
+  inst.network = saga::Network(3);  // speeds and strengths default to 1
+  if (weakened_network) {
+    inst.network.set_strength(0, 2, 0.5);  // s(1,3)
+    inst.network.set_strength(1, 2, 0.5);  // s(2,3)
+  }
+  return inst;
+}
+
+saga::ProblemInstance cpop_adversarial_instance(std::uint64_t seed) {
+  saga::Rng rng(seed);
+  saga::ProblemInstance inst;
+  auto& g = inst.graph;
+  const auto small = [&] {
+    return std::max(saga::kMinNetworkWeight, rng.gaussian(1.0, 1.0 / 3.0));
+  };
+
+  const TaskId a = g.add_task("A", small());
+  std::vector<TaskId> inner;
+  for (char name = 'B'; name <= 'J'; ++name) {
+    inner.push_back(g.add_task(std::string(1, name), small()));
+  }
+  const TaskId k = g.add_task("K", small());
+  for (TaskId t : inner) {
+    g.add_dependency(a, t, small());
+    g.add_dependency(t, k, std::max(0.0, rng.gaussian(10.0, 10.0 / 3.0)));
+  }
+
+  // Node 0 is the fast node (speed 3); node 1 is typically second-fastest.
+  inst.network = saga::Network(4);
+  inst.network.set_speed(0, 3.0);
+  for (NodeId v = 1; v < 4; ++v) inst.network.set_speed(v, small());
+  // Weak link between the two fastest nodes, strong links elsewhere.
+  NodeId second = 1;
+  for (NodeId v = 2; v < 4; ++v) {
+    if (inst.network.speed(v) > inst.network.speed(second)) second = v;
+  }
+  for (NodeId x = 0; x < 4; ++x) {
+    for (NodeId y = x + 1; y < 4; ++y) {
+      const bool weak = (x == 0 && y == second) || (y == 0 && x == second);
+      const double strength =
+          weak ? small() : std::max(saga::kMinNetworkWeight, rng.gaussian(10.0, 5.0 / 3.0));
+      inst.network.set_strength(x, y, strength);
+    }
+  }
+  return inst;
+}
+
+}  // namespace saga::families

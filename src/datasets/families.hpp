@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/problem_instance.hpp"
+
+/// \file families.hpp
+/// The two hand-crafted adversarial instance families of the paper's
+/// Section VI-B case study (Figs. 7 and 8), generalising the patterns PISA
+/// discovered in the HEFT-vs-CPoP comparison.
+
+namespace saga::families {
+
+/// Fig. 7 family — HEFT performs poorly against CPoP.
+///
+/// Fork-join A -> {B, C} -> D where tasks A and D have cost 1, B and C have
+/// cost ~ N(10, 10/3) (clipped at 0), and all dependencies cost 1 except
+/// one expensive edge ~ N(100, 100/3) on C's chain. (The paper's prose says
+/// the expensive edge is C->D while its Fig. 7 drawing puts it on A->C; we
+/// follow the drawing, which matches the stated hypothesis that one chain
+/// has "a much higher *initial* communication cost".) Network: completely
+/// homogeneous (3 nodes, all weights 1), matching "on a completely
+/// homogeneous network, for simplicity".
+[[nodiscard]] saga::ProblemInstance heft_adversarial_instance(std::uint64_t seed);
+
+/// The illustrative instance of the paper's Fig. 3: a five-task fork-join
+/// (t1 fans out to t2, t3, t4, all joining at t5; all task costs 3, fork
+/// edges cost 2, join edges cost 3) on a 3-node homogeneous network. With
+/// `weakened_network` the links touching node 3 drop from strength 1 to
+/// 0.5 (Fig. 3c), the "minor alteration" that flips the HEFT/CPoP ranking.
+[[nodiscard]] saga::ProblemInstance fig3_instance(bool weakened_network);
+
+/// Fig. 8 family — CPoP performs poorly against HEFT.
+///
+/// Wide fork-join A -> {B..J} -> K (9 inner tasks): all task costs
+/// ~ N(1, 1/3); fork edges A->inner ~ N(1, 1/3); join edges inner->K
+/// ~ N(10, 10/3). Network: 4 nodes; the fastest node has speed 3, the rest
+/// ~ N(1, 1/3); the link between the fastest and second-fastest node is
+/// ~ N(1, 1/3) (weak) while all other links are ~ N(10, 5/3) (strong).
+[[nodiscard]] saga::ProblemInstance cpop_adversarial_instance(std::uint64_t seed);
+
+}  // namespace saga::families

@@ -1,0 +1,63 @@
+#include "datasets/iot/edge_fog_cloud.hpp"
+
+#include "common/rng.hpp"
+
+namespace saga::iot {
+
+namespace {
+
+enum class Tier { kEdge, kFog, kCloud };
+
+Tier tier_of(const EdgeFogCloudShape& shape, saga::NodeId v) {
+  if (v < shape.edge_nodes) return Tier::kEdge;
+  if (v < shape.edge_nodes + shape.fog_nodes) return Tier::kFog;
+  return Tier::kCloud;
+}
+
+double tier_speed(Tier t) {
+  switch (t) {
+    case Tier::kEdge: return 1.0;
+    case Tier::kFog: return 6.0;
+    case Tier::kCloud: return 50.0;
+  }
+  return 1.0;
+}
+
+double link_strength(Tier a, Tier b) {
+  if (a == Tier::kCloud && b == Tier::kCloud) return saga::Network::kInfiniteStrength;
+  const bool has_fog = a == Tier::kFog || b == Tier::kFog;
+  const bool has_edge = a == Tier::kEdge || b == Tier::kEdge;
+  if (has_fog && !has_edge) return 100.0;  // fog-fog, fog-cloud
+  return 60.0;                             // edge-fog, edge-cloud, edge-edge
+}
+
+}  // namespace
+
+EdgeFogCloudShape sample_edge_fog_cloud_shape(std::uint64_t seed) {
+  saga::Rng rng(seed);
+  EdgeFogCloudShape shape;
+  shape.edge_nodes = static_cast<std::size_t>(rng.uniform_int(75, 125));
+  shape.fog_nodes = static_cast<std::size_t>(rng.uniform_int(3, 7));
+  shape.cloud_nodes = static_cast<std::size_t>(rng.uniform_int(1, 10));
+  return shape;
+}
+
+saga::Network make_edge_fog_cloud_network(const EdgeFogCloudShape& shape) {
+  const std::size_t total = shape.edge_nodes + shape.fog_nodes + shape.cloud_nodes;
+  saga::Network net(total);
+  for (saga::NodeId v = 0; v < total; ++v) {
+    net.set_speed(v, tier_speed(tier_of(shape, v)));
+  }
+  for (saga::NodeId a = 0; a < total; ++a) {
+    for (saga::NodeId b = a + 1; b < total; ++b) {
+      net.set_strength(a, b, link_strength(tier_of(shape, a), tier_of(shape, b)));
+    }
+  }
+  return net;
+}
+
+saga::Network edge_fog_cloud_network(std::uint64_t seed) {
+  return make_edge_fog_cloud_network(sample_edge_fog_cloud_shape(seed));
+}
+
+}  // namespace saga::iot

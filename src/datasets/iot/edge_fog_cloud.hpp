@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/network.hpp"
+
+/// \file edge_fog_cloud.hpp
+/// Edge/Fog/Cloud networks (paper Section IV-B, after Varshney et al. 2022):
+///   - 75-125 edge nodes of speed 1, 3-7 fog nodes of speed 6, and 1-10
+///     cloud nodes of speed 50 (all counts uniform);
+///   - link strengths: edge-fog 60, fog-fog and fog-cloud 100, edge-cloud 60
+///     (to complete the graph), cloud-cloud infinite (no delay);
+///   - edge-edge links are not specified by the paper; we route them at the
+///     edge-fog strength of 60.
+
+namespace saga::iot {
+
+struct EdgeFogCloudShape {
+  std::size_t edge_nodes = 0;
+  std::size_t fog_nodes = 0;
+  std::size_t cloud_nodes = 0;
+};
+
+/// Samples the node counts for a network (uniform in the paper's ranges).
+[[nodiscard]] EdgeFogCloudShape sample_edge_fog_cloud_shape(std::uint64_t seed);
+
+/// Builds the complete network for a given shape. Node ids are laid out as
+/// [edge nodes][fog nodes][cloud nodes].
+[[nodiscard]] saga::Network make_edge_fog_cloud_network(const EdgeFogCloudShape& shape);
+
+/// Convenience: sample a shape and build its network.
+[[nodiscard]] saga::Network edge_fog_cloud_network(std::uint64_t seed);
+
+}  // namespace saga::iot

@@ -1,0 +1,142 @@
+#include "datasets/iot/riotbench.hpp"
+
+#include <string>
+#include <vector>
+
+#include "datasets/iot/edge_fog_cloud.hpp"
+
+namespace saga::iot {
+
+namespace {
+
+using saga::TaskGraph;
+using saga::TaskId;
+
+/// Builder that wires stages together while propagating data sizes through
+/// the graph according to each stage's input/output ratio.
+class StreamGraphBuilder {
+ public:
+  explicit StreamGraphBuilder(saga::Rng& rng) : rng_(&rng) {
+    input_size_ = rng.clipped_gaussian(1000.0, 500.0 / 3.0, 500.0, 1500.0);
+  }
+
+  /// Adds a stage. `inputs` lists producing stages; a source stage (empty
+  /// inputs) consumes the application input. `ratio` is the stage's
+  /// output/input data ratio.
+  TaskId stage(const std::string& name, std::vector<TaskId> inputs, double ratio) {
+    const double cost = rng_->clipped_gaussian(35.0, 25.0 / 3.0, 10.0, 60.0);
+    const TaskId id = graph_.add_task(name, cost);
+    double data_in = 0.0;
+    if (inputs.empty()) {
+      data_in = input_size_;
+    } else {
+      for (TaskId producer : inputs) {
+        graph_.add_dependency(producer, id, data_out_[producer]);
+        data_in += data_out_[producer];
+      }
+    }
+    data_out_.resize(graph_.task_count(), 0.0);
+    data_out_[id] = data_in * ratio;
+    return id;
+  }
+
+  [[nodiscard]] TaskGraph take() { return std::move(graph_); }
+
+ private:
+  saga::Rng* rng_;
+  TaskGraph graph_;
+  std::vector<double> data_out_;
+  double input_size_ = 0.0;
+};
+
+}  // namespace
+
+TaskGraph make_etl_graph(saga::Rng& rng) {
+  // Extract-Transform-Load: a linear sensing pipeline with a dual-sink tail.
+  StreamGraphBuilder b(rng);
+  const TaskId source = b.stage("mqtt_source", {}, 1.0);
+  const TaskId parse = b.stage("senml_parse", {source}, 0.9);
+  const TaskId range = b.stage("range_filter", {parse}, 0.95);
+  const TaskId bloom = b.stage("bloom_filter", {range}, 0.95);
+  const TaskId interp = b.stage("interpolate", {bloom}, 1.0);
+  const TaskId join = b.stage("join", {interp}, 1.0);
+  const TaskId annotate = b.stage("annotate", {join}, 1.1);
+  b.stage("azure_insert", {annotate}, 0.1);
+  b.stage("mqtt_publish", {annotate}, 0.1);
+  return b.take();
+}
+
+TaskGraph make_stats_graph(saga::Rng& rng) {
+  // Statistical summarisation: parse fans out to three windowed statistics
+  // whose outputs are grouped and plotted.
+  StreamGraphBuilder b(rng);
+  const TaskId source = b.stage("mqtt_source", {}, 1.0);
+  const TaskId parse = b.stage("senml_parse", {source}, 0.9);
+  const TaskId average = b.stage("block_window_average", {parse}, 0.2);
+  const TaskId kalman = b.stage("kalman_filter", {parse}, 1.0);
+  const TaskId window = b.stage("sliding_window_count", {kalman}, 0.2);
+  const TaskId distinct = b.stage("distinct_approx_count", {parse}, 0.2);
+  const TaskId group = b.stage("group_viz", {average, window, distinct}, 0.5);
+  b.stage("blob_upload", {group}, 0.1);
+  return b.take();
+}
+
+TaskGraph make_predict_graph(saga::Rng& rng) {
+  // Online prediction: two parallel models score each message; results are
+  // blended and published.
+  StreamGraphBuilder b(rng);
+  const TaskId source = b.stage("mqtt_source", {}, 1.0);
+  const TaskId parse = b.stage("senml_parse", {source}, 0.9);
+  const TaskId tree = b.stage("decision_tree_classify", {parse}, 0.3);
+  const TaskId regression = b.stage("linear_regression_predict", {parse}, 0.3);
+  const TaskId average = b.stage("average", {parse}, 0.2);
+  const TaskId error = b.stage("error_estimate", {regression, average}, 0.3);
+  const TaskId publish = b.stage("mqtt_publish", {tree, error}, 0.5);
+  (void)publish;
+  return b.take();
+}
+
+TaskGraph make_train_graph(saga::Rng& rng) {
+  // Periodic model retraining: fetch training data, train two models,
+  // validate and upload.
+  StreamGraphBuilder b(rng);
+  const TaskId timer = b.stage("timer_source", {}, 1.0);
+  const TaskId fetch = b.stage("table_read", {timer}, 5.0);
+  const TaskId tree = b.stage("decision_tree_train", {fetch}, 0.2);
+  const TaskId regression = b.stage("linear_regression_train", {fetch}, 0.2);
+  const TaskId annotate = b.stage("annotate", {tree, regression}, 1.0);
+  b.stage("blob_write", {annotate}, 1.0);
+  b.stage("mqtt_publish", {annotate}, 0.1);
+  return b.take();
+}
+
+namespace {
+
+saga::ProblemInstance make_instance(TaskGraph (*make_graph)(saga::Rng&), std::uint64_t seed,
+                                    std::uint64_t salt) {
+  saga::Rng rng(seed);
+  saga::ProblemInstance inst;
+  inst.graph = make_graph(rng);
+  inst.network = edge_fog_cloud_network(saga::derive_seed(seed, {salt}));
+  return inst;
+}
+
+}  // namespace
+
+saga::ProblemInstance etl_instance(std::uint64_t seed) {
+  return make_instance(make_etl_graph, seed, 0xe71ULL);
+}
+
+saga::ProblemInstance stats_instance(std::uint64_t seed) {
+  return make_instance(make_stats_graph, seed, 0x57a75ULL);
+}
+
+saga::ProblemInstance predict_instance(std::uint64_t seed) {
+  return make_instance(make_predict_graph, seed, 0x94ed1c7ULL);
+}
+
+saga::ProblemInstance train_instance(std::uint64_t seed) {
+  return make_instance(make_train_graph, seed, 0x72a12ULL);
+}
+
+}  // namespace saga::iot

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/problem_instance.hpp"
+
+/// \file riotbench.hpp
+/// IoT data-streaming task graphs modelled on RIoTBench (Shukla, Chaturvedi
+/// & Simmhan 2017), following the generation procedure of Varshney et al.
+/// 2022 as described in the paper's Section IV-B:
+///   - task costs: clipped Gaussian (mean 35, std 25/3, min 10, max 60);
+///   - application input size: clipped Gaussian (mean 1000, std 500/3,
+///     min 500, max 1500);
+///   - dependency weights: derived from the tasks' known input/output
+///     ratios — each stage forwards data_out = ratio × data_in to every
+///     successor.
+/// Four applications: ETL, STATS, PREDICT, and TRAIN.
+
+namespace saga::iot {
+
+[[nodiscard]] saga::TaskGraph make_etl_graph(saga::Rng& rng);
+[[nodiscard]] saga::TaskGraph make_stats_graph(saga::Rng& rng);
+[[nodiscard]] saga::TaskGraph make_predict_graph(saga::Rng& rng);
+[[nodiscard]] saga::TaskGraph make_train_graph(saga::Rng& rng);
+
+/// Full instances paired with an Edge/Fog/Cloud network.
+[[nodiscard]] saga::ProblemInstance etl_instance(std::uint64_t seed);
+[[nodiscard]] saga::ProblemInstance stats_instance(std::uint64_t seed);
+[[nodiscard]] saga::ProblemInstance predict_instance(std::uint64_t seed);
+[[nodiscard]] saga::ProblemInstance train_instance(std::uint64_t seed);
+
+}  // namespace saga::iot

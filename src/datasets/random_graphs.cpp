@@ -1,0 +1,117 @@
+#include "datasets/random_graphs.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "datasets/dataset.hpp"
+
+namespace saga {
+
+namespace {
+
+/// Clipped Gaussian used by all three datasets: mean 1, std 1/3, in [0, 2].
+double weight(Rng& rng) { return rng.clipped_gaussian(1.0, 1.0 / 3.0, 0.0, 2.0); }
+
+/// Network weights additionally get the division-safety floor.
+double net_weight(Rng& rng) { return std::max(weight(rng), kMinNetworkWeight); }
+
+/// Builds the level structure of a (in|out)-tree: levels 0..L-1, level k
+/// has b^k tasks, with b the branching factor. Returns per-level task ids.
+std::vector<std::vector<TaskId>> tree_levels(TaskGraph& g, Rng& rng, int levels, int branch) {
+  std::vector<std::vector<TaskId>> by_level(static_cast<std::size_t>(levels));
+  std::size_t width = 1;
+  for (int level = 0; level < levels; ++level) {
+    for (std::size_t i = 0; i < width; ++i) {
+      by_level[static_cast<std::size_t>(level)].push_back(g.add_task(weight(rng)));
+    }
+    width *= static_cast<std::size_t>(branch);
+  }
+  return by_level;
+}
+
+}  // namespace
+
+Network random_network(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto nodes = static_cast<std::size_t>(rng.uniform_int(3, 5));
+  Network net(nodes);
+  for (NodeId v = 0; v < nodes; ++v) net.set_speed(v, net_weight(rng));
+  for (NodeId a = 0; a < nodes; ++a) {
+    for (NodeId b = a + 1; b < nodes; ++b) net.set_strength(a, b, net_weight(rng));
+  }
+  return net;
+}
+
+TaskGraph random_in_tree(std::uint64_t seed) {
+  Rng rng(seed);
+  const int levels = static_cast<int>(rng.uniform_int(2, 4));
+  const int branch = static_cast<int>(rng.uniform_int(2, 3));
+  TaskGraph g;
+  const auto by_level = tree_levels(g, rng, levels, branch);
+  // In-tree: children (deeper level) feed their parent.
+  for (std::size_t level = 1; level < by_level.size(); ++level) {
+    for (std::size_t i = 0; i < by_level[level].size(); ++i) {
+      const TaskId parent = by_level[level - 1][i / static_cast<std::size_t>(branch)];
+      g.add_dependency(by_level[level][i], parent, weight(rng));
+    }
+  }
+  return g;
+}
+
+TaskGraph random_out_tree(std::uint64_t seed) {
+  Rng rng(seed);
+  const int levels = static_cast<int>(rng.uniform_int(2, 4));
+  const int branch = static_cast<int>(rng.uniform_int(2, 3));
+  TaskGraph g;
+  const auto by_level = tree_levels(g, rng, levels, branch);
+  // Out-tree: the parent feeds its children.
+  for (std::size_t level = 1; level < by_level.size(); ++level) {
+    for (std::size_t i = 0; i < by_level[level].size(); ++i) {
+      const TaskId parent = by_level[level - 1][i / static_cast<std::size_t>(branch)];
+      g.add_dependency(parent, by_level[level][i], weight(rng));
+    }
+  }
+  return g;
+}
+
+TaskGraph random_parallel_chains(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto chains = rng.uniform_int(2, 5);
+  const auto length = rng.uniform_int(2, 5);
+  TaskGraph g;
+  for (std::int64_t c = 0; c < chains; ++c) {
+    TaskId prev = g.add_task(weight(rng));
+    for (std::int64_t i = 1; i < length; ++i) {
+      const TaskId cur = g.add_task(weight(rng));
+      g.add_dependency(prev, cur, weight(rng));
+      prev = cur;
+    }
+  }
+  return g;
+}
+
+namespace {
+
+ProblemInstance make_instance(TaskGraph graph, std::uint64_t seed) {
+  ProblemInstance inst;
+  inst.graph = std::move(graph);
+  inst.network = random_network(derive_seed(seed, {0x4e4554ULL}));  // "NET"
+  return inst;
+}
+
+}  // namespace
+
+ProblemInstance in_trees_instance(std::uint64_t seed) {
+  return make_instance(random_in_tree(seed), seed);
+}
+
+ProblemInstance out_trees_instance(std::uint64_t seed) {
+  return make_instance(random_out_tree(seed), seed);
+}
+
+ProblemInstance chains_instance(std::uint64_t seed) {
+  return make_instance(random_parallel_chains(seed), seed);
+}
+
+}  // namespace saga

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/problem_instance.hpp"
+
+/// \file random_graphs.hpp
+/// The three randomly weighted datasets of the paper's Table II:
+/// `in_trees`, `out_trees`, and `chains` (parallel chains), paired with
+/// random complete networks. Parameters follow Section IV-B exactly:
+///  - in/out-trees: 2-4 levels, branching factor 2 or 3 (both uniform),
+///    node/edge weights from a clipped Gaussian (mean 1, std 1/3, min 0,
+///    max 2);
+///  - parallel chains: 2-5 chains of length 2-5 (uniform), same weights;
+///  - networks: complete graphs of 3-5 nodes (uniform), same weights
+///    (clamped away from zero, see dataset.hpp).
+
+namespace saga {
+
+/// A complete network with 3-5 nodes and clipped-Gaussian weights.
+[[nodiscard]] Network random_network(std::uint64_t seed);
+
+/// In-tree: every task has exactly one successor; data flows from the
+/// leaves (sources) toward the single root (sink).
+[[nodiscard]] TaskGraph random_in_tree(std::uint64_t seed);
+
+/// Out-tree: mirror image of the in-tree (root is the single source).
+[[nodiscard]] TaskGraph random_out_tree(std::uint64_t seed);
+
+/// 2-5 independent chains of 2-5 tasks each.
+[[nodiscard]] TaskGraph random_parallel_chains(std::uint64_t seed);
+
+/// Full instances (graph + independent random network).
+[[nodiscard]] ProblemInstance in_trees_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance out_trees_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance chains_instance(std::uint64_t seed);
+
+}  // namespace saga

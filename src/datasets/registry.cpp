@@ -1,0 +1,99 @@
+#include "datasets/registry.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "datasets/iot/riotbench.hpp"
+#include "datasets/random_graphs.hpp"
+#include "datasets/workflows/blast.hpp"
+#include "datasets/workflows/bwa.hpp"
+#include "datasets/workflows/cycles.hpp"
+#include "datasets/workflows/epigenomics.hpp"
+#include "datasets/workflows/genome.hpp"
+#include "datasets/workflows/montage.hpp"
+#include "datasets/workflows/seismology.hpp"
+#include "datasets/workflows/soykb.hpp"
+#include "datasets/workflows/srasearch.hpp"
+
+namespace saga::datasets {
+
+namespace {
+
+using Generator = saga::ProblemInstance (*)(std::uint64_t seed);
+
+struct Entry {
+  const char* name;
+  Generator generator;
+  std::size_t paper_count;
+};
+
+constexpr std::size_t kRandomCount = 1000;
+constexpr std::size_t kWorkflowCount = 100;
+constexpr std::size_t kIotCount = 1000;
+
+const Entry kEntries[] = {
+    {"in_trees", saga::in_trees_instance, kRandomCount},
+    {"out_trees", saga::out_trees_instance, kRandomCount},
+    {"chains", saga::chains_instance, kRandomCount},
+    {"blast", saga::workflows::blast_instance, kWorkflowCount},
+    {"bwa", saga::workflows::bwa_instance, kWorkflowCount},
+    {"cycles", saga::workflows::cycles_instance, kWorkflowCount},
+    {"epigenomics", saga::workflows::epigenomics_instance, kWorkflowCount},
+    {"genome", saga::workflows::genome_instance, kWorkflowCount},
+    {"montage", saga::workflows::montage_instance, kWorkflowCount},
+    {"seismology", saga::workflows::seismology_instance, kWorkflowCount},
+    {"soykb", saga::workflows::soykb_instance, kWorkflowCount},
+    {"srasearch", saga::workflows::srasearch_instance, kWorkflowCount},
+    {"etl", saga::iot::etl_instance, kIotCount},
+    {"predict", saga::iot::predict_instance, kIotCount},
+    {"stats", saga::iot::stats_instance, kIotCount},
+    {"train", saga::iot::train_instance, kIotCount},
+};
+
+const Entry& find_entry(const std::string& dataset) {
+  for (const auto& entry : kEntries) {
+    if (dataset == entry.name) return entry;
+  }
+  throw std::invalid_argument("unknown dataset: " + dataset);
+}
+
+}  // namespace
+
+saga::ProblemInstance generate_instance(const std::string& dataset, std::uint64_t master_seed,
+                                        std::size_t index) {
+  const auto& entry = find_entry(dataset);
+  // Mix the dataset name into the stream so same-index instances of
+  // different datasets are unrelated.
+  std::uint64_t name_hash = 0xcbf29ce484222325ULL;
+  for (char c : dataset) name_hash = (name_hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  return entry.generator(saga::derive_seed(master_seed, {name_hash, index}));
+}
+
+const std::vector<saga::DatasetSpec>& all_dataset_specs() {
+  static const std::vector<saga::DatasetSpec> specs = [] {
+    std::vector<saga::DatasetSpec> out;
+    for (const auto& entry : kEntries) out.push_back({entry.name, entry.paper_count});
+    return out;
+  }();
+  return specs;
+}
+
+const std::vector<std::string>& workflow_dataset_names() {
+  static const std::vector<std::string> names = {
+      "blast",   "bwa",        "cycles", "epigenomics", "genome",
+      "montage", "seismology", "soykb",  "srasearch"};
+  return names;
+}
+
+saga::Dataset generate_dataset(const std::string& dataset, std::uint64_t master_seed,
+                               std::size_t count) {
+  saga::Dataset out;
+  out.name = dataset;
+  out.instances.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.instances.push_back(generate_instance(dataset, master_seed, i));
+  }
+  return out;
+}
+
+}  // namespace saga::datasets

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datasets/dataset.hpp"
+
+/// \file registry.hpp (datasets)
+/// Name-based access to the 16 dataset generators of the paper's Table II.
+
+namespace saga::datasets {
+
+/// A single instance of the named dataset, deterministic in (master_seed,
+/// index). Throws std::invalid_argument for unknown names.
+[[nodiscard]] saga::ProblemInstance generate_instance(const std::string& dataset,
+                                                      std::uint64_t master_seed,
+                                                      std::size_t index);
+
+/// Dataset names in the paper's Table II order, with paper instance counts
+/// (1000 for random/IoT datasets, 100 for scientific workflows).
+[[nodiscard]] const std::vector<saga::DatasetSpec>& all_dataset_specs();
+
+/// The nine scientific-workflow dataset names (Section VII uses these).
+[[nodiscard]] const std::vector<std::string>& workflow_dataset_names();
+
+/// Generates `count` instances of the named dataset (indices 0..count-1).
+[[nodiscard]] saga::Dataset generate_dataset(const std::string& dataset,
+                                             std::uint64_t master_seed, std::size_t count);
+
+}  // namespace saga::datasets

@@ -1,0 +1,51 @@
+#include "datasets/workflows/blast.hpp"
+
+#include "datasets/chameleon.hpp"
+
+namespace saga::workflows {
+
+const TraceStats& blast_stats() {
+  // Envelope of the Makeflow blast traces: long, uniform blastall tasks
+  // (hundreds of seconds), tiny merge tasks, and FASTA chunks of tens of MB.
+  static const TraceStats stats{
+      .min_runtime = 1.0,
+      .max_runtime = 1200.0,
+      .min_io = 1.0,
+      .max_io = 500.0,  // MB
+      .min_speed = 0.5,
+      .max_speed = 1.5,
+  };
+  return stats;
+}
+
+TaskGraph make_blast_graph(Rng& rng) {
+  const auto& stats = blast_stats();
+  const auto n = rng.uniform_int(8, 24);  // number of blastall shards
+
+  TaskGraph g;
+  const TaskId split = g.add_task("split_fasta", sample_runtime(rng, 30.0, stats));
+  std::vector<TaskId> shards;
+  for (std::int64_t i = 0; i < n; ++i) {
+    shards.push_back(g.add_task("blastall_" + std::to_string(i),
+                                sample_runtime(rng, 600.0, stats)));
+  }
+  const TaskId cat_blast = g.add_task("cat_blast", sample_runtime(rng, 5.0, stats));
+  const TaskId cat = g.add_task("cat", sample_runtime(rng, 5.0, stats));
+
+  for (TaskId shard : shards) {
+    g.add_dependency(split, shard, sample_io(rng, 40.0, stats));
+    g.add_dependency(shard, cat_blast, sample_io(rng, 10.0, stats));
+    g.add_dependency(shard, cat, sample_io(rng, 2.0, stats));
+  }
+  return g;
+}
+
+ProblemInstance blast_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.graph = make_blast_graph(rng);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0xb1a57ULL}));
+  return inst;
+}
+
+}  // namespace saga::workflows

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/workflows/workflow.hpp"
+
+/// \file blast.hpp
+/// BLAST — sequence-similarity search workflow (paper Fig. 9b).
+///
+/// Structure (rigid, size-parameterised by n):
+///
+///        t0 (split_fasta)
+///         | fan-out
+///     t1  t2 ... tn     (blastall, embarrassingly parallel, heavy)
+///         | fan-in
+///     t_{n+1}  t_{n+2}  (cat_blast, cat — two merge tasks, each
+///                        receiving output from every blastall task)
+namespace saga::workflows {
+
+[[nodiscard]] TaskGraph make_blast_graph(Rng& rng);
+[[nodiscard]] ProblemInstance blast_instance(std::uint64_t seed);
+[[nodiscard]] const TraceStats& blast_stats();
+
+}  // namespace saga::workflows

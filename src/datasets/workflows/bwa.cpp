@@ -1,0 +1,45 @@
+#include "datasets/workflows/bwa.hpp"
+
+#include "datasets/chameleon.hpp"
+
+namespace saga::workflows {
+
+const TraceStats& bwa_stats() {
+  static const TraceStats stats{
+      .min_runtime = 1.0,
+      .max_runtime = 900.0,
+      .min_io = 1.0,
+      .max_io = 800.0,
+      .min_speed = 0.5,
+      .max_speed = 1.5,
+  };
+  return stats;
+}
+
+TaskGraph make_bwa_graph(Rng& rng) {
+  const auto& stats = bwa_stats();
+  const auto n = rng.uniform_int(6, 20);
+
+  TaskGraph g;
+  const TaskId index = g.add_task("bwa_index", sample_runtime(rng, 200.0, stats));
+  const TaskId reduce = g.add_task("fastq_reduce", sample_runtime(rng, 60.0, stats));
+  const TaskId cat = g.add_task("cat_sam", sample_runtime(rng, 15.0, stats));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const TaskId align = g.add_task("bwa_align_" + std::to_string(i),
+                                    sample_runtime(rng, 400.0, stats));
+    g.add_dependency(index, align, sample_io(rng, 300.0, stats));
+    g.add_dependency(reduce, align, sample_io(rng, 100.0, stats));
+    g.add_dependency(align, cat, sample_io(rng, 80.0, stats));
+  }
+  return g;
+}
+
+ProblemInstance bwa_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.graph = make_bwa_graph(rng);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0xb3aULL}));
+  return inst;
+}
+
+}  // namespace saga::workflows

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/workflows/workflow.hpp"
+
+/// \file bwa.hpp
+/// BWA — Burrows-Wheeler sequence alignment workflow (Makeflow examples).
+///
+/// Structure: two preparation tasks (reference indexing and FASTQ
+/// reduction) feed n parallel alignment shards, which merge into a single
+/// concatenation task:
+///
+///   bwa_index ──┐
+///               ├──> align_1 .. align_n ──> cat_sam
+///   fastq_reduce┘
+namespace saga::workflows {
+
+[[nodiscard]] TaskGraph make_bwa_graph(Rng& rng);
+[[nodiscard]] ProblemInstance bwa_instance(std::uint64_t seed);
+[[nodiscard]] const TraceStats& bwa_stats();
+
+}  // namespace saga::workflows

@@ -1,0 +1,49 @@
+#include "datasets/workflows/cycles.hpp"
+
+#include "datasets/chameleon.hpp"
+
+namespace saga::workflows {
+
+const TraceStats& cycles_stats() {
+  static const TraceStats stats{
+      .min_runtime = 1.0,
+      .max_runtime = 300.0,
+      .min_io = 0.1,
+      .max_io = 50.0,
+      .min_speed = 0.5,
+      .max_speed = 1.5,
+  };
+  return stats;
+}
+
+TaskGraph make_cycles_graph(Rng& rng) {
+  const auto& stats = cycles_stats();
+  const auto pipelines = rng.uniform_int(4, 12);
+
+  TaskGraph g;
+  const TaskId summary = g.add_task("cycles_summary", sample_runtime(rng, 10.0, stats));
+  for (std::int64_t p = 0; p < pipelines; ++p) {
+    const auto tag = std::to_string(p);
+    const TaskId baseline =
+        g.add_task("baseline_cycles_" + tag, sample_runtime(rng, 60.0, stats));
+    const TaskId cycles = g.add_task("cycles_" + tag, sample_runtime(rng, 120.0, stats));
+    const TaskId fert =
+        g.add_task("fertilizer_increase_output_" + tag, sample_runtime(rng, 20.0, stats));
+    const TaskId plot = g.add_task("cycles_plots_" + tag, sample_runtime(rng, 40.0, stats));
+    g.add_dependency(baseline, cycles, sample_io(rng, 5.0, stats));
+    g.add_dependency(cycles, fert, sample_io(rng, 10.0, stats));
+    g.add_dependency(fert, plot, sample_io(rng, 5.0, stats));
+    g.add_dependency(plot, summary, sample_io(rng, 2.0, stats));
+  }
+  return g;
+}
+
+ProblemInstance cycles_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.graph = make_cycles_graph(rng);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0xc7c1e5ULL}));
+  return inst;
+}
+
+}  // namespace saga::workflows

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/workflows/workflow.hpp"
+
+/// \file cycles.hpp
+/// Cycles — agroecosystem modelling workflow (da Silva et al. 2019).
+///
+/// Structure: a parameter sweep of p independent simulation pipelines, each
+/// a short chain baseline_cycles -> cycles -> fertilizer_increase_output ->
+/// cycles_plots, with every pipeline's outputs aggregated by a final
+/// summary task:
+///
+///   (baseline -> cycles -> fert_out -> plot) × p  ──>  summary
+namespace saga::workflows {
+
+[[nodiscard]] TaskGraph make_cycles_graph(Rng& rng);
+[[nodiscard]] ProblemInstance cycles_instance(std::uint64_t seed);
+[[nodiscard]] const TraceStats& cycles_stats();
+
+}  // namespace saga::workflows

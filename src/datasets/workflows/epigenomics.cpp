@@ -1,0 +1,53 @@
+#include "datasets/workflows/epigenomics.hpp"
+
+#include "datasets/chameleon.hpp"
+
+namespace saga::workflows {
+
+const TraceStats& epigenomics_stats() {
+  static const TraceStats stats{
+      .min_runtime = 1.0,
+      .max_runtime = 800.0,
+      .min_io = 0.5,
+      .max_io = 400.0,
+      .min_speed = 0.5,
+      .max_speed = 1.5,
+  };
+  return stats;
+}
+
+TaskGraph make_epigenomics_graph(Rng& rng) {
+  const auto& stats = epigenomics_stats();
+  const auto lanes = rng.uniform_int(4, 10);
+
+  TaskGraph g;
+  const TaskId split = g.add_task("fastqSplit", sample_runtime(rng, 30.0, stats));
+  const TaskId merge = g.add_task("mapMerge", sample_runtime(rng, 40.0, stats));
+  for (std::int64_t lane = 0; lane < lanes; ++lane) {
+    const auto tag = std::to_string(lane);
+    const TaskId filter = g.add_task("filterContams_" + tag, sample_runtime(rng, 60.0, stats));
+    const TaskId sol = g.add_task("sol2sanger_" + tag, sample_runtime(rng, 30.0, stats));
+    const TaskId bfq = g.add_task("fastq2bfq_" + tag, sample_runtime(rng, 30.0, stats));
+    const TaskId map = g.add_task("map_" + tag, sample_runtime(rng, 500.0, stats));
+    g.add_dependency(split, filter, sample_io(rng, 100.0, stats));
+    g.add_dependency(filter, sol, sample_io(rng, 80.0, stats));
+    g.add_dependency(sol, bfq, sample_io(rng, 60.0, stats));
+    g.add_dependency(bfq, map, sample_io(rng, 50.0, stats));
+    g.add_dependency(map, merge, sample_io(rng, 40.0, stats));
+  }
+  const TaskId index = g.add_task("maqIndex", sample_runtime(rng, 45.0, stats));
+  const TaskId pileup = g.add_task("pileup", sample_runtime(rng, 55.0, stats));
+  g.add_dependency(merge, index, sample_io(rng, 150.0, stats));
+  g.add_dependency(index, pileup, sample_io(rng, 150.0, stats));
+  return g;
+}
+
+ProblemInstance epigenomics_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.graph = make_epigenomics_graph(rng);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0xe9165ULL}));
+  return inst;
+}
+
+}  // namespace saga::workflows

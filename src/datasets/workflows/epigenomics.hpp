@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/workflows/workflow.hpp"
+
+/// \file epigenomics.hpp
+/// Epigenomics — DNA methylation analysis workflow (Juve et al. 2013).
+///
+/// Structure: a fastqSplit source fans out to m parallel read-processing
+/// pipelines (filterContams -> sol2sanger -> fastq2bfq -> map), which merge
+/// and finish with an indexing/pileup tail:
+///
+///   fastqSplit -> (filter -> sol2sanger -> fastq2bfq -> map) × m
+///              -> mapMerge -> maqIndex -> pileup
+namespace saga::workflows {
+
+[[nodiscard]] TaskGraph make_epigenomics_graph(Rng& rng);
+[[nodiscard]] ProblemInstance epigenomics_instance(std::uint64_t seed);
+[[nodiscard]] const TraceStats& epigenomics_stats();
+
+}  // namespace saga::workflows

@@ -1,0 +1,53 @@
+#include "datasets/workflows/genome.hpp"
+
+#include "datasets/chameleon.hpp"
+
+namespace saga::workflows {
+
+const TraceStats& genome_stats() {
+  static const TraceStats stats{
+      .min_runtime = 1.0,
+      .max_runtime = 1500.0,
+      .min_io = 1.0,
+      .max_io = 1000.0,
+      .min_speed = 0.5,
+      .max_speed = 1.5,
+  };
+  return stats;
+}
+
+TaskGraph make_genome_graph(Rng& rng) {
+  const auto& stats = genome_stats();
+  const auto extractors = rng.uniform_int(5, 15);
+  const auto analyses = rng.uniform_int(3, 8);
+
+  TaskGraph g;
+  const TaskId merge = g.add_task("individuals_merge", sample_runtime(rng, 100.0, stats));
+  const TaskId sifting = g.add_task("sifting", sample_runtime(rng, 300.0, stats));
+  for (std::int64_t i = 0; i < extractors; ++i) {
+    const TaskId ind =
+        g.add_task("individuals_" + std::to_string(i), sample_runtime(rng, 800.0, stats));
+    g.add_dependency(ind, merge, sample_io(rng, 200.0, stats));
+  }
+  for (std::int64_t i = 0; i < analyses; ++i) {
+    const auto tag = std::to_string(i);
+    const TaskId overlap =
+        g.add_task("mutation_overlap_" + tag, sample_runtime(rng, 120.0, stats));
+    const TaskId freq = g.add_task("frequency_" + tag, sample_runtime(rng, 200.0, stats));
+    for (TaskId analysis : {overlap, freq}) {
+      g.add_dependency(merge, analysis, sample_io(rng, 400.0, stats));
+      g.add_dependency(sifting, analysis, sample_io(rng, 50.0, stats));
+    }
+  }
+  return g;
+}
+
+ProblemInstance genome_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.graph = make_genome_graph(rng);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0x6e40eULL}));
+  return inst;
+}
+
+}  // namespace saga::workflows

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/workflows/workflow.hpp"
+
+/// \file genome.hpp
+/// 1000Genome — human genome reconstruction workflow (da Silva et al. 2019).
+///
+/// Structure (single-chromosome slice): n parallel `individuals` extraction
+/// tasks merge into `individuals_merge`; an independent `sifting` task runs
+/// alongside; and m parallel analysis tasks (`mutation_overlap` and
+/// `frequency`) each consume both the merge and sifting outputs:
+///
+///   individuals × n ─> individuals_merge ─┐
+///                                         ├─> {mutation_overlap, frequency} × m
+///   sifting ────────────────────────────--┘
+namespace saga::workflows {
+
+[[nodiscard]] TaskGraph make_genome_graph(Rng& rng);
+[[nodiscard]] ProblemInstance genome_instance(std::uint64_t seed);
+[[nodiscard]] const TraceStats& genome_stats();
+
+}  // namespace saga::workflows

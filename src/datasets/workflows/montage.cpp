@@ -1,0 +1,66 @@
+#include "datasets/workflows/montage.hpp"
+
+#include "datasets/chameleon.hpp"
+
+namespace saga::workflows {
+
+const TraceStats& montage_stats() {
+  static const TraceStats stats{
+      .min_runtime = 0.5,
+      .max_runtime = 300.0,
+      .min_io = 0.5,
+      .max_io = 200.0,
+      .min_speed = 0.5,
+      .max_speed = 1.5,
+  };
+  return stats;
+}
+
+TaskGraph make_montage_graph(Rng& rng) {
+  const auto& stats = montage_stats();
+  const auto images = rng.uniform_int(6, 16);
+
+  TaskGraph g;
+  std::vector<TaskId> projects;
+  for (std::int64_t i = 0; i < images; ++i) {
+    projects.push_back(
+        g.add_task("mProject_" + std::to_string(i), sample_runtime(rng, 60.0, stats)));
+  }
+  // Each mDiffFit consumes a pair of adjacent projections.
+  const TaskId concat = g.add_task("mConcatFit", sample_runtime(rng, 10.0, stats));
+  for (std::size_t i = 0; i + 1 < projects.size(); ++i) {
+    const TaskId diff =
+        g.add_task("mDiffFit_" + std::to_string(i), sample_runtime(rng, 15.0, stats));
+    g.add_dependency(projects[i], diff, sample_io(rng, 30.0, stats));
+    g.add_dependency(projects[i + 1], diff, sample_io(rng, 30.0, stats));
+    g.add_dependency(diff, concat, sample_io(rng, 1.0, stats));
+  }
+  const TaskId bgmodel = g.add_task("mBgModel", sample_runtime(rng, 30.0, stats));
+  g.add_dependency(concat, bgmodel, sample_io(rng, 1.0, stats));
+
+  const TaskId imgtbl = g.add_task("mImgtbl", sample_runtime(rng, 5.0, stats));
+  for (std::size_t i = 0; i < projects.size(); ++i) {
+    const TaskId background =
+        g.add_task("mBackground_" + std::to_string(i), sample_runtime(rng, 10.0, stats));
+    g.add_dependency(projects[i], background, sample_io(rng, 30.0, stats));
+    g.add_dependency(bgmodel, background, sample_io(rng, 1.0, stats));
+    g.add_dependency(background, imgtbl, sample_io(rng, 30.0, stats));
+  }
+  const TaskId add = g.add_task("mAdd", sample_runtime(rng, 120.0, stats));
+  const TaskId shrink = g.add_task("mShrink", sample_runtime(rng, 20.0, stats));
+  const TaskId jpeg = g.add_task("mJPEG", sample_runtime(rng, 5.0, stats));
+  g.add_dependency(imgtbl, add, sample_io(rng, 150.0, stats));
+  g.add_dependency(add, shrink, sample_io(rng, 150.0, stats));
+  g.add_dependency(shrink, jpeg, sample_io(rng, 20.0, stats));
+  return g;
+}
+
+ProblemInstance montage_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.graph = make_montage_graph(rng);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0x303aULL}));
+  return inst;
+}
+
+}  // namespace saga::workflows

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/workflows/workflow.hpp"
+
+/// \file montage.hpp
+/// Montage — astronomical image mosaic workflow (Rynge et al. 2014).
+///
+/// Classic layered structure:
+///
+///   mProject × n                       (re-project each input image)
+///   mDiffFit × ~n                      (fit overlapping projection pairs)
+///   mConcatFit -> mBgModel             (global background model)
+///   mBackground × n                    (apply corrections per image)
+///   mImgtbl -> mAdd -> mShrink -> mJPEG (assemble final mosaic)
+namespace saga::workflows {
+
+[[nodiscard]] TaskGraph make_montage_graph(Rng& rng);
+[[nodiscard]] ProblemInstance montage_instance(std::uint64_t seed);
+[[nodiscard]] const TraceStats& montage_stats();
+
+}  // namespace saga::workflows

@@ -1,0 +1,41 @@
+#include "datasets/workflows/seismology.hpp"
+
+#include "datasets/chameleon.hpp"
+
+namespace saga::workflows {
+
+const TraceStats& seismology_stats() {
+  static const TraceStats stats{
+      .min_runtime = 0.5,
+      .max_runtime = 200.0,
+      .min_io = 0.1,
+      .max_io = 50.0,
+      .min_speed = 0.5,
+      .max_speed = 1.5,
+  };
+  return stats;
+}
+
+TaskGraph make_seismology_graph(Rng& rng) {
+  const auto& stats = seismology_stats();
+  const auto stations = rng.uniform_int(8, 30);
+
+  TaskGraph g;
+  const TaskId sift = g.add_task("wrapper_siftSTFByMisfit", sample_runtime(rng, 30.0, stats));
+  for (std::int64_t i = 0; i < stations; ++i) {
+    const TaskId decon =
+        g.add_task("sG1IterDecon_" + std::to_string(i), sample_runtime(rng, 60.0, stats));
+    g.add_dependency(decon, sift, sample_io(rng, 5.0, stats));
+  }
+  return g;
+}
+
+ProblemInstance seismology_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.graph = make_seismology_graph(rng);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0x5e15ULL}));
+  return inst;
+}
+
+}  // namespace saga::workflows

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/workflows/workflow.hpp"
+
+/// \file seismology.hpp
+/// Seismology — seismic cross-correlation workflow (Filgueira et al. 2016).
+///
+/// The simplest of the nine structures: n parallel deconvolution tasks
+/// (sG1IterDecon) whose outputs are combined by a single misfit-sifting
+/// task:
+///
+///   sG1IterDecon × n ──> wrapper_siftSTFByMisfit
+namespace saga::workflows {
+
+[[nodiscard]] TaskGraph make_seismology_graph(Rng& rng);
+[[nodiscard]] ProblemInstance seismology_instance(std::uint64_t seed);
+[[nodiscard]] const TraceStats& seismology_stats();
+
+}  // namespace saga::workflows

@@ -1,0 +1,66 @@
+#include "datasets/workflows/soykb.hpp"
+
+#include <array>
+
+#include "datasets/chameleon.hpp"
+
+namespace saga::workflows {
+
+const TraceStats& soykb_stats() {
+  static const TraceStats stats{
+      .min_runtime = 1.0,
+      .max_runtime = 1000.0,
+      .min_io = 0.5,
+      .max_io = 600.0,
+      .min_speed = 0.5,
+      .max_speed = 1.5,
+  };
+  return stats;
+}
+
+TaskGraph make_soykb_graph(Rng& rng) {
+  const auto& stats = soykb_stats();
+  const auto samples = rng.uniform_int(3, 8);
+
+  // (stage name, mean runtime, mean output size) for each per-sample stage.
+  static constexpr std::array<std::tuple<const char*, double, double>, 7> kStages = {{
+      {"alignment_to_reference", 400.0, 150.0},
+      {"sort_sam", 60.0, 150.0},
+      {"dedup", 80.0, 120.0},
+      {"add_replace", 40.0, 120.0},
+      {"realign_target_creator", 150.0, 20.0},
+      {"indel_realign", 200.0, 120.0},
+      {"haplotype_caller", 600.0, 60.0},
+  }};
+
+  TaskGraph g;
+  const TaskId combine = g.add_task("combine_variants", sample_runtime(rng, 50.0, stats));
+  for (std::int64_t s = 0; s < samples; ++s) {
+    const auto tag = std::to_string(s);
+    TaskId prev = 0;
+    bool first = true;
+    for (const auto& [stage, runtime, io] : kStages) {
+      const TaskId cur =
+          g.add_task(std::string(stage) + "_" + tag, sample_runtime(rng, runtime, stats));
+      if (!first) g.add_dependency(prev, cur, sample_io(rng, io, stats));
+      prev = cur;
+      first = false;
+    }
+    g.add_dependency(prev, combine, sample_io(rng, 60.0, stats));
+  }
+  const TaskId genotype = g.add_task("genotype_gvcfs", sample_runtime(rng, 300.0, stats));
+  const TaskId filtering = g.add_task("filtering", sample_runtime(rng, 80.0, stats));
+  g.add_dependency(combine, genotype, sample_io(rng, 100.0, stats));
+  g.add_dependency(genotype, filtering, sample_io(rng, 80.0, stats));
+  return g;
+}
+
+ProblemInstance soykb_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.graph = make_soykb_graph(rng);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0x50b6ULL}));
+  return inst;
+}
+
+}  // namespace saga::workflows

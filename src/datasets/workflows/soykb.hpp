@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/workflows/workflow.hpp"
+
+/// \file soykb.hpp
+/// SoyKB — soybean genomics variant-calling workflow (Liu et al. 2016).
+///
+/// Structure: s parallel per-sample GATK pipelines (chains of six tasks),
+/// joined by combine_variants and finished with a genotyping/filtering
+/// tail:
+///
+///   (align -> sort -> dedup -> add_replace -> realign_target ->
+///    indel_realign -> haplotype_caller) × s
+///      -> combine_variants -> genotype_gvcfs -> filtering
+namespace saga::workflows {
+
+[[nodiscard]] TaskGraph make_soykb_graph(Rng& rng);
+[[nodiscard]] ProblemInstance soykb_instance(std::uint64_t seed);
+[[nodiscard]] const TraceStats& soykb_stats();
+
+}  // namespace saga::workflows

@@ -1,0 +1,64 @@
+#include "datasets/workflows/srasearch.hpp"
+
+#include "datasets/chameleon.hpp"
+
+namespace saga::workflows {
+
+const TraceStats& srasearch_stats() {
+  static const TraceStats stats{
+      .min_runtime = 1.0,
+      .max_runtime = 600.0,
+      .min_io = 1.0,
+      .max_io = 2000.0,  // SRA archives are large
+      .min_speed = 0.5,
+      .max_speed = 1.5,
+  };
+  return stats;
+}
+
+TaskGraph make_srasearch_graph(Rng& rng) {
+  const auto& stats = srasearch_stats();
+  const auto n = rng.uniform_int(4, 12);  // accessions processed in parallel
+
+  TaskGraph g;
+  const TaskId bootstrap = g.add_task("bootstrap", sample_runtime(rng, 5.0, stats));
+  std::vector<TaskId> prefetch, metadata, dump, search;
+  for (std::int64_t i = 0; i < n; ++i) {
+    prefetch.push_back(
+        g.add_task("prefetch_" + std::to_string(i), sample_runtime(rng, 120.0, stats)));
+    metadata.push_back(
+        g.add_task("metadata_" + std::to_string(i), sample_runtime(rng, 20.0, stats)));
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    dump.push_back(
+        g.add_task("fasterq_dump_" + std::to_string(i), sample_runtime(rng, 240.0, stats)));
+    search.push_back(
+        g.add_task("sra_search_" + std::to_string(i), sample_runtime(rng, 300.0, stats)));
+  }
+  const TaskId merge_a = g.add_task("merge_reads", sample_runtime(rng, 20.0, stats));
+  const TaskId merge_b = g.add_task("merge_hits", sample_runtime(rng, 20.0, stats));
+  const TaskId report = g.add_task("report", sample_runtime(rng, 10.0, stats));
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    g.add_dependency(bootstrap, prefetch[idx], sample_io(rng, 5.0, stats));
+    g.add_dependency(bootstrap, metadata[idx], sample_io(rng, 5.0, stats));
+    g.add_dependency(prefetch[idx], dump[idx], sample_io(rng, 800.0, stats));
+    g.add_dependency(metadata[idx], search[idx], sample_io(rng, 50.0, stats));
+    g.add_dependency(dump[idx], merge_a, sample_io(rng, 400.0, stats));
+    g.add_dependency(search[idx], merge_b, sample_io(rng, 20.0, stats));
+  }
+  g.add_dependency(merge_a, report, sample_io(rng, 100.0, stats));
+  g.add_dependency(merge_b, report, sample_io(rng, 20.0, stats));
+  return g;
+}
+
+ProblemInstance srasearch_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  inst.graph = make_srasearch_graph(rng);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0x5a5eaULL}));
+  return inst;
+}
+
+}  // namespace saga::workflows

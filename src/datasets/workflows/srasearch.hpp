@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/workflows/workflow.hpp"
+
+/// \file srasearch.hpp
+/// SRASearch — INSDC Sequence Read Archive search toolkit (paper Fig. 9a).
+///
+/// Rigid 4n+4-task structure, size-parameterised by n:
+///
+///   t0 (bootstrap) fans out to two tasks per column i in 1..n:
+///     t_i        (prefetch)     t0 -> t_i
+///     t_{n+i}    (metadata)     t0 -> t_{n+i}
+///   each column continues with
+///     t_{2n+i}   (fasterq_dump) t_i -> t_{2n+i}
+///     t_{3n+i}   (sra_search)   t_{n+i} -> t_{3n+i}
+///   and the columns join through two mergers feeding the final task:
+///     t_{4n+1}   (merge A)      t_{2n+i} -> t_{4n+1} for all i
+///     t_{4n+2}   (merge B)      t_{3n+i} -> t_{4n+2} for all i
+///     t_{4n+3}   (report)       t_{4n+1}, t_{4n+2} -> t_{4n+3}
+namespace saga::workflows {
+
+[[nodiscard]] TaskGraph make_srasearch_graph(Rng& rng);
+[[nodiscard]] ProblemInstance srasearch_instance(std::uint64_t seed);
+[[nodiscard]] const TraceStats& srasearch_stats();
+
+}  // namespace saga::workflows

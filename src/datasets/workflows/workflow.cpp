@@ -1,0 +1,40 @@
+#include "datasets/workflows/workflow.hpp"
+
+#include <algorithm>
+
+#include "datasets/dataset.hpp"
+
+namespace saga::workflows {
+
+double sample_runtime(Rng& rng, double mean, const TraceStats& stats) {
+  return rng.clipped_gaussian(mean, mean / 3.0, stats.min_runtime, stats.max_runtime);
+}
+
+double sample_io(Rng& rng, double mean, const TraceStats& stats) {
+  return rng.clipped_gaussian(mean, mean / 3.0, stats.min_io, stats.max_io);
+}
+
+void set_homogeneous_ccr(ProblemInstance& inst, double ccr) {
+  const auto deps = inst.graph.dependencies();
+  if (deps.empty() || ccr <= 0.0) return;
+
+  double mean_data = 0.0;
+  for (const auto& [from, to] : deps) mean_data += inst.graph.dependency_cost(from, to);
+  mean_data /= static_cast<double>(deps.size());
+
+  double mean_cost = 0.0;
+  for (TaskId t = 0; t < inst.graph.task_count(); ++t) mean_cost += inst.graph.cost(t);
+  mean_cost /= static_cast<double>(inst.graph.task_count());
+  const double mean_exec = mean_cost * inst.network.mean_inverse_speed();
+  if (mean_exec <= 0.0 || mean_data <= 0.0) return;
+
+  // CCR = (mean_data / strength) / mean_exec  =>  strength as below.
+  const double strength = std::max(mean_data / (ccr * mean_exec), kMinNetworkWeight);
+  for (NodeId a = 0; a < inst.network.node_count(); ++a) {
+    for (NodeId b = a + 1; b < inst.network.node_count(); ++b) {
+      inst.network.set_strength(a, b, strength);
+    }
+  }
+}
+
+}  // namespace saga::workflows

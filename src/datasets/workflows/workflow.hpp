@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "graph/problem_instance.hpp"
+
+/// \file workflow.hpp
+/// Shared machinery for the nine scientific-workflow dataset generators
+/// (paper Table II / Section IV-B). The paper generates task graphs with the
+/// WfCommons synthetic generator from real Pegasus/Makeflow execution
+/// traces; offline, we encode each application's published structural
+/// recipe (see per-app headers) and sample task runtimes / IO sizes from
+/// clipped Gaussians standing in for the trace-fitted distributions
+/// (substitution documented in DESIGN.md).
+
+namespace saga::workflows {
+
+/// Distribution envelope of an application's execution traces: the ranges
+/// the application-specific PISA perturbations scale into (Section VII-A:
+/// "scaled between the range of speeds/runtimes/IO sizes observed in the
+/// real execution trace data").
+struct TraceStats {
+  double min_runtime = 0.0;
+  double max_runtime = 0.0;
+  double min_io = 0.0;
+  double max_io = 0.0;
+  double min_speed = 0.0;
+  double max_speed = 0.0;
+};
+
+/// Samples a task runtime around `mean` (clipped Gaussian, std = mean/3),
+/// clamped to stay within the recipe's trace range.
+[[nodiscard]] double sample_runtime(Rng& rng, double mean, const TraceStats& stats);
+
+/// Samples an IO size around `mean`, clamped to the trace range.
+[[nodiscard]] double sample_io(Rng& rng, double mean, const TraceStats& stats);
+
+/// Overrides every link strength with the single finite value that makes
+/// the instance's average CCR (mean communication time / mean execution
+/// time) equal to `ccr` (Section VII-A: "We set communication rates to be
+/// homogeneous so that the average CCR ... is 1/5, 1/2, 1, 2, or 5").
+/// No-op if the graph has no dependencies.
+void set_homogeneous_ccr(ProblemInstance& inst, double ccr);
+
+/// A per-application generator: builds the task graph (random size, fixed
+/// structure) and its Chameleon-inspired network.
+struct WorkflowRecipe {
+  std::string name;
+  TraceStats stats;
+  ProblemInstance (*make_instance)(std::uint64_t seed);
+};
+
+}  // namespace saga::workflows

@@ -1,0 +1,73 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace saga {
+
+GraphStats compute_graph_stats(const TaskGraph& graph) {
+  GraphStats stats;
+  stats.tasks = graph.task_count();
+  stats.dependencies = graph.dependency_count();
+  if (graph.empty()) return stats;
+
+  // Levels by longest hop-distance from a source; cost chains alongside.
+  std::vector<std::size_t> level(graph.task_count(), 0);
+  std::vector<double> chain_cost(graph.task_count(), 0.0);
+  std::size_t max_level = 0;
+  double longest_chain = 0.0;
+  for (TaskId t : graph.topological_order()) {
+    for (TaskId p : graph.predecessors(t)) {
+      level[t] = std::max(level[t], level[p] + 1);
+      chain_cost[t] = std::max(chain_cost[t], chain_cost[p]);
+    }
+    chain_cost[t] += graph.cost(t);
+    max_level = std::max(max_level, level[t]);
+    longest_chain = std::max(longest_chain, chain_cost[t]);
+  }
+  stats.depth = max_level + 1;
+
+  std::vector<std::size_t> level_population(max_level + 1, 0);
+  for (TaskId t = 0; t < graph.task_count(); ++t) ++level_population[level[t]];
+  stats.level_width = *std::max_element(level_population.begin(), level_population.end());
+
+  const double total = graph.total_cost();
+  stats.parallelism = longest_chain > 0.0 ? total / longest_chain : 1.0;
+
+  if (graph.task_count() > 1) {
+    const double possible =
+        static_cast<double>(graph.task_count()) * (static_cast<double>(graph.task_count()) - 1.0) /
+        2.0;
+    stats.density = static_cast<double>(graph.dependency_count()) / possible;
+  }
+
+  std::size_t non_sources = 0;
+  std::size_t in_edges = 0;
+  for (TaskId t = 0; t < graph.task_count(); ++t) {
+    const auto preds = graph.predecessors(t).size();
+    if (preds == 0) {
+      ++stats.sources;
+    } else {
+      ++non_sources;
+      in_edges += preds;
+    }
+    if (graph.successors(t).empty()) ++stats.sinks;
+  }
+  stats.mean_fan_in =
+      non_sources > 0 ? static_cast<double>(in_edges) / static_cast<double>(non_sources) : 0.0;
+  return stats;
+}
+
+std::string to_string(const GraphStats& stats) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "tasks=%zu deps=%zu depth=%zu width=%zu parallelism=%.2f density=%.3f "
+                "fan_in=%.2f sources=%zu sinks=%zu",
+                stats.tasks, stats.dependencies, stats.depth, stats.level_width,
+                stats.parallelism, stats.density, stats.mean_fan_in, stats.sources,
+                stats.sinks);
+  return buf;
+}
+
+}  // namespace saga

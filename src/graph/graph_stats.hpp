@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+#include "graph/problem_instance.hpp"
+
+/// \file graph_stats.hpp
+/// Structural characterisation of task graphs — the quantities that
+/// explain *why* schedulers behave differently across the paper's 16
+/// datasets (Fig. 2) and which PISA perturbs implicitly: depth, width,
+/// available parallelism, and communication intensity.
+
+namespace saga {
+
+struct GraphStats {
+  std::size_t tasks = 0;
+  std::size_t dependencies = 0;
+
+  /// Number of precedence levels (longest chain, in hops).
+  std::size_t depth = 0;
+
+  /// Maximum number of tasks sharing a level — an easy upper bound on the
+  /// width (maximum antichain) that is exact for the level-structured
+  /// graphs all our generators produce.
+  std::size_t level_width = 0;
+
+  /// Sum of task costs divided by the largest cost chain (in cost units):
+  /// the classic "available parallelism" — 1 for a chain, |T| for fully
+  /// independent equal tasks.
+  double parallelism = 1.0;
+
+  /// Edge density: dependencies / (tasks choose 2); 0 for edgeless graphs.
+  double density = 0.0;
+
+  /// Mean in-degree over non-source tasks (fan-in pressure on joins).
+  double mean_fan_in = 0.0;
+
+  std::size_t sources = 0;
+  std::size_t sinks = 0;
+};
+
+/// Computes all statistics in one pass over the graph.
+[[nodiscard]] GraphStats compute_graph_stats(const TaskGraph& graph);
+
+/// One-line rendering for tables/logs.
+[[nodiscard]] std::string to_string(const GraphStats& stats);
+
+}  // namespace saga

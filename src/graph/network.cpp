@@ -1,0 +1,64 @@
+#include "graph/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace saga {
+
+Network::Network(std::size_t node_count)
+    : speeds_(node_count, 1.0),
+      strengths_(node_count < 2 ? 0 : node_count * (node_count - 1) / 2, 1.0) {
+  if (node_count == 0) throw std::invalid_argument("network needs at least one node");
+}
+
+void Network::set_speed(NodeId v, double speed) {
+  if (!(speed > 0.0)) throw std::invalid_argument("node speed must be positive");
+  speeds_.at(v) = speed;
+}
+
+void Network::set_strength(NodeId a, NodeId b, double strength) {
+  if (a == b) throw std::invalid_argument("self-link strength is fixed at infinity");
+  if (a >= node_count() || b >= node_count()) throw std::out_of_range("node id out of range");
+  if (!(strength > 0.0)) throw std::invalid_argument("link strength must be positive");
+  strengths_[index(a, b)] = strength;
+}
+
+NodeId Network::fastest_node() const {
+  NodeId best = 0;
+  for (NodeId v = 1; v < node_count(); ++v) {
+    if (speeds_[v] > speeds_[best]) best = v;
+  }
+  return best;
+}
+
+bool Network::homogeneous_speeds(double tol) const {
+  for (double s : speeds_) {
+    if (std::abs(s - speeds_.front()) > tol) return false;
+  }
+  return true;
+}
+
+bool Network::homogeneous_strengths(double tol) const {
+  for (double s : strengths_) {
+    if (std::abs(s - strengths_.front()) > tol) return false;
+  }
+  return true;
+}
+
+double Network::mean_inverse_speed() const {
+  double total = 0.0;
+  for (double s : speeds_) total += 1.0 / s;
+  return total / static_cast<double>(speeds_.size());
+}
+
+double Network::mean_inverse_strength() const {
+  if (strengths_.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : strengths_) {
+    if (!std::isinf(s)) total += 1.0 / s;
+  }
+  return total / static_cast<double>(strengths_.size());
+}
+
+}  // namespace saga

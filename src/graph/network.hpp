@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+/// \file network.hpp
+/// The compute network N = (V, E) of the paper's Section II: a complete
+/// undirected graph where s(v) is the compute speed of node v and s(v, v')
+/// is the communication strength of the link between v and v'. Under the
+/// related machines model the execution time of task t on node v is
+/// c(t)/s(v) and the communication time of dependency (t, t') from v to v'
+/// is c(t, t')/s(v, v'). Self-links have infinite strength: co-located
+/// tasks communicate for free.
+
+namespace saga {
+
+using NodeId = std::uint32_t;
+
+class Network {
+ public:
+  static constexpr double kInfiniteStrength = std::numeric_limits<double>::infinity();
+
+  /// Creates a complete network with `node_count` nodes, all speeds and link
+  /// strengths initialised to 1 (self-links are infinite).
+  explicit Network(std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return speeds_.size(); }
+
+  [[nodiscard]] double speed(NodeId v) const { return speeds_[v]; }
+  void set_speed(NodeId v, double speed);
+
+  /// Symmetric link strength; s(v, v) is always infinite.
+  [[nodiscard]] double strength(NodeId a, NodeId b) const {
+    return a == b ? kInfiniteStrength : strengths_[index(a, b)];
+  }
+  void set_strength(NodeId a, NodeId b, double strength);
+
+  /// Execution time of a computation of size `cost` on node v: cost / s(v).
+  [[nodiscard]] double exec_time(double cost, NodeId v) const {
+    return cost / speeds_[v];
+  }
+
+  /// Transfer time of `data_size` bytes from node a to node b; zero when
+  /// a == b (shared memory) or when data_size is zero.
+  [[nodiscard]] double comm_time(double data_size, NodeId a, NodeId b) const {
+    if (a == b || data_size == 0.0) return 0.0;
+    return data_size / strengths_[index(a, b)];
+  }
+
+  /// Node with the highest speed (smallest id wins ties).
+  [[nodiscard]] NodeId fastest_node() const;
+
+  /// True if all node speeds (resp. all link strengths) are equal.
+  [[nodiscard]] bool homogeneous_speeds(double tol = 0.0) const;
+  [[nodiscard]] bool homogeneous_strengths(double tol = 0.0) const;
+
+  /// Mean of 1/s(v) over nodes: the factor turning a task cost into its
+  /// network-average execution time (used by rank computations).
+  [[nodiscard]] double mean_inverse_speed() const;
+
+  /// Mean of 1/s(a, b) over unordered node pairs a != b; zero for a 1-node
+  /// network. Infinite-strength links contribute zero.
+  [[nodiscard]] double mean_inverse_strength() const;
+
+ private:
+  /// Index into the packed upper-triangular strength array for a != b.
+  [[nodiscard]] std::size_t index(NodeId a, NodeId b) const noexcept {
+    if (a > b) std::swap(a, b);
+    // Row-major upper triangle without the diagonal.
+    const std::size_t n = speeds_.size();
+    return static_cast<std::size_t>(a) * (2 * n - a - 1) / 2 + (b - a - 1);
+  }
+
+  std::vector<double> speeds_;
+  std::vector<double> strengths_;  // packed upper triangle, no diagonal
+};
+
+}  // namespace saga

@@ -1,0 +1,43 @@
+#include "graph/problem_instance.hpp"
+
+namespace saga {
+
+double ProblemInstance::ccr() const {
+  const auto deps = graph.dependencies();
+  if (deps.empty() || graph.task_count() == 0) return 0.0;
+  const double inv_strength = network.mean_inverse_strength();
+  const double inv_speed = network.mean_inverse_speed();
+  double mean_data = 0.0;
+  for (const auto& [from, to] : deps) mean_data += graph.dependency_cost(from, to);
+  mean_data /= static_cast<double>(deps.size());
+  double mean_cost = 0.0;
+  for (TaskId t = 0; t < graph.task_count(); ++t) mean_cost += graph.cost(t);
+  mean_cost /= static_cast<double>(graph.task_count());
+  const double mean_comm = mean_data * inv_strength;
+  const double mean_exec = mean_cost * inv_speed;
+  return mean_exec > 0.0 ? mean_comm / mean_exec : 0.0;
+}
+
+ProblemInstance fig1_instance() {
+  ProblemInstance inst;
+  auto& g = inst.graph;
+  const TaskId t1 = g.add_task("t1", 1.7);
+  const TaskId t2 = g.add_task("t2", 1.2);
+  const TaskId t3 = g.add_task("t3", 2.2);
+  const TaskId t4 = g.add_task("t4", 0.8);
+  g.add_dependency(t1, t2, 0.6);
+  g.add_dependency(t1, t3, 0.5);
+  g.add_dependency(t2, t4, 1.3);
+  g.add_dependency(t3, t4, 1.6);
+
+  inst.network = Network(3);
+  inst.network.set_speed(0, 1.0);   // v1
+  inst.network.set_speed(1, 1.2);   // v2
+  inst.network.set_speed(2, 1.5);   // v3
+  inst.network.set_strength(0, 1, 0.5);
+  inst.network.set_strength(0, 2, 1.0);
+  inst.network.set_strength(1, 2, 1.2);
+  return inst;
+}
+
+}  // namespace saga

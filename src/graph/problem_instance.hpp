@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "graph/network.hpp"
+#include "graph/task_graph.hpp"
+
+/// \file problem_instance.hpp
+/// A problem instance (N, G): the unit that schedulers consume and PISA
+/// perturbs.
+
+namespace saga {
+
+struct ProblemInstance {
+  Network network{1};
+  TaskGraph graph;
+
+  /// Average communication-to-computation ratio of the instance:
+  /// (mean dependency transfer time over links) / (mean task execution time
+  /// over nodes). Zero if the graph has no dependencies or the network's
+  /// links are all infinite.
+  [[nodiscard]] double ccr() const;
+};
+
+/// Builds the worked example of the paper's Fig. 1 (4-task diamond, 3-node
+/// network) — used by the quickstart example and as a known-answer fixture.
+[[nodiscard]] ProblemInstance fig1_instance();
+
+}  // namespace saga

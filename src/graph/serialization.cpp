@@ -1,0 +1,154 @@
+#include "graph/serialization.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace saga {
+
+namespace {
+
+std::string fmt(double v) {
+  if (std::isinf(v)) return "inf";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double parse_double(const std::string& token, int line_no) {
+  if (token == "inf") return std::numeric_limits<double>::infinity();
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("line " + std::to_string(line_no) + ": bad number '" + token + "'");
+  }
+}
+
+/// Reads the next non-empty, non-comment line; throws on EOF.
+std::string next_line(std::istream& in, int& line_no) {
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    return line.substr(first, last - first + 1);
+  }
+  throw std::runtime_error("unexpected end of input at line " + std::to_string(line_no));
+}
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ss(line);
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+void save_instance(std::ostream& out, const ProblemInstance& inst) {
+  const auto& g = inst.graph;
+  const auto& n = inst.network;
+  out << "saga-instance v1\n";
+  out << "tasks " << g.task_count() << "\n";
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    out << "task " << t << " " << g.name(t) << " " << fmt(g.cost(t)) << "\n";
+  }
+  const auto deps = g.dependencies();
+  out << "deps " << deps.size() << "\n";
+  for (const auto& [from, to] : deps) {
+    out << "dep " << from << " " << to << " " << fmt(g.dependency_cost(from, to)) << "\n";
+  }
+  out << "nodes " << n.node_count() << "\n";
+  for (NodeId v = 0; v < n.node_count(); ++v) {
+    out << "node " << v << " " << fmt(n.speed(v)) << "\n";
+  }
+  const std::size_t links = n.node_count() * (n.node_count() - 1) / 2;
+  out << "links " << links << "\n";
+  for (NodeId a = 0; a < n.node_count(); ++a) {
+    for (NodeId b = a + 1; b < n.node_count(); ++b) {
+      out << "link " << a << " " << b << " " << fmt(n.strength(a, b)) << "\n";
+    }
+  }
+}
+
+std::string instance_to_string(const ProblemInstance& inst) {
+  std::ostringstream out;
+  save_instance(out, inst);
+  return out.str();
+}
+
+ProblemInstance load_instance(std::istream& in) {
+  int line_no = 0;
+  const auto expect = [&](const std::string& line, const std::string& head,
+                          std::size_t tokens) -> std::vector<std::string> {
+    auto parts = split(line);
+    if (parts.empty() || parts[0] != head || parts.size() != tokens) {
+      throw std::runtime_error("line " + std::to_string(line_no) + ": expected '" + head +
+                               "' record, got '" + line + "'");
+    }
+    return parts;
+  };
+
+  if (next_line(in, line_no) != "saga-instance v1") {
+    throw std::runtime_error("not a saga-instance v1 file");
+  }
+
+  ProblemInstance inst;
+  auto counts = expect(next_line(in, line_no), "tasks", 2);
+  const auto n_tasks = static_cast<std::size_t>(std::stoull(counts[1]));
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    auto parts = expect(next_line(in, line_no), "task", 4);
+    const auto id = static_cast<TaskId>(std::stoul(parts[1]));
+    if (id != i) throw std::runtime_error("line " + std::to_string(line_no) + ": task ids must be dense");
+    inst.graph.add_task(parts[2], parse_double(parts[3], line_no));
+  }
+
+  counts = expect(next_line(in, line_no), "deps", 2);
+  const auto n_deps = static_cast<std::size_t>(std::stoull(counts[1]));
+  for (std::size_t i = 0; i < n_deps; ++i) {
+    auto parts = expect(next_line(in, line_no), "dep", 4);
+    const auto from = static_cast<TaskId>(std::stoul(parts[1]));
+    const auto to = static_cast<TaskId>(std::stoul(parts[2]));
+    if (!inst.graph.add_dependency(from, to, parse_double(parts[3], line_no))) {
+      throw std::runtime_error("line " + std::to_string(line_no) + ": invalid dependency");
+    }
+  }
+
+  counts = expect(next_line(in, line_no), "nodes", 2);
+  const auto n_nodes = static_cast<std::size_t>(std::stoull(counts[1]));
+  inst.network = Network(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    auto parts = expect(next_line(in, line_no), "node", 3);
+    inst.network.set_speed(static_cast<NodeId>(std::stoul(parts[1])),
+                           parse_double(parts[2], line_no));
+  }
+
+  counts = expect(next_line(in, line_no), "links", 2);
+  const auto n_links = static_cast<std::size_t>(std::stoull(counts[1]));
+  if (n_links != n_nodes * (n_nodes - 1) / 2) {
+    throw std::runtime_error("line " + std::to_string(line_no) + ": wrong link count");
+  }
+  for (std::size_t i = 0; i < n_links; ++i) {
+    auto parts = expect(next_line(in, line_no), "link", 4);
+    inst.network.set_strength(static_cast<NodeId>(std::stoul(parts[1])),
+                              static_cast<NodeId>(std::stoul(parts[2])),
+                              parse_double(parts[3], line_no));
+  }
+  return inst;
+}
+
+ProblemInstance instance_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return load_instance(in);
+}
+
+}  // namespace saga

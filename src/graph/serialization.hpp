@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/problem_instance.hpp"
+
+/// \file serialization.hpp
+/// Plain-text (de)serialization of problem instances, so that adversarial
+/// instances found by PISA can be saved, shared, and replayed — the paper's
+/// conclusion calls out publishing discovered instances as future work; this
+/// is the interchange format for it.
+///
+/// Format (line oriented, '#' comments allowed):
+///
+///   saga-instance v1
+///   tasks <n>
+///   task <id> <name> <cost>            (n lines)
+///   deps <m>
+///   dep <from> <to> <data_size>        (m lines)
+///   nodes <k>
+///   node <id> <speed>                  (k lines)
+///   links <k*(k-1)/2>
+///   link <a> <b> <strength|inf>        (one line per unordered pair)
+///
+/// All floats are printed with enough digits to round-trip exactly.
+
+namespace saga {
+
+void save_instance(std::ostream& out, const ProblemInstance& inst);
+[[nodiscard]] std::string instance_to_string(const ProblemInstance& inst);
+
+/// Parses an instance; throws std::runtime_error with a line-numbered
+/// message on malformed input.
+[[nodiscard]] ProblemInstance load_instance(std::istream& in);
+[[nodiscard]] ProblemInstance instance_from_string(const std::string& text);
+
+}  // namespace saga

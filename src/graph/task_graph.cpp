@@ -1,0 +1,161 @@
+#include "graph/task_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace saga {
+
+TaskId TaskGraph::add_task(std::string name, double cost) {
+  if (!(cost >= 0.0)) throw std::invalid_argument("task cost must be non-negative");
+  const auto id = static_cast<TaskId>(costs_.size());
+  names_.push_back(std::move(name));
+  costs_.push_back(cost);
+  succs_.emplace_back();
+  preds_.emplace_back();
+  return id;
+}
+
+TaskId TaskGraph::add_task(double cost) {
+  const auto id = static_cast<TaskId>(costs_.size());
+  return add_task("t" + std::to_string(id), cost);
+}
+
+void TaskGraph::set_cost(TaskId t, double cost) {
+  if (!(cost >= 0.0)) throw std::invalid_argument("task cost must be non-negative");
+  costs_.at(t) = cost;
+}
+
+bool TaskGraph::has_dependency(TaskId from, TaskId to) const {
+  return edge_costs_.contains(key(from, to));
+}
+
+double TaskGraph::dependency_cost(TaskId from, TaskId to) const {
+  const auto it = edge_costs_.find(key(from, to));
+  if (it == edge_costs_.end()) throw std::out_of_range("no such dependency");
+  return it->second;
+}
+
+void TaskGraph::set_dependency_cost(TaskId from, TaskId to, double cost) {
+  if (!(cost >= 0.0)) throw std::invalid_argument("dependency cost must be non-negative");
+  const auto it = edge_costs_.find(key(from, to));
+  if (it == edge_costs_.end()) throw std::out_of_range("no such dependency");
+  it->second = cost;
+}
+
+bool TaskGraph::would_create_cycle(TaskId from, TaskId to) const {
+  if (from == to) return true;
+  // DFS from `to`: a cycle forms iff `from` is reachable from `to`.
+  std::vector<bool> seen(task_count(), false);
+  std::vector<TaskId> stack{to};
+  seen[to] = true;
+  while (!stack.empty()) {
+    const TaskId cur = stack.back();
+    stack.pop_back();
+    if (cur == from) return true;
+    for (TaskId next : succs_[cur]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+bool TaskGraph::add_dependency(TaskId from, TaskId to, double data_size) {
+  if (from >= task_count() || to >= task_count()) {
+    throw std::out_of_range("task id out of range");
+  }
+  if (!(data_size >= 0.0)) throw std::invalid_argument("data size must be non-negative");
+  if (has_dependency(from, to) || would_create_cycle(from, to)) return false;
+  edge_costs_.emplace(key(from, to), data_size);
+  succs_[from].push_back(to);
+  preds_[to].push_back(from);
+  // Keep adjacency sorted so iteration order is deterministic and
+  // independent of insertion history (PISA mutates structure heavily).
+  std::sort(succs_[from].begin(), succs_[from].end());
+  std::sort(preds_[to].begin(), preds_[to].end());
+  return true;
+}
+
+bool TaskGraph::remove_dependency(TaskId from, TaskId to) {
+  const auto it = edge_costs_.find(key(from, to));
+  if (it == edge_costs_.end()) return false;
+  edge_costs_.erase(it);
+  std::erase(succs_[from], to);
+  std::erase(preds_[to], from);
+  return true;
+}
+
+std::vector<TaskId> TaskGraph::sources() const {
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < task_count(); ++t) {
+    if (preds_[t].empty()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::sinks() const {
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < task_count(); ++t) {
+    if (succs_[t].empty()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  std::vector<std::size_t> indegree(task_count());
+  for (TaskId t = 0; t < task_count(); ++t) indegree[t] = preds_[t].size();
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (TaskId t = 0; t < task_count(); ++t) {
+    if (indegree[t] == 0) ready.push(t);
+  }
+  std::vector<TaskId> order;
+  order.reserve(task_count());
+  while (!ready.empty()) {
+    const TaskId t = ready.top();
+    ready.pop();
+    order.push_back(t);
+    for (TaskId s : succs_[t]) {
+      if (--indegree[s] == 0) ready.push(s);
+    }
+  }
+  assert(order.size() == task_count() && "graph must be acyclic by construction");
+  return order;
+}
+
+std::vector<std::pair<TaskId, TaskId>> TaskGraph::dependencies() const {
+  std::vector<std::pair<TaskId, TaskId>> out;
+  out.reserve(edge_costs_.size());
+  for (TaskId from = 0; from < task_count(); ++from) {
+    for (TaskId to : succs_[from]) out.emplace_back(from, to);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double TaskGraph::total_cost() const {
+  double total = 0.0;
+  for (double c : costs_) total += c;
+  return total;
+}
+
+bool TaskGraph::structurally_equal(const TaskGraph& other, double tol) const {
+  if (task_count() != other.task_count()) return false;
+  if (dependency_count() != other.dependency_count()) return false;
+  for (TaskId t = 0; t < task_count(); ++t) {
+    if (std::abs(costs_[t] - other.costs_[t]) > tol) return false;
+  }
+  for (const auto& [from, to] : dependencies()) {
+    if (!other.has_dependency(from, to)) return false;
+    if (std::abs(dependency_cost(from, to) - other.dependency_cost(from, to)) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace saga

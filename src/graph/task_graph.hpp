@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+/// \file task_graph.hpp
+/// The task graph G = (T, D) of the paper's Section II: a weighted DAG where
+/// c(t) is the compute cost of task t and c(t, t') is the size of the data
+/// exchanged along the dependency (t, t').
+
+namespace saga {
+
+using TaskId = std::uint32_t;
+
+/// Directed acyclic task graph with positive task costs and dependency data
+/// sizes. Edge insertion is cycle-safe: `add_dependency` refuses edges that
+/// would close a cycle (the caller can probe with `would_create_cycle`,
+/// which is what the PISA "Add Dependency" perturbation does).
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Adds a task and returns its id. Ids are dense, starting at 0.
+  TaskId add_task(std::string name, double cost);
+
+  /// Adds task with an auto-generated name ("t<id>").
+  TaskId add_task(double cost);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return costs_.size(); }
+  [[nodiscard]] std::size_t dependency_count() const noexcept { return edge_costs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return costs_.empty(); }
+
+  [[nodiscard]] const std::string& name(TaskId t) const { return names_[t]; }
+  [[nodiscard]] double cost(TaskId t) const { return costs_[t]; }
+  void set_cost(TaskId t, double cost);
+
+  /// True if the dependency (from -> to) exists.
+  [[nodiscard]] bool has_dependency(TaskId from, TaskId to) const;
+
+  /// Data size c(from, to); the dependency must exist.
+  [[nodiscard]] double dependency_cost(TaskId from, TaskId to) const;
+  void set_dependency_cost(TaskId from, TaskId to, double cost);
+
+  /// Adds (from -> to) with the given data size. Returns false (and leaves
+  /// the graph unchanged) if the edge already exists, is a self-loop, or
+  /// would create a cycle.
+  bool add_dependency(TaskId from, TaskId to, double data_size);
+
+  /// Removes (from -> to); returns false if it does not exist.
+  bool remove_dependency(TaskId from, TaskId to);
+
+  /// True if adding (from -> to) would close a cycle (i.e. `to` reaches
+  /// `from`). Self-loops count as cycles.
+  [[nodiscard]] bool would_create_cycle(TaskId from, TaskId to) const;
+
+  [[nodiscard]] std::span<const TaskId> successors(TaskId t) const {
+    return succs_[t];
+  }
+  [[nodiscard]] std::span<const TaskId> predecessors(TaskId t) const {
+    return preds_[t];
+  }
+
+  /// Tasks with no predecessors / successors, in id order.
+  [[nodiscard]] std::vector<TaskId> sources() const;
+  [[nodiscard]] std::vector<TaskId> sinks() const;
+
+  /// Deterministic topological order (Kahn's algorithm, smallest id first).
+  [[nodiscard]] std::vector<TaskId> topological_order() const;
+
+  /// All dependencies as (from, to) pairs in insertion-independent
+  /// (from, to) lexicographic order.
+  [[nodiscard]] std::vector<std::pair<TaskId, TaskId>> dependencies() const;
+
+  /// Sum of all task costs (used by schedule-length-ratio style metrics).
+  [[nodiscard]] double total_cost() const;
+
+  /// Structural + weight equality (names ignored).
+  [[nodiscard]] bool structurally_equal(const TaskGraph& other, double tol = 0.0) const;
+
+ private:
+  [[nodiscard]] static std::uint64_t key(TaskId from, TaskId to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  std::vector<std::string> names_;
+  std::vector<double> costs_;
+  std::vector<std::vector<TaskId>> succs_;
+  std::vector<std::vector<TaskId>> preds_;
+  std::unordered_map<std::uint64_t, double> edge_costs_;
+};
+
+}  // namespace saga

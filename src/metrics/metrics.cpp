@@ -1,0 +1,95 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace saga::metrics {
+
+using saga::NodeId;
+using saga::ProblemInstance;
+using saga::Schedule;
+using saga::TaskId;
+
+double total_energy(const ProblemInstance& inst, const Schedule& schedule,
+                    const EnergyModel& model) {
+  const double makespan = schedule.makespan();
+  double energy = 0.0;
+  for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+    const auto lane = schedule.on_node(v);
+    if (lane.empty()) continue;  // unused nodes are powered off
+    double busy = 0.0;
+    for (const auto& a : lane) busy += a.finish - a.start;
+    energy += model.idle_power * makespan + model.busy_factor * inst.network.speed(v) * busy;
+  }
+  for (const auto& [from, to] : inst.graph.dependencies()) {
+    const auto& producer = schedule.of_task(from);
+    const auto& consumer = schedule.of_task(to);
+    if (producer.node != consumer.node) {
+      energy += model.comm_energy_per_unit * inst.graph.dependency_cost(from, to);
+    }
+  }
+  return energy;
+}
+
+double pipeline_throughput(const ProblemInstance& inst, const Schedule& schedule) {
+  double bottleneck = 0.0;
+  for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+    double busy = 0.0;
+    for (const auto& a : schedule.on_node(v)) busy += a.finish - a.start;
+    bottleneck = std::max(bottleneck, busy);
+  }
+  if (bottleneck <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / bottleneck;
+}
+
+double rental_cost(const ProblemInstance& inst, const Schedule& schedule) {
+  // Each used node is rented from time 0 until its last task finishes, at
+  // a rate proportional to its speed.
+  double cost = 0.0;
+  for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+    const auto lane = schedule.on_node(v);
+    if (lane.empty()) continue;
+    cost += inst.network.speed(v) * lane.back().finish;
+  }
+  return cost;
+}
+
+std::string to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kMakespan: return "makespan";
+    case Metric::kEnergy: return "energy";
+    case Metric::kInverseThroughput: return "1/throughput";
+    case Metric::kCost: return "cost";
+  }
+  return "?";
+}
+
+double evaluate(Metric metric, const ProblemInstance& inst, const Schedule& schedule) {
+  switch (metric) {
+    case Metric::kMakespan: return schedule.makespan();
+    case Metric::kEnergy: return total_energy(inst, schedule);
+    case Metric::kInverseThroughput: {
+      const double throughput = pipeline_throughput(inst, schedule);
+      return throughput > 0.0 ? 1.0 / throughput : std::numeric_limits<double>::infinity();
+    }
+    case Metric::kCost: return rental_cost(inst, schedule);
+  }
+  return 0.0;
+}
+
+double metric_ratio(Metric metric, const saga::Scheduler& target,
+                    const saga::Scheduler& baseline, const ProblemInstance& inst) {
+  const double m_target = evaluate(metric, inst, target.schedule(inst));
+  const double m_baseline = evaluate(metric, inst, baseline.schedule(inst));
+  if (m_baseline == 0.0) {
+    return m_target == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  if (std::isinf(m_baseline)) {
+    return std::isinf(m_target) ? 1.0 : 0.0;
+  }
+  return m_target / m_baseline;
+}
+
+}  // namespace saga::metrics

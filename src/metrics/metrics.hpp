@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+
+#include "graph/problem_instance.hpp"
+#include "sched/schedule.hpp"
+#include "sched/scheduler.hpp"
+
+/// \file metrics.hpp
+/// Alternative schedule-quality metrics — the paper's conclusion proposes
+/// extending PISA beyond makespan to "other performance metrics (e.g.,
+/// throughput, energy consumption, cost, etc.)". This module implements
+/// three and generalises the PISA objective to any of them (see
+/// pisa_metric_ratio below and core/annealer.hpp for the makespan
+/// original).
+
+namespace saga::metrics {
+
+/// Simple linear power model: a node consumes `idle_power + busy_factor *
+/// s(v)` watts while executing (faster nodes burn more), `idle_power`
+/// while idle but owning scheduled work, and each link transfer costs
+/// `comm_energy_per_unit` per unit of data sent. Units are arbitrary but
+/// consistent, which is all ratio-based comparison needs.
+struct EnergyModel {
+  double idle_power = 0.1;
+  double busy_factor = 1.0;
+  double comm_energy_per_unit = 0.05;
+};
+
+/// Total energy of a schedule under the model: for every node that runs at
+/// least one task, idle power over the whole makespan plus busy power over
+/// its executing intervals; plus transfer energy for every inter-node
+/// dependency.
+[[nodiscard]] double total_energy(const saga::ProblemInstance& inst,
+                                  const saga::Schedule& schedule,
+                                  const EnergyModel& model = {});
+
+/// Steady-state throughput of the schedule interpreted as a software
+/// pipeline (instances of the task graph streaming through the same
+/// placements): the reciprocal of the busiest node's total busy time — the
+/// pipeline's bottleneck stage.
+[[nodiscard]] double pipeline_throughput(const saga::ProblemInstance& inst,
+                                         const saga::Schedule& schedule);
+
+/// Cost metric: total node-seconds weighted by speed (renting fast nodes
+/// is proportionally pricier), the usual cloud-billing abstraction.
+[[nodiscard]] double rental_cost(const saga::ProblemInstance& inst,
+                                 const saga::Schedule& schedule);
+
+/// Metric selector for generalised PISA objectives. kMakespan reproduces
+/// the paper; the others are the future-work extensions.
+enum class Metric { kMakespan, kEnergy, kInverseThroughput, kCost };
+
+[[nodiscard]] std::string to_string(Metric metric);
+
+/// Evaluates a schedule under the chosen metric (lower is better for every
+/// metric; throughput is inverted to preserve that orientation).
+[[nodiscard]] double evaluate(Metric metric, const saga::ProblemInstance& inst,
+                              const saga::Schedule& schedule);
+
+/// Generalised PISA objective: metric(S_target) / metric(S_baseline) on an
+/// instance. Plugs directly into the annealer via a lambda; see
+/// bench_metric_pisa.
+[[nodiscard]] double metric_ratio(Metric metric, const saga::Scheduler& target,
+                                  const saga::Scheduler& baseline,
+                                  const saga::ProblemInstance& inst);
+
+}  // namespace saga::metrics

@@ -1,0 +1,38 @@
+#include "sched/decoder.hpp"
+
+#include <stdexcept>
+
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule decode_schedule(const ProblemInstance& inst, const ScheduleEncoding& encoding) {
+  const std::size_t n = inst.graph.task_count();
+  if (encoding.assignment.size() != n || encoding.priority.size() != n) {
+    throw std::invalid_argument("encoding size does not match task count");
+  }
+  for (NodeId v : encoding.assignment) {
+    if (v >= inst.network.node_count()) throw std::invalid_argument("invalid node in encoding");
+  }
+
+  TimelineBuilder builder(inst);
+  while (!builder.complete()) {
+    TaskId next = 0;
+    bool found = false;
+    for (TaskId t = 0; t < n; ++t) {
+      if (!builder.ready(t)) continue;
+      if (!found || encoding.priority[t] > encoding.priority[next]) {
+        next = t;
+        found = true;
+      }
+    }
+    builder.place_earliest(next, encoding.assignment[next], /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+double decoded_makespan(const ProblemInstance& inst, const ScheduleEncoding& encoding) {
+  return decode_schedule(inst, encoding).makespan();
+}
+
+}  // namespace saga

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+/// \file decoder.hpp
+/// Shared decoding of indirect schedule representations into concrete
+/// schedules. The meta-heuristic schedulers (GA, SimAnneal) and the
+/// clustering scheduler all search over compact encodings — a task→node
+/// assignment plus task priorities — and rely on this decoder to turn an
+/// encoding into the best "eager" schedule consistent with it: repeatedly
+/// take the highest-priority ready task and start it as early as possible
+/// on its assigned node. For a fixed (assignment, priority) pair the eager
+/// schedule is optimal among schedules honouring that pair, so the search
+/// spaces lose nothing by the indirection.
+
+namespace saga {
+
+/// The compact encoding: `assignment[t]` is the node of task t and
+/// `priority[t]` its dispatch priority (higher dispatches first among
+/// ready tasks; ties broken by smaller task id).
+struct ScheduleEncoding {
+  std::vector<NodeId> assignment;
+  std::vector<double> priority;
+};
+
+/// Decodes an encoding into a schedule. Requires `assignment.size()` and
+/// `priority.size()` to equal the instance's task count, and all node ids
+/// to be valid.
+[[nodiscard]] Schedule decode_schedule(const ProblemInstance& inst,
+                                       const ScheduleEncoding& encoding);
+
+/// Convenience: decoded makespan.
+[[nodiscard]] double decoded_makespan(const ProblemInstance& inst,
+                                      const ScheduleEncoding& encoding);
+
+}  // namespace saga

@@ -1,0 +1,104 @@
+#include "sched/ranks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace saga {
+
+std::vector<double> mean_exec_times(const ProblemInstance& inst) {
+  const double inv_speed = inst.network.mean_inverse_speed();
+  std::vector<double> out(inst.graph.task_count());
+  for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    out[t] = inst.graph.cost(t) * inv_speed;
+  }
+  return out;
+}
+
+std::vector<double> upward_ranks(const ProblemInstance& inst) {
+  const auto& g = inst.graph;
+  const double inv_strength = inst.network.mean_inverse_strength();
+  const auto w = mean_exec_times(inst);
+  std::vector<double> rank(g.task_count(), 0.0);
+  const auto order = g.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    double best = 0.0;
+    for (TaskId s : g.successors(t)) {
+      best = std::max(best, g.dependency_cost(t, s) * inv_strength + rank[s]);
+    }
+    rank[t] = w[t] + best;
+  }
+  return rank;
+}
+
+std::vector<double> downward_ranks(const ProblemInstance& inst) {
+  const auto& g = inst.graph;
+  const double inv_strength = inst.network.mean_inverse_strength();
+  const auto w = mean_exec_times(inst);
+  std::vector<double> rank(g.task_count(), 0.0);
+  for (TaskId t : g.topological_order()) {
+    double best = 0.0;
+    for (TaskId p : g.predecessors(t)) {
+      best = std::max(best, rank[p] + w[p] + g.dependency_cost(p, t) * inv_strength);
+    }
+    rank[t] = best;
+  }
+  return rank;
+}
+
+std::vector<double> static_levels(const ProblemInstance& inst) {
+  const auto& g = inst.graph;
+  const auto w = mean_exec_times(inst);
+  std::vector<double> level(g.task_count(), 0.0);
+  const auto order = g.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    double best = 0.0;
+    for (TaskId s : g.successors(t)) best = std::max(best, level[s]);
+    level[t] = w[t] + best;
+  }
+  return level;
+}
+
+std::vector<TaskId> critical_path(const ProblemInstance& inst, double tol) {
+  const auto& g = inst.graph;
+  if (g.task_count() == 0) return {};
+  const auto up = upward_ranks(inst);
+  const auto down = downward_ranks(inst);
+
+  // |CP| = max over tasks of rank_u + rank_d; attained by every task on the
+  // critical path.
+  double cp_value = 0.0;
+  for (TaskId t = 0; t < g.task_count(); ++t) cp_value = std::max(cp_value, up[t] + down[t]);
+  const double eps = tol * std::max(1.0, cp_value);
+  const auto on_cp = [&](TaskId t) { return up[t] + down[t] >= cp_value - eps; };
+
+  // Walk from a critical source to a sink following critical successors.
+  std::vector<TaskId> path;
+  TaskId current = 0;
+  bool found = false;
+  for (TaskId t : g.sources()) {
+    if (on_cp(t)) {
+      current = t;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return {};
+  path.push_back(current);
+  for (;;) {
+    bool advanced = false;
+    for (TaskId s : g.successors(current)) {
+      if (on_cp(s)) {
+        current = s;
+        path.push_back(current);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  return path;
+}
+
+}  // namespace saga

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/problem_instance.hpp"
+
+/// \file ranks.hpp
+/// Task priority metrics shared by the list schedulers:
+///   - mean execution time  w̄(t)     = c(t) · mean(1/s(v))
+///   - mean communication   c̄(t,t')  = c(t,t') · mean(1/s(v,v'))
+///   - upward rank (HEFT):  rank_u(t) = w̄(t) + max over successors s of
+///                                      (c̄(t,s) + rank_u(s))
+///   - downward rank (CPoP): rank_d(t) = max over predecessors p of
+///                                      (rank_d(p) + w̄(p) + c̄(p,t))
+///   - static level (GDL/DLS): like upward rank but ignoring communication
+/// and the critical path: the source-to-sink chain maximizing
+/// rank_u + rank_d (all of whose tasks share the maximal priority value).
+
+namespace saga {
+
+/// Mean execution time of every task across the network's nodes.
+[[nodiscard]] std::vector<double> mean_exec_times(const ProblemInstance& inst);
+
+/// rank_u for every task.
+[[nodiscard]] std::vector<double> upward_ranks(const ProblemInstance& inst);
+
+/// rank_d for every task.
+[[nodiscard]] std::vector<double> downward_ranks(const ProblemInstance& inst);
+
+/// Static level: longest mean-execution-time chain from t to any sink,
+/// ignoring communication.
+[[nodiscard]] std::vector<double> static_levels(const ProblemInstance& inst);
+
+/// Tasks on the critical path (maximal rank_u + rank_d), as a source-to-sink
+/// chain in execution order. `tol` is the relative tolerance used when
+/// comparing priorities.
+[[nodiscard]] std::vector<TaskId> critical_path(const ProblemInstance& inst,
+                                                double tol = 1e-9);
+
+}  // namespace saga

@@ -1,0 +1,101 @@
+#include "sched/registry.hpp"
+
+#include <stdexcept>
+
+#include "schedulers/bil.hpp"
+#include "schedulers/ensemble.hpp"
+#include "schedulers/ert.hpp"
+#include "schedulers/genetic.hpp"
+#include "schedulers/linear_clustering.hpp"
+#include "schedulers/lmt.hpp"
+#include "schedulers/mh.hpp"
+#include "schedulers/peft.hpp"
+#include "schedulers/sim_anneal.hpp"
+#include "schedulers/brute_force.hpp"
+#include "schedulers/cpop.hpp"
+#include "schedulers/duplex.hpp"
+#include "schedulers/etf.hpp"
+#include "schedulers/fastest_node.hpp"
+#include "schedulers/fcp.hpp"
+#include "schedulers/flb.hpp"
+#include "schedulers/gdl.hpp"
+#include "schedulers/heft.hpp"
+#include "schedulers/maxmin.hpp"
+#include "schedulers/mct.hpp"
+#include "schedulers/met.hpp"
+#include "schedulers/minmin.hpp"
+#include "schedulers/olb.hpp"
+#include "schedulers/smt_binary_search.hpp"
+#include "schedulers/wba.hpp"
+
+namespace saga {
+
+const std::vector<std::string>& all_scheduler_names() {
+  static const std::vector<std::string> names = {
+      "BIL",  "BruteForce", "CPoP",   "Duplex", "ETF",    "FastestNode",
+      "FCP",  "FLB",        "GDL",    "HEFT",   "MaxMin", "MCT",
+      "MET",  "MinMin",     "OLB",    "SMT",    "WBA"};
+  return names;
+}
+
+const std::vector<std::string>& benchmark_scheduler_names() {
+  static const std::vector<std::string> names = {
+      "BIL", "CPoP", "Duplex", "ETF",    "FCP",    "FLB", "FastestNode", "GDL",
+      "HEFT", "MCT", "MET",    "MaxMin", "MinMin", "OLB", "WBA"};
+  return names;
+}
+
+const std::vector<std::string>& app_specific_scheduler_names() {
+  static const std::vector<std::string> names = {"CPoP",   "FastestNode", "HEFT",
+                                                 "MaxMin", "MinMin",      "WBA"};
+  return names;
+}
+
+const std::vector<std::string>& extension_scheduler_names() {
+  static const std::vector<std::string> names = {"ERT", "MH",        "LMT",      "LC",
+                                                 "GA",  "SimAnneal", "Ensemble", "PEFT"};
+  return names;
+}
+
+SchedulerPtr make_scheduler(const std::string& name, std::uint64_t seed) {
+  if (name == "BIL") return std::make_unique<BilScheduler>();
+  if (name == "ERT") return std::make_unique<ErtScheduler>();
+  if (name == "PEFT") return std::make_unique<PeftScheduler>();
+  if (name == "MH") return std::make_unique<MhScheduler>();
+  if (name == "LMT") return std::make_unique<LmtScheduler>();
+  if (name == "LC") return std::make_unique<LinearClusteringScheduler>();
+  if (name == "GA") return std::make_unique<GeneticScheduler>(seed);
+  if (name == "SimAnneal") return std::make_unique<SimAnnealScheduler>(seed);
+  if (name == "Ensemble") return std::make_unique<EnsembleScheduler>(
+      std::vector<std::string>{"HEFT", "CPoP", "MinMin"}, seed);
+  if (name == "BruteForce") return std::make_unique<BruteForceScheduler>();
+  if (name == "CPoP") return std::make_unique<CpopScheduler>();
+  if (name == "Duplex") return std::make_unique<DuplexScheduler>();
+  if (name == "ETF") return std::make_unique<EtfScheduler>();
+  if (name == "FastestNode") return std::make_unique<FastestNodeScheduler>();
+  if (name == "FCP") return std::make_unique<FcpScheduler>();
+  if (name == "FLB") return std::make_unique<FlbScheduler>();
+  if (name == "GDL") return std::make_unique<GdlScheduler>();
+  if (name == "HEFT") return std::make_unique<HeftScheduler>();
+  if (name == "MaxMin") return std::make_unique<MaxMinScheduler>();
+  if (name == "MCT") return std::make_unique<MctScheduler>();
+  if (name == "MET") return std::make_unique<MetScheduler>();
+  if (name == "MinMin") return std::make_unique<MinMinScheduler>();
+  if (name == "OLB") return std::make_unique<OlbScheduler>();
+  if (name == "SMT") return std::make_unique<SmtBinarySearchScheduler>();
+  if (name == "WBA") return std::make_unique<WbaScheduler>(seed);
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+SchedulerPtr make_scheduler(const std::string& name) {
+  return make_scheduler(name, 0x5a6a0001ULL);
+}
+
+std::vector<SchedulerPtr> make_benchmark_schedulers() {
+  std::vector<SchedulerPtr> out;
+  out.reserve(benchmark_scheduler_names().size());
+  for (const auto& name : benchmark_scheduler_names()) out.push_back(make_scheduler(name));
+  return out;
+}
+
+}  // namespace saga

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+/// \file registry.hpp
+/// Name-based construction of the 17 schedulers in SAGA's Table I, plus the
+/// standard benchmarking roster (the 15 polynomial-time schedulers: the
+/// paper excludes BruteForce and SMT from benchmarking and PISA because of
+/// their exponential runtime).
+
+namespace saga {
+
+/// All scheduler names, in the paper's Table I order.
+[[nodiscard]] const std::vector<std::string>& all_scheduler_names();
+
+/// The 15 polynomial-time schedulers used in Figs. 2 and 4.
+[[nodiscard]] const std::vector<std::string>& benchmark_scheduler_names();
+
+/// The 6 schedulers used in the application-specific study (Section VII):
+/// CPoP, FastestNode, HEFT, MaxMin, MinMin, WBA.
+[[nodiscard]] const std::vector<std::string>& app_specific_scheduler_names();
+
+/// Extension schedulers beyond the paper's Table I, implementing its
+/// related-work baselines and future-work directions: ERT, MH (Mapping
+/// Heuristic), LMT (Levelized Min Time), LC (linear clustering), GA and
+/// SimAnneal (meta-heuristics), Ensemble (scheduler portfolios), and PEFT
+/// (Predict Earliest Finish Time).
+[[nodiscard]] const std::vector<std::string>& extension_scheduler_names();
+
+/// Constructs a scheduler by name; throws std::invalid_argument for unknown
+/// names. Randomized schedulers are constructed with a fixed default seed;
+/// use `make_scheduler(name, seed)` to derive independent streams.
+[[nodiscard]] SchedulerPtr make_scheduler(const std::string& name);
+[[nodiscard]] SchedulerPtr make_scheduler(const std::string& name, std::uint64_t seed);
+
+/// Constructs the full benchmarking roster (15 schedulers).
+[[nodiscard]] std::vector<SchedulerPtr> make_benchmark_schedulers();
+
+}  // namespace saga

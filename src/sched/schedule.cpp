@@ -1,0 +1,104 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace saga {
+
+void Schedule::add(const Assignment& a) {
+  if (a.task < by_task_.size() && by_task_[a.task].has_value()) {
+    throw std::invalid_argument("task scheduled twice");
+  }
+  if (a.task >= by_task_.size()) by_task_.resize(a.task + 1);
+  by_task_[a.task] = assignments_.size();
+  assignments_.push_back(a);
+}
+
+bool Schedule::contains(TaskId t) const {
+  return t < by_task_.size() && by_task_[t].has_value();
+}
+
+const Assignment& Schedule::of_task(TaskId t) const {
+  if (!contains(t)) throw std::out_of_range("task not scheduled");
+  return assignments_[*by_task_[t]];
+}
+
+std::vector<Assignment> Schedule::on_node(NodeId node) const {
+  std::vector<Assignment> out;
+  for (const auto& a : assignments_) {
+    if (a.node == node) out.push_back(a);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Assignment& x, const Assignment& y) { return x.start < y.start; });
+  return out;
+}
+
+double Schedule::makespan() const {
+  double m = 0.0;
+  for (const auto& a : assignments_) m = std::max(m, a.finish);
+  return m;
+}
+
+ValidationResult Schedule::validate(const ProblemInstance& inst, double tol) const {
+  const auto& g = inst.graph;
+  const auto& net = inst.network;
+  const auto fail = [](std::string msg) { return ValidationResult{false, std::move(msg)}; };
+
+  // Every task scheduled exactly once (Schedule::add already prevents
+  // duplicates, so only absence can occur).
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    if (!contains(t)) return fail("task " + g.name(t) + " is not scheduled");
+  }
+  if (size() != g.task_count()) return fail("schedule contains unknown tasks");
+
+  for (const auto& a : assignments_) {
+    if (a.node >= net.node_count()) return fail("assignment to unknown node");
+    if (a.start < -tol) return fail("task " + g.name(a.task) + " starts before time 0");
+    const double exec = net.exec_time(g.cost(a.task), a.node);
+    if (std::abs(a.finish - (a.start + exec)) > tol + 1e-12 * std::abs(a.finish)) {
+      return fail("task " + g.name(a.task) + " finish time inconsistent with exec time");
+    }
+  }
+
+  // No overlap per node. Zero-duration tasks (cost 0) occupy no time and
+  // may legally coincide with other work, so they are skipped; nesting is
+  // caught by tracking the running finish-time watermark rather than only
+  // comparing adjacent slots.
+  for (NodeId v = 0; v < net.node_count(); ++v) {
+    const auto slots = on_node(v);
+    double watermark = 0.0;
+    TaskId watermark_task = 0;
+    for (const auto& slot : slots) {
+      if (slot.finish <= slot.start + tol) continue;  // zero-duration
+      if (slot.start < watermark - tol) {
+        std::ostringstream msg;
+        msg << "tasks " << g.name(watermark_task) << " and " << g.name(slot.task)
+            << " overlap on node " << v;
+        return fail(msg.str());
+      }
+      if (slot.finish > watermark) {
+        watermark = slot.finish;
+        watermark_task = slot.task;
+      }
+    }
+  }
+
+  // Precedence + communication constraints.
+  for (const auto& [from, to] : g.dependencies()) {
+    const auto& producer = of_task(from);
+    const auto& consumer = of_task(to);
+    const double arrival =
+        producer.finish + net.comm_time(g.dependency_cost(from, to), producer.node, consumer.node);
+    if (consumer.start < arrival - tol) {
+      std::ostringstream msg;
+      msg << "task " << g.name(to) << " starts at " << consumer.start
+          << " before its input from " << g.name(from) << " arrives at " << arrival;
+      return fail(msg.str());
+    }
+  }
+  return {};
+}
+
+}  // namespace saga

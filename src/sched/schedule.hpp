@@ -1,0 +1,64 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/problem_instance.hpp"
+
+/// \file schedule.hpp
+/// A schedule is a set of (task, node, start) tuples (paper Section II).
+/// We additionally store the finish time (start + exec time) for
+/// convenience; `validate` checks the paper's two validity conditions.
+
+namespace saga {
+
+struct Assignment {
+  TaskId task = 0;
+  NodeId node = 0;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// Outcome of Schedule::validate.
+struct ValidationResult {
+  bool ok = true;
+  std::string message;  // human-readable description of the first violation
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Records an assignment. Throws if the task is already scheduled.
+  void add(const Assignment& a);
+
+  [[nodiscard]] std::size_t size() const noexcept { return assignments_.size(); }
+  [[nodiscard]] bool contains(TaskId t) const;
+  [[nodiscard]] const Assignment& of_task(TaskId t) const;
+
+  /// All assignments in task-id order.
+  [[nodiscard]] const std::vector<Assignment>& assignments() const noexcept {
+    return assignments_;
+  }
+
+  /// Assignments placed on `node`, sorted by start time.
+  [[nodiscard]] std::vector<Assignment> on_node(NodeId node) const;
+
+  /// Time at which the last task finishes (0 for an empty schedule).
+  [[nodiscard]] double makespan() const;
+
+  /// Checks the schedule against the instance:
+  ///  - every task scheduled exactly once,
+  ///  - finish == start + exec time on the assigned node,
+  ///  - no two tasks overlap on a node,
+  ///  - every dependency's data arrives before the dependent task starts.
+  [[nodiscard]] ValidationResult validate(const ProblemInstance& inst,
+                                          double tol = 1e-9) const;
+
+ private:
+  std::vector<Assignment> assignments_;           // task-id order (sparse until sorted)
+  std::vector<std::optional<std::size_t>> by_task_;  // task -> index into assignments_
+};
+
+}  // namespace saga

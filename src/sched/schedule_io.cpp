@@ -1,0 +1,76 @@
+#include "sched/schedule_io.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace saga {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string next_line(std::istream& in, int& line_no) {
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    return line.substr(first, last - first + 1);
+  }
+  throw std::runtime_error("unexpected end of schedule at line " + std::to_string(line_no));
+}
+
+}  // namespace
+
+void save_schedule(std::ostream& out, const Schedule& schedule) {
+  out << "saga-schedule v1\n";
+  out << "assignments " << schedule.size() << "\n";
+  for (const auto& a : schedule.assignments()) {
+    out << "assign " << a.task << " " << a.node << " " << fmt(a.start) << " " << fmt(a.finish)
+        << "\n";
+  }
+}
+
+std::string schedule_to_string(const Schedule& schedule) {
+  std::ostringstream out;
+  save_schedule(out, schedule);
+  return out.str();
+}
+
+Schedule load_schedule(std::istream& in) {
+  int line_no = 0;
+  if (next_line(in, line_no) != "saga-schedule v1") {
+    throw std::runtime_error("not a saga-schedule v1 file");
+  }
+  std::istringstream header(next_line(in, line_no));
+  std::string word;
+  std::size_t count = 0;
+  if (!(header >> word >> count) || word != "assignments") {
+    throw std::runtime_error("line " + std::to_string(line_no) + ": expected 'assignments <n>'");
+  }
+  Schedule schedule;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::istringstream row(next_line(in, line_no));
+    Assignment a;
+    if (!(row >> word >> a.task >> a.node >> a.start >> a.finish) || word != "assign") {
+      throw std::runtime_error("line " + std::to_string(line_no) + ": bad assign record");
+    }
+    schedule.add(a);
+  }
+  return schedule;
+}
+
+Schedule schedule_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return load_schedule(in);
+}
+
+}  // namespace saga

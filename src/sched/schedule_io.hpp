@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/problem_instance.hpp"
+#include "sched/schedule.hpp"
+
+/// \file schedule_io.hpp
+/// Plain-text (de)serialization of schedules, complementing the instance
+/// format in graph/serialization.hpp — together they let a WFMS (or a
+/// reviewer) persist both halves of a scheduling decision and re-validate
+/// it later.
+///
+/// Format:
+///
+///   saga-schedule v1
+///   assignments <n>
+///   assign <task> <node> <start> <finish>   (n lines, task-id order)
+
+namespace saga {
+
+void save_schedule(std::ostream& out, const Schedule& schedule);
+[[nodiscard]] std::string schedule_to_string(const Schedule& schedule);
+
+/// Parses a schedule; throws std::runtime_error on malformed input. The
+/// result is not validated against any instance — call
+/// Schedule::validate(inst) to check it.
+[[nodiscard]] Schedule load_schedule(std::istream& in);
+[[nodiscard]] Schedule schedule_from_string(const std::string& text);
+
+}  // namespace saga

@@ -1,0 +1,6 @@
+#include "sched/scheduler.hpp"
+
+// The Scheduler interface is header-only; this translation unit anchors the
+// vtable so that the key function is emitted exactly once.
+
+namespace saga {}  // namespace saga

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "graph/problem_instance.hpp"
+#include "sched/schedule.hpp"
+
+/// \file scheduler.hpp
+/// Common interface of all 17 scheduling algorithms (the paper's Table I).
+
+namespace saga {
+
+/// Network-model restrictions a scheduler was designed for. The paper's
+/// PISA setup honours these by fixing the corresponding weights to 1 and
+/// excluding them from perturbation (Section VI): ETF, FCP and FLB assume
+/// homogeneous node speeds; BIL, GDL, FCP and FLB assume homogeneous link
+/// strengths.
+struct NetworkRequirements {
+  bool homogeneous_node_speeds = false;
+  bool homogeneous_link_strengths = false;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Short display name matching the paper's tables ("HEFT", "CPoP", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  [[nodiscard]] virtual NetworkRequirements requirements() const { return {}; }
+
+  /// Produces a valid schedule for the instance. Implementations are
+  /// deterministic: randomized schedulers (WBA) derive their stream from a
+  /// constructor-provided seed.
+  [[nodiscard]] virtual Schedule schedule(const ProblemInstance& inst) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+}  // namespace saga

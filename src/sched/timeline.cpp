@@ -1,0 +1,100 @@
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace saga {
+
+TimelineBuilder::TimelineBuilder(const ProblemInstance& inst)
+    : inst_(&inst),
+      busy_(inst.network.node_count()),
+      assignment_(inst.graph.task_count()),
+      placed_(inst.graph.task_count(), false),
+      pending_preds_(inst.graph.task_count()) {
+  for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    pending_preds_[t] = inst.graph.predecessors(t).size();
+  }
+}
+
+const Assignment& TimelineBuilder::assignment_of(TaskId t) const {
+  if (!placed_[t]) throw std::logic_error("task not placed yet");
+  return assignment_[t];
+}
+
+double TimelineBuilder::exec_time(TaskId t, NodeId v) const {
+  return inst_->network.exec_time(inst_->graph.cost(t), v);
+}
+
+double TimelineBuilder::data_ready_time(TaskId t, NodeId v) const {
+  double ready = 0.0;
+  for (TaskId p : inst_->graph.predecessors(t)) {
+    assert(placed_[p] && "all predecessors must be placed first");
+    const auto& pa = assignment_[p];
+    const double arrival =
+        pa.finish + inst_->network.comm_time(inst_->graph.dependency_cost(p, t), pa.node, v);
+    ready = std::max(ready, arrival);
+  }
+  return ready;
+}
+
+double TimelineBuilder::node_available(NodeId v) const {
+  return busy_[v].empty() ? 0.0 : busy_[v].back().end;
+}
+
+double TimelineBuilder::earliest_start(TaskId t, NodeId v, bool insertion) const {
+  const double ready = data_ready_time(t, v);
+  if (!insertion) return std::max(ready, node_available(v));
+  const double duration = exec_time(t, v);
+  // Scan idle gaps in start-time order; the list is small in practice.
+  double cursor = ready;
+  for (const auto& iv : busy_[v]) {
+    if (iv.start >= cursor + duration) break;  // gap before iv fits
+    cursor = std::max(cursor, iv.end);
+  }
+  return cursor;
+}
+
+double TimelineBuilder::earliest_finish(TaskId t, NodeId v, bool insertion) const {
+  return earliest_start(t, v, insertion) + exec_time(t, v);
+}
+
+std::vector<TaskId> TimelineBuilder::ready_tasks() const {
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < inst_->graph.task_count(); ++t) {
+    if (ready(t)) out.push_back(t);
+  }
+  return out;
+}
+
+void TimelineBuilder::place(TaskId t, NodeId v, double start) {
+  if (placed_[t]) throw std::logic_error("task already placed");
+  if (pending_preds_[t] != 0) throw std::logic_error("task has unplaced predecessors");
+  const double duration = exec_time(t, v);
+  assert(start >= data_ready_time(t, v) - 1e-9 && "start before data is ready");
+
+  const Interval iv{start, start + duration, t};
+  auto& lane = busy_[v];
+  const auto pos = std::upper_bound(
+      lane.begin(), lane.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  // Overlap check against neighbours (debug only; callers compute valid starts).
+  assert((pos == lane.begin() || std::prev(pos)->end <= iv.start + 1e-9) && "overlaps previous");
+  assert((pos == lane.end() || iv.end <= pos->start + 1e-9) && "overlaps next");
+  lane.insert(pos, iv);
+
+  assignment_[t] = Assignment{t, v, start, start + duration};
+  placed_[t] = true;
+  ++placed_count_;
+  makespan_ = std::max(makespan_, start + duration);
+  for (TaskId s : inst_->graph.successors(t)) --pending_preds_[s];
+}
+
+Schedule TimelineBuilder::to_schedule() const {
+  if (!complete()) throw std::logic_error("schedule is incomplete");
+  Schedule s;
+  for (TaskId t = 0; t < inst_->graph.task_count(); ++t) s.add(assignment_[t]);
+  return s;
+}
+
+}  // namespace saga

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/problem_instance.hpp"
+#include "sched/schedule.hpp"
+
+/// \file timeline.hpp
+/// Incremental schedule construction shared by all list schedulers: tracks
+/// per-node busy intervals and per-task placement, computes data-ready and
+/// earliest-start times, and supports both append-only placement (MCT,
+/// MinMin, ...) and insertion-based placement (HEFT, CPoP) where a task may
+/// slot into an idle gap between already-placed tasks.
+
+namespace saga {
+
+class TimelineBuilder {
+ public:
+  explicit TimelineBuilder(const ProblemInstance& inst);
+
+  [[nodiscard]] const ProblemInstance& instance() const noexcept { return *inst_; }
+
+  [[nodiscard]] bool placed(TaskId t) const { return placed_[t]; }
+  [[nodiscard]] std::size_t placed_count() const noexcept { return placed_count_; }
+  [[nodiscard]] const Assignment& assignment_of(TaskId t) const;
+
+  /// Time at which all of t's inputs are available on node v, given the
+  /// placements of t's predecessors (which must all be placed).
+  [[nodiscard]] double data_ready_time(TaskId t, NodeId v) const;
+
+  /// Earliest start of t on v: with `insertion`, the earliest idle gap of
+  /// sufficient length at or after the data-ready time; otherwise
+  /// max(data-ready time, end of the node's last busy interval).
+  [[nodiscard]] double earliest_start(TaskId t, NodeId v, bool insertion) const;
+
+  /// earliest_start + execution time.
+  [[nodiscard]] double earliest_finish(TaskId t, NodeId v, bool insertion) const;
+
+  /// Execution time of t on v (cost / speed).
+  [[nodiscard]] double exec_time(TaskId t, NodeId v) const;
+
+  /// End of the last busy interval on v (0 if idle).
+  [[nodiscard]] double node_available(NodeId v) const;
+
+  /// Number of predecessors of t not yet placed.
+  [[nodiscard]] std::size_t unplaced_predecessors(TaskId t) const {
+    return pending_preds_[t];
+  }
+  [[nodiscard]] bool ready(TaskId t) const { return !placed_[t] && pending_preds_[t] == 0; }
+
+  /// Tasks whose predecessors are all placed, in id order.
+  [[nodiscard]] std::vector<TaskId> ready_tasks() const;
+
+  /// Places t on v starting at `start` (which must be >= both the node's
+  /// free slot and the data-ready time; checked in debug builds).
+  void place(TaskId t, NodeId v, double start);
+
+  /// Convenience: place at the earliest start.
+  void place_earliest(TaskId t, NodeId v, bool insertion) {
+    place(t, v, earliest_start(t, v, insertion));
+  }
+
+  /// True once every task has been placed.
+  [[nodiscard]] bool complete() const noexcept {
+    return placed_count_ == inst_->graph.task_count();
+  }
+
+  /// Current makespan of the partial schedule.
+  [[nodiscard]] double current_makespan() const noexcept { return makespan_; }
+
+  /// Extracts the finished schedule. Requires complete().
+  [[nodiscard]] Schedule to_schedule() const;
+
+ private:
+  struct Interval {
+    double start;
+    double end;
+    TaskId task;
+  };
+
+  const ProblemInstance* inst_;
+  std::vector<std::vector<Interval>> busy_;  // per node, sorted by start
+  std::vector<Assignment> assignment_;       // per task; valid iff placed_
+  std::vector<bool> placed_;
+  std::vector<std::size_t> pending_preds_;
+  std::size_t placed_count_ = 0;
+  double makespan_ = 0.0;
+};
+
+}  // namespace saga

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace saga {
+
+/// BIL — Best Imaginary Level (Oh & Ha 1996).
+///
+/// The best imaginary level of task t on node v is the length of the
+/// shortest possible completion path assuming ideal downstream decisions:
+///
+///   BIL(t, v) = w(t, v) + max over successors s of
+///               min( BIL(s, v),                          — stay on v
+///                    min over v' != v of
+///                        BIL(s, v') + c(t, s)/s(v, v') ) — migrate
+///
+/// Tasks are selected by decreasing best imaginary makespan
+/// BIM(t, v) = EST(t, v) + BIL(t, v) minimised over nodes (the original
+/// paper's revised-BIM processor-ordering refinements are folded into this
+/// selection; see the implementation note in bil.cpp). O(|T|^2 |V| log |V|).
+/// Designed for homogeneous link strengths (paper Section VI pins BIL's
+/// links to 1).
+class BilScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "BIL"; }
+  [[nodiscard]] NetworkRequirements requirements() const override {
+    return {.homogeneous_node_speeds = false, .homogeneous_link_strengths = true};
+  }
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+};
+
+}  // namespace saga

@@ -1,0 +1,17 @@
+#include "schedulers/brute_force.hpp"
+
+#include <stdexcept>
+
+#include "schedulers/exact_search.hpp"
+
+namespace saga {
+
+Schedule BruteForceScheduler::schedule(const ProblemInstance& inst) const {
+  const auto result = exact_search(inst);
+  if (!result.schedule.has_value()) {
+    throw std::logic_error("exact search found no schedule (unbounded search always does)");
+  }
+  return *result.schedule;
+}
+
+}  // namespace saga

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace saga {
+
+/// BruteForce: exact minimum-makespan scheduler by exhaustive search over
+/// eager schedules (see exact_search.hpp). Exponential time — like the
+/// paper, it is excluded from benchmarking and PISA grids and serves as an
+/// optimality oracle in tests and small-instance studies.
+class BruteForceScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "BruteForce"; }
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+};
+
+}  // namespace saga

@@ -1,0 +1,14 @@
+#include "schedulers/duplex.hpp"
+
+#include "schedulers/maxmin.hpp"
+#include "schedulers/minmin.hpp"
+
+namespace saga {
+
+Schedule DuplexScheduler::schedule(const ProblemInstance& inst) const {
+  Schedule a = MinMinScheduler{}.schedule(inst);
+  Schedule b = MaxMinScheduler{}.schedule(inst);
+  return a.makespan() <= b.makespan() ? a : b;
+}
+
+}  // namespace saga

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace saga {
+
+/// Duplex (Braun et al. 2001): runs both MinMin and MaxMin and returns the
+/// schedule with the smaller makespan.
+class DuplexScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Duplex"; }
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+};
+
+}  // namespace saga

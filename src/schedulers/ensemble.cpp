@@ -1,0 +1,40 @@
+#include "schedulers/ensemble.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "sched/registry.hpp"
+
+namespace saga {
+
+EnsembleScheduler::EnsembleScheduler(std::vector<std::string> members, std::uint64_t seed)
+    : members_(std::move(members)), seed_(seed) {
+  if (members_.empty()) throw std::invalid_argument("ensemble needs at least one member");
+}
+
+NetworkRequirements EnsembleScheduler::requirements() const {
+  // The ensemble inherits the union of its members' restrictions: it can
+  // only be trusted on networks every member was designed for.
+  NetworkRequirements combined;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const auto reqs = make_scheduler(members_[i], derive_seed(seed_, {i}))->requirements();
+    combined.homogeneous_node_speeds |= reqs.homogeneous_node_speeds;
+    combined.homogeneous_link_strengths |= reqs.homogeneous_link_strengths;
+  }
+  return combined;
+}
+
+Schedule EnsembleScheduler::schedule(const ProblemInstance& inst) const {
+  Schedule best;
+  bool first = true;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    Schedule candidate = make_scheduler(members_[i], derive_seed(seed_, {i}))->schedule(inst);
+    if (first || candidate.makespan() < best.makespan()) {
+      best = std::move(candidate);
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace saga

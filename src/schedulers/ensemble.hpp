@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace saga {
+
+/// Ensemble — runs a portfolio of schedulers and returns the schedule with
+/// the smallest makespan (the paper's Section VII/VIII suggestion: "It may
+/// be reasonable for a WFMS to run a set of scheduling algorithms that best
+/// covers the different types of client scientific workflows"; Duplex is
+/// the two-member special case). Members are constructed by name via the
+/// registry; the default portfolio {HEFT, CPoP, MinMin} is the winner of
+/// the wfms_advisor example's exhaustive portfolio search.
+class EnsembleScheduler final : public Scheduler {
+ public:
+  explicit EnsembleScheduler(std::vector<std::string> members = {"HEFT", "CPoP", "MinMin"},
+                             std::uint64_t seed = 0xe45e3b1eULL);
+
+  [[nodiscard]] std::string_view name() const override { return "Ensemble"; }
+  [[nodiscard]] NetworkRequirements requirements() const override;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+
+  [[nodiscard]] const std::vector<std::string>& members() const noexcept { return members_; }
+
+ private:
+  std::vector<std::string> members_;
+  std::uint64_t seed_;
+};
+
+}  // namespace saga

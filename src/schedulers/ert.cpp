@@ -1,0 +1,43 @@
+#include "schedulers/ert.hpp"
+
+#include <limits>
+
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule ErtScheduler::schedule(const ProblemInstance& inst) const {
+  TimelineBuilder builder(inst);
+  while (!builder.complete()) {
+    // Ready task with the earliest minimum data-ready time across nodes.
+    TaskId next = 0;
+    double best_ready = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+      if (!builder.ready(t)) continue;
+      double ready = std::numeric_limits<double>::infinity();
+      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+        ready = std::min(ready, builder.data_ready_time(t, v));
+      }
+      if (!found || ready < best_ready) {
+        best_ready = ready;
+        next = t;
+        found = true;
+      }
+    }
+
+    NodeId best_node = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      const double finish = builder.earliest_finish(next, v, /*insertion=*/false);
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_node = v;
+      }
+    }
+    builder.place_earliest(next, best_node, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

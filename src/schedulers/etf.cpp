@@ -1,0 +1,39 @@
+#include "schedulers/etf.hpp"
+
+#include <limits>
+
+#include "sched/ranks.hpp"
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule EtfScheduler::schedule(const ProblemInstance& inst) const {
+  const auto level = static_levels(inst);
+  TimelineBuilder builder(inst);
+  while (!builder.complete()) {
+    TaskId best_task = 0;
+    NodeId best_node = 0;
+    double best_start = std::numeric_limits<double>::infinity();
+    double best_level = -1.0;
+    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+      if (!builder.ready(t)) continue;
+      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+        const double start = builder.earliest_start(t, v, /*insertion=*/false);
+        const bool better =
+            start < best_start ||
+            (start == best_start && (level[t] > best_level ||
+                                     (level[t] == best_level && t < best_task)));
+        if (better) {
+          best_start = start;
+          best_level = level[t];
+          best_task = t;
+          best_node = v;
+        }
+      }
+    }
+    builder.place_earliest(best_task, best_node, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

@@ -1,0 +1,102 @@
+#include "schedulers/exact_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const ProblemInstance& inst, const ExactSearchOptions& options)
+      : inst_(inst), options_(options), best_bound_(options.bound) {
+    // Per-task lower bound on remaining work: the fastest-node execution
+    // time of the longest cost chain from the task to a sink.
+    const auto& g = inst.graph;
+    const double fastest = inst.network.speed(inst.network.fastest_node());
+    tail_cost_.assign(g.task_count(), 0.0);
+    const auto order = g.topological_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const TaskId t = *it;
+      double best = 0.0;
+      for (TaskId s : g.successors(t)) best = std::max(best, tail_cost_[s]);
+      tail_cost_[t] = g.cost(t) / fastest + best;
+    }
+  }
+
+  ExactSearchResult run() {
+    TimelineBuilder builder(inst_);
+    dfs(builder);
+    ExactSearchResult result;
+    result.states_explored = states_;
+    if (best_schedule_.has_value()) result.schedule = std::move(best_schedule_);
+    return result;
+  }
+
+ private:
+  // Returns true if the search should stop entirely (decision-mode hit).
+  bool dfs(TimelineBuilder& builder) {
+    if (++states_ > options_.max_states) {
+      throw std::runtime_error("exact_search: state budget exceeded — instance too large");
+    }
+    if (builder.complete()) {
+      const double m = builder.current_makespan();
+      if (m < best_bound_) {
+        best_bound_ = m;
+        best_schedule_ = builder.to_schedule();
+        if (options_.first_below_bound) return true;
+      }
+      return false;
+    }
+
+    const auto ready = builder.ready_tasks();
+    for (TaskId t : ready) {
+      for (NodeId v = 0; v < inst_.network.node_count(); ++v) {
+        const double start = builder.earliest_start(t, v, /*insertion=*/false);
+        // Bound: this branch can't finish before start + remaining chain.
+        if (start + tail_cost_[t] >= best_bound_) continue;
+        TimelineBuilder next = builder;  // copy-on-branch keeps the code simple
+        next.place(t, v, start);
+        if (next.current_makespan() >= best_bound_) continue;
+        if (dfs(next)) return true;
+      }
+    }
+    return false;
+  }
+
+  const ProblemInstance& inst_;
+  const ExactSearchOptions& options_;
+  double best_bound_;
+  std::optional<Schedule> best_schedule_;
+  std::vector<double> tail_cost_;
+  std::uint64_t states_ = 0;
+};
+
+}  // namespace
+
+ExactSearchResult exact_search(const ProblemInstance& inst, const ExactSearchOptions& options) {
+  Searcher searcher(inst, options);
+  return searcher.run();
+}
+
+double makespan_lower_bound(const ProblemInstance& inst) {
+  const auto& g = inst.graph;
+  const double fastest = inst.network.speed(inst.network.fastest_node());
+  std::vector<double> chain(g.task_count(), 0.0);
+  double bound = 0.0;
+  const auto order = g.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    double best = 0.0;
+    for (TaskId s : g.successors(t)) best = std::max(best, chain[s]);
+    chain[t] = g.cost(t) / fastest + best;
+    bound = std::max(bound, chain[t]);
+  }
+  return bound;
+}
+
+}  // namespace saga

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "sched/schedule.hpp"
+
+/// \file exact_search.hpp
+/// Exact makespan optimisation by exhaustive search over eager schedules.
+///
+/// For the model of Section II, every (topological order, task→node
+/// assignment) pair induces a unique "eager" schedule in which each task
+/// starts as early as possible given the decisions so far; delaying a task
+/// can never help any other task (nodes are independent and data-arrival
+/// times are monotone in producer finish times), so some eager schedule is
+/// optimal. The engine therefore enumerates ready-task × node choices with
+/// depth-first search and branch-and-bound pruning.
+///
+/// Complexity is exponential; the engine is intended for the BruteForce and
+/// SMT oracle schedulers on small instances (the paper likewise excludes
+/// both from benchmarking and PISA runs).
+
+namespace saga {
+
+struct ExactSearchOptions {
+  /// Prune subtrees whose partial makespan already reaches `bound`
+  /// (non-strict). infinity = pure optimisation.
+  double bound = std::numeric_limits<double>::infinity();
+
+  /// Stop as soon as any complete schedule strictly below `bound` is found
+  /// (decision mode, used by the binary-search driver).
+  bool first_below_bound = false;
+
+  /// Safety valve on explored states; the search throws std::runtime_error
+  /// when exceeded so misuse on large instances fails loudly instead of
+  /// hanging.
+  std::uint64_t max_states = 50'000'000;
+};
+
+struct ExactSearchResult {
+  std::optional<Schedule> schedule;  // empty if no schedule beat the bound
+  std::uint64_t states_explored = 0;
+};
+
+/// Finds a minimum-makespan schedule (or, in decision mode, any schedule
+/// strictly below the bound).
+[[nodiscard]] ExactSearchResult exact_search(const ProblemInstance& inst,
+                                             const ExactSearchOptions& options = {});
+
+/// A simple lower bound on the optimal makespan: max over tasks of the
+/// length of the fastest-execution chain through that task, ignoring
+/// communication (every chain must run somewhere, and no node is faster
+/// than the fastest node).
+[[nodiscard]] double makespan_lower_bound(const ProblemInstance& inst);
+
+}  // namespace saga

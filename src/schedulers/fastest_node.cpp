@@ -1,0 +1,16 @@
+#include "schedulers/fastest_node.hpp"
+
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule FastestNodeScheduler::schedule(const ProblemInstance& inst) const {
+  const NodeId fastest = inst.network.fastest_node();
+  TimelineBuilder builder(inst);
+  for (TaskId t : inst.graph.topological_order()) {
+    builder.place_earliest(t, fastest, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

@@ -1,0 +1,79 @@
+#include "schedulers/fcp.hpp"
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sched/ranks.hpp"
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+namespace {
+
+/// The node where the predecessor whose message arrives last was placed.
+/// Falls back to node 0 for source tasks.
+NodeId enabling_node(const TimelineBuilder& builder, TaskId t) {
+  const auto& inst = builder.instance();
+  NodeId enabler = 0;
+  double last_arrival = -1.0;
+  for (TaskId p : inst.graph.predecessors(t)) {
+    const auto& pa = builder.assignment_of(p);
+    // Arrival as seen from a *different* node — the cost the enabling
+    // placement would save.
+    double worst = pa.finish;
+    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      const double arrival =
+          pa.finish + inst.network.comm_time(inst.graph.dependency_cost(p, t), pa.node, v);
+      worst = std::max(worst, arrival);
+    }
+    if (worst > last_arrival) {
+      last_arrival = worst;
+      enabler = pa.node;
+    }
+  }
+  return enabler;
+}
+
+}  // namespace
+
+Schedule FcpScheduler::schedule(const ProblemInstance& inst) const {
+  const auto rank = upward_ranks(inst);
+  TimelineBuilder builder(inst);
+
+  // Max-heap of ready tasks by static priority (upward rank, then id).
+  using Entry = std::pair<double, TaskId>;
+  const auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> ready(cmp);
+  for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    if (builder.ready(t)) ready.emplace(rank[t], t);
+  }
+
+  while (!ready.empty()) {
+    const TaskId t = ready.top().second;
+    ready.pop();
+
+    // Candidate 1: earliest-idle node.
+    NodeId idle_node = 0;
+    for (NodeId v = 1; v < inst.network.node_count(); ++v) {
+      if (builder.node_available(v) < builder.node_available(idle_node)) idle_node = v;
+    }
+    // Candidate 2: the enabling node.
+    const NodeId enabler = enabling_node(builder, t);
+
+    const double f_idle = builder.earliest_finish(t, idle_node, /*insertion=*/false);
+    const double f_enab = builder.earliest_finish(t, enabler, /*insertion=*/false);
+    const NodeId chosen = f_enab <= f_idle ? enabler : idle_node;
+
+    builder.place_earliest(t, chosen, /*insertion=*/false);
+    for (TaskId s : inst.graph.successors(t)) {
+      if (builder.ready(s)) ready.emplace(rank[s], s);
+    }
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

@@ -1,0 +1,66 @@
+#include "schedulers/flb.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+namespace {
+
+NodeId enabling_node(const TimelineBuilder& builder, TaskId t) {
+  const auto& inst = builder.instance();
+  NodeId enabler = 0;
+  double last_arrival = -1.0;
+  for (TaskId p : inst.graph.predecessors(t)) {
+    const auto& pa = builder.assignment_of(p);
+    double worst = pa.finish;
+    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      const double arrival =
+          pa.finish + inst.network.comm_time(inst.graph.dependency_cost(p, t), pa.node, v);
+      worst = std::max(worst, arrival);
+    }
+    if (worst > last_arrival) {
+      last_arrival = worst;
+      enabler = pa.node;
+    }
+  }
+  return enabler;
+}
+
+}  // namespace
+
+Schedule FlbScheduler::schedule(const ProblemInstance& inst) const {
+  TimelineBuilder builder(inst);
+  while (!builder.complete()) {
+    TaskId best_task = 0;
+    NodeId best_node = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+      if (!builder.ready(t)) continue;
+
+      NodeId idle_node = 0;
+      for (NodeId v = 1; v < inst.network.node_count(); ++v) {
+        if (builder.node_available(v) < builder.node_available(idle_node)) idle_node = v;
+      }
+      const NodeId enabler = enabling_node(builder, t);
+
+      for (NodeId candidate : {idle_node, enabler}) {
+        const double finish = builder.earliest_finish(t, candidate, /*insertion=*/false);
+        if (!found || finish < best_finish ||
+            (finish == best_finish && t < best_task)) {
+          best_finish = finish;
+          best_task = t;
+          best_node = candidate;
+          found = true;
+        }
+      }
+    }
+    builder.place_earliest(best_task, best_node, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

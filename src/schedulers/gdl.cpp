@@ -1,0 +1,38 @@
+#include "schedulers/gdl.hpp"
+
+#include <limits>
+
+#include "sched/ranks.hpp"
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule GdlScheduler::schedule(const ProblemInstance& inst) const {
+  const auto sl = static_levels(inst);
+  const auto mean_exec = mean_exec_times(inst);
+  TimelineBuilder builder(inst);
+  while (!builder.complete()) {
+    TaskId best_task = 0;
+    NodeId best_node = 0;
+    double best_dl = -std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+      if (!builder.ready(t)) continue;
+      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+        const double start = builder.earliest_start(t, v, /*insertion=*/false);
+        const double delta = mean_exec[t] - builder.exec_time(t, v);
+        const double dl = sl[t] - start + delta;
+        if (!found || dl > best_dl || (dl == best_dl && t < best_task)) {
+          best_dl = dl;
+          best_task = t;
+          best_node = v;
+          found = true;
+        }
+      }
+    }
+    builder.place_earliest(best_task, best_node, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sched/scheduler.hpp"
+
+namespace saga {
+
+/// GA — Genetic Algorithm scheduler, representing the meta-heuristic
+/// paradigm the paper's related work discusses (Braun et al. 2001 found
+/// GAs competitive on independent-task mapping; Houssein et al. 2021
+/// survey the cloud-scheduling variants).
+///
+/// Chromosome: a task→node assignment vector plus a task priority vector
+/// (decoded by decode_schedule, which dispatches ready tasks by priority
+/// and starts them eagerly on their assigned node). Standard generational
+/// loop: tournament selection, uniform crossover on both parts, per-gene
+/// mutation, elitism of one. Seeded with the HEFT encoding so the search
+/// never does worse than list scheduling by more than mutation noise.
+///
+/// Deterministic for a fixed seed. Extension scheduler — like BruteForce
+/// and SMT it is excluded from benchmark rosters (slow), but it is useful
+/// as a strong makespan reference on small instances.
+class GeneticScheduler final : public Scheduler {
+ public:
+  struct Params {
+    std::size_t population = 24;
+    std::size_t generations = 60;
+    std::size_t tournament = 3;
+    double crossover_rate = 0.9;
+    double mutation_rate = 0.08;  // per gene
+  };
+
+  explicit GeneticScheduler(std::uint64_t seed = 0x6a5eedULL) : seed_(seed) {}
+  GeneticScheduler(std::uint64_t seed, const Params& params)
+      : seed_(seed), params_(params) {}
+
+  [[nodiscard]] std::string_view name() const override { return "GA"; }
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+
+ private:
+  std::uint64_t seed_;
+  Params params_;
+};
+
+}  // namespace saga

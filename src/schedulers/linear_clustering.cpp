@@ -1,0 +1,87 @@
+#include "schedulers/linear_clustering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "sched/decoder.hpp"
+#include "sched/ranks.hpp"
+
+namespace saga {
+
+Schedule LinearClusteringScheduler::schedule(const ProblemInstance& inst) const {
+  const auto& g = inst.graph;
+  const auto& net = inst.network;
+  const std::size_t n = g.task_count();
+  if (n == 0) return Schedule{};
+
+  const auto mean_exec = mean_exec_times(inst);
+  const double inv_strength = net.mean_inverse_strength();
+
+  // Phase 1: peel longest paths off the graph. `in_cluster[t]` marks tasks
+  // already clustered; path lengths count mean execution plus mean
+  // communication of edges internal to the remaining graph.
+  std::vector<int> cluster_of(n, -1);
+  std::vector<std::vector<TaskId>> clusters;
+  const auto order = g.topological_order();
+  int remaining = static_cast<int>(n);
+  while (remaining > 0) {
+    // Longest path over unclustered tasks via DP in topological order.
+    std::vector<double> dist(n, 0.0);
+    std::vector<int> parent(n, -1);
+    double best_len = -1.0;
+    TaskId best_end = 0;
+    for (TaskId t : order) {
+      if (cluster_of[t] != -1) continue;
+      dist[t] += mean_exec[t];
+      if (dist[t] > best_len) {
+        best_len = dist[t];
+        best_end = t;
+      }
+      for (TaskId s : g.successors(t)) {
+        if (cluster_of[s] != -1) continue;
+        const double via = dist[t] + g.dependency_cost(t, s) * inv_strength;
+        if (via > dist[s]) {
+          dist[s] = via;
+          parent[s] = static_cast<int>(t);
+        }
+      }
+    }
+    // Extract the path ending at best_end.
+    std::vector<TaskId> path;
+    for (int cur = static_cast<int>(best_end); cur != -1; cur = parent[cur]) {
+      path.push_back(static_cast<TaskId>(cur));
+    }
+    std::reverse(path.begin(), path.end());
+    const int id = static_cast<int>(clusters.size());
+    for (TaskId t : path) cluster_of[t] = id;
+    remaining -= static_cast<int>(path.size());
+    clusters.push_back(std::move(path));
+  }
+
+  // Phase 2: map clusters to nodes — heaviest cluster to the fastest node.
+  std::vector<std::size_t> cluster_order(clusters.size());
+  std::iota(cluster_order.begin(), cluster_order.end(), std::size_t{0});
+  const auto cluster_work = [&](std::size_t c) {
+    double total = 0.0;
+    for (TaskId t : clusters[c]) total += g.cost(t);
+    return total;
+  };
+  std::stable_sort(cluster_order.begin(), cluster_order.end(),
+                   [&](std::size_t a, std::size_t b) { return cluster_work(a) > cluster_work(b); });
+  std::vector<NodeId> nodes_by_speed(net.node_count());
+  std::iota(nodes_by_speed.begin(), nodes_by_speed.end(), NodeId{0});
+  std::stable_sort(nodes_by_speed.begin(), nodes_by_speed.end(),
+                   [&](NodeId a, NodeId b) { return net.speed(a) > net.speed(b); });
+
+  ScheduleEncoding encoding;
+  encoding.assignment.resize(n);
+  encoding.priority = upward_ranks(inst);  // Phase 3 dispatch order
+  for (std::size_t rank = 0; rank < cluster_order.size(); ++rank) {
+    const NodeId node = nodes_by_speed[rank % nodes_by_speed.size()];
+    for (TaskId t : clusters[cluster_order[rank]]) encoding.assignment[t] = node;
+  }
+  return decode_schedule(inst, encoding);
+}
+
+}  // namespace saga

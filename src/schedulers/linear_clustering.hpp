@@ -1,0 +1,28 @@
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace saga {
+
+/// LC — Linear Clustering (Kim & Browne 1988), representing the
+/// cluster-scheduling paradigm the paper's related-work section contrasts
+/// with list scheduling (Wang & Sinnen 2018).
+///
+/// Phase 1 (clustering): repeatedly extract the longest remaining path
+/// (by mean execution + communication time) from the task graph; each
+/// extracted path becomes a cluster, forcing its tasks to run on one node
+/// and zeroing their mutual communication.
+/// Phase 2 (mapping): clusters are mapped to nodes by decreasing total
+/// work, each to the fastest node not yet claimed (wrapping around when
+/// clusters outnumber nodes).
+/// Phase 3 (ordering): tasks dispatch in upward-rank order via the shared
+/// encoding decoder.
+///
+/// Extension scheduler (paper future work), not in the benchmark roster.
+class LinearClusteringScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "LC"; }
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+};
+
+}  // namespace saga

@@ -1,0 +1,50 @@
+#include "schedulers/lmt.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "sched/ranks.hpp"
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule LmtScheduler::schedule(const ProblemInstance& inst) const {
+  const auto& g = inst.graph;
+
+  // Levelise: level(t) = longest hop-distance from any source.
+  std::vector<std::size_t> level(g.task_count(), 0);
+  std::size_t max_level = 0;
+  for (TaskId t : g.topological_order()) {
+    for (TaskId p : g.predecessors(t)) level[t] = std::max(level[t], level[p] + 1);
+    max_level = std::max(max_level, level[t]);
+  }
+
+  const auto mean_exec = mean_exec_times(inst);
+  TimelineBuilder builder(inst);
+  for (std::size_t current = 0; current <= max_level; ++current) {
+    std::vector<TaskId> layer;
+    for (TaskId t = 0; t < g.task_count(); ++t) {
+      if (level[t] == current) layer.push_back(t);
+    }
+    // Biggest tasks first within the level.
+    std::stable_sort(layer.begin(), layer.end(), [&](TaskId a, TaskId b) {
+      return mean_exec[a] > mean_exec[b];
+    });
+    for (TaskId t : layer) {
+      NodeId best_node = 0;
+      double best_finish = std::numeric_limits<double>::infinity();
+      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+        const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
+        if (finish < best_finish) {
+          best_finish = finish;
+          best_node = v;
+        }
+      }
+      builder.place_earliest(t, best_node, /*insertion=*/false);
+    }
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

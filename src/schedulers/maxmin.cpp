@@ -1,0 +1,40 @@
+#include "schedulers/maxmin.hpp"
+
+#include <limits>
+
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule MaxMinScheduler::schedule(const ProblemInstance& inst) const {
+  TimelineBuilder builder(inst);
+  while (!builder.complete()) {
+    TaskId chosen_task = 0;
+    NodeId chosen_node = 0;
+    double chosen_mct = -1.0;
+    bool found = false;
+    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+      if (!builder.ready(t)) continue;
+      // Minimum completion time of t across nodes.
+      NodeId arg_node = 0;
+      double mct = std::numeric_limits<double>::infinity();
+      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+        const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
+        if (finish < mct) {
+          mct = finish;
+          arg_node = v;
+        }
+      }
+      if (!found || mct > chosen_mct) {
+        chosen_mct = mct;
+        chosen_task = t;
+        chosen_node = arg_node;
+        found = true;
+      }
+    }
+    builder.place_earliest(chosen_task, chosen_node, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace saga {
+
+/// MaxMin (Braun et al. 2001).
+///
+/// Like MinMin, but schedules the ready task whose *minimum* completion time
+/// is *largest* (on the node attaining that minimum): big tasks go first so
+/// they don't serialise at the end. O(|T|^2 |V|).
+class MaxMinScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "MaxMin"; }
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+};
+
+}  // namespace saga

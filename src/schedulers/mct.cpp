@@ -1,0 +1,26 @@
+#include "schedulers/mct.hpp"
+
+#include <limits>
+
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule MctScheduler::schedule(const ProblemInstance& inst) const {
+  TimelineBuilder builder(inst);
+  for (TaskId t : inst.graph.topological_order()) {
+    NodeId best_node = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_node = v;
+      }
+    }
+    builder.place_earliest(t, best_node, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace saga {
+
+/// MCT — Minimum Completion Time (Armstrong, Hensgen & Kidd 1998).
+///
+/// Assigns tasks in arbitrary (here: topological id) order to the node with
+/// the smallest completion time given previous decisions — essentially HEFT
+/// without its priority function or insertion policy. O(|T|^2 |V|).
+class MctScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "MCT"; }
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+};
+
+}  // namespace saga

@@ -1,0 +1,25 @@
+#include "schedulers/met.hpp"
+
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule MetScheduler::schedule(const ProblemInstance& inst) const {
+  TimelineBuilder builder(inst);
+  for (TaskId t : inst.graph.topological_order()) {
+    // Smallest execution time; first (lowest-id) node wins ties.
+    NodeId best_node = 0;
+    double best_exec = builder.exec_time(t, 0);
+    for (NodeId v = 1; v < inst.network.node_count(); ++v) {
+      const double exec = builder.exec_time(t, v);
+      if (exec < best_exec) {
+        best_exec = exec;
+        best_node = v;
+      }
+    }
+    builder.place_earliest(t, best_node, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

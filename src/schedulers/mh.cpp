@@ -1,0 +1,39 @@
+#include "schedulers/mh.hpp"
+
+#include <limits>
+
+#include "sched/ranks.hpp"
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule MhScheduler::schedule(const ProblemInstance& inst) const {
+  const auto level = static_levels(inst);
+  TimelineBuilder builder(inst);
+  while (!builder.complete()) {
+    TaskId next = 0;
+    double best_level = -1.0;
+    bool found = false;
+    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+      if (!builder.ready(t)) continue;
+      if (!found || level[t] > best_level) {
+        best_level = level[t];
+        next = t;
+        found = true;
+      }
+    }
+    NodeId best_node = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      const double finish = builder.earliest_finish(next, v, /*insertion=*/false);
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_node = v;
+      }
+    }
+    builder.place_earliest(next, best_node, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

@@ -1,0 +1,31 @@
+#include "schedulers/minmin.hpp"
+
+#include <limits>
+
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule MinMinScheduler::schedule(const ProblemInstance& inst) const {
+  TimelineBuilder builder(inst);
+  while (!builder.complete()) {
+    TaskId best_task = 0;
+    NodeId best_node = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+      if (!builder.ready(t)) continue;
+      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+        const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
+        if (finish < best_finish) {
+          best_finish = finish;
+          best_task = t;
+          best_node = v;
+        }
+      }
+    }
+    builder.place_earliest(best_task, best_node, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

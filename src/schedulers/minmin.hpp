@@ -1,0 +1,20 @@
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace saga {
+
+/// MinMin (Braun et al. 2001).
+///
+/// Repeatedly computes, for every ready task, the minimum completion time
+/// across all nodes, then schedules the task whose minimum completion time
+/// is smallest on its corresponding node. O(|T|^2 |V|). Originally defined
+/// for independent tasks; the ready-set formulation extends it to DAGs
+/// (data-ready times are included in the completion time).
+class MinMinScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "MinMin"; }
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+};
+
+}  // namespace saga

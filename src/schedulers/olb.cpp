@@ -1,0 +1,24 @@
+#include "schedulers/olb.hpp"
+
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule OlbScheduler::schedule(const ProblemInstance& inst) const {
+  TimelineBuilder builder(inst);
+  for (TaskId t : inst.graph.topological_order()) {
+    NodeId best_node = 0;
+    double best_available = builder.node_available(0);
+    for (NodeId v = 1; v < inst.network.node_count(); ++v) {
+      const double available = builder.node_available(v);
+      if (available < best_available) {
+        best_available = available;
+        best_node = v;
+      }
+    }
+    builder.place_earliest(t, best_node, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

@@ -1,0 +1,60 @@
+#include "schedulers/sim_anneal.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sched/decoder.hpp"
+#include "sched/ranks.hpp"
+#include "schedulers/heft.hpp"
+
+namespace saga {
+
+Schedule SimAnnealScheduler::schedule(const ProblemInstance& inst) const {
+  const std::size_t n = inst.graph.task_count();
+  if (n == 0) return Schedule{};
+  const std::size_t nodes = inst.network.node_count();
+  Rng rng(seed_);
+
+  // Start from HEFT's solution.
+  ScheduleEncoding current;
+  {
+    const Schedule heft = HeftScheduler{}.schedule(inst);
+    current.assignment.resize(n);
+    for (TaskId t = 0; t < n; ++t) current.assignment[t] = heft.of_task(t).node;
+    current.priority = upward_ranks(inst);
+  }
+  double current_makespan = decoded_makespan(inst, current);
+  ScheduleEncoding best = current;
+  double best_makespan = current_makespan;
+
+  // Temperatures are relative to the initial makespan so the acceptance
+  // probability is scale-free.
+  const double scale = current_makespan > 0.0 ? current_makespan : 1.0;
+  for (double t = params_.t_max; t > params_.t_min; t *= params_.alpha) {
+    for (std::size_t step = 0; step < params_.steps_per_temperature; ++step) {
+      ScheduleEncoding candidate = current;
+      const TaskId task = static_cast<TaskId>(rng.index(n));
+      if (nodes > 1 && rng.bernoulli(0.5)) {
+        candidate.assignment[task] = static_cast<NodeId>(rng.index(nodes));
+      } else {
+        candidate.priority[task] += rng.uniform(-0.2, 0.2) *
+                                    (candidate.priority[task] != 0.0
+                                         ? std::abs(candidate.priority[task])
+                                         : 1.0);
+      }
+      const double candidate_makespan = decoded_makespan(inst, candidate);
+      const double delta = (candidate_makespan - current_makespan) / scale;
+      if (delta <= 0.0 || rng.bernoulli(std::exp(-delta / t))) {
+        current = std::move(candidate);
+        current_makespan = candidate_makespan;
+        if (current_makespan < best_makespan) {
+          best = current;
+          best_makespan = current_makespan;
+        }
+      }
+    }
+  }
+  return decode_schedule(inst, best);
+}
+
+}  // namespace saga

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sched/scheduler.hpp"
+
+namespace saga {
+
+/// SimAnneal — simulated-annealing scheduler (the meta-heuristic baseline
+/// of Braun et al. 2001; not to be confused with PISA, which anneals over
+/// *problem instances* rather than schedules).
+///
+/// State: a (task→node assignment, task priority) encoding; neighbours
+/// reassign one task to a random node or jitter one priority. Metropolis
+/// acceptance on the decoded makespan with geometric cooling. Seeded from
+/// the HEFT encoding. Deterministic for a fixed seed. Extension scheduler,
+/// excluded from benchmark rosters (slow).
+class SimAnnealScheduler final : public Scheduler {
+ public:
+  struct Params {
+    double t_max = 1.0;    // relative to the initial makespan
+    double t_min = 1e-3;
+    double alpha = 0.98;
+    std::size_t steps_per_temperature = 8;
+  };
+
+  explicit SimAnnealScheduler(std::uint64_t seed = 0x51a77ULL) : seed_(seed) {}
+  SimAnnealScheduler(std::uint64_t seed, const Params& params)
+      : seed_(seed), params_(params) {}
+
+  [[nodiscard]] std::string_view name() const override { return "SimAnneal"; }
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+
+ private:
+  std::uint64_t seed_;
+  Params params_;
+};
+
+}  // namespace saga

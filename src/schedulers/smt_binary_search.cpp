@@ -1,0 +1,35 @@
+#include "schedulers/smt_binary_search.hpp"
+
+#include <cmath>
+
+#include "schedulers/exact_search.hpp"
+#include "schedulers/fastest_node.hpp"
+
+namespace saga {
+
+Schedule SmtBinarySearchScheduler::schedule(const ProblemInstance& inst) const {
+  Schedule incumbent = FastestNodeScheduler{}.schedule(inst);
+  double hi = incumbent.makespan();
+  double lo = makespan_lower_bound(inst);
+  if (hi <= 0.0) return incumbent;  // all-zero-cost graph: already optimal
+  lo = std::min(lo, hi);
+
+  // Invariant: a schedule with makespan ≤ hi exists (the incumbent);
+  // no schedule with makespan < lo exists.
+  while (hi > (1.0 + epsilon_) * lo && hi - lo > 1e-12) {
+    const double mid = 0.5 * (lo + hi);
+    ExactSearchOptions options;
+    options.bound = mid;
+    options.first_below_bound = true;
+    const auto result = exact_search(inst, options);
+    if (result.schedule.has_value()) {
+      incumbent = *result.schedule;
+      hi = incumbent.makespan();
+    } else {
+      lo = mid;
+    }
+  }
+  return incumbent;
+}
+
+}  // namespace saga

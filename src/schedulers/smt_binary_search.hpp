@@ -1,0 +1,28 @@
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace saga {
+
+/// SMT-driven binary search, (1+ε)-OPT.
+///
+/// The paper's SAGA drives an SMT solver with binary search on the makespan
+/// bound B: "is there a schedule with makespan ≤ B?". Lacking an offline
+/// SMT solver, we substitute an exact branch-and-bound decision procedure
+/// with the same contract (see DESIGN.md): binary search between a
+/// critical-path lower bound and the FastestNode upper bound, shrinking the
+/// bracket until hi/lo ≤ 1+ε; the last satisfying schedule is returned.
+/// Exponential time; excluded from benchmarking and PISA, used as a
+/// near-optimality oracle in tests.
+class SmtBinarySearchScheduler final : public Scheduler {
+ public:
+  explicit SmtBinarySearchScheduler(double epsilon = 0.01) : epsilon_(epsilon) {}
+
+  [[nodiscard]] std::string_view name() const override { return "SMT"; }
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace saga

@@ -1,0 +1,51 @@
+#include "schedulers/wba.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/timeline.hpp"
+
+namespace saga {
+
+Schedule WbaScheduler::schedule(const ProblemInstance& inst) const {
+  Rng rng(seed_);
+  TimelineBuilder builder(inst);
+
+  struct Option {
+    TaskId task;
+    NodeId node;
+    double increase;
+  };
+  std::vector<Option> options;
+
+  while (!builder.complete()) {
+    options.clear();
+    double min_inc = std::numeric_limits<double>::infinity();
+    double max_inc = -std::numeric_limits<double>::infinity();
+    const double current = builder.current_makespan();
+    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+      if (!builder.ready(t)) continue;
+      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+        const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
+        const double increase = std::max(0.0, finish - current);
+        options.push_back({t, v, increase});
+        min_inc = std::min(min_inc, increase);
+        max_inc = std::max(max_inc, increase);
+      }
+    }
+
+    // Keep every option within the tolerance band of the least increase and
+    // choose uniformly among them.
+    const double band = min_inc + tolerance_ * (max_inc - min_inc);
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      if (options[i].increase <= band + 1e-15) candidates.push_back(i);
+    }
+    const Option& chosen = options[candidates[rng.index(candidates.size())]];
+    builder.place_earliest(chosen.task, chosen.node, /*insertion=*/false);
+  }
+  return builder.to_schedule();
+}
+
+}  // namespace saga

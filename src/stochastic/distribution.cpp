@@ -1,0 +1,95 @@
+#include "stochastic/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <stdexcept>
+
+namespace saga::stochastic {
+
+namespace {
+
+double standard_normal_cdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+double standard_normal_pdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+/// Exact mean of a Gaussian(mu, sigma) clamped (not truncated: out-of-range
+/// mass collapses onto the bounds) into [lo, hi]:
+///   E = lo·Phi(a) + hi·(1-Phi(b)) + mu·(Phi(b)-Phi(a)) - sigma·(phi(b)-phi(a))
+/// with a = (lo-mu)/sigma, b = (hi-mu)/sigma.
+double clipped_gaussian_mean(double mu, double sigma, double lo, double hi) {
+  if (sigma <= 0.0) return std::clamp(mu, lo, hi);
+  const double a = (lo - mu) / sigma;
+  const double b = (hi - mu) / sigma;
+  const double phi_a = standard_normal_cdf(a);
+  const double phi_b = standard_normal_cdf(b);
+  return lo * phi_a + hi * (1.0 - phi_b) + mu * (phi_b - phi_a) -
+         sigma * (standard_normal_pdf(b) - standard_normal_pdf(a));
+}
+
+}  // namespace
+
+WeightDistribution WeightDistribution::deterministic(double value) {
+  WeightDistribution d;
+  d.kind_ = Kind::kDeterministic;
+  d.a_ = value;
+  d.min_ = d.max_ = d.mean_ = value;
+  return d;
+}
+
+WeightDistribution WeightDistribution::uniform(double lo, double hi) {
+  if (!(lo <= hi)) throw std::invalid_argument("uniform: lo must not exceed hi");
+  WeightDistribution d;
+  d.kind_ = Kind::kUniform;
+  d.a_ = lo;
+  d.b_ = hi;
+  d.min_ = lo;
+  d.max_ = hi;
+  d.mean_ = 0.5 * (lo + hi);
+  return d;
+}
+
+WeightDistribution WeightDistribution::clipped_gaussian(double mean, double stddev, double lo,
+                                                        double hi) {
+  if (!(lo <= hi)) throw std::invalid_argument("clipped_gaussian: lo must not exceed hi");
+  if (!(stddev >= 0.0)) throw std::invalid_argument("clipped_gaussian: negative stddev");
+  WeightDistribution d;
+  d.kind_ = Kind::kClippedGaussian;
+  d.a_ = mean;
+  d.b_ = stddev;
+  d.min_ = lo;
+  d.max_ = hi;
+  d.mean_ = clipped_gaussian_mean(mean, stddev, lo, hi);
+  return d;
+}
+
+double WeightDistribution::sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kDeterministic: return a_;
+    case Kind::kUniform: return rng.uniform(a_, b_);
+    case Kind::kClippedGaussian: return rng.clipped_gaussian(a_, b_, min_, max_);
+  }
+  return a_;
+}
+
+std::string WeightDistribution::to_string() const {
+  char buf[96];
+  switch (kind_) {
+    case Kind::kDeterministic:
+      std::snprintf(buf, sizeof(buf), "det(%g)", a_);
+      break;
+    case Kind::kUniform:
+      std::snprintf(buf, sizeof(buf), "uniform(%g, %g)", a_, b_);
+      break;
+    case Kind::kClippedGaussian:
+      std::snprintf(buf, sizeof(buf), "clipgauss(mean=%g, std=%g, [%g, %g])", a_, b_, min_,
+                    max_);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace saga::stochastic

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+
+/// \file distribution.hpp
+/// Weight distributions for stochastic problem instances — the paper's
+/// conclusion lists "support for stochastic problem instances (with
+/// stochastic task costs, data sizes, computation speeds, and
+/// communication costs)" as planned work; this module implements it.
+///
+/// A `WeightDistribution` is a small value type describing how a single
+/// weight varies across executions. Deterministic weights are the
+/// degenerate case, so a stochastic instance with all-deterministic
+/// weights behaves exactly like a plain ProblemInstance.
+
+namespace saga::stochastic {
+
+class WeightDistribution {
+ public:
+  enum class Kind { kDeterministic, kUniform, kClippedGaussian };
+
+  /// Point mass at `value`.
+  static WeightDistribution deterministic(double value);
+
+  /// Uniform on [lo, hi].
+  static WeightDistribution uniform(double lo, double hi);
+
+  /// Gaussian(mean, stddev) clamped into [lo, hi] (the paper's favourite
+  /// sampling shape).
+  static WeightDistribution clipped_gaussian(double mean, double stddev, double lo, double hi);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  /// Draws one realisation.
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Exact mean of the distribution (clipped-Gaussian mean is computed
+  /// numerically at construction).
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Smallest / largest possible realisation.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  [[nodiscard]] bool is_deterministic() const noexcept {
+    return kind_ == Kind::kDeterministic;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  WeightDistribution() = default;
+
+  Kind kind_ = Kind::kDeterministic;
+  double a_ = 0.0;  // value | lo | mean
+  double b_ = 0.0;  // unused | hi | stddev
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+};
+
+}  // namespace saga::stochastic

@@ -1,0 +1,50 @@
+#include "stochastic/robustness.hpp"
+
+#include <algorithm>
+
+#include "sched/decoder.hpp"
+
+namespace saga::stochastic {
+
+Schedule reexecute(const Schedule& planned, const ProblemInstance& realized) {
+  const std::size_t n = realized.graph.task_count();
+  ScheduleEncoding encoding;
+  encoding.assignment.resize(n);
+  encoding.priority.resize(n);
+  for (TaskId t = 0; t < n; ++t) {
+    const auto& a = planned.of_task(t);
+    encoding.assignment[t] = a.node;
+    // Earlier planned start = higher dispatch priority.
+    encoding.priority[t] = -a.start;
+  }
+  return decode_schedule(realized, encoding);
+}
+
+RobustnessReport evaluate_robustness(const Scheduler& scheduler,
+                                     const StochasticInstance& stochastic,
+                                     std::size_t samples, std::uint64_t seed) {
+  RobustnessReport report;
+  report.scheduler = std::string(scheduler.name());
+
+  const ProblemInstance mean = stochastic.mean_instance();
+  const Schedule planned = scheduler.schedule(mean);
+  report.planned_makespan = planned.makespan();
+
+  std::vector<double> realized_makespans;
+  std::vector<double> regrets;
+  realized_makespans.reserve(samples);
+  regrets.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const ProblemInstance realization = stochastic.realize(derive_seed(seed, {i}));
+    const double realized = reexecute(planned, realization).makespan();
+    realized_makespans.push_back(realized);
+    // Clairvoyant re-planning on the realisation.
+    const double replanned = scheduler.schedule(realization).makespan();
+    regrets.push_back(replanned > 0.0 ? realized / replanned : 1.0);
+  }
+  report.realized = summarize(realized_makespans);
+  report.regret = summarize(regrets);
+  return report;
+}
+
+}  // namespace saga::stochastic

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sched/scheduler.hpp"
+#include "stochastic/stochastic_instance.hpp"
+
+/// \file robustness.hpp
+/// Monte-Carlo robustness evaluation of schedulers on stochastic instances
+/// (cf. Canon et al. 2008, "Comparative evaluation of the robustness of
+/// DAG scheduling heuristics", cited by the paper as related work).
+///
+/// Protocol: the scheduler plans a static schedule on the *mean* instance
+/// (what it would see at compile time). For each realisation of the
+/// stochastic weights, the planned (assignment, dispatch-order) decisions
+/// are re-executed eagerly under the realised costs — placements hold,
+/// start/finish times shift. The realised makespan distribution, and the
+/// regret against re-planning on the realisation itself, quantify
+/// robustness.
+
+namespace saga::stochastic {
+
+struct RobustnessReport {
+  std::string scheduler;
+  double planned_makespan = 0.0;   // on the mean instance
+  Summary realized;                // realised makespans across samples
+  Summary regret;                  // realised / re-planned, >= ~1
+};
+
+/// Evaluates one scheduler with `samples` Monte-Carlo realisations.
+[[nodiscard]] RobustnessReport evaluate_robustness(const Scheduler& scheduler,
+                                                   const StochasticInstance& stochastic,
+                                                   std::size_t samples, std::uint64_t seed);
+
+/// Re-executes a planned schedule's decisions under realised weights:
+/// node assignments are kept, tasks dispatch in the planned start order,
+/// start times are recomputed eagerly. Returns the realised schedule.
+[[nodiscard]] Schedule reexecute(const Schedule& planned, const ProblemInstance& realized);
+
+}  // namespace saga::stochastic

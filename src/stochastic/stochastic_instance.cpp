@@ -1,0 +1,158 @@
+#include "stochastic/stochastic_instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace saga::stochastic {
+
+StochasticInstance::StochasticInstance(const ProblemInstance& base) : base_(base) {
+  task_costs_.reserve(base.graph.task_count());
+  for (TaskId t = 0; t < base.graph.task_count(); ++t) {
+    task_costs_.push_back(WeightDistribution::deterministic(base.graph.cost(t)));
+  }
+  node_speeds_.reserve(base.network.node_count());
+  for (NodeId v = 0; v < base.network.node_count(); ++v) {
+    node_speeds_.push_back(WeightDistribution::deterministic(base.network.speed(v)));
+  }
+  for (const auto& [from, to] : base.graph.dependencies()) {
+    dependency_costs_.emplace(
+        edge_key(from, to),
+        WeightDistribution::deterministic(base.graph.dependency_cost(from, to)));
+  }
+  for (NodeId a = 0; a < base.network.node_count(); ++a) {
+    for (NodeId b = a + 1; b < base.network.node_count(); ++b) {
+      link_strengths_.emplace(edge_key(a, b),
+                              WeightDistribution::deterministic(base.network.strength(a, b)));
+    }
+  }
+}
+
+void StochasticInstance::set_task_cost(TaskId t, WeightDistribution d) {
+  task_costs_.at(t) = d;
+}
+
+void StochasticInstance::set_dependency_cost(TaskId from, TaskId to, WeightDistribution d) {
+  const auto it = dependency_costs_.find(edge_key(from, to));
+  if (it == dependency_costs_.end()) throw std::out_of_range("no such dependency");
+  it->second = d;
+}
+
+void StochasticInstance::set_node_speed(NodeId v, WeightDistribution d) {
+  node_speeds_.at(v) = d;
+}
+
+void StochasticInstance::set_link_strength(NodeId a, NodeId b, WeightDistribution d) {
+  if (a > b) std::swap(a, b);
+  const auto it = link_strengths_.find(edge_key(a, b));
+  if (it == link_strengths_.end()) throw std::out_of_range("no such link");
+  it->second = d;
+}
+
+const WeightDistribution& StochasticInstance::task_cost(TaskId t) const {
+  return task_costs_.at(t);
+}
+
+const WeightDistribution& StochasticInstance::dependency_cost(TaskId from, TaskId to) const {
+  const auto it = dependency_costs_.find(edge_key(from, to));
+  if (it == dependency_costs_.end()) throw std::out_of_range("no such dependency");
+  return it->second;
+}
+
+const WeightDistribution& StochasticInstance::node_speed(NodeId v) const {
+  return node_speeds_.at(v);
+}
+
+const WeightDistribution& StochasticInstance::link_strength(NodeId a, NodeId b) const {
+  if (a > b) std::swap(a, b);
+  const auto it = link_strengths_.find(edge_key(a, b));
+  if (it == link_strengths_.end()) throw std::out_of_range("no such link");
+  return it->second;
+}
+
+void StochasticInstance::apply_relative_noise(double cv) {
+  if (!(cv >= 0.0)) throw std::invalid_argument("coefficient of variation must be >= 0");
+  const auto noisy = [cv](double value, double floor_fraction) {
+    if (value == 0.0 || std::isinf(value)) return WeightDistribution::deterministic(value);
+    const double sigma = cv * value;
+    const double lo = std::max(floor_fraction * value, value - 3.0 * sigma);
+    return WeightDistribution::clipped_gaussian(value, sigma, lo, value + 3.0 * sigma);
+  };
+  for (TaskId t = 0; t < base_.graph.task_count(); ++t) {
+    task_costs_[t] = noisy(base_.graph.cost(t), 0.0);
+  }
+  for (auto& [key, d] : dependency_costs_) {
+    (void)key;
+    d = noisy(d.mean(), 0.0);
+  }
+  // Network weights keep at least 10% of their nominal value: a machine or
+  // link may degrade, but a near-zero divisor would turn one unlucky draw
+  // into an astronomically long makespan and swamp every statistic.
+  for (NodeId v = 0; v < base_.network.node_count(); ++v) {
+    node_speeds_[v] = noisy(base_.network.speed(v), 0.1);
+  }
+  for (auto& [key, d] : link_strengths_) {
+    (void)key;
+    d = noisy(d.mean(), 0.1);
+  }
+}
+
+bool StochasticInstance::is_deterministic() const {
+  const auto all_det = [](const auto& range) {
+    return std::all_of(range.begin(), range.end(),
+                       [](const auto& d) { return d.is_deterministic(); });
+  };
+  if (!all_det(task_costs_) || !all_det(node_speeds_)) return false;
+  for (const auto& [key, d] : dependency_costs_) {
+    (void)key;
+    if (!d.is_deterministic()) return false;
+  }
+  for (const auto& [key, d] : link_strengths_) {
+    (void)key;
+    if (!d.is_deterministic()) return false;
+  }
+  return true;
+}
+
+ProblemInstance StochasticInstance::realize(std::uint64_t seed) const {
+  Rng rng(derive_seed(seed, {0x4ea112eULL}));
+  ProblemInstance inst = base_;
+  for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    inst.graph.set_cost(t, task_costs_[t].sample(rng));
+  }
+  for (const auto& [from, to] : inst.graph.dependencies()) {
+    inst.graph.set_dependency_cost(from, to,
+                                   dependency_costs_.at(edge_key(from, to)).sample(rng));
+  }
+  for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+    inst.network.set_speed(v, std::max(node_speeds_[v].sample(rng), 1e-9));
+  }
+  for (NodeId a = 0; a < inst.network.node_count(); ++a) {
+    for (NodeId b = a + 1; b < inst.network.node_count(); ++b) {
+      inst.network.set_strength(a, b,
+                                std::max(link_strengths_.at(edge_key(a, b)).sample(rng), 1e-9));
+    }
+  }
+  return inst;
+}
+
+ProblemInstance StochasticInstance::mean_instance() const {
+  ProblemInstance inst = base_;
+  for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    inst.graph.set_cost(t, task_costs_[t].mean());
+  }
+  for (const auto& [from, to] : inst.graph.dependencies()) {
+    inst.graph.set_dependency_cost(from, to, dependency_costs_.at(edge_key(from, to)).mean());
+  }
+  for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+    inst.network.set_speed(v, std::max(node_speeds_[v].mean(), 1e-9));
+  }
+  for (NodeId a = 0; a < inst.network.node_count(); ++a) {
+    for (NodeId b = a + 1; b < inst.network.node_count(); ++b) {
+      inst.network.set_strength(a, b, std::max(link_strengths_.at(edge_key(a, b)).mean(), 1e-9));
+    }
+  }
+  return inst;
+}
+
+}  // namespace saga::stochastic

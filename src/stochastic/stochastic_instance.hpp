@@ -1,0 +1,66 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/problem_instance.hpp"
+#include "stochastic/distribution.hpp"
+
+/// \file stochastic_instance.hpp
+/// A stochastic problem instance: the same topology as a ProblemInstance,
+/// but with every weight (task cost, data size, node speed, link strength)
+/// given by a distribution rather than a point value. Realisations are
+/// ordinary ProblemInstances, so the whole deterministic machinery
+/// (schedulers, validation, PISA) applies to each sample.
+
+namespace saga::stochastic {
+
+class StochasticInstance {
+ public:
+  /// Lifts a deterministic instance: every weight becomes a point mass.
+  explicit StochasticInstance(const ProblemInstance& base);
+
+  [[nodiscard]] const ProblemInstance& base() const noexcept { return base_; }
+
+  /// Override individual weight distributions (topology is fixed by the
+  /// base instance; ids must exist there).
+  void set_task_cost(TaskId t, WeightDistribution d);
+  void set_dependency_cost(TaskId from, TaskId to, WeightDistribution d);
+  void set_node_speed(NodeId v, WeightDistribution d);
+  void set_link_strength(NodeId a, NodeId b, WeightDistribution d);
+
+  [[nodiscard]] const WeightDistribution& task_cost(TaskId t) const;
+  [[nodiscard]] const WeightDistribution& dependency_cost(TaskId from, TaskId to) const;
+  [[nodiscard]] const WeightDistribution& node_speed(NodeId v) const;
+  [[nodiscard]] const WeightDistribution& link_strength(NodeId a, NodeId b) const;
+
+  /// Convenience: make every weight a clipped Gaussian centred on its
+  /// deterministic value with relative spread `cv` (coefficient of
+  /// variation), clamped to ±3 sigma and away from zero for network
+  /// weights. This is the "uncertainty envelope" used by the robustness
+  /// bench.
+  void apply_relative_noise(double cv);
+
+  /// True if every weight is deterministic.
+  [[nodiscard]] bool is_deterministic() const;
+
+  /// Draws a full realisation (deterministic in `seed`).
+  [[nodiscard]] ProblemInstance realize(std::uint64_t seed) const;
+
+  /// The instance whose weights are the distribution means — the natural
+  /// input for a scheduler that plans on expectations.
+  [[nodiscard]] ProblemInstance mean_instance() const;
+
+ private:
+  [[nodiscard]] static std::uint64_t edge_key(std::uint32_t a, std::uint32_t b) noexcept {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  ProblemInstance base_;
+  std::vector<WeightDistribution> task_costs_;
+  std::vector<WeightDistribution> node_speeds_;
+  std::unordered_map<std::uint64_t, WeightDistribution> dependency_costs_;  // (from,to)
+  std::unordered_map<std::uint64_t, WeightDistribution> link_strengths_;    // (min,max)
+};
+
+}  // namespace saga::stochastic

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "datasets/iot/edge_fog_cloud.hpp"
+#include "datasets/iot/riotbench.hpp"
+
+namespace saga {
+namespace {
+
+TEST(EdgeFogCloud, ShapeCountsInPaperRanges) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto shape = iot::sample_edge_fog_cloud_shape(seed);
+    EXPECT_GE(shape.edge_nodes, 75u);
+    EXPECT_LE(shape.edge_nodes, 125u);
+    EXPECT_GE(shape.fog_nodes, 3u);
+    EXPECT_LE(shape.fog_nodes, 7u);
+    EXPECT_GE(shape.cloud_nodes, 1u);
+    EXPECT_LE(shape.cloud_nodes, 10u);
+  }
+}
+
+TEST(EdgeFogCloud, TierSpeedsMatchPaper) {
+  const iot::EdgeFogCloudShape shape{.edge_nodes = 2, .fog_nodes = 2, .cloud_nodes = 2};
+  const Network net = iot::make_edge_fog_cloud_network(shape);
+  ASSERT_EQ(net.node_count(), 6u);
+  EXPECT_DOUBLE_EQ(net.speed(0), 1.0);   // edge
+  EXPECT_DOUBLE_EQ(net.speed(1), 1.0);
+  EXPECT_DOUBLE_EQ(net.speed(2), 6.0);   // fog
+  EXPECT_DOUBLE_EQ(net.speed(3), 6.0);
+  EXPECT_DOUBLE_EQ(net.speed(4), 50.0);  // cloud
+  EXPECT_DOUBLE_EQ(net.speed(5), 50.0);
+}
+
+TEST(EdgeFogCloud, LinkStrengthsMatchPaper) {
+  const iot::EdgeFogCloudShape shape{.edge_nodes = 1, .fog_nodes = 2, .cloud_nodes = 2};
+  const Network net = iot::make_edge_fog_cloud_network(shape);
+  // Layout: [edge=0][fog=1,2][cloud=3,4].
+  EXPECT_DOUBLE_EQ(net.strength(0, 1), 60.0);   // edge-fog
+  EXPECT_DOUBLE_EQ(net.strength(0, 3), 60.0);   // edge-cloud
+  EXPECT_DOUBLE_EQ(net.strength(1, 2), 100.0);  // fog-fog
+  EXPECT_DOUBLE_EQ(net.strength(1, 3), 100.0);  // fog-cloud
+  EXPECT_TRUE(std::isinf(net.strength(3, 4)));  // cloud-cloud
+}
+
+TEST(Riotbench, EtlIsMostlyLinearWithTwoSinks) {
+  Rng rng(1);
+  const TaskGraph g = iot::make_etl_graph(rng);
+  EXPECT_EQ(g.task_count(), 9u);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 2u);
+}
+
+TEST(Riotbench, StatsFansOutToThreeStatistics) {
+  Rng rng(2);
+  const TaskGraph g = iot::make_stats_graph(rng);
+  // senml_parse has three statistic consumers.
+  TaskId parse = 0;
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    if (g.name(t) == "senml_parse") parse = t;
+  }
+  EXPECT_EQ(g.successors(parse).size(), 3u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(Riotbench, PredictBlendsTwoModels) {
+  Rng rng(3);
+  const TaskGraph g = iot::make_predict_graph(rng);
+  TaskId publish = 0;
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    if (g.name(t) == "mqtt_publish") publish = t;
+  }
+  EXPECT_EQ(g.predecessors(publish).size(), 2u);
+}
+
+TEST(Riotbench, TaskCostsWithinClippedGaussianRange) {
+  Rng rng(4);
+  for (auto make : {iot::make_etl_graph, iot::make_stats_graph, iot::make_predict_graph,
+                    iot::make_train_graph}) {
+    const TaskGraph g = make(rng);
+    for (TaskId t = 0; t < g.task_count(); ++t) {
+      EXPECT_GE(g.cost(t), 10.0);
+      EXPECT_LE(g.cost(t), 60.0);
+    }
+  }
+}
+
+TEST(Riotbench, DataFlowsAccordingToIoRatios) {
+  Rng rng(5);
+  const TaskGraph g = iot::make_etl_graph(rng);
+  // senml_parse outputs 0.9x its input; its outgoing edge weight must be
+  // 0.9 times its incoming edge weight.
+  TaskId source = g.sources()[0];
+  const TaskId parse = g.successors(source)[0];
+  const TaskId next = g.successors(parse)[0];
+  const double in = g.dependency_cost(source, parse);
+  const double out = g.dependency_cost(parse, next);
+  EXPECT_NEAR(out, 0.9 * in, 1e-9);
+}
+
+TEST(Riotbench, InputSizeWithinPaperRange) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const TaskGraph g = iot::make_etl_graph(rng);
+    const TaskId source = g.sources()[0];
+    const TaskId parse = g.successors(source)[0];
+    // The source forwards the application input unchanged (ratio 1.0).
+    const double input = g.dependency_cost(source, parse);
+    EXPECT_GE(input, 500.0);
+    EXPECT_LE(input, 1500.0);
+  }
+}
+
+TEST(Riotbench, FullInstancesPairWithEdgeFogCloudNetworks) {
+  const auto inst = iot::train_instance(7);
+  EXPECT_GE(inst.network.node_count(), 79u);  // at least 75+3+1
+  EXPECT_GT(inst.graph.task_count(), 0u);
+}
+
+
+TEST(Riotbench, TrainHasTimerSourceAndTwoModelBranches) {
+  Rng rng(6);
+  const TaskGraph g = iot::make_train_graph(rng);
+  ASSERT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.name(g.sources()[0]), "timer_source");
+  // annotate joins the two trained models; two sinks (blob, mqtt).
+  TaskId annotate = 0;
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    if (g.name(t) == "annotate") annotate = t;
+  }
+  EXPECT_EQ(g.predecessors(annotate).size(), 2u);
+  EXPECT_EQ(g.sinks().size(), 2u);
+}
+
+TEST(Riotbench, TableReadAmplifiesData) {
+  // table_read has an output ratio of 5: its outgoing edges carry five
+  // times its incoming trigger size.
+  Rng rng(7);
+  const TaskGraph g = iot::make_train_graph(rng);
+  TaskId timer = g.sources()[0];
+  const TaskId fetch = g.successors(timer)[0];
+  const double in = g.dependency_cost(timer, fetch);
+  const TaskId next = g.successors(fetch)[0];
+  EXPECT_NEAR(g.dependency_cost(fetch, next), 5.0 * in, 1e-9);
+}
+
+}  // namespace
+}  // namespace saga

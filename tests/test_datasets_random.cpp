@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "datasets/random_graphs.hpp"
+
+namespace saga {
+namespace {
+
+TEST(RandomNetwork, NodeCountInRange) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const Network net = random_network(seed);
+    EXPECT_GE(net.node_count(), 3u);
+    EXPECT_LE(net.node_count(), 5u);
+  }
+}
+
+TEST(RandomNetwork, WeightsWithinClippedGaussianRange) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const Network net = random_network(seed);
+    for (NodeId v = 0; v < net.node_count(); ++v) {
+      EXPECT_GT(net.speed(v), 0.0);
+      EXPECT_LE(net.speed(v), 2.0);
+    }
+    for (NodeId a = 0; a < net.node_count(); ++a) {
+      for (NodeId b = a + 1; b < net.node_count(); ++b) {
+        EXPECT_GT(net.strength(a, b), 0.0);
+        EXPECT_LE(net.strength(a, b), 2.0);
+      }
+    }
+  }
+}
+
+TEST(RandomNetwork, DeterministicInSeed) {
+  const Network a = random_network(42);
+  const Network b = random_network(42);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (NodeId v = 0; v < a.node_count(); ++v) EXPECT_EQ(a.speed(v), b.speed(v));
+}
+
+TEST(InTree, EveryTaskHasAtMostOneSuccessor) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const TaskGraph g = random_in_tree(seed);
+    for (TaskId t = 0; t < g.task_count(); ++t) {
+      EXPECT_LE(g.successors(t).size(), 1u) << "seed " << seed;
+    }
+    EXPECT_EQ(g.sinks().size(), 1u);  // single root
+  }
+}
+
+TEST(InTree, SizeMatchesLevelsAndBranching) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const TaskGraph g = random_in_tree(seed);
+    // 2-4 levels with branching 2-3: sizes between 1+2=3 and 1+3+9+27=40.
+    EXPECT_GE(g.task_count(), 3u);
+    EXPECT_LE(g.task_count(), 40u);
+    EXPECT_EQ(g.dependency_count(), g.task_count() - 1);  // tree
+  }
+}
+
+TEST(OutTree, EveryTaskHasAtMostOnePredecessor) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const TaskGraph g = random_out_tree(seed);
+    for (TaskId t = 0; t < g.task_count(); ++t) {
+      EXPECT_LE(g.predecessors(t).size(), 1u) << "seed " << seed;
+    }
+    EXPECT_EQ(g.sources().size(), 1u);  // single root
+  }
+}
+
+TEST(OutTree, MirrorsInTreeShape) {
+  // Same seed: the out-tree has the same size as the in-tree (same level
+  // and branching draws) with edges reversed in aggregate.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    EXPECT_EQ(random_in_tree(seed).task_count(), random_out_tree(seed).task_count());
+  }
+}
+
+TEST(ParallelChains, DegreesAtMostOneBothWays) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const TaskGraph g = random_parallel_chains(seed);
+    for (TaskId t = 0; t < g.task_count(); ++t) {
+      EXPECT_LE(g.successors(t).size(), 1u);
+      EXPECT_LE(g.predecessors(t).size(), 1u);
+    }
+  }
+}
+
+TEST(ParallelChains, ChainAndLengthCountsInRange) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const TaskGraph g = random_parallel_chains(seed);
+    const std::size_t chains = g.sources().size();
+    EXPECT_GE(chains, 2u);
+    EXPECT_LE(chains, 5u);
+    EXPECT_GE(g.task_count(), 2u * chains);
+    EXPECT_LE(g.task_count(), 5u * chains);
+    // All chains have equal length (single length draw).
+    EXPECT_EQ(g.task_count() % chains, 0u);
+  }
+}
+
+TEST(ParallelChains, TaskWeightsWithinRange) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const TaskGraph g = random_parallel_chains(seed);
+    for (TaskId t = 0; t < g.task_count(); ++t) {
+      EXPECT_GE(g.cost(t), 0.0);
+      EXPECT_LE(g.cost(t), 2.0);
+    }
+    for (const auto& [from, to] : g.dependencies()) {
+      EXPECT_GE(g.dependency_cost(from, to), 0.0);
+      EXPECT_LE(g.dependency_cost(from, to), 2.0);
+    }
+  }
+}
+
+TEST(Instances, DeterministicAndSeedSensitive) {
+  const auto a1 = in_trees_instance(9);
+  const auto a2 = in_trees_instance(9);
+  EXPECT_TRUE(a1.graph.structurally_equal(a2.graph));
+  const auto b = in_trees_instance(10);
+  // Different seeds draw different weights (equality would require dozens
+  // of identical continuous samples).
+  EXPECT_FALSE(a1.graph.structurally_equal(b.graph));
+}
+
+}  // namespace
+}  // namespace saga

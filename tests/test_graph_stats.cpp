@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datasets/workflows/blast.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace saga {
+namespace {
+
+TEST(GraphStats, EmptyGraph) {
+  const auto stats = compute_graph_stats(TaskGraph{});
+  EXPECT_EQ(stats.tasks, 0u);
+  EXPECT_EQ(stats.depth, 0u);
+}
+
+TEST(GraphStats, PureChain) {
+  TaskGraph g;
+  TaskId prev = g.add_task(2.0);
+  for (int i = 0; i < 4; ++i) {
+    const TaskId cur = g.add_task(2.0);
+    g.add_dependency(prev, cur, 1.0);
+    prev = cur;
+  }
+  const auto stats = compute_graph_stats(g);
+  EXPECT_EQ(stats.depth, 5u);
+  EXPECT_EQ(stats.level_width, 1u);
+  EXPECT_DOUBLE_EQ(stats.parallelism, 1.0);
+  EXPECT_EQ(stats.sources, 1u);
+  EXPECT_EQ(stats.sinks, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_fan_in, 1.0);
+}
+
+TEST(GraphStats, IndependentEqualTasks) {
+  TaskGraph g;
+  for (int i = 0; i < 6; ++i) g.add_task(3.0);
+  const auto stats = compute_graph_stats(g);
+  EXPECT_EQ(stats.depth, 1u);
+  EXPECT_EQ(stats.level_width, 6u);
+  EXPECT_DOUBLE_EQ(stats.parallelism, 6.0);
+  EXPECT_DOUBLE_EQ(stats.density, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_fan_in, 0.0);
+  EXPECT_EQ(stats.sources, 6u);
+  EXPECT_EQ(stats.sinks, 6u);
+}
+
+TEST(GraphStats, DiamondValues) {
+  TaskGraph g;
+  const TaskId a = g.add_task(1.0);
+  const TaskId b = g.add_task(2.0);
+  const TaskId c = g.add_task(4.0);
+  const TaskId d = g.add_task(1.0);
+  g.add_dependency(a, b, 1.0);
+  g.add_dependency(a, c, 1.0);
+  g.add_dependency(b, d, 1.0);
+  g.add_dependency(c, d, 1.0);
+  const auto stats = compute_graph_stats(g);
+  EXPECT_EQ(stats.depth, 3u);
+  EXPECT_EQ(stats.level_width, 2u);
+  // total 8, longest cost chain a-c-d = 6.
+  EXPECT_DOUBLE_EQ(stats.parallelism, 8.0 / 6.0);
+  EXPECT_DOUBLE_EQ(stats.density, 4.0 / 6.0);
+  // non-sources: b (1), c (1), d (2).
+  EXPECT_DOUBLE_EQ(stats.mean_fan_in, 4.0 / 3.0);
+}
+
+TEST(GraphStats, ZeroCostGraphHasUnitParallelism) {
+  TaskGraph g;
+  const TaskId a = g.add_task(0.0);
+  const TaskId b = g.add_task(0.0);
+  g.add_dependency(a, b, 0.0);
+  EXPECT_DOUBLE_EQ(compute_graph_stats(g).parallelism, 1.0);
+}
+
+TEST(GraphStats, BlastShapeIsWideAndShallow) {
+  Rng rng(5);
+  const auto stats = compute_graph_stats(workflows::make_blast_graph(rng));
+  EXPECT_EQ(stats.depth, 3u);                    // split / blastall / merges
+  EXPECT_GE(stats.level_width, 8u);              // the shard layer
+  EXPECT_GT(stats.parallelism, 3.0);             // embarrassingly parallel middle
+  EXPECT_EQ(stats.sources, 1u);
+  EXPECT_EQ(stats.sinks, 2u);
+}
+
+TEST(GraphStats, ToStringListsEveryField) {
+  TaskGraph g;
+  g.add_task(1.0);
+  const std::string text = to_string(compute_graph_stats(g));
+  for (const char* field : {"tasks=", "deps=", "depth=", "width=", "parallelism=",
+                            "density=", "fan_in=", "sources=", "sinks="}) {
+    EXPECT_NE(text.find(field), std::string::npos) << field;
+  }
+}
+
+}  // namespace
+}  // namespace saga

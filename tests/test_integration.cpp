@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/benchmarking.hpp"
+#include "analysis/ratio_matrix.hpp"
+#include "core/app_specific.hpp"
+#include "core/pairwise.hpp"
+#include "datasets/registry.hpp"
+#include "graph/serialization.hpp"
+#include "sched/registry.hpp"
+
+/// End-to-end flows mirroring what the bench binaries do, at toy scale.
+
+namespace saga {
+namespace {
+
+TEST(Integration, MiniFig2Pipeline) {
+  // Benchmark three schedulers on two datasets and render the Fig. 2 table.
+  const std::vector<std::string> roster = {"HEFT", "CPoP", "FastestNode"};
+  std::vector<analysis::DatasetBenchmark> benchmarks;
+  for (const char* ds : {"chains", "blast"}) {
+    benchmarks.push_back(
+        analysis::benchmark_dataset(datasets::generate_dataset(ds, 42, 5), roster, 42));
+  }
+  const auto table = analysis::benchmarking_table(benchmarks, roster, "mini fig2");
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.columns(), 3u);
+  // FastestNode serialises everything; on parallel-friendly datasets its
+  // max ratio should exceed HEFT's.
+  const double fn_max = benchmarks[0].for_scheduler("FastestNode").summary.max;
+  const double heft_max = benchmarks[0].for_scheduler("HEFT").summary.max;
+  EXPECT_GE(fn_max, heft_max);
+}
+
+TEST(Integration, MiniFig4Pipeline) {
+  const std::vector<std::string> roster = {"HEFT", "FastestNode", "OLB"};
+  pisa::PairwiseOptions options;
+  options.pisa.restarts = 2;
+  options.pisa.params.max_iterations = 80;
+  const auto grid = pisa::pairwise_compare(roster, options, 42);
+  const auto table = analysis::pairwise_table(grid, "mini fig4");
+  EXPECT_EQ(table.rows(), 4u);  // Worst + 3
+  // Every scheduler has a worst case above 1 against someone.
+  for (double w : grid.worst_per_target()) EXPECT_GT(w, 1.0);
+}
+
+TEST(Integration, AdversarialWitnessSurvivesSerializationRoundTrip) {
+  // PISA result -> save -> load -> replay: the ratio must be identical.
+  // This is the publishing workflow the paper's conclusion proposes.
+  const auto heft = make_scheduler("HEFT");
+  const auto fn = make_scheduler("FastestNode");
+  pisa::PisaOptions options;
+  options.restarts = 2;
+  const auto found = pisa::run_pisa(*heft, *fn, options, 7);
+  const std::string text = instance_to_string(found.best_instance);
+  const auto replayed = instance_from_string(text);
+  EXPECT_DOUBLE_EQ(pisa::makespan_ratio(*heft, *fn, replayed), found.best_ratio);
+}
+
+TEST(Integration, MiniAppSpecificPipeline) {
+  // One (workflow, CCR) cell of Fig. 10 end to end: benchmarking row plus
+  // a 2-scheduler PISA grid.
+  const std::vector<std::string> roster = {"HEFT", "CPoP"};
+  auto ds = datasets::generate_dataset("srasearch", 3, 4);
+  for (auto& inst : ds.instances) workflows::set_homogeneous_ccr(inst, 1.0);
+  const auto benchmark = analysis::benchmark_dataset(ds, roster, 3);
+
+  pisa::PairwiseOptions grid_options;
+  grid_options.pisa = pisa::app_specific_options("srasearch", 1.0, 3);
+  grid_options.pisa.restarts = 1;
+  grid_options.pisa.params.max_iterations = 50;
+  const auto grid = pisa::pairwise_compare(roster, grid_options, 3);
+
+  const auto table = analysis::app_specific_table(benchmark, grid, "srasearch CCR=1.0");
+  EXPECT_EQ(table.rows(), 3u);
+  // PISA cells can only be >= the benchmarking cells' floor of 1.
+  EXPECT_GE(grid.cell(0, 1), 1.0 - 1e-9);
+  EXPECT_GE(grid.cell(1, 0), 1.0 - 1e-9);
+}
+
+TEST(Integration, AllSixteenDatasetsGenerateAndScheduleCleanly) {
+  for (const auto& spec : datasets::all_dataset_specs()) {
+    const auto inst = datasets::generate_instance(spec.name, 1, 0);
+    const auto schedule = make_scheduler("HEFT")->schedule(inst);
+    const auto validation = schedule.validate(inst);
+    EXPECT_TRUE(validation.ok) << spec.name << ": " << validation.message;
+  }
+  EXPECT_EQ(datasets::all_dataset_specs().size(), 16u);
+}
+
+TEST(Integration, PaperInstanceCountsRecorded) {
+  for (const auto& spec : datasets::all_dataset_specs()) {
+    const bool is_workflow =
+        std::find(datasets::workflow_dataset_names().begin(),
+                  datasets::workflow_dataset_names().end(),
+                  spec.name) != datasets::workflow_dataset_names().end();
+    EXPECT_EQ(spec.paper_instance_count, is_workflow ? 100u : 1000u) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace saga

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/network.hpp"
+
+namespace saga {
+namespace {
+
+TEST(Network, RequiresAtLeastOneNode) {
+  EXPECT_THROW(Network(0), std::invalid_argument);
+}
+
+TEST(Network, DefaultsToUnitWeights) {
+  const Network net(3);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(net.speed(v), 1.0);
+  EXPECT_DOUBLE_EQ(net.strength(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(net.strength(1, 2), 1.0);
+}
+
+TEST(Network, SelfLinksAreInfinite) {
+  const Network net(2);
+  EXPECT_TRUE(std::isinf(net.strength(0, 0)));
+  EXPECT_TRUE(std::isinf(net.strength(1, 1)));
+}
+
+TEST(Network, StrengthIsSymmetric) {
+  Network net(4);
+  net.set_strength(1, 3, 2.5);
+  EXPECT_DOUBLE_EQ(net.strength(1, 3), 2.5);
+  EXPECT_DOUBLE_EQ(net.strength(3, 1), 2.5);
+}
+
+TEST(Network, PackedTriangleIndexingIsInjective) {
+  Network net(5);
+  double value = 1.0;
+  for (NodeId a = 0; a < 5; ++a) {
+    for (NodeId b = a + 1; b < 5; ++b) net.set_strength(a, b, value++);
+  }
+  value = 1.0;
+  for (NodeId a = 0; a < 5; ++a) {
+    for (NodeId b = a + 1; b < 5; ++b) EXPECT_DOUBLE_EQ(net.strength(a, b), value++);
+  }
+}
+
+TEST(Network, RejectsNonPositiveWeights) {
+  Network net(2);
+  EXPECT_THROW(net.set_speed(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.set_speed(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.set_strength(0, 1, 0.0), std::invalid_argument);
+}
+
+TEST(Network, RejectsSelfLinkAssignment) {
+  Network net(2);
+  EXPECT_THROW(net.set_strength(1, 1, 5.0), std::invalid_argument);
+}
+
+TEST(Network, RejectsOutOfRangeIds) {
+  Network net(2);
+  EXPECT_THROW(net.set_strength(0, 5, 1.0), std::out_of_range);
+}
+
+TEST(Network, ExecTimeDividesBySpeed) {
+  Network net(2);
+  net.set_speed(1, 4.0);
+  EXPECT_DOUBLE_EQ(net.exec_time(8.0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(net.exec_time(8.0, 0), 8.0);
+}
+
+TEST(Network, CommTimeDividesByStrength) {
+  Network net(2);
+  net.set_strength(0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(net.comm_time(3.0, 0, 1), 6.0);
+}
+
+TEST(Network, IntraNodeCommIsFree) {
+  const Network net(2);
+  EXPECT_DOUBLE_EQ(net.comm_time(100.0, 1, 1), 0.0);
+}
+
+TEST(Network, ZeroDataCommIsFree) {
+  const Network net(2);
+  EXPECT_DOUBLE_EQ(net.comm_time(0.0, 0, 1), 0.0);
+}
+
+TEST(Network, InfiniteStrengthMeansFreeComm) {
+  Network net(2);
+  net.set_strength(0, 1, Network::kInfiniteStrength);
+  EXPECT_DOUBLE_EQ(net.comm_time(100.0, 0, 1), 0.0);
+}
+
+TEST(Network, FastestNodePrefersLowestIdOnTies) {
+  Network net(3);
+  EXPECT_EQ(net.fastest_node(), 0u);
+  net.set_speed(2, 2.0);
+  EXPECT_EQ(net.fastest_node(), 2u);
+  net.set_speed(1, 2.0);
+  EXPECT_EQ(net.fastest_node(), 1u);
+}
+
+TEST(Network, HomogeneityChecks) {
+  Network net(3);
+  EXPECT_TRUE(net.homogeneous_speeds());
+  EXPECT_TRUE(net.homogeneous_strengths());
+  net.set_speed(1, 1.5);
+  EXPECT_FALSE(net.homogeneous_speeds());
+  EXPECT_TRUE(net.homogeneous_speeds(0.6));
+  net.set_strength(0, 2, 3.0);
+  EXPECT_FALSE(net.homogeneous_strengths());
+}
+
+TEST(Network, MeanInverseSpeed) {
+  Network net(2);
+  net.set_speed(0, 1.0);
+  net.set_speed(1, 2.0);
+  EXPECT_DOUBLE_EQ(net.mean_inverse_speed(), 0.75);
+}
+
+TEST(Network, MeanInverseStrengthIgnoresInfiniteLinks) {
+  Network net(3);
+  net.set_strength(0, 1, 2.0);
+  net.set_strength(0, 2, Network::kInfiniteStrength);
+  net.set_strength(1, 2, 1.0);
+  // (0.5 + 0 + 1.0) / 3
+  EXPECT_DOUBLE_EQ(net.mean_inverse_strength(), 0.5);
+}
+
+TEST(Network, SingleNodeNetworkHasZeroMeanInverseStrength) {
+  const Network net(1);
+  EXPECT_DOUBLE_EQ(net.mean_inverse_strength(), 0.0);
+}
+
+}  // namespace
+}  // namespace saga

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pairwise.hpp"
+
+namespace saga::pisa {
+namespace {
+
+PairwiseOptions quick_options() {
+  PairwiseOptions options;
+  options.pisa.restarts = 2;
+  options.pisa.params.max_iterations = 60;
+  return options;
+}
+
+TEST(Pairwise, DiagonalIsNaNOffDiagonalPositive) {
+  const std::vector<std::string> names = {"HEFT", "CPoP", "FastestNode"};
+  const auto result = pairwise_compare(names, quick_options(), 1);
+  ASSERT_EQ(result.ratio.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i == j) {
+        EXPECT_TRUE(std::isnan(result.cell(i, j)));
+      } else {
+        EXPECT_GT(result.cell(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Pairwise, ParallelAndSerialAgreeExactly) {
+  // Determinism across execution strategies: every cell derives its own
+  // RNG stream, so thread scheduling cannot change results.
+  const std::vector<std::string> names = {"HEFT", "MCT", "OLB"};
+  auto options = quick_options();
+  options.parallel = true;
+  const auto parallel = pairwise_compare(names, options, 3);
+  options.parallel = false;
+  const auto serial = pairwise_compare(names, options, 3);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(parallel.cell(i, j), serial.cell(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(Pairwise, WorstPerTargetIsColumnMax) {
+  PairwiseResult result;
+  result.scheduler_names = {"A", "B"};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  result.ratio = {{nan, 2.0}, {3.0, nan}};
+  const auto worst = result.worst_per_target();
+  EXPECT_DOUBLE_EQ(worst[0], 3.0);
+  EXPECT_DOUBLE_EQ(worst[1], 2.0);
+}
+
+TEST(Pairwise, AdversarialRatiosExceedOne) {
+  // For HEFT vs FastestNode both directions should find a losing instance
+  // (the paper: nearly every pair has instances going both ways).
+  const std::vector<std::string> names = {"HEFT", "FastestNode"};
+  PairwiseOptions options;
+  options.pisa.restarts = 3;
+  const auto result = pairwise_compare(names, options, 5);
+  EXPECT_GT(result.cell(1, 0), 1.0);  // HEFT vs baseline FastestNode
+  EXPECT_GT(result.cell(0, 1), 1.0);  // FastestNode vs baseline HEFT
+}
+
+TEST(Pairwise, SeedChangesResults) {
+  const std::vector<std::string> names = {"MCT", "OLB"};
+  const auto a = pairwise_compare(names, quick_options(), 10);
+  const auto b = pairwise_compare(names, quick_options(), 11);
+  // At least one cell should differ across seeds (continuous ratios).
+  EXPECT_TRUE(a.cell(0, 1) != b.cell(0, 1) || a.cell(1, 0) != b.cell(1, 0));
+}
+
+}  // namespace
+}  // namespace saga::pisa

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string_view>
+
+#include "core/annealer.hpp"
+#include "core/perturbation.hpp"
+
+namespace saga::pisa {
+namespace {
+
+ProblemInstance base_instance() { return random_chain_instance(42); }
+
+TEST(Perturbation, OpNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kPerturbationOpCount; ++i) {
+    names.insert(to_string(static_cast<PerturbationOp>(i)));
+  }
+  EXPECT_EQ(names.size(), kPerturbationOpCount);
+}
+
+TEST(Perturbation, AppliesSomeOpByDefault) {
+  Rng rng(1);
+  const auto inst = base_instance();
+  const auto result = perturb(inst, PerturbationConfig::generic(), rng);
+  EXPECT_TRUE(result.applied.has_value());
+}
+
+TEST(Perturbation, WeightsStayInRangeOverLongWalks) {
+  Rng rng(2);
+  auto config = PerturbationConfig::generic();
+  ProblemInstance inst = base_instance();
+  for (int i = 0; i < 2000; ++i) {
+    inst = perturb(inst, config, rng).instance;
+  }
+  for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    EXPECT_GE(inst.graph.cost(t), config.task_cost.lo);
+    EXPECT_LE(inst.graph.cost(t), config.task_cost.hi);
+  }
+  for (const auto& [from, to] : inst.graph.dependencies()) {
+    EXPECT_GE(inst.graph.dependency_cost(from, to), config.dependency_cost.lo);
+    EXPECT_LE(inst.graph.dependency_cost(from, to), config.dependency_cost.hi);
+  }
+  for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+    EXPECT_GE(inst.network.speed(v), config.node_speed.lo);
+    EXPECT_LE(inst.network.speed(v), config.node_speed.hi);
+  }
+  for (NodeId a = 0; a < inst.network.node_count(); ++a) {
+    for (NodeId b = a + 1; b < inst.network.node_count(); ++b) {
+      EXPECT_GE(inst.network.strength(a, b), config.link_strength.lo);
+      EXPECT_LE(inst.network.strength(a, b), config.link_strength.hi);
+    }
+  }
+}
+
+TEST(Perturbation, GraphStaysAcyclicOverLongWalks) {
+  Rng rng(3);
+  const auto config = PerturbationConfig::generic();
+  ProblemInstance inst = base_instance();
+  for (int i = 0; i < 2000; ++i) {
+    inst = perturb(inst, config, rng).instance;
+    // topological_order asserts internally that the graph is a DAG; a
+    // cycle would shrink the order.
+    EXPECT_EQ(inst.graph.topological_order().size(), inst.graph.task_count());
+  }
+}
+
+TEST(Perturbation, TaskCountNeverChanges) {
+  Rng rng(4);
+  const auto config = PerturbationConfig::generic();
+  ProblemInstance inst = base_instance();
+  const std::size_t tasks = inst.graph.task_count();
+  const std::size_t nodes = inst.network.node_count();
+  for (int i = 0; i < 500; ++i) {
+    inst = perturb(inst, config, rng).instance;
+    EXPECT_EQ(inst.graph.task_count(), tasks);
+    EXPECT_EQ(inst.network.node_count(), nodes);
+  }
+}
+
+TEST(Perturbation, DisabledOpsNeverFire) {
+  Rng rng(5);
+  PerturbationConfig config;
+  config.set_enabled(PerturbationOp::kAddDependency, false);
+  config.set_enabled(PerturbationOp::kRemoveDependency, false);
+  ProblemInstance inst = base_instance();
+  const auto deps_before = inst.graph.dependencies();
+  for (int i = 0; i < 1000; ++i) {
+    const auto result = perturb(inst, config, rng);
+    ASSERT_TRUE(result.applied.has_value());
+    EXPECT_NE(*result.applied, PerturbationOp::kAddDependency);
+    EXPECT_NE(*result.applied, PerturbationOp::kRemoveDependency);
+    inst = result.instance;
+  }
+  EXPECT_EQ(inst.graph.dependencies(), deps_before);
+}
+
+TEST(Perturbation, OnlyTaskWeightOpOnFrozenEverythingElse) {
+  Rng rng(6);
+  PerturbationConfig config;
+  for (std::size_t i = 0; i < kPerturbationOpCount; ++i) {
+    config.enabled[i] = false;
+  }
+  config.set_enabled(PerturbationOp::kChangeTaskWeight, true);
+  ProblemInstance inst = base_instance();
+  for (int i = 0; i < 200; ++i) {
+    const auto result = perturb(inst, config, rng);
+    ASSERT_TRUE(result.applied.has_value());
+    EXPECT_EQ(*result.applied, PerturbationOp::kChangeTaskWeight);
+    inst = result.instance;
+  }
+}
+
+TEST(Perturbation, NoEnabledOpsReturnsUnchanged) {
+  Rng rng(7);
+  PerturbationConfig config;
+  for (std::size_t i = 0; i < kPerturbationOpCount; ++i) config.enabled[i] = false;
+  const auto inst = base_instance();
+  const auto result = perturb(inst, config, rng);
+  EXPECT_FALSE(result.applied.has_value());
+  EXPECT_TRUE(result.instance.graph.structurally_equal(inst.graph));
+}
+
+TEST(Perturbation, RemoveDependencyOnEdgelessGraphFallsThrough) {
+  Rng rng(8);
+  PerturbationConfig config;
+  for (std::size_t i = 0; i < kPerturbationOpCount; ++i) config.enabled[i] = false;
+  config.set_enabled(PerturbationOp::kRemoveDependency, true);
+  config.set_enabled(PerturbationOp::kChangeTaskWeight, true);
+  ProblemInstance inst;
+  inst.graph.add_task("only", 0.5);
+  inst.network = Network(2);
+  // With no edges, RemoveDependency is inapplicable; the perturbation must
+  // fall through to ChangeTaskWeight instead of giving up.
+  for (int i = 0; i < 50; ++i) {
+    const auto result = perturb(inst, config, rng);
+    ASSERT_TRUE(result.applied.has_value());
+    EXPECT_EQ(*result.applied, PerturbationOp::kChangeTaskWeight);
+  }
+}
+
+TEST(Perturbation, AddDependencyRespectsScaledCostRange) {
+  Rng rng(9);
+  PerturbationConfig config;
+  for (std::size_t i = 0; i < kPerturbationOpCount; ++i) config.enabled[i] = false;
+  config.set_enabled(PerturbationOp::kAddDependency, true);
+  config.dependency_cost = {5.0, 10.0};
+  ProblemInstance inst;
+  inst.graph.add_task("a", 1.0);
+  inst.graph.add_task("b", 1.0);
+  inst.network = Network(2);
+  const auto result = perturb(inst, config, rng);
+  ASSERT_TRUE(result.applied.has_value());
+  const auto deps = result.instance.graph.dependencies();
+  ASSERT_EQ(deps.size(), 1u);
+  const double cost = result.instance.graph.dependency_cost(deps[0].first, deps[0].second);
+  EXPECT_GE(cost, 5.0);
+  EXPECT_LE(cost, 10.0);
+}
+
+TEST(Perturbation, StepSizeIsTenthOfRange) {
+  const WeightRange unit{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(unit.step(), 0.1);
+  const WeightRange wide{0.0, 100.0};
+  EXPECT_DOUBLE_EQ(wide.step(), 10.0);
+}
+
+TEST(Perturbation, SingleWeightChangePerCall) {
+  // Each perturb call changes at most one weight (or one edge).
+  Rng rng(10);
+  const auto config = PerturbationConfig::generic();
+  const auto inst = base_instance();
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto result = perturb(inst, config, rng);
+    int changes = 0;
+    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+      if (inst.graph.cost(t) != result.instance.graph.cost(t)) ++changes;
+    }
+    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      if (inst.network.speed(v) != result.instance.network.speed(v)) ++changes;
+    }
+    for (NodeId a = 0; a < inst.network.node_count(); ++a) {
+      for (NodeId b = a + 1; b < inst.network.node_count(); ++b) {
+        if (inst.network.strength(a, b) != result.instance.network.strength(a, b)) ++changes;
+      }
+    }
+    changes += static_cast<int>(std::abs(
+        static_cast<long>(inst.graph.dependency_count()) -
+        static_cast<long>(result.instance.graph.dependency_count())));
+    for (const auto& [from, to] : inst.graph.dependencies()) {
+      if (result.instance.graph.has_dependency(from, to) &&
+          inst.graph.dependency_cost(from, to) !=
+              result.instance.graph.dependency_cost(from, to)) {
+        ++changes;
+      }
+    }
+    EXPECT_LE(changes, 1);
+  }
+}
+
+}  // namespace
+}  // namespace saga::pisa

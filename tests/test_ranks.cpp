@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "sched/ranks.hpp"
+
+namespace saga {
+namespace {
+
+/// Chain a -> b on a 2-node network with speeds {1, 2} and strength 0.5.
+ProblemInstance small_chain() {
+  ProblemInstance inst;
+  const TaskId a = inst.graph.add_task("a", 2.0);
+  const TaskId b = inst.graph.add_task("b", 4.0);
+  inst.graph.add_dependency(a, b, 1.0);
+  inst.network = Network(2);
+  inst.network.set_speed(1, 2.0);
+  inst.network.set_strength(0, 1, 0.5);
+  return inst;
+}
+
+TEST(Ranks, MeanExecTimes) {
+  const auto inst = small_chain();
+  // mean(1/s) = (1 + 0.5)/2 = 0.75.
+  const auto w = mean_exec_times(inst);
+  EXPECT_DOUBLE_EQ(w[0], 1.5);
+  EXPECT_DOUBLE_EQ(w[1], 3.0);
+}
+
+TEST(Ranks, UpwardRankOfChain) {
+  const auto inst = small_chain();
+  const auto up = upward_ranks(inst);
+  // Single pair (0,1) with strength 0.5: mean inverse strength = 2.
+  // rank_u(b) = 3.0; rank_u(a) = 1.5 + (1*2 + 3.0) = 6.5.
+  EXPECT_DOUBLE_EQ(up[1], 3.0);
+  EXPECT_DOUBLE_EQ(up[0], 6.5);
+}
+
+TEST(Ranks, DownwardRankOfChain) {
+  const auto inst = small_chain();
+  const auto down = downward_ranks(inst);
+  // rank_d(a) = 0; rank_d(b) = 0 + 1.5 + 2 = 3.5.
+  EXPECT_DOUBLE_EQ(down[0], 0.0);
+  EXPECT_DOUBLE_EQ(down[1], 3.5);
+}
+
+TEST(Ranks, UpwardPlusDownwardConstantOnChain) {
+  // On a pure chain every task lies on the critical path, so
+  // rank_u + rank_d is the same for all of them.
+  const auto inst = small_chain();
+  const auto up = upward_ranks(inst);
+  const auto down = downward_ranks(inst);
+  EXPECT_DOUBLE_EQ(up[0] + down[0], up[1] + down[1]);
+}
+
+TEST(Ranks, StaticLevelIgnoresCommunication) {
+  const auto inst = small_chain();
+  const auto sl = static_levels(inst);
+  EXPECT_DOUBLE_EQ(sl[1], 3.0);
+  EXPECT_DOUBLE_EQ(sl[0], 4.5);  // 1.5 + 3.0, no comm term
+}
+
+TEST(Ranks, UpwardRankDecreasesAlongEdges) {
+  const auto inst = fig1_instance();
+  const auto up = upward_ranks(inst);
+  for (const auto& [from, to] : inst.graph.dependencies()) {
+    EXPECT_GT(up[from], up[to]);
+  }
+}
+
+TEST(Ranks, DownwardRankIncreasesAlongEdges) {
+  const auto inst = fig1_instance();
+  const auto down = downward_ranks(inst);
+  for (const auto& [from, to] : inst.graph.dependencies()) {
+    EXPECT_LT(down[from], down[to]);
+  }
+}
+
+TEST(Ranks, CriticalPathIsSourceToSinkChain) {
+  const auto inst = fig1_instance();
+  const auto cp = critical_path(inst);
+  ASSERT_FALSE(cp.empty());
+  EXPECT_TRUE(inst.graph.predecessors(cp.front()).empty());
+  EXPECT_TRUE(inst.graph.successors(cp.back()).empty());
+  for (std::size_t i = 0; i + 1 < cp.size(); ++i) {
+    EXPECT_TRUE(inst.graph.has_dependency(cp[i], cp[i + 1]));
+  }
+}
+
+TEST(Ranks, CriticalPathOfFig1TakesHeavierBranch) {
+  // In Fig. 1, the t1->t3->t4 branch dominates (t3 costs 2.2 vs t2's 1.2,
+  // and its edges are no lighter on average).
+  const auto inst = fig1_instance();
+  const auto cp = critical_path(inst);
+  ASSERT_EQ(cp.size(), 3u);
+  EXPECT_EQ(cp[0], 0u);  // t1
+  EXPECT_EQ(cp[1], 2u);  // t3
+  EXPECT_EQ(cp[2], 3u);  // t4
+}
+
+TEST(Ranks, CriticalPathOfIndependentTasksIsSingleTask) {
+  ProblemInstance inst;
+  inst.graph.add_task("small", 1.0);
+  inst.graph.add_task("big", 5.0);
+  inst.network = Network(2);
+  const auto cp = critical_path(inst);
+  ASSERT_EQ(cp.size(), 1u);
+  EXPECT_EQ(cp[0], 1u);
+}
+
+TEST(Ranks, EmptyGraph) {
+  ProblemInstance inst;
+  inst.network = Network(2);
+  EXPECT_TRUE(critical_path(inst).empty());
+  EXPECT_TRUE(upward_ranks(inst).empty());
+}
+
+TEST(Ranks, ZeroCostTasksYieldZeroRanks) {
+  ProblemInstance inst;
+  const TaskId a = inst.graph.add_task("a", 0.0);
+  const TaskId b = inst.graph.add_task("b", 0.0);
+  inst.graph.add_dependency(a, b, 0.0);
+  inst.network = Network(2);
+  const auto up = upward_ranks(inst);
+  EXPECT_DOUBLE_EQ(up[0], 0.0);
+  EXPECT_DOUBLE_EQ(up[1], 0.0);
+}
+
+}  // namespace
+}  // namespace saga

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace saga {
+namespace {
+
+TEST(Pcg32, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Pcg32>);
+  Pcg32 gen(7);
+  EXPECT_EQ(Pcg32::min(), 0u);
+  EXPECT_EQ(Pcg32::max(), 0xffffffffu);
+  (void)gen();
+}
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(DeriveSeed, DistinctCoordinatesGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    for (std::uint64_t j = 0; j < 50; ++j) {
+      seeds.insert(derive_seed(42, {i, j}));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 2500u);
+}
+
+TEST(DeriveSeed, OrderOfCoordinatesMatters) {
+  EXPECT_NE(derive_seed(42, {1, 2}), derive_seed(42, {2, 1}));
+}
+
+TEST(DeriveSeed, MasterSeedMatters) {
+  EXPECT_NE(derive_seed(1, {7}), derive_seed(2, {7}));
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.5, 2.25);
+    ASSERT_GE(x, -3.5);
+    ASSERT_LT(x, 2.25);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(7);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversFullInclusiveRange) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(3, 7);
+    ASSERT_GE(x, 3);
+    ASSERT_LE(x, 7);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(-10, -5);
+    ASSERT_GE(x, -10);
+    ASSERT_LE(x, -5);
+  }
+}
+
+TEST(Rng, IndexStaysBelowBound) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.index(13), 13u);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(12);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianWithParamsShiftsAndScales) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(35.0, 25.0 / 3.0);
+  EXPECT_NEAR(sum / n, 35.0, 0.2);
+}
+
+TEST(Rng, ClippedGaussianRespectsBounds) {
+  Rng rng(14);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.clipped_gaussian(1.0, 1.0 / 3.0, 0.0, 2.0);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 2.0);
+  }
+}
+
+TEST(Rng, ClippedGaussianClipsToExactBoundsOnOutliers) {
+  Rng rng(15);
+  // Huge stddev forces frequent clipping to the exact endpoints.
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.clipped_gaussian(0.5, 100.0, 0.0, 1.0);
+    if (x == 0.0) hit_lo = true;
+    if (x == 1.0) hit_hi = true;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(16);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyTracksProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexFavorsHeavyWeights) {
+  Rng rng(18);
+  const std::vector<double> weights = {1.0, 0.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.9, 0.02);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(19);
+  const std::vector<double> weights = {0.0, 0.0, 0.0, 0.0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.weighted_index(weights));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, WeightedIndexIgnoresNegativeWeights) {
+  Rng rng(20);
+  const std::vector<double> weights = {-5.0, 1.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.weighted_index(weights), 1u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(22);
+  std::vector<int> items(50);
+  for (int i = 0; i < 50; ++i) items[static_cast<std::size_t>(i)] = i;
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(23);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(99);
+  const double first = a.uniform();
+  a.reseed(99);
+  EXPECT_EQ(a.uniform(), first);
+}
+
+}  // namespace
+}  // namespace saga

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sched/schedule.hpp"
+
+namespace saga {
+namespace {
+
+/// Two tasks a -> b with unit costs, 2-node unit network, dependency data 2.
+ProblemInstance two_task_instance() {
+  ProblemInstance inst;
+  const TaskId a = inst.graph.add_task("a", 1.0);
+  const TaskId b = inst.graph.add_task("b", 1.0);
+  inst.graph.add_dependency(a, b, 2.0);
+  inst.network = Network(2);
+  return inst;
+}
+
+TEST(Schedule, EmptyMakespanIsZero) { EXPECT_EQ(Schedule{}.makespan(), 0.0); }
+
+TEST(Schedule, AddAndLookup) {
+  Schedule s;
+  s.add({0, 1, 0.0, 1.0});
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.of_task(0).node, 1u);
+  EXPECT_THROW((void)s.of_task(1), std::out_of_range);
+}
+
+TEST(Schedule, RejectsDoubleScheduling) {
+  Schedule s;
+  s.add({0, 0, 0.0, 1.0});
+  EXPECT_THROW(s.add({0, 1, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Schedule, MakespanIsLatestFinish) {
+  Schedule s;
+  s.add({0, 0, 0.0, 1.0});
+  s.add({1, 1, 0.5, 4.5});
+  s.add({2, 0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.makespan(), 4.5);
+}
+
+TEST(Schedule, OnNodeSortedByStart) {
+  Schedule s;
+  s.add({0, 0, 3.0, 4.0});
+  s.add({1, 0, 0.0, 1.0});
+  s.add({2, 1, 0.0, 1.0});
+  const auto lane = s.on_node(0);
+  ASSERT_EQ(lane.size(), 2u);
+  EXPECT_EQ(lane[0].task, 1u);
+  EXPECT_EQ(lane[1].task, 0u);
+}
+
+TEST(ScheduleValidate, AcceptsValidSchedule) {
+  const auto inst = two_task_instance();
+  Schedule s;
+  s.add({0, 0, 0.0, 1.0});
+  s.add({1, 1, 3.0, 4.0});  // data arrives at 1 + 2/1 = 3
+  EXPECT_TRUE(s.validate(inst).ok);
+}
+
+TEST(ScheduleValidate, AcceptsColocatedDependentImmediately) {
+  const auto inst = two_task_instance();
+  Schedule s;
+  s.add({0, 0, 0.0, 1.0});
+  s.add({1, 0, 1.0, 2.0});  // same node: no communication delay
+  EXPECT_TRUE(s.validate(inst).ok);
+}
+
+TEST(ScheduleValidate, RejectsMissingTask) {
+  const auto inst = two_task_instance();
+  Schedule s;
+  s.add({0, 0, 0.0, 1.0});
+  const auto result = s.validate(inst);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("not scheduled"), std::string::npos);
+}
+
+TEST(ScheduleValidate, RejectsUnknownTask) {
+  const auto inst = two_task_instance();
+  Schedule s;
+  s.add({0, 0, 0.0, 1.0});
+  s.add({1, 0, 1.0, 2.0});
+  s.add({7, 1, 0.0, 1.0});  // instance only has tasks 0 and 1
+  EXPECT_FALSE(s.validate(inst).ok);
+}
+
+TEST(ScheduleValidate, RejectsUnknownNode) {
+  const auto inst = two_task_instance();
+  Schedule s;
+  s.add({0, 9, 0.0, 1.0});
+  s.add({1, 0, 3.0, 4.0});
+  EXPECT_FALSE(s.validate(inst).ok);
+}
+
+TEST(ScheduleValidate, RejectsNegativeStart) {
+  const auto inst = two_task_instance();
+  Schedule s;
+  s.add({0, 0, -1.0, 0.0});
+  s.add({1, 0, 1.0, 2.0});
+  EXPECT_FALSE(s.validate(inst).ok);
+}
+
+TEST(ScheduleValidate, RejectsInconsistentFinishTime) {
+  const auto inst = two_task_instance();
+  Schedule s;
+  s.add({0, 0, 0.0, 2.0});  // exec time is 1, not 2
+  s.add({1, 0, 2.0, 3.0});
+  const auto result = s.validate(inst);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("inconsistent"), std::string::npos);
+}
+
+TEST(ScheduleValidate, RejectsOverlapOnSameNode) {
+  ProblemInstance inst;
+  inst.graph.add_task("a", 1.0);
+  inst.graph.add_task("b", 1.0);  // independent tasks
+  inst.network = Network(1);
+  Schedule s;
+  s.add({0, 0, 0.0, 1.0});
+  s.add({1, 0, 0.5, 1.5});
+  const auto result = s.validate(inst);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("overlap"), std::string::npos);
+}
+
+TEST(ScheduleValidate, AllowsBackToBackTasks) {
+  ProblemInstance inst;
+  inst.graph.add_task("a", 1.0);
+  inst.graph.add_task("b", 1.0);
+  inst.network = Network(1);
+  Schedule s;
+  s.add({0, 0, 0.0, 1.0});
+  s.add({1, 0, 1.0, 2.0});
+  EXPECT_TRUE(s.validate(inst).ok);
+}
+
+TEST(ScheduleValidate, RejectsStartBeforeDataArrives) {
+  const auto inst = two_task_instance();
+  Schedule s;
+  s.add({0, 0, 0.0, 1.0});
+  s.add({1, 1, 2.0, 3.0});  // data only arrives at t=3
+  const auto result = s.validate(inst);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("arrives"), std::string::npos);
+}
+
+TEST(ScheduleValidate, CommDelayScalesWithWeakLink) {
+  auto inst = two_task_instance();
+  inst.network.set_strength(0, 1, 0.5);  // transfer takes 2/0.5 = 4
+  Schedule ok;
+  ok.add({0, 0, 0.0, 1.0});
+  ok.add({1, 1, 5.0, 6.0});
+  EXPECT_TRUE(ok.validate(inst).ok);
+  Schedule bad;
+  bad.add({0, 0, 0.0, 1.0});
+  bad.add({1, 1, 4.9, 5.9});
+  EXPECT_FALSE(bad.validate(inst).ok);
+}
+
+TEST(ScheduleValidate, ZeroCostTaskHasZeroDuration) {
+  ProblemInstance inst;
+  inst.graph.add_task("free", 0.0);
+  inst.network = Network(1);
+  Schedule s;
+  s.add({0, 0, 5.0, 5.0});
+  EXPECT_TRUE(s.validate(inst).ok);
+}
+
+}  // namespace
+}  // namespace saga

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "graph/serialization.hpp"
+
+namespace saga {
+namespace {
+
+TEST(Serialization, RoundTripsFig1Exactly) {
+  const ProblemInstance original = fig1_instance();
+  const ProblemInstance copy = instance_from_string(instance_to_string(original));
+
+  ASSERT_EQ(copy.graph.task_count(), original.graph.task_count());
+  EXPECT_TRUE(copy.graph.structurally_equal(original.graph));
+  for (TaskId t = 0; t < original.graph.task_count(); ++t) {
+    EXPECT_EQ(copy.graph.name(t), original.graph.name(t));
+  }
+  ASSERT_EQ(copy.network.node_count(), original.network.node_count());
+  for (NodeId v = 0; v < original.network.node_count(); ++v) {
+    EXPECT_DOUBLE_EQ(copy.network.speed(v), original.network.speed(v));
+  }
+  for (NodeId a = 0; a < original.network.node_count(); ++a) {
+    for (NodeId b = a + 1; b < original.network.node_count(); ++b) {
+      EXPECT_DOUBLE_EQ(copy.network.strength(a, b), original.network.strength(a, b));
+    }
+  }
+}
+
+TEST(Serialization, RoundTripsInfiniteStrength) {
+  ProblemInstance inst;
+  inst.graph.add_task("only", 1.0);
+  inst.network = Network(2);
+  inst.network.set_strength(0, 1, Network::kInfiniteStrength);
+  const auto copy = instance_from_string(instance_to_string(inst));
+  EXPECT_TRUE(std::isinf(copy.network.strength(0, 1)));
+}
+
+TEST(Serialization, RoundTripsExtremePrecision) {
+  ProblemInstance inst;
+  const TaskId a = inst.graph.add_task("a", 0.1 + 0.2);  // 0.30000000000000004
+  const TaskId b = inst.graph.add_task("b", 1e-300);
+  inst.graph.add_dependency(a, b, 1e300);
+  inst.network = Network(1);
+  const auto copy = instance_from_string(instance_to_string(inst));
+  EXPECT_EQ(copy.graph.cost(0), inst.graph.cost(0));
+  EXPECT_EQ(copy.graph.cost(1), inst.graph.cost(1));
+  EXPECT_EQ(copy.graph.dependency_cost(0, 1), inst.graph.dependency_cost(0, 1));
+}
+
+TEST(Serialization, IgnoresCommentsAndBlankLines) {
+  const ProblemInstance original = fig1_instance();
+  std::string text = instance_to_string(original);
+  text.insert(0, "# leading comment\n\n");
+  const auto copy = instance_from_string(text);
+  EXPECT_TRUE(copy.graph.structurally_equal(original.graph));
+}
+
+TEST(Serialization, RejectsWrongMagic) {
+  EXPECT_THROW((void)instance_from_string("bogus v1\ntasks 0\n"), std::runtime_error);
+}
+
+TEST(Serialization, RejectsTruncatedInput) {
+  std::string text = instance_to_string(fig1_instance());
+  text.resize(text.size() / 2);
+  EXPECT_THROW((void)instance_from_string(text), std::runtime_error);
+}
+
+TEST(Serialization, RejectsBadNumbers) {
+  const std::string text =
+      "saga-instance v1\ntasks 1\ntask 0 a notanumber\ndeps 0\nnodes 1\nnode 0 1\nlinks 0\n";
+  EXPECT_THROW((void)instance_from_string(text), std::runtime_error);
+}
+
+TEST(Serialization, RejectsNonDenseTaskIds) {
+  const std::string text =
+      "saga-instance v1\ntasks 1\ntask 5 a 1.0\ndeps 0\nnodes 1\nnode 0 1\nlinks 0\n";
+  EXPECT_THROW((void)instance_from_string(text), std::runtime_error);
+}
+
+TEST(Serialization, RejectsCyclicDependencies) {
+  const std::string text =
+      "saga-instance v1\n"
+      "tasks 2\ntask 0 a 1\ntask 1 b 1\n"
+      "deps 2\ndep 0 1 1\ndep 1 0 1\n"
+      "nodes 1\nnode 0 1\nlinks 0\n";
+  EXPECT_THROW((void)instance_from_string(text), std::runtime_error);
+}
+
+TEST(Serialization, RejectsWrongLinkCount) {
+  const std::string text =
+      "saga-instance v1\n"
+      "tasks 1\ntask 0 a 1\ndeps 0\n"
+      "nodes 3\nnode 0 1\nnode 1 1\nnode 2 1\n"
+      "links 1\nlink 0 1 1\n";
+  EXPECT_THROW((void)instance_from_string(text), std::runtime_error);
+}
+
+TEST(Serialization, EmptyGraphRoundTrips) {
+  ProblemInstance inst;
+  inst.network = Network(1);
+  const auto copy = instance_from_string(instance_to_string(inst));
+  EXPECT_EQ(copy.graph.task_count(), 0u);
+  EXPECT_EQ(copy.network.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace saga

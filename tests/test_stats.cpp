@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace saga {
+namespace {
+
+TEST(Mean, EmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Mean, KnownValue) { EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5); }
+
+TEST(Stddev, FewerThanTwoIsZero) {
+  EXPECT_EQ(stddev({}), 0.0);
+  EXPECT_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Stddev, KnownValue) {
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is sqrt(32/7).
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Quantile, EndpointsAreMinMax) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 3.0);
+}
+
+TEST(Quantile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 3.0}, 0.5), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenValues) {
+  // Sorted {1, 2}: q=0.5 -> 1.5.
+  EXPECT_DOUBLE_EQ(quantile({2.0, 1.0}, 0.5), 1.5);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 1.0), 7.0);
+}
+
+TEST(Summarize, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, KnownFiveNumberSummary) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Summarize, UnsortedInputHandled) {
+  const Summary s = summarize({9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, ToStringContainsFields) {
+  const std::string text = to_string(summarize({1.0, 2.0}));
+  EXPECT_NE(text.find("n=2"), std::string::npos);
+  EXPECT_NE(text.find("min=1.00"), std::string::npos);
+  EXPECT_NE(text.find("max=2.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saga

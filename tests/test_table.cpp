@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/table.hpp"
+
+namespace saga {
+namespace {
+
+TEST(FormatFixed, RoundsToDigits) {
+  EXPECT_EQ(format_fixed(1.234, 2), "1.23");
+  EXPECT_EQ(format_fixed(1.235, 1), "1.2");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(FormatRatioCell, PlainValue) { EXPECT_EQ(format_ratio_cell(1.55), "1.55"); }
+
+TEST(FormatRatioCell, ClampsAboveFive) {
+  EXPECT_EQ(format_ratio_cell(5.01), ">5.0");
+  EXPECT_EQ(format_ratio_cell(999.0), ">5.0");
+}
+
+TEST(FormatRatioCell, ExactlyFiveIsNotClamped) {
+  EXPECT_EQ(format_ratio_cell(5.0), "5.00");
+}
+
+TEST(FormatRatioCell, ClampsAboveThousand) {
+  EXPECT_EQ(format_ratio_cell(1000.5), ">1000");
+  EXPECT_EQ(format_ratio_cell(std::numeric_limits<double>::infinity()), ">1000");
+}
+
+TEST(FormatRatioCell, NanRendersDash) {
+  EXPECT_EQ(format_ratio_cell(std::numeric_limits<double>::quiet_NaN()), "-");
+}
+
+TEST(FormatRatioCell, CustomThresholds) {
+  EXPECT_EQ(format_ratio_cell(3.0, 2.0, 10.0), ">5.0");
+  EXPECT_EQ(format_ratio_cell(11.0, 2.0, 10.0), ">1000");
+}
+
+TEST(Table, TracksShape) {
+  Table t("title", {"a", "b"});
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row("r1", {"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, RenderContainsTitleLabelsAndCells) {
+  Table t("My Experiment", {"HEFT", "CPoP"});
+  t.add_row("blast", {"1.00", ">5.0"});
+  const std::string text = t.render();
+  EXPECT_NE(text.find("My Experiment"), std::string::npos);
+  EXPECT_NE(text.find("HEFT"), std::string::npos);
+  EXPECT_NE(text.find("CPoP"), std::string::npos);
+  EXPECT_NE(text.find("blast"), std::string::npos);
+  EXPECT_NE(text.find(">5.0"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  Table t("", {"col"});
+  t.add_row("short", {"1"});
+  t.add_row("a-much-longer-label", {"2"});
+  const std::string text = t.render();
+  // Both data cells must end at the same column.
+  const auto line_end = [&](const char* needle) {
+    const auto pos = text.find(needle);
+    EXPECT_NE(pos, std::string::npos);
+    return text.find('\n', pos);
+  };
+  const auto l1 = text.find("short");
+  const auto l2 = text.find("a-much-longer-label");
+  const auto e1 = line_end("short") - l1;
+  const auto e2 = line_end("a-much-longer-label") - l2;
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(Table, EmptyTitleOmitsHeaderLine) {
+  Table t("", {"x"});
+  t.add_row("r", {"1"});
+  EXPECT_EQ(t.render().find("=="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saga

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/task_graph.hpp"
+
+namespace saga {
+namespace {
+
+TaskGraph diamond() {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 1.0);
+  const TaskId b = g.add_task("b", 2.0);
+  const TaskId c = g.add_task("c", 3.0);
+  const TaskId d = g.add_task("d", 4.0);
+  g.add_dependency(a, b, 0.1);
+  g.add_dependency(a, c, 0.2);
+  g.add_dependency(b, d, 0.3);
+  g.add_dependency(c, d, 0.4);
+  return g;
+}
+
+TEST(TaskGraph, StartsEmpty) {
+  TaskGraph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.task_count(), 0u);
+  EXPECT_EQ(g.dependency_count(), 0u);
+}
+
+TEST(TaskGraph, AddTaskAssignsDenseIds) {
+  TaskGraph g;
+  EXPECT_EQ(g.add_task("x", 1.0), 0u);
+  EXPECT_EQ(g.add_task("y", 1.0), 1u);
+  EXPECT_EQ(g.add_task(2.0), 2u);
+  EXPECT_EQ(g.name(2), "t2");
+}
+
+TEST(TaskGraph, RejectsNegativeCosts) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_task("bad", -1.0), std::invalid_argument);
+  const TaskId t = g.add_task("ok", 1.0);
+  EXPECT_THROW(g.set_cost(t, -0.5), std::invalid_argument);
+}
+
+TEST(TaskGraph, ZeroCostTasksAllowed) {
+  TaskGraph g;
+  const TaskId t = g.add_task("free", 0.0);
+  EXPECT_EQ(g.cost(t), 0.0);
+}
+
+TEST(TaskGraph, SetCostUpdates) {
+  TaskGraph g = diamond();
+  g.set_cost(1, 9.0);
+  EXPECT_EQ(g.cost(1), 9.0);
+}
+
+TEST(TaskGraph, DependencyAccessors) {
+  const TaskGraph g = diamond();
+  EXPECT_TRUE(g.has_dependency(0, 1));
+  EXPECT_FALSE(g.has_dependency(1, 0));
+  EXPECT_DOUBLE_EQ(g.dependency_cost(2, 3), 0.4);
+  EXPECT_THROW((void)g.dependency_cost(1, 2), std::out_of_range);
+}
+
+TEST(TaskGraph, SetDependencyCost) {
+  TaskGraph g = diamond();
+  g.set_dependency_cost(0, 1, 7.5);
+  EXPECT_DOUBLE_EQ(g.dependency_cost(0, 1), 7.5);
+  EXPECT_THROW(g.set_dependency_cost(1, 2, 1.0), std::out_of_range);
+  EXPECT_THROW(g.set_dependency_cost(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(TaskGraph, AddDependencyRefusesDuplicates) {
+  TaskGraph g = diamond();
+  EXPECT_FALSE(g.add_dependency(0, 1, 0.9));
+  EXPECT_DOUBLE_EQ(g.dependency_cost(0, 1), 0.1);  // unchanged
+}
+
+TEST(TaskGraph, AddDependencyRefusesSelfLoop) {
+  TaskGraph g = diamond();
+  EXPECT_FALSE(g.add_dependency(2, 2, 1.0));
+}
+
+TEST(TaskGraph, AddDependencyRefusesCycles) {
+  TaskGraph g = diamond();
+  EXPECT_FALSE(g.add_dependency(3, 0, 1.0));  // closes a->...->d->a
+  EXPECT_FALSE(g.add_dependency(3, 1, 1.0));  // closes b->d->b
+  EXPECT_EQ(g.dependency_count(), 4u);
+}
+
+TEST(TaskGraph, AddDependencyOutOfRangeThrows) {
+  TaskGraph g = diamond();
+  EXPECT_THROW(g.add_dependency(0, 99, 1.0), std::out_of_range);
+}
+
+TEST(TaskGraph, TransitiveEdgeIsNotACycle) {
+  TaskGraph g = diamond();
+  EXPECT_TRUE(g.add_dependency(0, 3, 1.0));  // a->d shortcut is fine
+}
+
+TEST(TaskGraph, WouldCreateCycleProbes) {
+  const TaskGraph g = diamond();
+  EXPECT_TRUE(g.would_create_cycle(3, 0));
+  EXPECT_TRUE(g.would_create_cycle(1, 1));
+  EXPECT_FALSE(g.would_create_cycle(1, 2));
+}
+
+TEST(TaskGraph, RemoveDependency) {
+  TaskGraph g = diamond();
+  EXPECT_TRUE(g.remove_dependency(0, 1));
+  EXPECT_FALSE(g.has_dependency(0, 1));
+  EXPECT_FALSE(g.remove_dependency(0, 1));
+  EXPECT_EQ(g.dependency_count(), 3u);
+  // b is now a source.
+  EXPECT_EQ(g.sources(), (std::vector<TaskId>{0, 1}));
+}
+
+TEST(TaskGraph, RemovedEdgeCanBeReAdded) {
+  TaskGraph g = diamond();
+  g.remove_dependency(0, 1);
+  EXPECT_TRUE(g.add_dependency(0, 1, 0.5));
+  EXPECT_DOUBLE_EQ(g.dependency_cost(0, 1), 0.5);
+}
+
+TEST(TaskGraph, SourcesAndSinks) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.sources(), std::vector<TaskId>{0});
+  EXPECT_EQ(g.sinks(), std::vector<TaskId>{3});
+}
+
+TEST(TaskGraph, SuccessorsAndPredecessorsSorted) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(std::vector<TaskId>(g.successors(0).begin(), g.successors(0).end()),
+            (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(std::vector<TaskId>(g.predecessors(3).begin(), g.predecessors(3).end()),
+            (std::vector<TaskId>{1, 2}));
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = diamond();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const auto& [from, to] : g.dependencies()) EXPECT_LT(pos[from], pos[to]);
+}
+
+TEST(TaskGraph, TopologicalOrderIsDeterministicSmallestIdFirst) {
+  TaskGraph g;
+  g.add_task("a", 1.0);
+  g.add_task("b", 1.0);
+  g.add_task("c", 1.0);
+  // No edges: Kahn with a min-heap yields id order.
+  EXPECT_EQ(g.topological_order(), (std::vector<TaskId>{0, 1, 2}));
+}
+
+TEST(TaskGraph, DependenciesListedLexicographically) {
+  const TaskGraph g = diamond();
+  const auto deps = g.dependencies();
+  EXPECT_EQ(deps, (std::vector<std::pair<TaskId, TaskId>>{{0, 1}, {0, 2}, {1, 3}, {2, 3}}));
+}
+
+TEST(TaskGraph, TotalCost) { EXPECT_DOUBLE_EQ(diamond().total_cost(), 10.0); }
+
+TEST(TaskGraph, StructurallyEqualDetectsWeightChange) {
+  const TaskGraph a = diamond();
+  TaskGraph b = diamond();
+  EXPECT_TRUE(a.structurally_equal(b));
+  b.set_cost(0, 1.5);
+  EXPECT_FALSE(a.structurally_equal(b));
+  EXPECT_TRUE(a.structurally_equal(b, 1.0));  // within tolerance
+}
+
+TEST(TaskGraph, StructurallyEqualDetectsEdgeChange) {
+  const TaskGraph a = diamond();
+  TaskGraph b = diamond();
+  b.remove_dependency(0, 1);
+  EXPECT_FALSE(a.structurally_equal(b));
+  b.add_dependency(0, 1, 0.1);
+  EXPECT_TRUE(a.structurally_equal(b));
+  b.set_dependency_cost(0, 1, 0.9);
+  EXPECT_FALSE(a.structurally_equal(b));
+}
+
+TEST(TaskGraph, LargeChainTopologicalOrder) {
+  TaskGraph g;
+  const int n = 500;
+  TaskId prev = g.add_task(1.0);
+  for (int i = 1; i < n; ++i) {
+    const TaskId cur = g.add_task(1.0);
+    g.add_dependency(prev, cur, 1.0);
+    prev = cur;
+  }
+  const auto order = g.topological_order();
+  for (int i = 0; i < n; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], static_cast<TaskId>(i));
+}
+
+}  // namespace
+}  // namespace saga

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sched/timeline.hpp"
+
+namespace saga {
+namespace {
+
+ProblemInstance chain3() {
+  ProblemInstance inst;
+  const TaskId a = inst.graph.add_task("a", 1.0);
+  const TaskId b = inst.graph.add_task("b", 2.0);
+  const TaskId c = inst.graph.add_task("c", 1.0);
+  inst.graph.add_dependency(a, b, 1.0);
+  inst.graph.add_dependency(b, c, 1.0);
+  inst.network = Network(2);
+  inst.network.set_speed(1, 2.0);
+  return inst;
+}
+
+TEST(Timeline, InitialState) {
+  const auto inst = chain3();
+  TimelineBuilder builder(inst);
+  EXPECT_EQ(builder.placed_count(), 0u);
+  EXPECT_FALSE(builder.complete());
+  EXPECT_EQ(builder.ready_tasks(), std::vector<TaskId>{0});
+  EXPECT_TRUE(builder.ready(0));
+  EXPECT_FALSE(builder.ready(1));
+  EXPECT_EQ(builder.unplaced_predecessors(1), 1u);
+  EXPECT_DOUBLE_EQ(builder.current_makespan(), 0.0);
+}
+
+TEST(Timeline, ExecTimeUsesNodeSpeed) {
+  const auto inst = chain3();
+  TimelineBuilder builder(inst);
+  EXPECT_DOUBLE_EQ(builder.exec_time(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(builder.exec_time(1, 1), 1.0);
+}
+
+TEST(Timeline, DataReadyTimeIncludesCommDelay) {
+  const auto inst = chain3();
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 0.0);  // finishes at 1.0
+  EXPECT_DOUBLE_EQ(builder.data_ready_time(1, 0), 1.0);  // co-located
+  EXPECT_DOUBLE_EQ(builder.data_ready_time(1, 1), 2.0);  // + 1/1 transfer
+}
+
+TEST(Timeline, PlaceUnlocksSuccessors) {
+  const auto inst = chain3();
+  TimelineBuilder builder(inst);
+  builder.place_earliest(0, 0, false);
+  EXPECT_TRUE(builder.ready(1));
+  EXPECT_FALSE(builder.ready(2));
+  builder.place_earliest(1, 0, false);
+  EXPECT_TRUE(builder.ready(2));
+}
+
+TEST(Timeline, PlaceRejectsDoublePlacement) {
+  const auto inst = chain3();
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 0.0);
+  EXPECT_THROW(builder.place(0, 1, 5.0), std::logic_error);
+}
+
+TEST(Timeline, PlaceRejectsUnreadyTask) {
+  const auto inst = chain3();
+  TimelineBuilder builder(inst);
+  EXPECT_THROW(builder.place(2, 0, 0.0), std::logic_error);
+}
+
+TEST(Timeline, AssignmentOfThrowsUntilPlaced) {
+  const auto inst = chain3();
+  TimelineBuilder builder(inst);
+  EXPECT_THROW((void)builder.assignment_of(0), std::logic_error);
+  builder.place(0, 1, 0.0);
+  EXPECT_EQ(builder.assignment_of(0).node, 1u);
+  EXPECT_DOUBLE_EQ(builder.assignment_of(0).finish, 0.5);
+}
+
+TEST(Timeline, NodeAvailableTracksLastInterval) {
+  const auto inst = chain3();
+  TimelineBuilder builder(inst);
+  EXPECT_DOUBLE_EQ(builder.node_available(0), 0.0);
+  builder.place(0, 0, 0.0);
+  EXPECT_DOUBLE_EQ(builder.node_available(0), 1.0);
+  EXPECT_DOUBLE_EQ(builder.node_available(1), 0.0);
+}
+
+TEST(Timeline, AppendStartIsMaxOfReadyAndAvailable) {
+  const auto inst = chain3();
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 0.0);
+  // On node 1 data arrives at 2.0 and the node is idle: start = 2.0.
+  EXPECT_DOUBLE_EQ(builder.earliest_start(1, 1, false), 2.0);
+  // On node 0 the node frees at 1.0 and data is local: start = 1.0.
+  EXPECT_DOUBLE_EQ(builder.earliest_start(1, 0, false), 1.0);
+}
+
+TEST(Timeline, InsertionFindsGapBeforeExistingWork) {
+  ProblemInstance inst;
+  inst.graph.add_task("big", 4.0);
+  inst.graph.add_task("small", 1.0);
+  inst.network = Network(1);
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 3.0);  // deliberately delayed: idle gap [0, 3)
+  EXPECT_DOUBLE_EQ(builder.earliest_start(1, 0, /*insertion=*/true), 0.0);
+  EXPECT_DOUBLE_EQ(builder.earliest_start(1, 0, /*insertion=*/false), 7.0);
+}
+
+TEST(Timeline, InsertionSkipsTooSmallGaps) {
+  ProblemInstance inst;
+  inst.graph.add_task("first", 1.0);
+  inst.graph.add_task("second", 1.0);
+  inst.graph.add_task("wide", 2.0);
+  inst.network = Network(1);
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 0.0);   // [0,1)
+  builder.place(1, 0, 2.5);   // [2.5,3.5); gap [1,2.5) of width 1.5
+  // A 2-unit task cannot use the 1.5 gap; it must go after 3.5.
+  EXPECT_DOUBLE_EQ(builder.earliest_start(2, 0, true), 3.5);
+}
+
+TEST(Timeline, InsertionUsesExactFitGap) {
+  ProblemInstance inst;
+  inst.graph.add_task("first", 1.0);
+  inst.graph.add_task("second", 1.0);
+  inst.graph.add_task("fit", 2.0);
+  inst.network = Network(1);
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 0.0);  // [0,1)
+  builder.place(1, 0, 3.0);  // [3,4); gap [1,3) of width exactly 2
+  EXPECT_DOUBLE_EQ(builder.earliest_start(2, 0, true), 1.0);
+}
+
+TEST(Timeline, InsertionRespectsReadyTime) {
+  ProblemInstance inst;
+  const TaskId a = inst.graph.add_task("a", 1.0);
+  const TaskId b = inst.graph.add_task("b", 1.0);
+  inst.graph.add_dependency(a, b, 5.0);
+  const TaskId other = inst.graph.add_task("other", 1.0);
+  (void)other;
+  inst.network = Network(2);
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 0.0);
+  builder.place(2, 1, 8.0);  // node 1 busy [8,9), idle before
+  // b's data reaches node 1 at 1 + 5 = 6; gap [6,8) fits the 1-unit task.
+  EXPECT_DOUBLE_EQ(builder.earliest_start(1, 1, true), 6.0);
+}
+
+TEST(Timeline, ToScheduleRequiresCompletion) {
+  const auto inst = chain3();
+  TimelineBuilder builder(inst);
+  builder.place_earliest(0, 0, false);
+  EXPECT_THROW((void)builder.to_schedule(), std::logic_error);
+  builder.place_earliest(1, 0, false);
+  builder.place_earliest(2, 0, false);
+  ASSERT_TRUE(builder.complete());
+  const Schedule s = builder.to_schedule();
+  EXPECT_TRUE(s.validate(inst).ok);
+  EXPECT_DOUBLE_EQ(s.makespan(), builder.current_makespan());
+}
+
+TEST(Timeline, MakespanTracksPlacements) {
+  const auto inst = chain3();
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 0.0);
+  EXPECT_DOUBLE_EQ(builder.current_makespan(), 1.0);
+  builder.place(1, 1, 2.0);  // exec 1.0 on fast node, finishes 3.0
+  EXPECT_DOUBLE_EQ(builder.current_makespan(), 3.0);
+}
+
+}  // namespace
+}  // namespace saga

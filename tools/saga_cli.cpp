@@ -1,0 +1,166 @@
+/// saga — command-line front-end to the library, the workflow an
+/// open-source release ships for users who don't want to write C++.
+///
+/// Subcommands:
+///   saga generate <dataset> <index> [seed]        print an instance
+///   saga schedule <scheduler> <instance-file|->   schedule it, print the
+///                                                 schedule + Gantt
+///   saga validate <instance-file> <schedule-file> check a schedule
+///   saga compare <instance-file> [schedulers...]  makespans side by side
+///   saga pisa <target> <baseline> [restarts]      adversarial search
+///   saga atlas-verify <dir>                       re-verify a PISA atlas
+///   saga list                                     datasets & schedulers
+///
+/// "-" reads the instance from stdin, so commands compose:
+///   saga generate blast 0 | saga schedule HEFT -
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/atlas.hpp"
+#include "analysis/gantt.hpp"
+#include "core/annealer.hpp"
+#include "datasets/registry.hpp"
+#include "graph/serialization.hpp"
+#include "sched/registry.hpp"
+#include "sched/schedule_io.hpp"
+
+namespace {
+
+using namespace saga;
+
+ProblemInstance read_instance(const std::string& path) {
+  if (path == "-") return load_instance(std::cin);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return load_instance(in);
+}
+
+int cmd_list() {
+  std::printf("datasets (Table II):\n ");
+  for (const auto& spec : datasets::all_dataset_specs()) std::printf(" %s", spec.name.c_str());
+  std::printf("\nschedulers (Table I):\n ");
+  for (const auto& name : all_scheduler_names()) std::printf(" %s", name.c_str());
+  std::printf("\nextension schedulers:\n ");
+  for (const auto& name : extension_scheduler_names()) std::printf(" %s", name.c_str());
+  std::printf("\n");
+  return EXIT_SUCCESS;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 2) throw std::runtime_error("usage: saga generate <dataset> <index> [seed]");
+  const std::string dataset = argv[0];
+  const auto index = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  save_instance(std::cout, datasets::generate_instance(dataset, seed, index));
+  return EXIT_SUCCESS;
+}
+
+int cmd_schedule(int argc, char** argv) {
+  if (argc < 2) throw std::runtime_error("usage: saga schedule <scheduler> <instance|->");
+  const auto inst = read_instance(argv[1]);
+  const auto scheduler = make_scheduler(argv[0]);
+  const Schedule schedule = scheduler->schedule(inst);
+  save_schedule(std::cout, schedule);
+  std::cout << analysis::render_gantt(inst, schedule);
+  return EXIT_SUCCESS;
+}
+
+int cmd_validate(int argc, char** argv) {
+  if (argc < 2) throw std::runtime_error("usage: saga validate <instance> <schedule>");
+  const auto inst = read_instance(argv[0]);
+  std::ifstream in(argv[1]);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + argv[1]);
+  const Schedule schedule = load_schedule(in);
+  const auto result = schedule.validate(inst);
+  if (result.ok) {
+    std::printf("valid (makespan %g)\n", schedule.makespan());
+    return EXIT_SUCCESS;
+  }
+  std::printf("INVALID: %s\n", result.message.c_str());
+  return EXIT_FAILURE;
+}
+
+int cmd_compare(int argc, char** argv) {
+  if (argc < 1) throw std::runtime_error("usage: saga compare <instance|-> [schedulers...]");
+  const auto inst = read_instance(argv[0]);
+  std::vector<std::string> roster;
+  for (int i = 1; i < argc; ++i) roster.emplace_back(argv[i]);
+  if (roster.empty()) roster = benchmark_scheduler_names();
+  double best = 0.0;
+  std::vector<std::pair<std::string, double>> results;
+  for (const auto& name : roster) {
+    const double makespan = make_scheduler(name)->schedule(inst).makespan();
+    results.emplace_back(name, makespan);
+    if (best == 0.0 || makespan < best) best = makespan;
+  }
+  std::printf("%-14s %12s %8s\n", "scheduler", "makespan", "ratio");
+  for (const auto& [name, makespan] : results) {
+    std::printf("%-14s %12.4f %8.3f\n", name.c_str(), makespan,
+                best > 0.0 ? makespan / best : 1.0);
+  }
+  return EXIT_SUCCESS;
+}
+
+int cmd_pisa(int argc, char** argv) {
+  if (argc < 2) throw std::runtime_error("usage: saga pisa <target> <baseline> [restarts]");
+  const std::uint64_t seed = 42;
+  const auto target = make_scheduler(argv[0], seed);
+  const auto baseline = make_scheduler(argv[1], seed);
+  pisa::PisaOptions options;
+  options.restarts = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10;
+  const auto result = pisa::run_pisa(*target, *baseline, options, seed);
+  std::fprintf(stderr, "best ratio m(%s)/m(%s) = %.4f\n", argv[0], argv[1], result.best_ratio);
+  analysis::AtlasEntry entry;
+  entry.target = argv[0];
+  entry.baseline = argv[1];
+  entry.ratio = result.best_ratio;
+  entry.seed = seed;
+  entry.instance = result.best_instance;
+  std::cout << analysis::atlas_entry_to_string(entry);
+  return EXIT_SUCCESS;
+}
+
+int cmd_atlas_verify(int argc, char** argv) {
+  if (argc < 1) throw std::runtime_error("usage: saga atlas-verify <dir>");
+  const auto atlas = analysis::Atlas::load(argv[0]);
+  const auto mismatches = atlas.verify(1e-9);
+  std::printf("%zu entries", atlas.size());
+  if (mismatches.empty()) {
+    std::printf(", all reproduce\n");
+    return EXIT_SUCCESS;
+  }
+  std::printf(", %zu mismatches:\n", mismatches.size());
+  for (const auto& m : mismatches) std::printf("  %s\n", m.c_str());
+  return EXIT_FAILURE;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: saga <list|generate|schedule|validate|compare|pisa|atlas-verify> ...\n");
+    return EXIT_FAILURE;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "generate") return cmd_generate(argc - 2, argv + 2);
+    if (command == "schedule") return cmd_schedule(argc - 2, argv + 2);
+    if (command == "validate") return cmd_validate(argc - 2, argv + 2);
+    if (command == "compare") return cmd_compare(argc - 2, argv + 2);
+    if (command == "pisa") return cmd_pisa(argc - 2, argv + 2);
+    if (command == "atlas-verify") return cmd_atlas_verify(argc - 2, argv + 2);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+  }
+  return EXIT_FAILURE;
+}
