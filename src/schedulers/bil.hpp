@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string_view>
+
 #include "sched/scheduler.hpp"
 
 namespace saga {

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <string_view>
+
 #include "sched/scheduler.hpp"
 
 namespace saga {

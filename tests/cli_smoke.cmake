@@ -1,0 +1,66 @@
+# End-to-end smoke test for the saga CLI, run by ctest in script mode:
+#   cmake -DSAGA_CLI=<path-to-saga> -DWORK_DIR=<scratch-dir> -P cli_smoke.cmake
+# Exercises: list, generate -> schedule -> validate, and compare.
+
+if(NOT SAGA_CLI)
+  message(FATAL_ERROR "pass -DSAGA_CLI=<path to the saga binary>")
+endif()
+if(NOT WORK_DIR)
+  message(FATAL_ERROR "pass -DWORK_DIR=<scratch directory>")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(saga_step name)
+  execute_process(COMMAND ${SAGA_CLI} ${ARGN}
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "step '${name}' failed (exit ${rv})\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${name}_output "${out}" PARENT_SCOPE)
+endfunction()
+
+# 1. saga list must run, exit 0, and mention a known dataset and scheduler.
+saga_step(list list)
+if(NOT list_output MATCHES "blast")
+  message(FATAL_ERROR "saga list does not mention the blast dataset:\n${list_output}")
+endif()
+if(NOT list_output MATCHES "HEFT")
+  message(FATAL_ERROR "saga list does not mention the HEFT scheduler:\n${list_output}")
+endif()
+
+# 2. generate an instance, write it to disk.
+execute_process(COMMAND ${SAGA_CLI} generate blast 0
+  RESULT_VARIABLE rv
+  OUTPUT_FILE ${WORK_DIR}/instance.txt
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "saga generate blast 0 failed (exit ${rv}):\n${err}")
+endif()
+
+# 3. schedule it with HEFT; the schedule (plus Gantt) goes to a file.
+execute_process(COMMAND ${SAGA_CLI} schedule HEFT ${WORK_DIR}/instance.txt
+  RESULT_VARIABLE rv
+  OUTPUT_FILE ${WORK_DIR}/schedule.txt
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "saga schedule HEFT failed (exit ${rv}):\n${err}")
+endif()
+
+# 4. validate the schedule against the instance.
+saga_step(validate validate ${WORK_DIR}/instance.txt ${WORK_DIR}/schedule.txt)
+if(NOT validate_output MATCHES "^valid")
+  message(FATAL_ERROR "saga validate did not report a valid schedule:\n${validate_output}")
+endif()
+
+# 5. compare a couple of schedulers on the same instance.
+saga_step(compare compare ${WORK_DIR}/instance.txt HEFT MinMin)
+
+# 6. unknown subcommands must fail loudly, not exit 0.
+execute_process(COMMAND ${SAGA_CLI} no-such-command RESULT_VARIABLE rv OUTPUT_QUIET ERROR_QUIET)
+if(rv EQUAL 0)
+  message(FATAL_ERROR "saga accepted an unknown subcommand")
+endif()
+
+message(STATUS "cli_smoke: all steps passed")

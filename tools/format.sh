@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Check (default) or fix (--fix) formatting of all C++ sources with
+# clang-format, using the repo's .clang-format. Exits non-zero when a
+# check finds unformatted files or clang-format is unavailable.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "error: clang-format not found on PATH" >&2
+  exit 1
+fi
+
+mode="${1:-check}"
+
+if [ "$mode" = "--fix" ]; then
+  find src tests bench examples tools \( -name '*.cpp' -o -name '*.hpp' \) \
+    -print0 | xargs -0 clang-format -i
+  echo "formatting done"
+  exit 0
+fi
+
+if find src tests bench examples tools \( -name '*.cpp' -o -name '*.hpp' \) \
+    -print0 | xargs -0 clang-format --dry-run -Werror; then
+  echo "formatting clean"
+else
+  echo "run tools/format.sh --fix to reformat" >&2
+  exit 1
+fi

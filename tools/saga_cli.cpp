@@ -14,11 +14,15 @@
 /// "-" reads the instance from stdin, so commands compose:
 ///   saga generate blast 0 | saga schedule HEFT -
 
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -34,6 +38,17 @@
 namespace {
 
 using namespace saga;
+
+std::uint64_t parse_u64(const char* arg, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t value = std::strtoull(arg, &end, 10);
+  if (!std::isdigit(static_cast<unsigned char>(arg[0])) || end == arg || *end != '\0' ||
+      errno == ERANGE) {
+    throw std::runtime_error(std::string("invalid ") + what + ": " + arg);
+  }
+  return value;
+}
 
 ProblemInstance read_instance(const std::string& path) {
   if (path == "-") return load_instance(std::cin);
@@ -56,8 +71,8 @@ int cmd_list() {
 int cmd_generate(int argc, char** argv) {
   if (argc < 2) throw std::runtime_error("usage: saga generate <dataset> <index> [seed]");
   const std::string dataset = argv[0];
-  const auto index = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  const auto index = static_cast<std::size_t>(parse_u64(argv[1], "index"));
+  const std::uint64_t seed = argc > 2 ? parse_u64(argv[2], "seed") : 42;
   save_instance(std::cout, datasets::generate_instance(dataset, seed, index));
   return EXIT_SUCCESS;
 }
@@ -93,12 +108,12 @@ int cmd_compare(int argc, char** argv) {
   std::vector<std::string> roster;
   for (int i = 1; i < argc; ++i) roster.emplace_back(argv[i]);
   if (roster.empty()) roster = benchmark_scheduler_names();
-  double best = 0.0;
+  double best = std::numeric_limits<double>::infinity();
   std::vector<std::pair<std::string, double>> results;
   for (const auto& name : roster) {
     const double makespan = make_scheduler(name)->schedule(inst).makespan();
     results.emplace_back(name, makespan);
-    if (best == 0.0 || makespan < best) best = makespan;
+    if (makespan < best) best = makespan;
   }
   std::printf("%-14s %12s %8s\n", "scheduler", "makespan", "ratio");
   for (const auto& [name, makespan] : results) {
@@ -114,7 +129,7 @@ int cmd_pisa(int argc, char** argv) {
   const auto target = make_scheduler(argv[0], seed);
   const auto baseline = make_scheduler(argv[1], seed);
   pisa::PisaOptions options;
-  options.restarts = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10;
+  options.restarts = argc > 2 ? parse_u64(argv[2], "restarts") : 10;
   const auto result = pisa::run_pisa(*target, *baseline, options, seed);
   std::fprintf(stderr, "best ratio m(%s)/m(%s) = %.4f\n", argv[0], argv[1], result.best_ratio);
   analysis::AtlasEntry entry;
