@@ -6,11 +6,18 @@
 /// layered DAGs at growing |T| (with |V| = 8), so the growth curves can be
 /// compared against those bounds. BruteForce/SMT are exponential and are
 /// measured only at |T| = 6.
+///
+/// Every polynomial scheduler is registered twice: the plain entry runs the
+/// legacy one-shot path (`schedule(inst)`: a private InstanceView and
+/// scratch per call), the "/arena" entry runs the shared evaluation kernel
+/// (`schedule(inst, &arena)`: cached view + recycled scratch). Comparing
+/// the two curves shows the kernel's before/after per-call win.
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
 #include "graph/problem_instance.hpp"
+#include "sched/arena.hpp"
 #include "sched/registry.hpp"
 
 namespace {
@@ -50,20 +57,30 @@ ProblemInstance layered_instance(std::size_t tasks, std::size_t nodes, std::uint
   return inst;
 }
 
-void schedule_benchmark(benchmark::State& state, const std::string& scheduler_name) {
+void schedule_benchmark(benchmark::State& state, const std::string& scheduler_name,
+                        bool use_arena) {
   const auto tasks = static_cast<std::size_t>(state.range(0));
   const auto inst = layered_instance(tasks, 8, 42);
   const auto scheduler = make_scheduler(scheduler_name, 1);
+  TimelineArena arena;
+  TimelineArena* arena_ptr = use_arena ? &arena : nullptr;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(scheduler->schedule(inst));
+    benchmark::DoNotOptimize(scheduler->schedule(inst, arena_ptr));
   }
   state.SetComplexityN(state.range(0));
 }
 
 void register_polynomial(const char* name) {
   benchmark::RegisterBenchmark(name, [name = std::string(name)](benchmark::State& state) {
-    schedule_benchmark(state, name);
+    schedule_benchmark(state, name, /*use_arena=*/false);
   })
+      ->RangeMultiplier(2)
+      ->Range(16, 256)
+      ->Complexity();
+  benchmark::RegisterBenchmark((std::string(name) + "/arena").c_str(),
+                               [name = std::string(name)](benchmark::State& state) {
+                                 schedule_benchmark(state, name, /*use_arena=*/true);
+                               })
       ->RangeMultiplier(2)
       ->Range(16, 256)
       ->Complexity();

@@ -1,0 +1,12 @@
+#include "common/version.hpp"
+
+#include <atomic>
+
+namespace saga {
+
+VersionStamp next_version_stamp() noexcept {
+  static std::atomic<VersionStamp> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace saga

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file version.hpp
+/// Process-wide monotone version stamps. Mutable graph/network containers
+/// stamp themselves on every mutation; caches (InstanceView) compare stamps
+/// to decide between a no-op, a weight refresh, and a structural rebuild.
+/// Stamps are globally unique across objects, so a stamp match is safe even
+/// after instances are copied or assigned over; moved-from containers
+/// re-stamp themselves so a cache can never match their gutted state.
+
+namespace saga {
+
+using VersionStamp = std::uint64_t;
+
+/// Returns a fresh stamp, strictly greater than every stamp handed out
+/// before (thread-safe).
+[[nodiscard]] VersionStamp next_version_stamp() noexcept;
+
+}  // namespace saga

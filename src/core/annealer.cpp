@@ -1,30 +1,43 @@
 #include "core/annealer.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "core/constraints.hpp"
+#include "sched/arena.hpp"
 
 namespace saga::pisa {
 
 double makespan_ratio(const Scheduler& target, const Scheduler& baseline,
-                      const ProblemInstance& inst) {
-  const double m_target = target.schedule(inst).makespan();
-  const double m_baseline = baseline.schedule(inst).makespan();
+                      const ProblemInstance& inst, TimelineArena* arena) {
+  const double m_target = target.schedule(inst, arena).makespan();
+  const double m_baseline = baseline.schedule(inst, arena).makespan();
   if (m_baseline == 0.0) {
     return m_target == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
   }
   return m_target / m_baseline;
 }
 
-AnnealResult anneal_objective(const InstanceObjective& objective,
-                              const ProblemInstance& initial, const PerturbationConfig& config,
-                              const AnnealingParams& params, std::uint64_t seed) {
+AnnealResult anneal_objective(const ArenaObjective& objective, const ProblemInstance& initial,
+                              const PerturbationConfig& config, const AnnealingParams& params,
+                              std::uint64_t seed, TimelineArena* arena) {
   Rng rng(seed);
+  TimelineArena run_arena;
+  TimelineArena& eval_arena = arena != nullptr ? *arena : run_arena;
 
   AnnealResult result;
-  ProblemInstance current = initial;
-  double current_ratio = objective(current);
-  result.best_instance = current;
+  // Two persistent instance buffers ping-pong across the whole run via
+  // pointer swap (no container moves, so no re-stamping): each step
+  // copy-assigns current into the candidate buffer — reusing its vectors'
+  // capacity — and perturbs it in place. A step only allocates when the
+  // graph grows.
+  ProblemInstance buffer_a = initial;
+  ProblemInstance buffer_b;
+  ProblemInstance* current = &buffer_a;
+  ProblemInstance* candidate = &buffer_b;
+
+  double current_ratio = objective(*current, eval_arena);
+  result.best_instance = *current;
   result.best_ratio = current_ratio;
   result.initial_ratio = current_ratio;
 
@@ -33,24 +46,25 @@ AnnealResult anneal_objective(const InstanceObjective& objective,
   double temperature = params.t_max;
   std::size_t iteration = 0;
   while (temperature > params.t_min && iteration < params.max_iterations) {
-    auto candidate = perturb(current, config, rng);
+    *candidate = *current;
+    const auto applied = perturb_in_place(*candidate, config, rng);
     const double candidate_ratio =
-        candidate.applied.has_value() ? objective(candidate.instance) : current_ratio;
+        applied.has_value() ? objective(*candidate, eval_arena) : current_ratio;
     const double ratio_before = current_ratio;
 
     if (candidate_ratio > result.best_ratio) {
       // Algorithm 1 line 6-7: improving candidates update the best solution
       // (and become the current state).
-      result.best_instance = candidate.instance;
+      result.best_instance = *candidate;
       result.best_ratio = candidate_ratio;
-      current = std::move(candidate.instance);
+      std::swap(current, candidate);
       current_ratio = candidate_ratio;
       ++result.improved;
     } else if (candidate_ratio >= current_ratio) {
       // Better than (or equal to) the current state, though not a new best:
       // always accept, as in standard simulated annealing (Algorithm 1
       // leaves this case implicit).
-      current = std::move(candidate.instance);
+      std::swap(current, candidate);
       current_ratio = candidate_ratio;
     } else {
       double accept_probability = 0.0;
@@ -74,7 +88,7 @@ AnnealResult anneal_objective(const InstanceObjective& objective,
         }
       }
       if (rng.bernoulli(accept_probability)) {
-        current = std::move(candidate.instance);
+        std::swap(current, candidate);
         current_ratio = candidate_ratio;
         ++result.accepted;
       }
@@ -91,12 +105,22 @@ AnnealResult anneal_objective(const InstanceObjective& objective,
   return result;
 }
 
+AnnealResult anneal_objective(const InstanceObjective& objective, const ProblemInstance& initial,
+                              const PerturbationConfig& config, const AnnealingParams& params,
+                              std::uint64_t seed, TimelineArena* arena) {
+  return anneal_objective(
+      [&](const ProblemInstance& inst, TimelineArena&) { return objective(inst); }, initial,
+      config, params, seed, arena);
+}
+
 AnnealResult anneal(const Scheduler& target, const Scheduler& baseline,
                     const ProblemInstance& initial, const PerturbationConfig& config,
-                    const AnnealingParams& params, std::uint64_t seed) {
+                    const AnnealingParams& params, std::uint64_t seed, TimelineArena* arena) {
   return anneal_objective(
-      [&](const ProblemInstance& inst) { return makespan_ratio(target, baseline, inst); },
-      initial, config, params, seed);
+      [&](const ProblemInstance& inst, TimelineArena& eval) {
+        return makespan_ratio(target, baseline, inst, &eval);
+      },
+      initial, config, params, seed, arena);
 }
 
 ProblemInstance random_chain_instance(std::uint64_t seed) {
@@ -123,11 +147,16 @@ ProblemInstance random_chain_instance(std::uint64_t seed) {
 }
 
 AnnealResult run_pisa(const Scheduler& target, const Scheduler& baseline,
-                      const PisaOptions& options, std::uint64_t seed) {
+                      const PisaOptions& options, std::uint64_t seed, TimelineArena* arena) {
   // Honour the pair's combined homogeneity constraints.
   const auto reqs = combine(target.requirements(), baseline.requirements());
   PerturbationConfig config = options.config;
   apply_requirements(config, reqs);
+
+  // One arena serves every restart of this call (per-thread when driven by
+  // pairwise_compare).
+  TimelineArena run_arena;
+  TimelineArena* eval_arena = arena != nullptr ? arena : &run_arena;
 
   AnnealResult best;
   best.best_ratio = -std::numeric_limits<double>::infinity();
@@ -138,7 +167,7 @@ AnnealResult run_pisa(const Scheduler& target, const Scheduler& baseline,
                                   : random_chain_instance(derive_seed(run_seed, {0x1417ULL}));
     normalize_instance(initial, reqs);
     AnnealResult result = anneal(target, baseline, initial, config, options.params,
-                                 derive_seed(run_seed, {0xa22eaULL}));
+                                 derive_seed(run_seed, {0xa22eaULL}), eval_arena);
     if (result.best_ratio > best.best_ratio) best = std::move(result);
   }
   return best;

@@ -61,19 +61,36 @@ struct AnnealResult {
 /// ratio 1, x/0 -> +inf), so an instance on which the baseline's makespan
 /// is zero but the target's is not yields an infinite ratio (rendered
 /// ">1000" as in the paper's figures).
+///
+/// `arena` (optional, here and below) supplies the shared evaluation
+/// kernel's per-thread state — a cached InstanceView refreshed in place as
+/// the annealer mutates weights, plus recycled timeline scratch — so the
+/// two `schedule()` calls per step are allocation-free once warm.
 [[nodiscard]] double makespan_ratio(const Scheduler& target, const Scheduler& baseline,
-                                    const ProblemInstance& inst);
+                                    const ProblemInstance& inst,
+                                    TimelineArena* arena = nullptr);
 
 /// An instance objective to maximise. The paper's objective is the
 /// makespan ratio of a scheduler pair; the metric extensions (energy,
 /// throughput, cost — see metrics/metrics.hpp) plug in here too.
 using InstanceObjective = std::function<double(const ProblemInstance&)>;
 
-/// Runs Algorithm 1 on an arbitrary objective.
+/// Arena-aware objective: receives the annealer's evaluation arena so
+/// scheduler-based objectives can run on the shared kernel.
+using ArenaObjective = std::function<double(const ProblemInstance&, TimelineArena&)>;
+
+/// Runs Algorithm 1 on an arbitrary objective. Uses `arena` for the
+/// per-step evaluations (a run-local arena when null).
+[[nodiscard]] AnnealResult anneal_objective(const ArenaObjective& objective,
+                                            const ProblemInstance& initial,
+                                            const PerturbationConfig& config,
+                                            const AnnealingParams& params, std::uint64_t seed,
+                                            TimelineArena* arena = nullptr);
 [[nodiscard]] AnnealResult anneal_objective(const InstanceObjective& objective,
                                             const ProblemInstance& initial,
                                             const PerturbationConfig& config,
-                                            const AnnealingParams& params, std::uint64_t seed);
+                                            const AnnealingParams& params, std::uint64_t seed,
+                                            TimelineArena* arena = nullptr);
 
 /// Runs Algorithm 1 from the given initial instance with the paper's
 /// makespan-ratio objective. The perturbation config should already
@@ -82,7 +99,8 @@ using InstanceObjective = std::function<double(const ProblemInstance&)>;
 [[nodiscard]] AnnealResult anneal(const Scheduler& target, const Scheduler& baseline,
                                   const ProblemInstance& initial,
                                   const PerturbationConfig& config,
-                                  const AnnealingParams& params, std::uint64_t seed);
+                                  const AnnealingParams& params, std::uint64_t seed,
+                                  TimelineArena* arena = nullptr);
 
 /// The paper's Section VI initial instance: a complete network with 3-5
 /// nodes, uniform weights in (0, 1] (self-links infinite), and a chain task
@@ -102,6 +120,7 @@ struct PisaOptions {
 };
 
 [[nodiscard]] AnnealResult run_pisa(const Scheduler& target, const Scheduler& baseline,
-                                    const PisaOptions& options, std::uint64_t seed);
+                                    const PisaOptions& options, std::uint64_t seed,
+                                    TimelineArena* arena = nullptr);
 
 }  // namespace saga::pisa

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/thread_pool.hpp"
+#include "sched/arena.hpp"
 #include "sched/registry.hpp"
 
 namespace saga::pisa {
@@ -41,6 +42,10 @@ PairwiseResult pairwise_compare(const std::vector<std::string>& scheduler_names,
   }
 
   const auto run_cell = [&](std::size_t i) {
+    // Each worker thread owns one evaluation arena: its InstanceView is
+    // refreshed in place as PISA perturbs weights and its timeline scratch
+    // is recycled across every schedule() call the thread makes.
+    static thread_local TimelineArena arena;
     const auto [row, col] = cells[i];
     // Fresh scheduler objects per cell: schedulers are stateless apart from
     // WBA's seed, which we derive per cell for independence.
@@ -48,8 +53,8 @@ PairwiseResult pairwise_compare(const std::vector<std::string>& scheduler_names,
         make_scheduler(scheduler_names[row], derive_seed(seed, {0xba5eULL, row, col}));
     const auto target =
         make_scheduler(scheduler_names[col], derive_seed(seed, {0x7a26e7ULL, row, col}));
-    const auto cell_result =
-        run_pisa(*target, *baseline, options.pisa, derive_seed(seed, {0xce11ULL, row, col}));
+    const auto cell_result = run_pisa(*target, *baseline, options.pisa,
+                                      derive_seed(seed, {0xce11ULL, row, col}), &arena);
     result.ratio[row][col] = cell_result.best_ratio;
   };
 

@@ -53,9 +53,8 @@ bool apply_op(ProblemInstance& inst, PerturbationOp op, const PerturbationConfig
       return true;
     }
     case PerturbationOp::kChangeDependencyWeight: {
-      const auto deps = g.dependencies();
-      if (deps.empty()) return false;
-      const auto& [from, to] = deps[rng.index(deps.size())];
+      if (g.dependency_count() == 0) return false;
+      const auto [from, to] = g.dependency_at(rng.index(g.dependency_count()));
       g.set_dependency_cost(from, to,
                             nudge(g.dependency_cost(from, to), config.dependency_cost, rng));
       return true;
@@ -78,9 +77,8 @@ bool apply_op(ProblemInstance& inst, PerturbationOp op, const PerturbationConfig
       return g.add_dependency(from, to, cost);
     }
     case PerturbationOp::kRemoveDependency: {
-      const auto deps = g.dependencies();
-      if (deps.empty()) return false;
-      const auto& [from, to] = deps[rng.index(deps.size())];
+      if (g.dependency_count() == 0) return false;
+      const auto [from, to] = g.dependency_at(rng.index(g.dependency_count()));
       return g.remove_dependency(from, to);
     }
   }
@@ -89,25 +87,30 @@ bool apply_op(ProblemInstance& inst, PerturbationOp op, const PerturbationConfig
 
 }  // namespace
 
-PerturbationResult perturb(const ProblemInstance& inst, const PerturbationConfig& config,
-                           Rng& rng) {
-  PerturbationResult result{inst, std::nullopt};
-
-  std::vector<PerturbationOp> enabled;
+std::optional<PerturbationOp> perturb_in_place(ProblemInstance& inst,
+                                               const PerturbationConfig& config, Rng& rng) {
+  // Small fixed-capacity op list: no allocation on the annealing hot path.
+  std::array<PerturbationOp, kPerturbationOpCount> enabled{};
+  std::size_t enabled_count = 0;
   for (std::size_t i = 0; i < kPerturbationOpCount; ++i) {
-    if (config.enabled[i]) enabled.push_back(static_cast<PerturbationOp>(i));
+    if (config.enabled[i]) enabled[enabled_count++] = static_cast<PerturbationOp>(i);
   }
   // Pick uniformly among enabled ops; if the chosen op is inapplicable
   // (e.g. RemoveDependency on an edgeless graph), retry among the rest.
-  while (!enabled.empty()) {
-    const std::size_t pick = rng.index(enabled.size());
+  while (enabled_count > 0) {
+    const std::size_t pick = rng.index(enabled_count);
     const PerturbationOp op = enabled[pick];
-    if (apply_op(result.instance, op, config, rng)) {
-      result.applied = op;
-      return result;
-    }
-    enabled.erase(enabled.begin() + static_cast<std::ptrdiff_t>(pick));
+    if (apply_op(inst, op, config, rng)) return op;
+    for (std::size_t i = pick + 1; i < enabled_count; ++i) enabled[i - 1] = enabled[i];
+    --enabled_count;
   }
+  return std::nullopt;
+}
+
+PerturbationResult perturb(const ProblemInstance& inst, const PerturbationConfig& config,
+                           Rng& rng) {
+  PerturbationResult result{inst, std::nullopt};
+  result.applied = perturb_in_place(result.instance, config, rng);
   return result;
 }
 

@@ -80,4 +80,11 @@ struct PerturbationResult {
 [[nodiscard]] PerturbationResult perturb(const ProblemInstance& inst,
                                          const PerturbationConfig& config, Rng& rng);
 
+/// Same operator selection and RNG stream as `perturb`, but mutates `inst`
+/// directly instead of copying — the annealer's hot path reuses one
+/// candidate buffer across steps this way. Returns the operator applied, or
+/// std::nullopt if none was applicable (the instance is then unchanged).
+std::optional<PerturbationOp> perturb_in_place(ProblemInstance& inst,
+                                               const PerturbationConfig& config, Rng& rng);
+
 }  // namespace saga::pisa

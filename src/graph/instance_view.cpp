@@ -1,0 +1,85 @@
+#include "graph/instance_view.hpp"
+
+namespace saga {
+
+bool InstanceView::in_sync_with(const ProblemInstance& inst) const noexcept {
+  return inst_ == &inst && graph_structure_stamp_ == inst.graph.structure_stamp() &&
+         graph_weights_stamp_ == inst.graph.weights_stamp() &&
+         network_stamp_ == inst.network.weights_stamp() &&
+         node_speed_.size() == inst.network.node_count();
+}
+
+void InstanceView::sync(const ProblemInstance& inst) {
+  // A graph whose structure stamp matches has identical tasks and edges
+  // (stamps are globally unique and re-issued on every structural change).
+  // The network's node count is part of the "shape" too: a replaced network
+  // of a different size forces the dense tables to be resized.
+  const bool same_shape = inst_ != nullptr &&
+                          graph_structure_stamp_ == inst.graph.structure_stamp() &&
+                          node_speed_.size() == inst.network.node_count();
+  inst_ = &inst;
+  if (!same_shape) {
+    rebuild_structure(inst.graph);
+    refresh_graph_weights(inst.graph);
+    refresh_network(inst.network);
+  } else {
+    if (graph_weights_stamp_ != inst.graph.weights_stamp()) {
+      refresh_graph_weights(inst.graph);
+    }
+    if (network_stamp_ != inst.network.weights_stamp()) {
+      refresh_network(inst.network);
+    }
+  }
+  graph_structure_stamp_ = inst.graph.structure_stamp();
+  graph_weights_stamp_ = inst.graph.weights_stamp();
+  network_stamp_ = inst.network.weights_stamp();
+}
+
+void InstanceView::rebuild_structure(const TaskGraph& graph) {
+  const std::size_t tasks = graph.task_count();
+  task_cost_.resize(tasks);
+  pred_offset_.resize(tasks + 1);
+  succ_offset_.resize(tasks + 1);
+  pred_.clear();
+  succ_.clear();
+  pred_.reserve(graph.dependency_count());
+  succ_.reserve(graph.dependency_count());
+  for (TaskId t = 0; t < tasks; ++t) {
+    pred_offset_[t] = pred_.size();
+    for (TaskId p : graph.predecessors(t)) pred_.push_back({p, 0.0});
+    succ_offset_[t] = succ_.size();
+    for (TaskId s : graph.successors(t)) succ_.push_back({s, 0.0});
+  }
+  pred_offset_[tasks] = pred_.size();
+  succ_offset_[tasks] = succ_.size();
+  topo_ = graph.topological_order();
+}
+
+void InstanceView::refresh_graph_weights(const TaskGraph& graph) {
+  const std::size_t tasks = graph.task_count();
+  for (TaskId t = 0; t < tasks; ++t) {
+    task_cost_[t] = graph.cost(t);
+    for (std::size_t i = pred_offset_[t]; i < pred_offset_[t + 1]; ++i) {
+      pred_[i].cost = graph.dependency_cost(pred_[i].task, t);
+    }
+    for (std::size_t i = succ_offset_[t]; i < succ_offset_[t + 1]; ++i) {
+      succ_[i].cost = graph.dependency_cost(t, succ_[i].task);
+    }
+  }
+}
+
+void InstanceView::refresh_network(const Network& network) {
+  const std::size_t nodes = network.node_count();
+  node_speed_.resize(nodes);
+  strength_.resize(nodes * nodes);
+  for (NodeId a = 0; a < nodes; ++a) {
+    node_speed_[a] = network.speed(a);
+    for (NodeId b = 0; b < nodes; ++b) {
+      strength_[a * nodes + b] = network.strength(a, b);
+    }
+  }
+  mean_inv_speed_ = network.mean_inverse_speed();
+  mean_inv_strength_ = network.mean_inverse_strength();
+}
+
+}  // namespace saga

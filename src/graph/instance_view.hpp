@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/version.hpp"
+#include "graph/problem_instance.hpp"
+
+/// \file instance_view.hpp
+/// Flat, cache-friendly snapshot of a ProblemInstance: the read side of the
+/// shared evaluation kernel every scheduler runs on. Adjacency is stored as
+/// CSR arrays whose entries carry the dependency cost inline (no hash-map
+/// lookup per edge), node speeds and the full link-strength matrix are
+/// packed into contiguous tables (no triangular index math per query), and
+/// the topological order plus the network means used by rank computations
+/// are precomputed once.
+///
+/// A view tracks the version stamps of the graph and network it was built
+/// from (see common/version.hpp). `sync` is incremental: weight-only
+/// mutations — the common case in PISA's annealing loop — refresh the
+/// weight tables in place without allocating; structural mutations rebuild
+/// the CSR arrays, reusing capacity. Views are not thread-safe; give each
+/// worker thread its own (normally via its TimelineArena).
+///
+/// All time computations use the exact arithmetic of Network::exec_time and
+/// Network::comm_time on the copied weights, so schedules produced through a
+/// view are bit-identical to those produced against the instance directly.
+
+namespace saga {
+
+class InstanceView {
+ public:
+  /// One CSR adjacency entry: the neighbouring task and the data size
+  /// c(from, to) of the dependency it represents.
+  struct Edge {
+    TaskId task;
+    double cost;
+  };
+
+  InstanceView() = default;
+  explicit InstanceView(const ProblemInstance& inst) { sync(inst); }
+
+  /// Brings the view up to date with `inst`: no-op when stamps match,
+  /// in-place weight refresh when only weights changed, full structural
+  /// rebuild otherwise.
+  void sync(const ProblemInstance& inst);
+
+  /// True if the view reflects exactly this instance object at its current
+  /// stamps (sync would be a no-op).
+  [[nodiscard]] bool in_sync_with(const ProblemInstance& inst) const noexcept;
+
+  /// The instance this view was last synced to. Undefined before the first
+  /// sync.
+  [[nodiscard]] const ProblemInstance& instance() const noexcept { return *inst_; }
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return task_cost_.size(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_speed_.size(); }
+
+  [[nodiscard]] double task_cost(TaskId t) const { return task_cost_[t]; }
+  [[nodiscard]] double node_speed(NodeId v) const { return node_speed_[v]; }
+
+  /// Execution time of t on v — same arithmetic as Network::exec_time.
+  [[nodiscard]] double exec_time(TaskId t, NodeId v) const {
+    return task_cost_[t] / node_speed_[v];
+  }
+
+  /// Transfer time of `data_size` from a to b — same arithmetic as
+  /// Network::comm_time, against the dense strength table.
+  [[nodiscard]] double comm_time(double data_size, NodeId a, NodeId b) const {
+    if (a == b || data_size == 0.0) return 0.0;
+    return data_size / strength_[a * node_speed_.size() + b];
+  }
+
+  [[nodiscard]] std::span<const Edge> predecessors(TaskId t) const {
+    return {pred_.data() + pred_offset_[t], pred_offset_[t + 1] - pred_offset_[t]};
+  }
+  [[nodiscard]] std::span<const Edge> successors(TaskId t) const {
+    return {succ_.data() + succ_offset_[t], succ_offset_[t + 1] - succ_offset_[t]};
+  }
+
+  /// Deterministic topological order (same order as
+  /// TaskGraph::topological_order), precomputed at (re)build time.
+  [[nodiscard]] std::span<const TaskId> topological_order() const noexcept { return topo_; }
+
+  /// Cached Network::mean_inverse_speed / mean_inverse_strength.
+  [[nodiscard]] double mean_inverse_speed() const noexcept { return mean_inv_speed_; }
+  [[nodiscard]] double mean_inverse_strength() const noexcept { return mean_inv_strength_; }
+
+ private:
+  void rebuild_structure(const TaskGraph& graph);
+  void refresh_graph_weights(const TaskGraph& graph);
+  void refresh_network(const Network& network);
+
+  const ProblemInstance* inst_ = nullptr;
+  VersionStamp graph_structure_stamp_ = 0;
+  VersionStamp graph_weights_stamp_ = 0;
+  VersionStamp network_stamp_ = 0;
+
+  std::vector<double> task_cost_;                       // per task
+  std::vector<double> node_speed_;                      // per node
+  std::vector<double> strength_;                        // dense n*n, diagonal = +inf
+  std::vector<std::size_t> pred_offset_, succ_offset_;  // CSR offsets, size T+1
+  std::vector<Edge> pred_, succ_;                       // CSR entries, size E each
+  std::vector<TaskId> topo_;
+  double mean_inv_speed_ = 0.0;
+  double mean_inv_strength_ = 0.0;
+};
+
+}  // namespace saga

@@ -12,9 +12,27 @@ Network::Network(std::size_t node_count)
   if (node_count == 0) throw std::invalid_argument("network needs at least one node");
 }
 
+Network::Network(Network&& other) noexcept
+    : speeds_(std::move(other.speeds_)),
+      strengths_(std::move(other.strengths_)),
+      weights_stamp_(other.weights_stamp_) {
+  other.weights_stamp_ = next_version_stamp();
+}
+
+Network& Network::operator=(Network&& other) noexcept {
+  if (this != &other) {
+    speeds_ = std::move(other.speeds_);
+    strengths_ = std::move(other.strengths_);
+    weights_stamp_ = other.weights_stamp_;
+    other.weights_stamp_ = next_version_stamp();
+  }
+  return *this;
+}
+
 void Network::set_speed(NodeId v, double speed) {
   if (!(speed > 0.0)) throw std::invalid_argument("node speed must be positive");
   speeds_.at(v) = speed;
+  weights_stamp_ = next_version_stamp();
 }
 
 void Network::set_strength(NodeId a, NodeId b, double strength) {
@@ -22,6 +40,7 @@ void Network::set_strength(NodeId a, NodeId b, double strength) {
   if (a >= node_count() || b >= node_count()) throw std::out_of_range("node id out of range");
   if (!(strength > 0.0)) throw std::invalid_argument("link strength must be positive");
   strengths_[index(a, b)] = strength;
+  weights_stamp_ = next_version_stamp();
 }
 
 NodeId Network::fastest_node() const {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/version.hpp"
+
 /// \file network.hpp
 /// The compute network N = (V, E) of the paper's Section II: a complete
 /// undirected graph where s(v) is the compute speed of node v and s(v, v')
@@ -25,6 +27,13 @@ class Network {
   /// Creates a complete network with `node_count` nodes, all speeds and link
   /// strengths initialised to 1 (self-links are infinite).
   explicit Network(std::size_t node_count);
+
+  Network(const Network&) = default;
+  Network& operator=(const Network&) = default;
+  // Moves re-stamp the gutted source so stamp-keyed caches (InstanceView)
+  // can never mistake it for the content it used to hold.
+  Network(Network&& other) noexcept;
+  Network& operator=(Network&& other) noexcept;
 
   [[nodiscard]] std::size_t node_count() const noexcept { return speeds_.size(); }
 
@@ -64,6 +73,12 @@ class Network {
   /// network. Infinite-strength links contribute zero.
   [[nodiscard]] double mean_inverse_strength() const;
 
+  /// Version stamp for cache invalidation (see common/version.hpp): changes
+  /// whenever any speed or strength is set, and moving re-stamps the
+  /// moved-from source. Node count is fixed after construction, so one
+  /// stamp covers both weights and shape.
+  [[nodiscard]] VersionStamp weights_stamp() const noexcept { return weights_stamp_; }
+
  private:
   /// Index into the packed upper-triangular strength array for a != b.
   [[nodiscard]] std::size_t index(NodeId a, NodeId b) const noexcept {
@@ -75,6 +90,7 @@ class Network {
 
   std::vector<double> speeds_;
   std::vector<double> strengths_;  // packed upper triangle, no diagonal
+  VersionStamp weights_stamp_ = next_version_stamp();
 };
 
 }  // namespace saga

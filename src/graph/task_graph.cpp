@@ -8,6 +8,31 @@
 
 namespace saga {
 
+TaskGraph::TaskGraph(TaskGraph&& other) noexcept
+    : names_(std::move(other.names_)),
+      costs_(std::move(other.costs_)),
+      succs_(std::move(other.succs_)),
+      preds_(std::move(other.preds_)),
+      edge_costs_(std::move(other.edge_costs_)),
+      structure_stamp_(other.structure_stamp_),
+      weights_stamp_(other.weights_stamp_) {
+  other.bump_structure();
+}
+
+TaskGraph& TaskGraph::operator=(TaskGraph&& other) noexcept {
+  if (this != &other) {
+    names_ = std::move(other.names_);
+    costs_ = std::move(other.costs_);
+    succs_ = std::move(other.succs_);
+    preds_ = std::move(other.preds_);
+    edge_costs_ = std::move(other.edge_costs_);
+    structure_stamp_ = other.structure_stamp_;
+    weights_stamp_ = other.weights_stamp_;
+    other.bump_structure();
+  }
+  return *this;
+}
+
 TaskId TaskGraph::add_task(std::string name, double cost) {
   if (!(cost >= 0.0)) throw std::invalid_argument("task cost must be non-negative");
   const auto id = static_cast<TaskId>(costs_.size());
@@ -15,17 +40,21 @@ TaskId TaskGraph::add_task(std::string name, double cost) {
   costs_.push_back(cost);
   succs_.emplace_back();
   preds_.emplace_back();
+  bump_structure();
   return id;
 }
 
 TaskId TaskGraph::add_task(double cost) {
   const auto id = static_cast<TaskId>(costs_.size());
-  return add_task("t" + std::to_string(id), cost);
+  std::string name = "t";
+  name += std::to_string(id);
+  return add_task(std::move(name), cost);
 }
 
 void TaskGraph::set_cost(TaskId t, double cost) {
   if (!(cost >= 0.0)) throw std::invalid_argument("task cost must be non-negative");
   costs_.at(t) = cost;
+  bump_weights();
 }
 
 bool TaskGraph::has_dependency(TaskId from, TaskId to) const {
@@ -43,21 +72,27 @@ void TaskGraph::set_dependency_cost(TaskId from, TaskId to, double cost) {
   const auto it = edge_costs_.find(key(from, to));
   if (it == edge_costs_.end()) throw std::out_of_range("no such dependency");
   it->second = cost;
+  bump_weights();
 }
 
 bool TaskGraph::would_create_cycle(TaskId from, TaskId to) const {
   if (from == to) return true;
   // DFS from `to`: a cycle forms iff `from` is reachable from `to`.
-  std::vector<bool> seen(task_count(), false);
-  std::vector<TaskId> stack{to};
-  seen[to] = true;
+  // Thread-local scratch keeps the probe allocation-free once warm — PISA's
+  // AddDependency operator calls this for every candidate target.
+  static thread_local std::vector<char> seen;
+  static thread_local std::vector<TaskId> stack;
+  seen.assign(task_count(), 0);
+  stack.clear();
+  stack.push_back(to);
+  seen[to] = 1;
   while (!stack.empty()) {
     const TaskId cur = stack.back();
     stack.pop_back();
     if (cur == from) return true;
     for (TaskId next : succs_[cur]) {
-      if (!seen[next]) {
-        seen[next] = true;
+      if (seen[next] == 0) {
+        seen[next] = 1;
         stack.push_back(next);
       }
     }
@@ -78,6 +113,7 @@ bool TaskGraph::add_dependency(TaskId from, TaskId to, double data_size) {
   // independent of insertion history (PISA mutates structure heavily).
   std::sort(succs_[from].begin(), succs_[from].end());
   std::sort(preds_[to].begin(), preds_[to].end());
+  bump_structure();
   return true;
 }
 
@@ -87,6 +123,7 @@ bool TaskGraph::remove_dependency(TaskId from, TaskId to) {
   edge_costs_.erase(it);
   std::erase(succs_[from], to);
   std::erase(preds_[to], from);
+  bump_structure();
   return true;
 }
 
@@ -135,6 +172,16 @@ std::vector<std::pair<TaskId, TaskId>> TaskGraph::dependencies() const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::pair<TaskId, TaskId> TaskGraph::dependency_at(std::size_t k) const {
+  // Successor lists are kept sorted, so walking tasks in id order yields
+  // exactly the lexicographic order of dependencies().
+  for (TaskId from = 0; from < task_count(); ++from) {
+    if (k < succs_[from].size()) return {from, succs_[from][k]};
+    k -= succs_[from].size();
+  }
+  throw std::out_of_range("dependency index out of range");
 }
 
 double TaskGraph::total_cost() const {

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/version.hpp"
+
 /// \file task_graph.hpp
 /// The task graph G = (T, D) of the paper's Section II: a weighted DAG where
 /// c(t) is the compute cost of task t and c(t, t') is the size of the data
@@ -25,6 +27,12 @@ using TaskId = std::uint32_t;
 class TaskGraph {
  public:
   TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = default;
+  TaskGraph& operator=(const TaskGraph&) = default;
+  // Moves re-stamp the gutted source so stamp-keyed caches (InstanceView)
+  // can never mistake it for the content it used to hold.
+  TaskGraph(TaskGraph&& other) noexcept;
+  TaskGraph& operator=(TaskGraph&& other) noexcept;
 
   /// Adds a task and returns its id. Ids are dense, starting at 0.
   TaskId add_task(std::string name, double cost);
@@ -77,22 +85,41 @@ class TaskGraph {
   /// (from, to) lexicographic order.
   [[nodiscard]] std::vector<std::pair<TaskId, TaskId>> dependencies() const;
 
+  /// The k-th dependency in the same lexicographic order, without
+  /// materialising the list (k < dependency_count()). Used by uniform
+  /// edge sampling on hot paths (PISA perturbation).
+  [[nodiscard]] std::pair<TaskId, TaskId> dependency_at(std::size_t k) const;
+
   /// Sum of all task costs (used by schedule-length-ratio style metrics).
   [[nodiscard]] double total_cost() const;
 
   /// Structural + weight equality (names ignored).
   [[nodiscard]] bool structurally_equal(const TaskGraph& other, double tol = 0.0) const;
 
+  /// Version stamps for cache invalidation (see common/version.hpp).
+  /// `structure_stamp` changes whenever tasks or dependencies are added or
+  /// removed; `weights_stamp` additionally changes when any task cost or
+  /// dependency cost is updated. Copies share the source's stamps (their
+  /// contents are equal); any mutation re-stamps with a globally fresh
+  /// value, and moving re-stamps the moved-from source.
+  [[nodiscard]] VersionStamp structure_stamp() const noexcept { return structure_stamp_; }
+  [[nodiscard]] VersionStamp weights_stamp() const noexcept { return weights_stamp_; }
+
  private:
   [[nodiscard]] static std::uint64_t key(TaskId from, TaskId to) noexcept {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
+
+  void bump_structure() noexcept { structure_stamp_ = weights_stamp_ = next_version_stamp(); }
+  void bump_weights() noexcept { weights_stamp_ = next_version_stamp(); }
 
   std::vector<std::string> names_;
   std::vector<double> costs_;
   std::vector<std::vector<TaskId>> succs_;
   std::vector<std::vector<TaskId>> preds_;
   std::unordered_map<std::uint64_t, double> edge_costs_;
+  VersionStamp structure_stamp_ = next_version_stamp();
+  VersionStamp weights_stamp_ = structure_stamp_;
 };
 
 }  // namespace saga

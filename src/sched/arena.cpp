@@ -1,0 +1,25 @@
+#include "sched/arena.hpp"
+
+namespace saga {
+
+void TimelineScratch::reset(std::size_t tasks, std::size_t nodes) {
+  busy.resize(nodes);
+  for (auto& lane : busy) lane.clear();
+  assignment.resize(tasks);
+  placed.assign(tasks, 0);
+  pending_preds.assign(tasks, 0);
+  data_ready.assign(tasks * nodes, 0.0);
+}
+
+std::unique_ptr<TimelineScratch> TimelineArena::acquire() {
+  if (pool_.empty()) return std::make_unique<TimelineScratch>();
+  auto scratch = std::move(pool_.back());
+  pool_.pop_back();
+  return scratch;
+}
+
+void TimelineArena::release(std::unique_ptr<TimelineScratch> scratch) {
+  if (scratch) pool_.push_back(std::move(scratch));
+}
+
+}  // namespace saga

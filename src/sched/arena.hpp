@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/instance_view.hpp"
+#include "sched/schedule.hpp"
+
+/// \file arena.hpp
+/// Reusable evaluation state for the scheduling kernel. A TimelineArena
+/// owns (1) a cached InstanceView that is stamp-synced — weight-only
+/// instance mutations, the common case in PISA's annealing loop, refresh it
+/// in place without allocating — and (2) a pool of TimelineScratch blocks
+/// whose vectors keep their capacity across `schedule()` calls, making
+/// repeated timeline construction allocation-free once warm.
+///
+/// Intended use: one arena per worker thread, passed down through
+/// Scheduler::schedule(inst, &arena). Arenas are not thread-safe, and every
+/// TimelineBuilder drawing on an arena must be destroyed before the arena.
+/// All builders concurrently alive on one arena must target the same
+/// instance (nested schedulers — Duplex, Ensemble, GA — satisfy this
+/// naturally; they recurse on the instance they were given).
+
+namespace saga {
+
+/// Scratch state behind one in-flight TimelineBuilder. Plain aggregate so
+/// builder copies (exact search branches) are a member-wise vector copy
+/// that reuses the destination's capacity.
+struct TimelineScratch {
+  struct Interval {
+    double start;
+    double end;
+    TaskId task;
+  };
+
+  std::vector<std::vector<Interval>> busy;   // per node, sorted by start
+  std::vector<Assignment> assignment;        // per task; valid iff placed
+  std::vector<char> placed;                  // per task
+  std::vector<std::uint32_t> pending_preds;  // per task: unplaced predecessors
+  std::vector<double> data_ready;            // T*N memo, see TimelineBuilder
+
+  /// Sizes every buffer for (tasks, nodes) and clears logical state,
+  /// reusing existing capacity.
+  void reset(std::size_t tasks, std::size_t nodes);
+};
+
+class TimelineArena {
+ public:
+  TimelineArena() = default;
+  TimelineArena(const TimelineArena&) = delete;
+  TimelineArena& operator=(const TimelineArena&) = delete;
+
+  /// The arena's cached view, synced to `inst` (see InstanceView::sync).
+  const InstanceView& view_for(const ProblemInstance& inst) {
+    if (!view_.in_sync_with(inst)) view_.sync(inst);
+    return view_;
+  }
+
+  /// Takes a scratch block from the pool (or allocates the pool's first).
+  /// Contents are stale; callers reset before use.
+  [[nodiscard]] std::unique_ptr<TimelineScratch> acquire();
+
+  /// Returns a scratch block to the pool for reuse.
+  void release(std::unique_ptr<TimelineScratch> scratch);
+
+  /// Number of pooled (idle) scratch blocks, for tests and stats.
+  [[nodiscard]] std::size_t pooled() const noexcept { return pool_.size(); }
+
+ private:
+  InstanceView view_;
+  std::vector<std::unique_ptr<TimelineScratch>> pool_;
+};
+
+}  // namespace saga

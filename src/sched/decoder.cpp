@@ -6,7 +6,8 @@
 
 namespace saga {
 
-Schedule decode_schedule(const ProblemInstance& inst, const ScheduleEncoding& encoding) {
+Schedule decode_schedule(const ProblemInstance& inst, const ScheduleEncoding& encoding,
+                         TimelineArena* arena) {
   const std::size_t n = inst.graph.task_count();
   if (encoding.assignment.size() != n || encoding.priority.size() != n) {
     throw std::invalid_argument("encoding size does not match task count");
@@ -15,7 +16,7 @@ Schedule decode_schedule(const ProblemInstance& inst, const ScheduleEncoding& en
     if (v >= inst.network.node_count()) throw std::invalid_argument("invalid node in encoding");
   }
 
-  TimelineBuilder builder(inst);
+  TimelineBuilder builder(inst, arena);
   while (!builder.complete()) {
     TaskId next = 0;
     bool found = false;
@@ -31,8 +32,9 @@ Schedule decode_schedule(const ProblemInstance& inst, const ScheduleEncoding& en
   return builder.to_schedule();
 }
 
-double decoded_makespan(const ProblemInstance& inst, const ScheduleEncoding& encoding) {
-  return decode_schedule(inst, encoding).makespan();
+double decoded_makespan(const ProblemInstance& inst, const ScheduleEncoding& encoding,
+                        TimelineArena* arena) {
+  return decode_schedule(inst, encoding, arena).makespan();
 }
 
 }  // namespace saga

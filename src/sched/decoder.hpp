@@ -17,6 +17,8 @@
 
 namespace saga {
 
+class TimelineArena;
+
 /// The compact encoding: `assignment[t]` is the node of task t and
 /// `priority[t]` its dispatch priority (higher dispatches first among
 /// ready tasks; ties broken by smaller task id).
@@ -27,12 +29,15 @@ struct ScheduleEncoding {
 
 /// Decodes an encoding into a schedule. Requires `assignment.size()` and
 /// `priority.size()` to equal the instance's task count, and all node ids
-/// to be valid.
+/// to be valid. `arena` (optional) supplies the shared evaluation kernel's
+/// recycled state for hot decode loops (GA, SimAnneal).
 [[nodiscard]] Schedule decode_schedule(const ProblemInstance& inst,
-                                       const ScheduleEncoding& encoding);
+                                       const ScheduleEncoding& encoding,
+                                       TimelineArena* arena = nullptr);
 
 /// Convenience: decoded makespan.
 [[nodiscard]] double decoded_makespan(const ProblemInstance& inst,
-                                      const ScheduleEncoding& encoding);
+                                      const ScheduleEncoding& encoding,
+                                      TimelineArena* arena = nullptr);
 
 }  // namespace saga

@@ -5,71 +5,91 @@
 
 namespace saga {
 
+void mean_exec_times(const InstanceView& view, std::vector<double>& out) {
+  const double inv_speed = view.mean_inverse_speed();
+  const std::size_t tasks = view.task_count();
+  out.resize(tasks);
+  for (TaskId t = 0; t < tasks; ++t) out[t] = view.task_cost(t) * inv_speed;
+}
+
 std::vector<double> mean_exec_times(const ProblemInstance& inst) {
-  const double inv_speed = inst.network.mean_inverse_speed();
-  std::vector<double> out(inst.graph.task_count());
-  for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
-    out[t] = inst.graph.cost(t) * inv_speed;
-  }
+  std::vector<double> out;
+  mean_exec_times(InstanceView(inst), out);
   return out;
 }
 
-std::vector<double> upward_ranks(const ProblemInstance& inst) {
-  const auto& g = inst.graph;
-  const double inv_strength = inst.network.mean_inverse_strength();
-  const auto w = mean_exec_times(inst);
-  std::vector<double> rank(g.task_count(), 0.0);
-  const auto order = g.topological_order();
+void upward_ranks(const InstanceView& view, std::vector<double>& out) {
+  const double inv_strength = view.mean_inverse_strength();
+  const double inv_speed = view.mean_inverse_speed();
+  const std::size_t tasks = view.task_count();
+  out.assign(tasks, 0.0);
+  const auto order = view.topological_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const TaskId t = *it;
     double best = 0.0;
-    for (TaskId s : g.successors(t)) {
-      best = std::max(best, g.dependency_cost(t, s) * inv_strength + rank[s]);
+    for (const auto& edge : view.successors(t)) {
+      best = std::max(best, edge.cost * inv_strength + out[edge.task]);
     }
-    rank[t] = w[t] + best;
+    out[t] = view.task_cost(t) * inv_speed + best;
   }
-  return rank;
+}
+
+std::vector<double> upward_ranks(const ProblemInstance& inst) {
+  std::vector<double> out;
+  upward_ranks(InstanceView(inst), out);
+  return out;
+}
+
+void downward_ranks(const InstanceView& view, std::vector<double>& out) {
+  const double inv_strength = view.mean_inverse_strength();
+  const double inv_speed = view.mean_inverse_speed();
+  out.assign(view.task_count(), 0.0);
+  for (TaskId t : view.topological_order()) {
+    double best = 0.0;
+    for (const auto& edge : view.predecessors(t)) {
+      best = std::max(best, out[edge.task] + view.task_cost(edge.task) * inv_speed +
+                                edge.cost * inv_strength);
+    }
+    out[t] = best;
+  }
 }
 
 std::vector<double> downward_ranks(const ProblemInstance& inst) {
-  const auto& g = inst.graph;
-  const double inv_strength = inst.network.mean_inverse_strength();
-  const auto w = mean_exec_times(inst);
-  std::vector<double> rank(g.task_count(), 0.0);
-  for (TaskId t : g.topological_order()) {
-    double best = 0.0;
-    for (TaskId p : g.predecessors(t)) {
-      best = std::max(best, rank[p] + w[p] + g.dependency_cost(p, t) * inv_strength);
-    }
-    rank[t] = best;
-  }
-  return rank;
+  std::vector<double> out;
+  downward_ranks(InstanceView(inst), out);
+  return out;
 }
 
-std::vector<double> static_levels(const ProblemInstance& inst) {
-  const auto& g = inst.graph;
-  const auto w = mean_exec_times(inst);
-  std::vector<double> level(g.task_count(), 0.0);
-  const auto order = g.topological_order();
+void static_levels(const InstanceView& view, std::vector<double>& out) {
+  const double inv_speed = view.mean_inverse_speed();
+  out.assign(view.task_count(), 0.0);
+  const auto order = view.topological_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const TaskId t = *it;
     double best = 0.0;
-    for (TaskId s : g.successors(t)) best = std::max(best, level[s]);
-    level[t] = w[t] + best;
+    for (const auto& edge : view.successors(t)) best = std::max(best, out[edge.task]);
+    out[t] = view.task_cost(t) * inv_speed + best;
   }
-  return level;
 }
 
-std::vector<TaskId> critical_path(const ProblemInstance& inst, double tol) {
-  const auto& g = inst.graph;
-  if (g.task_count() == 0) return {};
-  const auto up = upward_ranks(inst);
-  const auto down = downward_ranks(inst);
+std::vector<double> static_levels(const ProblemInstance& inst) {
+  std::vector<double> out;
+  static_levels(InstanceView(inst), out);
+  return out;
+}
+
+std::vector<TaskId> critical_path(const InstanceView& view, double tol) {
+  const std::size_t tasks = view.task_count();
+  if (tasks == 0) return {};
+  std::vector<double> up;
+  std::vector<double> down;
+  upward_ranks(view, up);
+  downward_ranks(view, down);
 
   // |CP| = max over tasks of rank_u + rank_d; attained by every task on the
   // critical path.
   double cp_value = 0.0;
-  for (TaskId t = 0; t < g.task_count(); ++t) cp_value = std::max(cp_value, up[t] + down[t]);
+  for (TaskId t = 0; t < tasks; ++t) cp_value = std::max(cp_value, up[t] + down[t]);
   const double eps = tol * std::max(1.0, cp_value);
   const auto on_cp = [&](TaskId t) { return up[t] + down[t] >= cp_value - eps; };
 
@@ -77,8 +97,8 @@ std::vector<TaskId> critical_path(const ProblemInstance& inst, double tol) {
   std::vector<TaskId> path;
   TaskId current = 0;
   bool found = false;
-  for (TaskId t : g.sources()) {
-    if (on_cp(t)) {
+  for (TaskId t = 0; t < tasks; ++t) {
+    if (view.predecessors(t).empty() && on_cp(t)) {
       current = t;
       found = true;
       break;
@@ -88,9 +108,9 @@ std::vector<TaskId> critical_path(const ProblemInstance& inst, double tol) {
   path.push_back(current);
   for (;;) {
     bool advanced = false;
-    for (TaskId s : g.successors(current)) {
-      if (on_cp(s)) {
-        current = s;
+    for (const auto& edge : view.successors(current)) {
+      if (on_cp(edge.task)) {
+        current = edge.task;
         path.push_back(current);
         advanced = true;
         break;
@@ -99,6 +119,10 @@ std::vector<TaskId> critical_path(const ProblemInstance& inst, double tol) {
     if (!advanced) break;
   }
   return path;
+}
+
+std::vector<TaskId> critical_path(const ProblemInstance& inst, double tol) {
+  return critical_path(InstanceView(inst), tol);
 }
 
 }  // namespace saga

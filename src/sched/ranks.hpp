@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "graph/instance_view.hpp"
 #include "graph/problem_instance.hpp"
 
 /// \file ranks.hpp
@@ -15,25 +16,36 @@
 ///   - static level (GDL/DLS): like upward rank but ignoring communication
 /// and the critical path: the source-to-sink chain maximizing
 /// rank_u + rank_d (all of whose tasks share the maximal priority value).
+///
+/// Each metric has two forms: an InstanceView-based one that writes into a
+/// caller-provided buffer (the kernel path — no allocation when the buffer
+/// has capacity), and a convenience ProblemInstance-based one that builds a
+/// temporary view and returns a fresh vector. Both produce bit-identical
+/// values.
 
 namespace saga {
 
 /// Mean execution time of every task across the network's nodes.
+void mean_exec_times(const InstanceView& view, std::vector<double>& out);
 [[nodiscard]] std::vector<double> mean_exec_times(const ProblemInstance& inst);
 
 /// rank_u for every task.
+void upward_ranks(const InstanceView& view, std::vector<double>& out);
 [[nodiscard]] std::vector<double> upward_ranks(const ProblemInstance& inst);
 
 /// rank_d for every task.
+void downward_ranks(const InstanceView& view, std::vector<double>& out);
 [[nodiscard]] std::vector<double> downward_ranks(const ProblemInstance& inst);
 
 /// Static level: longest mean-execution-time chain from t to any sink,
 /// ignoring communication.
+void static_levels(const InstanceView& view, std::vector<double>& out);
 [[nodiscard]] std::vector<double> static_levels(const ProblemInstance& inst);
 
 /// Tasks on the critical path (maximal rank_u + rank_d), as a source-to-sink
 /// chain in execution order. `tol` is the relative tolerance used when
 /// comparing priorities.
+[[nodiscard]] std::vector<TaskId> critical_path(const InstanceView& view, double tol = 1e-9);
 [[nodiscard]] std::vector<TaskId> critical_path(const ProblemInstance& inst,
                                                 double tol = 1e-9);
 

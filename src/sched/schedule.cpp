@@ -7,6 +7,11 @@
 
 namespace saga {
 
+void Schedule::reserve(std::size_t task_count) {
+  assignments_.reserve(task_count);
+  by_task_.reserve(task_count);
+}
+
 void Schedule::add(const Assignment& a) {
   if (a.task < by_task_.size() && by_task_[a.task].has_value()) {
     throw std::invalid_argument("task scheduled twice");

@@ -31,6 +31,10 @@ class Schedule {
  public:
   Schedule() = default;
 
+  /// Pre-sizes internal storage for `task_count` assignments (one
+  /// allocation each instead of push_back growth; used by hot builders).
+  void reserve(std::size_t task_count);
+
   /// Records an assignment. Throws if the task is already scheduled.
   void add(const Assignment& a);
 

@@ -11,6 +11,8 @@
 
 namespace saga {
 
+class TimelineArena;
+
 /// Network-model restrictions a scheduler was designed for. The paper's
 /// PISA setup honours these by fixing the corresponding weights to 1 and
 /// excluding them from perturbation (Section VI): ETF, FCP and FLB assume
@@ -33,7 +35,21 @@ class Scheduler {
   /// Produces a valid schedule for the instance. Implementations are
   /// deterministic: randomized schedulers (WBA) derive their stream from a
   /// constructor-provided seed.
-  [[nodiscard]] virtual Schedule schedule(const ProblemInstance& inst) const = 0;
+  ///
+  /// `arena` supplies the shared evaluation kernel's cached InstanceView
+  /// and recycled timeline scratch (see sched/arena.hpp); hot loops such as
+  /// PISA pass one arena per worker thread so repeated calls are
+  /// allocation-free. A null arena is always valid and falls back to
+  /// one-shot state. The schedule produced is identical either way.
+  [[nodiscard]] virtual Schedule schedule(const ProblemInstance& inst,
+                                          TimelineArena* arena) const = 0;
+
+  /// Legacy entry point, kept as a forwarding shim so existing callers
+  /// don't break. Concrete schedulers re-export it via
+  /// `using Scheduler::schedule;`.
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const {
+    return schedule(inst, nullptr);
+  }
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;

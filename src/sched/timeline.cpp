@@ -6,51 +6,90 @@
 
 namespace saga {
 
-TimelineBuilder::TimelineBuilder(const ProblemInstance& inst)
-    : inst_(&inst),
-      busy_(inst.network.node_count()),
-      assignment_(inst.graph.task_count()),
-      placed_(inst.graph.task_count(), false),
-      pending_preds_(inst.graph.task_count()) {
-  for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
-    pending_preds_[t] = inst.graph.predecessors(t).size();
+TimelineBuilder::TimelineBuilder(const ProblemInstance& inst) : TimelineBuilder(inst, nullptr) {}
+
+TimelineBuilder::TimelineBuilder(const ProblemInstance& inst, TimelineArena* arena) {
+  if (arena != nullptr) {
+    view_ = &arena->view_for(inst);
+    arena_ = arena;
+    scratch_ = arena->acquire();
+  } else {
+    auto owned = std::make_shared<InstanceView>(inst);
+    view_ = owned.get();
+    owned_view_ = std::move(owned);
+    scratch_ = std::make_unique<TimelineScratch>();
   }
+  init();
+}
+
+TimelineBuilder::TimelineBuilder(const InstanceView& view, TimelineArena* arena)
+    : view_(&view),
+      arena_(arena),
+      scratch_(arena != nullptr ? arena->acquire() : std::make_unique<TimelineScratch>()) {
+  init();
+}
+
+TimelineBuilder::TimelineBuilder(const TimelineBuilder& other)
+    : view_(other.view_),
+      owned_view_(other.owned_view_),
+      arena_(other.arena_),
+      scratch_(other.arena_ != nullptr ? other.arena_->acquire()
+                                       : std::make_unique<TimelineScratch>()),
+      placed_count_(other.placed_count_),
+      makespan_(other.makespan_) {
+  *scratch_ = *other.scratch_;
+}
+
+TimelineBuilder& TimelineBuilder::operator=(const TimelineBuilder& other) {
+  if (this == &other) return *this;
+  view_ = other.view_;
+  owned_view_ = other.owned_view_;
+  *scratch_ = *other.scratch_;
+  placed_count_ = other.placed_count_;
+  makespan_ = other.makespan_;
+  return *this;
+}
+
+TimelineBuilder::~TimelineBuilder() {
+  if (arena_ != nullptr) arena_->release(std::move(scratch_));
+}
+
+void TimelineBuilder::init() {
+  const std::size_t tasks = view_->task_count();
+  scratch_->reset(tasks, view_->node_count());
+  for (TaskId t = 0; t < tasks; ++t) {
+    scratch_->pending_preds[t] = static_cast<std::uint32_t>(view_->predecessors(t).size());
+  }
+  placed_count_ = 0;
+  makespan_ = 0.0;
 }
 
 const Assignment& TimelineBuilder::assignment_of(TaskId t) const {
-  if (!placed_[t]) throw std::logic_error("task not placed yet");
-  return assignment_[t];
-}
-
-double TimelineBuilder::exec_time(TaskId t, NodeId v) const {
-  return inst_->network.exec_time(inst_->graph.cost(t), v);
+  if (scratch_->placed[t] == 0) throw std::logic_error("task not placed yet");
+  return scratch_->assignment[t];
 }
 
 double TimelineBuilder::data_ready_time(TaskId t, NodeId v) const {
-  double ready = 0.0;
-  for (TaskId p : inst_->graph.predecessors(t)) {
-    assert(placed_[p] && "all predecessors must be placed first");
-    const auto& pa = assignment_[p];
-    const double arrival =
-        pa.finish + inst_->network.comm_time(inst_->graph.dependency_cost(p, t), pa.node, v);
-    ready = std::max(ready, arrival);
-  }
-  return ready;
-}
-
-double TimelineBuilder::node_available(NodeId v) const {
-  return busy_[v].empty() ? 0.0 : busy_[v].back().end;
+  assert(scratch_->pending_preds[t] == 0 && "all predecessors must be placed first");
+  return scratch_->data_ready[t * view_->node_count() + v];
 }
 
 double TimelineBuilder::earliest_start(TaskId t, NodeId v, bool insertion) const {
   const double ready = data_ready_time(t, v);
   if (!insertion) return std::max(ready, node_available(v));
   const double duration = exec_time(t, v);
-  // Scan idle gaps in start-time order; the list is small in practice.
+  const auto& lane = scratch_->busy[v];
+  // Intervals are disjoint and sorted, so end times are non-decreasing:
+  // binary-search the first interval ending after the ready time. Earlier
+  // intervals can neither advance the cursor nor host a break, so skipping
+  // them reproduces the full scan exactly.
+  auto it = std::lower_bound(
+      lane.begin(), lane.end(), ready,
+      [](const TimelineScratch::Interval& iv, double limit) { return iv.end <= limit; });
   double cursor = ready;
-  for (const auto& iv : busy_[v]) {
-    if (iv.start >= cursor + duration) break;  // gap before iv fits
-    cursor = std::max(cursor, iv.end);
+  for (; it != lane.end(); ++it) {
+    if (it->start >= cursor + duration) break;  // gap before *it fits
+    cursor = std::max(cursor, it->end);
   }
   return cursor;
 }
@@ -61,39 +100,60 @@ double TimelineBuilder::earliest_finish(TaskId t, NodeId v, bool insertion) cons
 
 std::vector<TaskId> TimelineBuilder::ready_tasks() const {
   std::vector<TaskId> out;
-  for (TaskId t = 0; t < inst_->graph.task_count(); ++t) {
+  for (TaskId t = 0; t < view_->task_count(); ++t) {
     if (ready(t)) out.push_back(t);
   }
   return out;
 }
 
 void TimelineBuilder::place(TaskId t, NodeId v, double start) {
-  if (placed_[t]) throw std::logic_error("task already placed");
-  if (pending_preds_[t] != 0) throw std::logic_error("task has unplaced predecessors");
+  if (scratch_->placed[t] != 0) throw std::logic_error("task already placed");
+  if (scratch_->pending_preds[t] != 0) throw std::logic_error("task has unplaced predecessors");
   const double duration = exec_time(t, v);
   assert(start >= data_ready_time(t, v) - 1e-9 && "start before data is ready");
 
-  const Interval iv{start, start + duration, t};
-  auto& lane = busy_[v];
-  const auto pos = std::upper_bound(
-      lane.begin(), lane.end(), iv,
-      [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  const TimelineScratch::Interval iv{start, start + duration, t};
+  auto& lane = scratch_->busy[v];
+  // (start, end) lexicographic order keeps *ends* non-decreasing too: a
+  // zero-length interval placed at the start boundary of a longer one (the
+  // only same-start case a valid placement can produce) sorts before it.
+  // earliest_start's binary search relies on this invariant.
+  const auto pos = std::upper_bound(lane.begin(), lane.end(), iv,
+                                    [](const TimelineScratch::Interval& a,
+                                       const TimelineScratch::Interval& b) {
+                                      if (a.start != b.start) return a.start < b.start;
+                                      return a.end < b.end;
+                                    });
   // Overlap check against neighbours (debug only; callers compute valid starts).
   assert((pos == lane.begin() || std::prev(pos)->end <= iv.start + 1e-9) && "overlaps previous");
   assert((pos == lane.end() || iv.end <= pos->start + 1e-9) && "overlaps next");
   lane.insert(pos, iv);
 
-  assignment_[t] = Assignment{t, v, start, start + duration};
-  placed_[t] = true;
+  const double finish = start + duration;
+  scratch_->assignment[t] = Assignment{t, v, start, finish};
+  scratch_->placed[t] = 1;
   ++placed_count_;
-  makespan_ = std::max(makespan_, start + duration);
-  for (TaskId s : inst_->graph.successors(t)) --pending_preds_[s];
+  makespan_ = std::max(makespan_, finish);
+
+  // Fold t's contribution into each successor's data-ready row; once the
+  // last predecessor is placed the row holds max over predecessors of
+  // (finish + comm), exactly the value the adjacency walk used to compute.
+  const std::size_t nodes = view_->node_count();
+  for (const auto& edge : view_->successors(t)) {
+    --scratch_->pending_preds[edge.task];
+    double* row = scratch_->data_ready.data() + edge.task * nodes;
+    for (NodeId u = 0; u < nodes; ++u) {
+      const double arrival = finish + view_->comm_time(edge.cost, v, u);
+      if (arrival > row[u]) row[u] = arrival;
+    }
+  }
 }
 
 Schedule TimelineBuilder::to_schedule() const {
   if (!complete()) throw std::logic_error("schedule is incomplete");
   Schedule s;
-  for (TaskId t = 0; t < inst_->graph.task_count(); ++t) s.add(assignment_[t]);
+  s.reserve(view_->task_count());
+  for (TaskId t = 0; t < view_->task_count(); ++t) s.add(scratch_->assignment[t]);
   return s;
 }
 

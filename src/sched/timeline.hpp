@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "graph/instance_view.hpp"
 #include "graph/problem_instance.hpp"
+#include "sched/arena.hpp"
 #include "sched/schedule.hpp"
 
 /// \file timeline.hpp
@@ -12,48 +15,80 @@
 /// earliest-start times, and supports both append-only placement (MCT,
 /// MinMin, ...) and insertion-based placement (HEFT, CPoP) where a task may
 /// slot into an idle gap between already-placed tasks.
+///
+/// The builder runs on the shared evaluation kernel: all instance reads go
+/// through a flat InstanceView, and per-(task, node) data-ready times are
+/// memoized — maintained incrementally as predecessors are placed — so the
+/// inner node-selection loops of the list schedulers are O(1) per query
+/// with no adjacency walk. Constructed with a TimelineArena, the builder
+/// borrows the arena's cached view and recycled scratch buffers, making
+/// repeated `schedule()` calls allocation-free once the arena is warm.
 
 namespace saga {
 
 class TimelineBuilder {
  public:
+  /// One-shot constructor: builds a private view and scratch (allocates).
   explicit TimelineBuilder(const ProblemInstance& inst);
 
-  [[nodiscard]] const ProblemInstance& instance() const noexcept { return *inst_; }
+  /// Kernel constructor: borrows the arena's cached view and a pooled
+  /// scratch block. `arena == nullptr` falls back to the one-shot path.
+  /// The builder must not outlive the arena.
+  TimelineBuilder(const ProblemInstance& inst, TimelineArena* arena);
 
-  [[nodiscard]] bool placed(TaskId t) const { return placed_[t]; }
+  /// For callers that already hold a synced view (must stay valid and
+  /// unchanged for the builder's lifetime).
+  TimelineBuilder(const InstanceView& view, TimelineArena* arena);
+
+  TimelineBuilder(const TimelineBuilder& other);
+  TimelineBuilder& operator=(const TimelineBuilder& other);
+  ~TimelineBuilder();
+
+  [[nodiscard]] const InstanceView& view() const noexcept { return *view_; }
+  [[nodiscard]] const ProblemInstance& instance() const noexcept { return view_->instance(); }
+
+  [[nodiscard]] bool placed(TaskId t) const { return scratch_->placed[t] != 0; }
   [[nodiscard]] std::size_t placed_count() const noexcept { return placed_count_; }
   [[nodiscard]] const Assignment& assignment_of(TaskId t) const;
 
   /// Time at which all of t's inputs are available on node v, given the
-  /// placements of t's predecessors (which must all be placed).
+  /// placements of t's predecessors (which must all be placed). O(1): reads
+  /// the memo maintained by `place`.
   [[nodiscard]] double data_ready_time(TaskId t, NodeId v) const;
 
   /// Earliest start of t on v: with `insertion`, the earliest idle gap of
-  /// sufficient length at or after the data-ready time; otherwise
-  /// max(data-ready time, end of the node's last busy interval).
+  /// sufficient length at or after the data-ready time (binary search to
+  /// the first busy interval ending after the ready time, then a forward
+  /// gap scan); otherwise max(data-ready time, end of the node's last busy
+  /// interval).
   [[nodiscard]] double earliest_start(TaskId t, NodeId v, bool insertion) const;
 
   /// earliest_start + execution time.
   [[nodiscard]] double earliest_finish(TaskId t, NodeId v, bool insertion) const;
 
   /// Execution time of t on v (cost / speed).
-  [[nodiscard]] double exec_time(TaskId t, NodeId v) const;
+  [[nodiscard]] double exec_time(TaskId t, NodeId v) const { return view_->exec_time(t, v); }
 
   /// End of the last busy interval on v (0 if idle).
-  [[nodiscard]] double node_available(NodeId v) const;
+  [[nodiscard]] double node_available(NodeId v) const {
+    const auto& lane = scratch_->busy[v];
+    return lane.empty() ? 0.0 : lane.back().end;
+  }
 
   /// Number of predecessors of t not yet placed.
   [[nodiscard]] std::size_t unplaced_predecessors(TaskId t) const {
-    return pending_preds_[t];
+    return scratch_->pending_preds[t];
   }
-  [[nodiscard]] bool ready(TaskId t) const { return !placed_[t] && pending_preds_[t] == 0; }
+  [[nodiscard]] bool ready(TaskId t) const {
+    return scratch_->placed[t] == 0 && scratch_->pending_preds[t] == 0;
+  }
 
   /// Tasks whose predecessors are all placed, in id order.
   [[nodiscard]] std::vector<TaskId> ready_tasks() const;
 
   /// Places t on v starting at `start` (which must be >= both the node's
-  /// free slot and the data-ready time; checked in debug builds).
+  /// free slot and the data-ready time; checked in debug builds). Updates
+  /// the successors' data-ready memo incrementally.
   void place(TaskId t, NodeId v, double start);
 
   /// Convenience: place at the earliest start.
@@ -63,7 +98,7 @@ class TimelineBuilder {
 
   /// True once every task has been placed.
   [[nodiscard]] bool complete() const noexcept {
-    return placed_count_ == inst_->graph.task_count();
+    return placed_count_ == view_->task_count();
   }
 
   /// Current makespan of the partial schedule.
@@ -73,17 +108,12 @@ class TimelineBuilder {
   [[nodiscard]] Schedule to_schedule() const;
 
  private:
-  struct Interval {
-    double start;
-    double end;
-    TaskId task;
-  };
+  void init();
 
-  const ProblemInstance* inst_;
-  std::vector<std::vector<Interval>> busy_;  // per node, sorted by start
-  std::vector<Assignment> assignment_;       // per task; valid iff placed_
-  std::vector<bool> placed_;
-  std::vector<std::size_t> pending_preds_;
+  const InstanceView* view_ = nullptr;
+  std::shared_ptr<const InstanceView> owned_view_;  // one-shot path; shared by copies
+  TimelineArena* arena_ = nullptr;
+  std::unique_ptr<TimelineScratch> scratch_;
   std::size_t placed_count_ = 0;
   double makespan_ = 0.0;
 };

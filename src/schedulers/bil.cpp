@@ -7,28 +7,28 @@
 
 namespace saga {
 
-Schedule BilScheduler::schedule(const ProblemInstance& inst) const {
-  const auto& g = inst.graph;
-  const auto& net = inst.network;
-  const std::size_t n_nodes = net.node_count();
+Schedule BilScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  const std::size_t tasks = view.task_count();
+  const std::size_t n_nodes = view.node_count();
 
   // BIL table, computed bottom-up over a reverse topological order.
-  std::vector<std::vector<double>> bil(g.task_count(), std::vector<double>(n_nodes, 0.0));
-  const auto order = g.topological_order();
+  std::vector<std::vector<double>> bil(tasks, std::vector<double>(n_nodes, 0.0));
+  const auto order = view.topological_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const TaskId t = *it;
     for (NodeId v = 0; v < n_nodes; ++v) {
       double tail = 0.0;
-      for (TaskId s : g.successors(t)) {
-        double best = bil[s][v];  // keep s co-located with t
+      for (const auto& edge : view.successors(t)) {
+        double best = bil[edge.task][v];  // keep the successor co-located with t
         for (NodeId v2 = 0; v2 < n_nodes; ++v2) {
           if (v2 == v) continue;
-          best = std::min(best,
-                          bil[s][v2] + net.comm_time(g.dependency_cost(t, s), v, v2));
+          best = std::min(best, bil[edge.task][v2] + view.comm_time(edge.cost, v, v2));
         }
         tail = std::max(tail, best);
       }
-      bil[t][v] = net.exec_time(g.cost(t), v) + tail;
+      bil[t][v] = view.exec_time(t, v) + tail;
     }
   }
 
@@ -39,13 +39,12 @@ Schedule BilScheduler::schedule(const ProblemInstance& inst) const {
   // most constrained), on the node minimising its BIM — which preserves
   // BIL's optimality on linear chains: on a chain the single ready task goes
   // to the node minimising EST + BIL, the dynamic-programming optimum.
-  TimelineBuilder builder(inst);
   while (!builder.complete()) {
     TaskId best_task = 0;
     NodeId best_node = 0;
     double best_key = -std::numeric_limits<double>::infinity();
     bool found = false;
-    for (TaskId t = 0; t < g.task_count(); ++t) {
+    for (TaskId t = 0; t < tasks; ++t) {
       if (!builder.ready(t)) continue;
       NodeId arg_node = 0;
       double best_bim = std::numeric_limits<double>::infinity();

@@ -6,8 +6,8 @@
 
 namespace saga {
 
-Schedule BruteForceScheduler::schedule(const ProblemInstance& inst) const {
-  const auto result = exact_search(inst);
+Schedule BruteForceScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  const auto result = exact_search(inst, {}, arena);
   if (!result.schedule.has_value()) {
     throw std::logic_error("exact search found no schedule (unbounded search always does)");
   }

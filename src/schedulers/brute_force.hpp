@@ -13,7 +13,9 @@ namespace saga {
 class BruteForceScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "BruteForce"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

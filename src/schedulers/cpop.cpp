@@ -8,40 +8,42 @@
 
 namespace saga {
 
-Schedule CpopScheduler::schedule(const ProblemInstance& inst) const {
-  const auto& g = inst.graph;
-  const auto& net = inst.network;
-  const auto up = upward_ranks(inst);
-  const auto down = downward_ranks(inst);
+Schedule CpopScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  const std::size_t tasks = view.task_count();
+  std::vector<double> up;
+  std::vector<double> down;
+  upward_ranks(view, up);
+  downward_ranks(view, down);
 
-  std::vector<double> priority(g.task_count());
-  for (TaskId t = 0; t < g.task_count(); ++t) priority[t] = up[t] + down[t];
+  std::vector<double> priority(tasks);
+  for (TaskId t = 0; t < tasks; ++t) priority[t] = up[t] + down[t];
 
   // Critical-path tasks and the processor they are pinned to. The general
   // CPoP rule picks the node minimising the summed execution time of the
   // critical path; under related machines every task is fastest on the same
   // node, but we evaluate the sum anyway so the implementation stays honest
   // to the published algorithm.
-  const auto cp = critical_path(inst);
-  std::vector<bool> on_cp(g.task_count(), false);
+  const auto cp = critical_path(view);
+  std::vector<bool> on_cp(tasks, false);
   for (TaskId t : cp) on_cp[t] = true;
   NodeId cp_node = 0;
   double best_total = std::numeric_limits<double>::infinity();
-  for (NodeId v = 0; v < net.node_count(); ++v) {
+  for (NodeId v = 0; v < view.node_count(); ++v) {
     double total = 0.0;
-    for (TaskId t : cp) total += net.exec_time(g.cost(t), v);
+    for (TaskId t : cp) total += view.exec_time(t, v);
     if (total < best_total) {
       best_total = total;
       cp_node = v;
     }
   }
 
-  TimelineBuilder builder(inst);
   while (!builder.complete()) {
     TaskId next = 0;
     double best_priority = -1.0;
     bool found = false;
-    for (TaskId t = 0; t < g.task_count(); ++t) {
+    for (TaskId t = 0; t < tasks; ++t) {
       if (!builder.ready(t)) continue;
       if (!found || priority[t] > best_priority) {
         next = t;
@@ -56,7 +58,7 @@ Schedule CpopScheduler::schedule(const ProblemInstance& inst) const {
     }
     NodeId best_node = 0;
     double best_finish = std::numeric_limits<double>::infinity();
-    for (NodeId v = 0; v < net.node_count(); ++v) {
+    for (NodeId v = 0; v < view.node_count(); ++v) {
       const double finish = builder.earliest_finish(next, v, /*insertion=*/true);
       if (finish < best_finish) {
         best_finish = finish;

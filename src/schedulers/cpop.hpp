@@ -18,7 +18,9 @@ namespace saga {
 class CpopScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "CPoP"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

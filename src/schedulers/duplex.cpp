@@ -5,9 +5,9 @@
 
 namespace saga {
 
-Schedule DuplexScheduler::schedule(const ProblemInstance& inst) const {
-  Schedule a = MinMinScheduler{}.schedule(inst);
-  Schedule b = MaxMinScheduler{}.schedule(inst);
+Schedule DuplexScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  Schedule a = MinMinScheduler{}.schedule(inst, arena);
+  Schedule b = MaxMinScheduler{}.schedule(inst, arena);
   return a.makespan() <= b.makespan() ? a : b;
 }
 

@@ -11,7 +11,9 @@ namespace saga {
 class DuplexScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "Duplex"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

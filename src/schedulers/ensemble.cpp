@@ -24,11 +24,12 @@ NetworkRequirements EnsembleScheduler::requirements() const {
   return combined;
 }
 
-Schedule EnsembleScheduler::schedule(const ProblemInstance& inst) const {
+Schedule EnsembleScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
   Schedule best;
   bool first = true;
   for (std::size_t i = 0; i < members_.size(); ++i) {
-    Schedule candidate = make_scheduler(members_[i], derive_seed(seed_, {i}))->schedule(inst);
+    Schedule candidate =
+        make_scheduler(members_[i], derive_seed(seed_, {i}))->schedule(inst, arena);
     if (first || candidate.makespan() < best.makespan()) {
       best = std::move(candidate);
       first = false;

@@ -23,7 +23,9 @@ class EnsembleScheduler final : public Scheduler {
 
   [[nodiscard]] std::string_view name() const override { return "Ensemble"; }
   [[nodiscard]] NetworkRequirements requirements() const override;
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 
   [[nodiscard]] const std::vector<std::string>& members() const noexcept { return members_; }
 

@@ -6,17 +6,18 @@
 
 namespace saga {
 
-Schedule ErtScheduler::schedule(const ProblemInstance& inst) const {
-  TimelineBuilder builder(inst);
+Schedule ErtScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
   while (!builder.complete()) {
     // Ready task with the earliest minimum data-ready time across nodes.
     TaskId next = 0;
     double best_ready = std::numeric_limits<double>::infinity();
     bool found = false;
-    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    for (TaskId t = 0; t < view.task_count(); ++t) {
       if (!builder.ready(t)) continue;
       double ready = std::numeric_limits<double>::infinity();
-      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      for (NodeId v = 0; v < view.node_count(); ++v) {
         ready = std::min(ready, builder.data_ready_time(t, v));
       }
       if (!found || ready < best_ready) {
@@ -28,7 +29,7 @@ Schedule ErtScheduler::schedule(const ProblemInstance& inst) const {
 
     NodeId best_node = 0;
     double best_finish = std::numeric_limits<double>::infinity();
-    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+    for (NodeId v = 0; v < view.node_count(); ++v) {
       const double finish = builder.earliest_finish(next, v, /*insertion=*/false);
       if (finish < best_finish) {
         best_finish = finish;

@@ -1,23 +1,26 @@
 #include "schedulers/etf.hpp"
 
 #include <limits>
+#include <vector>
 
 #include "sched/ranks.hpp"
 #include "sched/timeline.hpp"
 
 namespace saga {
 
-Schedule EtfScheduler::schedule(const ProblemInstance& inst) const {
-  const auto level = static_levels(inst);
-  TimelineBuilder builder(inst);
+Schedule EtfScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  std::vector<double> level;
+  static_levels(view, level);
   while (!builder.complete()) {
     TaskId best_task = 0;
     NodeId best_node = 0;
     double best_start = std::numeric_limits<double>::infinity();
     double best_level = -1.0;
-    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    for (TaskId t = 0; t < view.task_count(); ++t) {
       if (!builder.ready(t)) continue;
-      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      for (NodeId v = 0; v < view.node_count(); ++v) {
         const double start = builder.earliest_start(t, v, /*insertion=*/false);
         const bool better =
             start < best_start ||

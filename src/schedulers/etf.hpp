@@ -20,7 +20,9 @@ class EtfScheduler final : public Scheduler {
   [[nodiscard]] NetworkRequirements requirements() const override {
     return {.homogeneous_node_speeds = true, .homogeneous_link_strengths = false};
   }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

@@ -12,8 +12,8 @@ namespace {
 
 class Searcher {
  public:
-  Searcher(const ProblemInstance& inst, const ExactSearchOptions& options)
-      : inst_(inst), options_(options), best_bound_(options.bound) {
+  Searcher(const ProblemInstance& inst, const ExactSearchOptions& options, TimelineArena* arena)
+      : inst_(inst), options_(options), arena_(arena), best_bound_(options.bound) {
     // Per-task lower bound on remaining work: the fastest-node execution
     // time of the longest cost chain from the task to a sink.
     const auto& g = inst.graph;
@@ -29,7 +29,7 @@ class Searcher {
   }
 
   ExactSearchResult run() {
-    TimelineBuilder builder(inst_);
+    TimelineBuilder builder(inst_, arena_);
     dfs(builder);
     ExactSearchResult result;
     result.states_explored = states_;
@@ -70,6 +70,7 @@ class Searcher {
 
   const ProblemInstance& inst_;
   const ExactSearchOptions& options_;
+  TimelineArena* arena_;
   double best_bound_;
   std::optional<Schedule> best_schedule_;
   std::vector<double> tail_cost_;
@@ -78,8 +79,9 @@ class Searcher {
 
 }  // namespace
 
-ExactSearchResult exact_search(const ProblemInstance& inst, const ExactSearchOptions& options) {
-  Searcher searcher(inst, options);
+ExactSearchResult exact_search(const ProblemInstance& inst, const ExactSearchOptions& options,
+                               TimelineArena* arena) {
+  Searcher searcher(inst, options, arena);
   return searcher.run();
 }
 

@@ -23,6 +23,8 @@
 
 namespace saga {
 
+class TimelineArena;
+
 struct ExactSearchOptions {
   /// Prune subtrees whose partial makespan already reaches `bound`
   /// (non-strict). infinity = pure optimisation.
@@ -44,9 +46,11 @@ struct ExactSearchResult {
 };
 
 /// Finds a minimum-makespan schedule (or, in decision mode, any schedule
-/// strictly below the bound).
+/// strictly below the bound). `arena` (optional) lets the search recycle
+/// timeline scratch across its copy-on-branch states.
 [[nodiscard]] ExactSearchResult exact_search(const ProblemInstance& inst,
-                                             const ExactSearchOptions& options = {});
+                                             const ExactSearchOptions& options = {},
+                                             TimelineArena* arena = nullptr);
 
 /// A simple lower bound on the optimal makespan: max over tasks of the
 /// length of the fastest-execution chain through that task, ignoring

@@ -4,10 +4,10 @@
 
 namespace saga {
 
-Schedule FastestNodeScheduler::schedule(const ProblemInstance& inst) const {
+Schedule FastestNodeScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
   const NodeId fastest = inst.network.fastest_node();
-  TimelineBuilder builder(inst);
-  for (TaskId t : inst.graph.topological_order()) {
+  TimelineBuilder builder(inst, arena);
+  for (TaskId t : builder.view().topological_order()) {
     builder.place_earliest(t, fastest, /*insertion=*/false);
   }
   return builder.to_schedule();

@@ -14,17 +14,16 @@ namespace {
 /// The node where the predecessor whose message arrives last was placed.
 /// Falls back to node 0 for source tasks.
 NodeId enabling_node(const TimelineBuilder& builder, TaskId t) {
-  const auto& inst = builder.instance();
+  const InstanceView& view = builder.view();
   NodeId enabler = 0;
   double last_arrival = -1.0;
-  for (TaskId p : inst.graph.predecessors(t)) {
-    const auto& pa = builder.assignment_of(p);
+  for (const auto& edge : view.predecessors(t)) {
+    const auto& pa = builder.assignment_of(edge.task);
     // Arrival as seen from a *different* node — the cost the enabling
     // placement would save.
     double worst = pa.finish;
-    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
-      const double arrival =
-          pa.finish + inst.network.comm_time(inst.graph.dependency_cost(p, t), pa.node, v);
+    for (NodeId v = 0; v < view.node_count(); ++v) {
+      const double arrival = pa.finish + view.comm_time(edge.cost, pa.node, v);
       worst = std::max(worst, arrival);
     }
     if (worst > last_arrival) {
@@ -37,9 +36,11 @@ NodeId enabling_node(const TimelineBuilder& builder, TaskId t) {
 
 }  // namespace
 
-Schedule FcpScheduler::schedule(const ProblemInstance& inst) const {
-  const auto rank = upward_ranks(inst);
-  TimelineBuilder builder(inst);
+Schedule FcpScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  std::vector<double> rank;
+  upward_ranks(view, rank);
 
   // Max-heap of ready tasks by static priority (upward rank, then id).
   using Entry = std::pair<double, TaskId>;
@@ -48,7 +49,7 @@ Schedule FcpScheduler::schedule(const ProblemInstance& inst) const {
     return a.second > b.second;
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> ready(cmp);
-  for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+  for (TaskId t = 0; t < view.task_count(); ++t) {
     if (builder.ready(t)) ready.emplace(rank[t], t);
   }
 
@@ -58,7 +59,7 @@ Schedule FcpScheduler::schedule(const ProblemInstance& inst) const {
 
     // Candidate 1: earliest-idle node.
     NodeId idle_node = 0;
-    for (NodeId v = 1; v < inst.network.node_count(); ++v) {
+    for (NodeId v = 1; v < view.node_count(); ++v) {
       if (builder.node_available(v) < builder.node_available(idle_node)) idle_node = v;
     }
     // Candidate 2: the enabling node.
@@ -69,8 +70,8 @@ Schedule FcpScheduler::schedule(const ProblemInstance& inst) const {
     const NodeId chosen = f_enab <= f_idle ? enabler : idle_node;
 
     builder.place_earliest(t, chosen, /*insertion=*/false);
-    for (TaskId s : inst.graph.successors(t)) {
-      if (builder.ready(s)) ready.emplace(rank[s], s);
+    for (const auto& edge : view.successors(t)) {
+      if (builder.ready(edge.task)) ready.emplace(rank[edge.task], edge.task);
     }
   }
   return builder.to_schedule();

@@ -10,15 +10,14 @@ namespace saga {
 namespace {
 
 NodeId enabling_node(const TimelineBuilder& builder, TaskId t) {
-  const auto& inst = builder.instance();
+  const InstanceView& view = builder.view();
   NodeId enabler = 0;
   double last_arrival = -1.0;
-  for (TaskId p : inst.graph.predecessors(t)) {
-    const auto& pa = builder.assignment_of(p);
+  for (const auto& edge : view.predecessors(t)) {
+    const auto& pa = builder.assignment_of(edge.task);
     double worst = pa.finish;
-    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
-      const double arrival =
-          pa.finish + inst.network.comm_time(inst.graph.dependency_cost(p, t), pa.node, v);
+    for (NodeId v = 0; v < view.node_count(); ++v) {
+      const double arrival = pa.finish + view.comm_time(edge.cost, pa.node, v);
       worst = std::max(worst, arrival);
     }
     if (worst > last_arrival) {
@@ -31,18 +30,19 @@ NodeId enabling_node(const TimelineBuilder& builder, TaskId t) {
 
 }  // namespace
 
-Schedule FlbScheduler::schedule(const ProblemInstance& inst) const {
-  TimelineBuilder builder(inst);
+Schedule FlbScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
   while (!builder.complete()) {
     TaskId best_task = 0;
     NodeId best_node = 0;
     double best_finish = std::numeric_limits<double>::infinity();
     bool found = false;
-    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    for (TaskId t = 0; t < view.task_count(); ++t) {
       if (!builder.ready(t)) continue;
 
       NodeId idle_node = 0;
-      for (NodeId v = 1; v < inst.network.node_count(); ++v) {
+      for (NodeId v = 1; v < view.node_count(); ++v) {
         if (builder.node_available(v) < builder.node_available(idle_node)) idle_node = v;
       }
       const NodeId enabler = enabling_node(builder, t);

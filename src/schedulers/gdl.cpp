@@ -1,24 +1,28 @@
 #include "schedulers/gdl.hpp"
 
 #include <limits>
+#include <vector>
 
 #include "sched/ranks.hpp"
 #include "sched/timeline.hpp"
 
 namespace saga {
 
-Schedule GdlScheduler::schedule(const ProblemInstance& inst) const {
-  const auto sl = static_levels(inst);
-  const auto mean_exec = mean_exec_times(inst);
-  TimelineBuilder builder(inst);
+Schedule GdlScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  std::vector<double> sl;
+  std::vector<double> mean_exec;
+  static_levels(view, sl);
+  mean_exec_times(view, mean_exec);
   while (!builder.complete()) {
     TaskId best_task = 0;
     NodeId best_node = 0;
     double best_dl = -std::numeric_limits<double>::infinity();
     bool found = false;
-    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    for (TaskId t = 0; t < view.task_count(); ++t) {
       if (!builder.ready(t)) continue;
-      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      for (NodeId v = 0; v < view.node_count(); ++v) {
         const double start = builder.earliest_start(t, v, /*insertion=*/false);
         const double delta = mean_exec[t] - builder.exec_time(t, v);
         const double dl = sl[t] - start + delta;

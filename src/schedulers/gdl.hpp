@@ -23,7 +23,9 @@ class GdlScheduler final : public Scheduler {
   [[nodiscard]] NetworkRequirements requirements() const override {
     return {.homogeneous_node_speeds = false, .homogeneous_link_strengths = true};
   }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sched/arena.hpp"
 #include "sched/decoder.hpp"
 #include "sched/ranks.hpp"
 #include "schedulers/heft.hpp"
@@ -20,25 +21,29 @@ struct Individual {
 
 }  // namespace
 
-Schedule GeneticScheduler::schedule(const ProblemInstance& inst) const {
+Schedule GeneticScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
   const std::size_t n = inst.graph.task_count();
   if (n == 0) return Schedule{};
   const std::size_t nodes = inst.network.node_count();
   Rng rng(seed_);
 
   const auto evaluate = [&](Individual& ind) {
-    ind.makespan = decoded_makespan(inst, ind.encoding);
+    ind.makespan = decoded_makespan(inst, ind.encoding, arena);
   };
 
   // Initial population: the HEFT solution's encoding (assignment from the
   // HEFT schedule, priority = upward rank) plus random individuals.
   std::vector<Individual> population(params_.population);
   {
-    const Schedule heft = HeftScheduler{}.schedule(inst);
+    const Schedule heft = HeftScheduler{}.schedule(inst, arena);
     Individual& elite = population[0];
     elite.encoding.assignment.resize(n);
     for (TaskId t = 0; t < n; ++t) elite.encoding.assignment[t] = heft.of_task(t).node;
-    elite.encoding.priority = upward_ranks(inst);
+    if (arena != nullptr) {
+      upward_ranks(arena->view_for(inst), elite.encoding.priority);
+    } else {
+      elite.encoding.priority = upward_ranks(inst);
+    }
     evaluate(elite);
   }
   for (std::size_t i = 1; i < population.size(); ++i) {
@@ -98,7 +103,7 @@ Schedule GeneticScheduler::schedule(const ProblemInstance& inst) const {
   }
 
   const Individual& best = *std::min_element(population.begin(), population.end(), better);
-  return decode_schedule(inst, best.encoding);
+  return decode_schedule(inst, best.encoding, arena);
 }
 
 }  // namespace saga

@@ -38,7 +38,9 @@ class GeneticScheduler final : public Scheduler {
       : seed_(seed), params_(params) {}
 
   [[nodiscard]] std::string_view name() const override { return "GA"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 
  private:
   std::uint64_t seed_;

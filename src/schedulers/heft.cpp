@@ -12,62 +12,64 @@ namespace {
 
 /// Upward ranks with a configurable per-node execution-time statistic
 /// (mean reproduces sched/ranks.hpp's upward_ranks exactly).
-std::vector<double> variant_upward_ranks(const ProblemInstance& inst,
-                                         HeftScheduler::RankStatistic statistic) {
-  const auto& g = inst.graph;
-  const auto& net = inst.network;
-  const double inv_strength = net.mean_inverse_strength();
+void variant_upward_ranks(const InstanceView& view, HeftScheduler::RankStatistic statistic,
+                          std::vector<double>& rank) {
+  const double inv_strength = view.mean_inverse_strength();
 
   // Per-task execution-time statistic over nodes.
   double stat_factor = 0.0;  // multiplier on task cost
   switch (statistic) {
     case HeftScheduler::RankStatistic::kMean:
-      stat_factor = net.mean_inverse_speed();
+      stat_factor = view.mean_inverse_speed();
       break;
     case HeftScheduler::RankStatistic::kBest: {
       double best = std::numeric_limits<double>::infinity();
-      for (NodeId v = 0; v < net.node_count(); ++v) best = std::min(best, 1.0 / net.speed(v));
+      for (NodeId v = 0; v < view.node_count(); ++v) {
+        best = std::min(best, 1.0 / view.node_speed(v));
+      }
       stat_factor = best;
       break;
     }
     case HeftScheduler::RankStatistic::kWorst: {
       double worst = 0.0;
-      for (NodeId v = 0; v < net.node_count(); ++v) worst = std::max(worst, 1.0 / net.speed(v));
+      for (NodeId v = 0; v < view.node_count(); ++v) {
+        worst = std::max(worst, 1.0 / view.node_speed(v));
+      }
       stat_factor = worst;
       break;
     }
   }
 
-  std::vector<double> rank(g.task_count(), 0.0);
-  const auto order = g.topological_order();
+  rank.assign(view.task_count(), 0.0);
+  const auto order = view.topological_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const TaskId t = *it;
     double tail = 0.0;
-    for (TaskId s : g.successors(t)) {
-      tail = std::max(tail, g.dependency_cost(t, s) * inv_strength + rank[s]);
+    for (const auto& edge : view.successors(t)) {
+      tail = std::max(tail, edge.cost * inv_strength + rank[edge.task]);
     }
-    rank[t] = g.cost(t) * stat_factor + tail;
+    rank[t] = view.task_cost(t) * stat_factor + tail;
   }
-  return rank;
 }
 
 }  // namespace
 
-Schedule HeftScheduler::schedule(const ProblemInstance& inst) const {
-  const auto& g = inst.graph;
-  const auto rank = variant_upward_ranks(inst, variant_.rank);
+Schedule HeftScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  std::vector<double> rank;
+  variant_upward_ranks(view, variant_.rank, rank);
 
   // Process tasks by decreasing upward rank. With strictly positive task
   // costs this order is topological on its own; zero-cost tasks (which PISA
   // can produce) may tie with their neighbours, so we select from the ready
   // set instead of a pre-sorted list — identical behaviour when ranks are
   // strict, and always precedence-safe.
-  TimelineBuilder builder(inst);
   while (!builder.complete()) {
     TaskId next = 0;
     double best_rank = -1.0;
     bool found = false;
-    for (TaskId t = 0; t < g.task_count(); ++t) {
+    for (TaskId t = 0; t < view.task_count(); ++t) {
       if (!builder.ready(t)) continue;
       if (!found || rank[t] > best_rank) {
         next = t;
@@ -78,7 +80,7 @@ Schedule HeftScheduler::schedule(const ProblemInstance& inst) const {
 
     NodeId best_node = 0;
     double best_finish = std::numeric_limits<double>::infinity();
-    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+    for (NodeId v = 0; v < view.node_count(); ++v) {
       const double finish = builder.earliest_finish(next, v, variant_.insertion);
       if (finish < best_finish) {
         best_finish = finish;

@@ -38,7 +38,9 @@ class HeftScheduler final : public Scheduler {
   explicit HeftScheduler(const Variant& variant) : variant_(variant) {}
 
   [[nodiscard]] std::string_view name() const override { return "HEFT"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 
   [[nodiscard]] const Variant& variant() const noexcept { return variant_; }
 

@@ -4,18 +4,26 @@
 #include <numeric>
 #include <vector>
 
+#include "sched/arena.hpp"
 #include "sched/decoder.hpp"
 #include "sched/ranks.hpp"
 
 namespace saga {
 
-Schedule LinearClusteringScheduler::schedule(const ProblemInstance& inst) const {
+Schedule LinearClusteringScheduler::schedule(const ProblemInstance& inst,
+                                             TimelineArena* arena) const {
   const auto& g = inst.graph;
   const auto& net = inst.network;
   const std::size_t n = g.task_count();
   if (n == 0) return Schedule{};
 
-  const auto mean_exec = mean_exec_times(inst);
+  // Rank inputs through the arena's cached view when available (one-shot
+  // callers pay for a local view, as the inst-based overloads would).
+  InstanceView local_view;
+  if (arena == nullptr) local_view.sync(inst);
+  const InstanceView& view = arena != nullptr ? arena->view_for(inst) : local_view;
+  std::vector<double> mean_exec;
+  mean_exec_times(view, mean_exec);
   const double inv_strength = net.mean_inverse_strength();
 
   // Phase 1: peel longest paths off the graph. `in_cluster[t]` marks tasks
@@ -76,12 +84,12 @@ Schedule LinearClusteringScheduler::schedule(const ProblemInstance& inst) const 
 
   ScheduleEncoding encoding;
   encoding.assignment.resize(n);
-  encoding.priority = upward_ranks(inst);  // Phase 3 dispatch order
+  upward_ranks(view, encoding.priority);  // Phase 3 dispatch order
   for (std::size_t rank = 0; rank < cluster_order.size(); ++rank) {
     const NodeId node = nodes_by_speed[rank % nodes_by_speed.size()];
     for (TaskId t : clusters[cluster_order[rank]]) encoding.assignment[t] = node;
   }
-  return decode_schedule(inst, encoding);
+  return decode_schedule(inst, encoding, arena);
 }
 
 }  // namespace saga

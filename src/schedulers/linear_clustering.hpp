@@ -24,7 +24,9 @@ namespace saga {
 class LinearClusteringScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "LC"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

@@ -9,22 +9,26 @@
 
 namespace saga {
 
-Schedule LmtScheduler::schedule(const ProblemInstance& inst) const {
-  const auto& g = inst.graph;
+Schedule LmtScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  const std::size_t tasks = view.task_count();
 
   // Levelise: level(t) = longest hop-distance from any source.
-  std::vector<std::size_t> level(g.task_count(), 0);
+  std::vector<std::size_t> level(tasks, 0);
   std::size_t max_level = 0;
-  for (TaskId t : g.topological_order()) {
-    for (TaskId p : g.predecessors(t)) level[t] = std::max(level[t], level[p] + 1);
+  for (TaskId t : view.topological_order()) {
+    for (const auto& edge : view.predecessors(t)) {
+      level[t] = std::max(level[t], level[edge.task] + 1);
+    }
     max_level = std::max(max_level, level[t]);
   }
 
-  const auto mean_exec = mean_exec_times(inst);
-  TimelineBuilder builder(inst);
+  std::vector<double> mean_exec;
+  mean_exec_times(view, mean_exec);
   for (std::size_t current = 0; current <= max_level; ++current) {
     std::vector<TaskId> layer;
-    for (TaskId t = 0; t < g.task_count(); ++t) {
+    for (TaskId t = 0; t < tasks; ++t) {
       if (level[t] == current) layer.push_back(t);
     }
     // Biggest tasks first within the level.
@@ -34,7 +38,7 @@ Schedule LmtScheduler::schedule(const ProblemInstance& inst) const {
     for (TaskId t : layer) {
       NodeId best_node = 0;
       double best_finish = std::numeric_limits<double>::infinity();
-      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      for (NodeId v = 0; v < view.node_count(); ++v) {
         const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
         if (finish < best_finish) {
           best_finish = finish;

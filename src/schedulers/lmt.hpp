@@ -20,7 +20,9 @@ namespace saga {
 class LmtScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "LMT"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

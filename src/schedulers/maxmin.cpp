@@ -6,19 +6,20 @@
 
 namespace saga {
 
-Schedule MaxMinScheduler::schedule(const ProblemInstance& inst) const {
-  TimelineBuilder builder(inst);
+Schedule MaxMinScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
   while (!builder.complete()) {
     TaskId chosen_task = 0;
     NodeId chosen_node = 0;
     double chosen_mct = -1.0;
     bool found = false;
-    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    for (TaskId t = 0; t < view.task_count(); ++t) {
       if (!builder.ready(t)) continue;
       // Minimum completion time of t across nodes.
       NodeId arg_node = 0;
       double mct = std::numeric_limits<double>::infinity();
-      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      for (NodeId v = 0; v < view.node_count(); ++v) {
         const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
         if (finish < mct) {
           mct = finish;

@@ -6,12 +6,13 @@
 
 namespace saga {
 
-Schedule MctScheduler::schedule(const ProblemInstance& inst) const {
-  TimelineBuilder builder(inst);
-  for (TaskId t : inst.graph.topological_order()) {
+Schedule MctScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  for (TaskId t : view.topological_order()) {
     NodeId best_node = 0;
     double best_finish = std::numeric_limits<double>::infinity();
-    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+    for (NodeId v = 0; v < view.node_count(); ++v) {
       const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
       if (finish < best_finish) {
         best_finish = finish;

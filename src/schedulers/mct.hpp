@@ -14,7 +14,9 @@ namespace saga {
 class MctScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "MCT"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

@@ -4,13 +4,14 @@
 
 namespace saga {
 
-Schedule MetScheduler::schedule(const ProblemInstance& inst) const {
-  TimelineBuilder builder(inst);
-  for (TaskId t : inst.graph.topological_order()) {
+Schedule MetScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  for (TaskId t : view.topological_order()) {
     // Smallest execution time; first (lowest-id) node wins ties.
     NodeId best_node = 0;
     double best_exec = builder.exec_time(t, 0);
-    for (NodeId v = 1; v < inst.network.node_count(); ++v) {
+    for (NodeId v = 1; v < view.node_count(); ++v) {
       const double exec = builder.exec_time(t, v);
       if (exec < best_exec) {
         best_exec = exec;

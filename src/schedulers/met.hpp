@@ -16,7 +16,9 @@ namespace saga {
 class MetScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "MET"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

@@ -1,20 +1,23 @@
 #include "schedulers/mh.hpp"
 
 #include <limits>
+#include <vector>
 
 #include "sched/ranks.hpp"
 #include "sched/timeline.hpp"
 
 namespace saga {
 
-Schedule MhScheduler::schedule(const ProblemInstance& inst) const {
-  const auto level = static_levels(inst);
-  TimelineBuilder builder(inst);
+Schedule MhScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  std::vector<double> level;
+  static_levels(view, level);
   while (!builder.complete()) {
     TaskId next = 0;
     double best_level = -1.0;
     bool found = false;
-    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    for (TaskId t = 0; t < view.task_count(); ++t) {
       if (!builder.ready(t)) continue;
       if (!found || level[t] > best_level) {
         best_level = level[t];
@@ -24,7 +27,7 @@ Schedule MhScheduler::schedule(const ProblemInstance& inst) const {
     }
     NodeId best_node = 0;
     double best_finish = std::numeric_limits<double>::infinity();
-    for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+    for (NodeId v = 0; v < view.node_count(); ++v) {
       const double finish = builder.earliest_finish(next, v, /*insertion=*/false);
       if (finish < best_finish) {
         best_finish = finish;

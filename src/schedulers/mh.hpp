@@ -17,7 +17,9 @@ namespace saga {
 class MhScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "MH"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

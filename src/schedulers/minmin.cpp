@@ -6,15 +6,16 @@
 
 namespace saga {
 
-Schedule MinMinScheduler::schedule(const ProblemInstance& inst) const {
-  TimelineBuilder builder(inst);
+Schedule MinMinScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
   while (!builder.complete()) {
     TaskId best_task = 0;
     NodeId best_node = 0;
     double best_finish = std::numeric_limits<double>::infinity();
-    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    for (TaskId t = 0; t < view.task_count(); ++t) {
       if (!builder.ready(t)) continue;
-      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      for (NodeId v = 0; v < view.node_count(); ++v) {
         const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
         if (finish < best_finish) {
           best_finish = finish;

@@ -16,7 +16,9 @@ namespace saga {
 class MinMinScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "MinMin"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

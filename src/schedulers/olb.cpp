@@ -4,12 +4,13 @@
 
 namespace saga {
 
-Schedule OlbScheduler::schedule(const ProblemInstance& inst) const {
-  TimelineBuilder builder(inst);
-  for (TaskId t : inst.graph.topological_order()) {
+Schedule OlbScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  for (TaskId t : view.topological_order()) {
     NodeId best_node = 0;
     double best_available = builder.node_available(0);
-    for (NodeId v = 1; v < inst.network.node_count(); ++v) {
+    for (NodeId v = 1; v < view.node_count(); ++v) {
       const double available = builder.node_available(v);
       if (available < best_available) {
         best_available = available;

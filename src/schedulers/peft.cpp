@@ -7,25 +7,26 @@
 
 namespace saga {
 
-Schedule PeftScheduler::schedule(const ProblemInstance& inst) const {
-  const auto& g = inst.graph;
-  const auto& net = inst.network;
-  const std::size_t n_nodes = net.node_count();
-  const double inv_strength = net.mean_inverse_strength();
+Schedule PeftScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
+  const std::size_t tasks = view.task_count();
+  const std::size_t n_nodes = view.node_count();
+  const double inv_strength = view.mean_inverse_strength();
 
   // Optimistic cost table, bottom-up.
-  std::vector<std::vector<double>> oct(g.task_count(), std::vector<double>(n_nodes, 0.0));
-  const auto order = g.topological_order();
+  std::vector<std::vector<double>> oct(tasks, std::vector<double>(n_nodes, 0.0));
+  const auto order = view.topological_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const TaskId t = *it;
     for (NodeId v = 0; v < n_nodes; ++v) {
       double worst = 0.0;
-      for (TaskId s : g.successors(t)) {
-        const double comm = g.dependency_cost(t, s) * inv_strength;
+      for (const auto& edge : view.successors(t)) {
+        const double comm = edge.cost * inv_strength;
         double best = std::numeric_limits<double>::infinity();
         for (NodeId v2 = 0; v2 < n_nodes; ++v2) {
           const double value =
-              oct[s][v2] + net.exec_time(g.cost(s), v2) + (v2 != v ? comm : 0.0);
+              oct[edge.task][v2] + view.exec_time(edge.task, v2) + (v2 != v ? comm : 0.0);
           best = std::min(best, value);
         }
         worst = std::max(worst, best);
@@ -35,19 +36,18 @@ Schedule PeftScheduler::schedule(const ProblemInstance& inst) const {
   }
 
   // rank_oct: mean OCT row.
-  std::vector<double> rank(g.task_count(), 0.0);
-  for (TaskId t = 0; t < g.task_count(); ++t) {
+  std::vector<double> rank(tasks, 0.0);
+  for (TaskId t = 0; t < tasks; ++t) {
     double total = 0.0;
     for (NodeId v = 0; v < n_nodes; ++v) total += oct[t][v];
     rank[t] = total / static_cast<double>(n_nodes);
   }
 
-  TimelineBuilder builder(inst);
   while (!builder.complete()) {
     TaskId next = 0;
     double best_rank = -1.0;
     bool found = false;
-    for (TaskId t = 0; t < g.task_count(); ++t) {
+    for (TaskId t = 0; t < tasks; ++t) {
       if (!builder.ready(t)) continue;
       if (!found || rank[t] > best_rank) {
         next = t;

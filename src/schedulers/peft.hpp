@@ -22,7 +22,9 @@ namespace saga {
 class PeftScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "PEFT"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 };
 
 }  // namespace saga

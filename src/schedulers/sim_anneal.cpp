@@ -3,13 +3,14 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "sched/arena.hpp"
 #include "sched/decoder.hpp"
 #include "sched/ranks.hpp"
 #include "schedulers/heft.hpp"
 
 namespace saga {
 
-Schedule SimAnnealScheduler::schedule(const ProblemInstance& inst) const {
+Schedule SimAnnealScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
   const std::size_t n = inst.graph.task_count();
   if (n == 0) return Schedule{};
   const std::size_t nodes = inst.network.node_count();
@@ -18,12 +19,16 @@ Schedule SimAnnealScheduler::schedule(const ProblemInstance& inst) const {
   // Start from HEFT's solution.
   ScheduleEncoding current;
   {
-    const Schedule heft = HeftScheduler{}.schedule(inst);
+    const Schedule heft = HeftScheduler{}.schedule(inst, arena);
     current.assignment.resize(n);
     for (TaskId t = 0; t < n; ++t) current.assignment[t] = heft.of_task(t).node;
-    current.priority = upward_ranks(inst);
+    if (arena != nullptr) {
+      upward_ranks(arena->view_for(inst), current.priority);
+    } else {
+      current.priority = upward_ranks(inst);
+    }
   }
-  double current_makespan = decoded_makespan(inst, current);
+  double current_makespan = decoded_makespan(inst, current, arena);
   ScheduleEncoding best = current;
   double best_makespan = current_makespan;
 
@@ -42,7 +47,7 @@ Schedule SimAnnealScheduler::schedule(const ProblemInstance& inst) const {
                                          ? std::abs(candidate.priority[task])
                                          : 1.0);
       }
-      const double candidate_makespan = decoded_makespan(inst, candidate);
+      const double candidate_makespan = decoded_makespan(inst, candidate, arena);
       const double delta = (candidate_makespan - current_makespan) / scale;
       if (delta <= 0.0 || rng.bernoulli(std::exp(-delta / t))) {
         current = std::move(candidate);
@@ -54,7 +59,7 @@ Schedule SimAnnealScheduler::schedule(const ProblemInstance& inst) const {
       }
     }
   }
-  return decode_schedule(inst, best);
+  return decode_schedule(inst, best, arena);
 }
 
 }  // namespace saga

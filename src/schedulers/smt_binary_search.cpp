@@ -7,8 +7,9 @@
 
 namespace saga {
 
-Schedule SmtBinarySearchScheduler::schedule(const ProblemInstance& inst) const {
-  Schedule incumbent = FastestNodeScheduler{}.schedule(inst);
+Schedule SmtBinarySearchScheduler::schedule(const ProblemInstance& inst,
+                                            TimelineArena* arena) const {
+  Schedule incumbent = FastestNodeScheduler{}.schedule(inst, arena);
   double hi = incumbent.makespan();
   double lo = makespan_lower_bound(inst);
   if (hi <= 0.0) return incumbent;  // all-zero-cost graph: already optimal
@@ -21,7 +22,7 @@ Schedule SmtBinarySearchScheduler::schedule(const ProblemInstance& inst) const {
     ExactSearchOptions options;
     options.bound = mid;
     options.first_below_bound = true;
-    const auto result = exact_search(inst, options);
+    const auto result = exact_search(inst, options, arena);
     if (result.schedule.has_value()) {
       incumbent = *result.schedule;
       hi = incumbent.makespan();

@@ -21,7 +21,9 @@ class SmtBinarySearchScheduler final : public Scheduler {
   explicit SmtBinarySearchScheduler(double epsilon = 0.01) : epsilon_(epsilon) {}
 
   [[nodiscard]] std::string_view name() const override { return "SMT"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 
  private:
   double epsilon_;

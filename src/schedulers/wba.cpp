@@ -8,9 +8,10 @@
 
 namespace saga {
 
-Schedule WbaScheduler::schedule(const ProblemInstance& inst) const {
+Schedule WbaScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
   Rng rng(seed_);
-  TimelineBuilder builder(inst);
+  TimelineBuilder builder(inst, arena);
+  const InstanceView& view = builder.view();
 
   struct Option {
     TaskId task;
@@ -18,15 +19,16 @@ Schedule WbaScheduler::schedule(const ProblemInstance& inst) const {
     double increase;
   };
   std::vector<Option> options;
+  std::vector<std::size_t> candidates;
 
   while (!builder.complete()) {
     options.clear();
     double min_inc = std::numeric_limits<double>::infinity();
     double max_inc = -std::numeric_limits<double>::infinity();
     const double current = builder.current_makespan();
-    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+    for (TaskId t = 0; t < view.task_count(); ++t) {
       if (!builder.ready(t)) continue;
-      for (NodeId v = 0; v < inst.network.node_count(); ++v) {
+      for (NodeId v = 0; v < view.node_count(); ++v) {
         const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
         const double increase = std::max(0.0, finish - current);
         options.push_back({t, v, increase});
@@ -38,7 +40,7 @@ Schedule WbaScheduler::schedule(const ProblemInstance& inst) const {
     // Keep every option within the tolerance band of the least increase and
     // choose uniformly among them.
     const double band = min_inc + tolerance_ * (max_inc - min_inc);
-    std::vector<std::size_t> candidates;
+    candidates.clear();
     for (std::size_t i = 0; i < options.size(); ++i) {
       if (options[i].increase <= band + 1e-15) candidates.push_back(i);
     }

@@ -25,7 +25,9 @@ class WbaScheduler final : public Scheduler {
       : seed_(seed), tolerance_(tolerance) {}
 
   [[nodiscard]] std::string_view name() const override { return "WBA"; }
-  [[nodiscard]] Schedule schedule(const ProblemInstance& inst) const override;
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* arena) const override;
 
  private:
   std::uint64_t seed_;

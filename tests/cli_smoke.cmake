@@ -54,6 +54,18 @@ if(NOT validate_output MATCHES "^valid")
   message(FATAL_ERROR "saga validate did not report a valid schedule:\n${validate_output}")
 endif()
 
+# 4b. timed repeat mode must run and report throughput on stderr.
+execute_process(COMMAND ${SAGA_CLI} schedule HEFT ${WORK_DIR}/instance.txt --repeat 5 --time
+  RESULT_VARIABLE rv
+  OUTPUT_FILE ${WORK_DIR}/schedule_timed.txt
+  ERROR_VARIABLE timed_err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "saga schedule --repeat --time failed (exit ${rv}):\n${timed_err}")
+endif()
+if(NOT timed_err MATCHES "schedules/sec")
+  message(FATAL_ERROR "saga schedule --time did not report throughput:\n${timed_err}")
+endif()
+
 # 5. compare a couple of schedulers on the same instance.
 saga_step(compare compare ${WORK_DIR}/instance.txt HEFT MinMin)
 

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/instance_view.hpp"
+#include "graph/problem_instance.hpp"
+
+/// InstanceView: the flat snapshot every scheduler reads through. These
+/// tests pin the sync contract — weight mutations refresh in place,
+/// structural mutations rebuild the CSR arrays — and the arithmetic
+/// equivalence with the Network/TaskGraph accessors.
+
+namespace saga {
+namespace {
+
+ProblemInstance diamond() {
+  ProblemInstance inst;
+  const TaskId a = inst.graph.add_task("a", 1.0);
+  const TaskId b = inst.graph.add_task("b", 2.0);
+  const TaskId c = inst.graph.add_task("c", 3.0);
+  const TaskId d = inst.graph.add_task("d", 4.0);
+  inst.graph.add_dependency(a, b, 0.5);
+  inst.graph.add_dependency(a, c, 1.5);
+  inst.graph.add_dependency(b, d, 2.5);
+  inst.graph.add_dependency(c, d, 3.5);
+  inst.network = Network(3);
+  inst.network.set_speed(1, 2.0);
+  inst.network.set_strength(0, 1, 4.0);
+  inst.network.set_strength(1, 2, 0.25);
+  return inst;
+}
+
+TEST(InstanceView, MirrorsGraphAndNetwork) {
+  const auto inst = diamond();
+  const InstanceView view(inst);
+  ASSERT_EQ(view.task_count(), inst.graph.task_count());
+  ASSERT_EQ(view.node_count(), inst.network.node_count());
+  EXPECT_TRUE(view.in_sync_with(inst));
+
+  for (TaskId t = 0; t < view.task_count(); ++t) {
+    EXPECT_EQ(view.task_cost(t), inst.graph.cost(t));
+    const auto preds = view.predecessors(t);
+    const auto graph_preds = inst.graph.predecessors(t);
+    ASSERT_EQ(preds.size(), graph_preds.size());
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      EXPECT_EQ(preds[i].task, graph_preds[i]);
+      EXPECT_EQ(preds[i].cost, inst.graph.dependency_cost(graph_preds[i], t));
+    }
+    for (NodeId v = 0; v < view.node_count(); ++v) {
+      EXPECT_EQ(view.exec_time(t, v), inst.network.exec_time(inst.graph.cost(t), v));
+    }
+  }
+  for (NodeId a = 0; a < view.node_count(); ++a) {
+    for (NodeId b = 0; b < view.node_count(); ++b) {
+      EXPECT_EQ(view.comm_time(1.25, a, b), inst.network.comm_time(1.25, a, b));
+    }
+  }
+  EXPECT_EQ(view.mean_inverse_speed(), inst.network.mean_inverse_speed());
+  EXPECT_EQ(view.mean_inverse_strength(), inst.network.mean_inverse_strength());
+
+  const auto topo = inst.graph.topological_order();
+  ASSERT_EQ(view.topological_order().size(), topo.size());
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    EXPECT_EQ(view.topological_order()[i], topo[i]);
+  }
+}
+
+TEST(InstanceView, WeightMutationRefreshesInPlace) {
+  auto inst = diamond();
+  InstanceView view(inst);
+
+  inst.graph.set_cost(2, 9.0);
+  inst.graph.set_dependency_cost(0, 1, 7.0);
+  inst.network.set_speed(0, 5.0);
+  EXPECT_FALSE(view.in_sync_with(inst));
+
+  view.sync(inst);
+  EXPECT_TRUE(view.in_sync_with(inst));
+  EXPECT_EQ(view.task_cost(2), 9.0);
+  EXPECT_EQ(view.predecessors(1)[0].cost, 7.0);
+  EXPECT_EQ(view.node_speed(0), 5.0);
+  EXPECT_EQ(view.mean_inverse_speed(), inst.network.mean_inverse_speed());
+}
+
+TEST(InstanceView, StructuralMutationRebuilds) {
+  auto inst = diamond();
+  InstanceView view(inst);
+
+  ASSERT_TRUE(inst.graph.remove_dependency(1, 3));
+  const TaskId e = inst.graph.add_task("e", 0.5);
+  ASSERT_TRUE(inst.graph.add_dependency(3, e, 1.0));
+  view.sync(inst);
+
+  EXPECT_TRUE(view.in_sync_with(inst));
+  ASSERT_EQ(view.task_count(), 5u);
+  EXPECT_TRUE(view.predecessors(3).size() == 1 && view.predecessors(3)[0].task == 2);
+  ASSERT_EQ(view.predecessors(e).size(), 1u);
+  EXPECT_EQ(view.predecessors(e)[0].task, 3u);
+  EXPECT_EQ(view.successors(1).size(), 0u);
+  EXPECT_EQ(view.topological_order().size(), 5u);
+}
+
+TEST(InstanceView, NetworkReplacementOfDifferentSizeRebuilds) {
+  auto inst = diamond();
+  InstanceView view(inst);
+  inst.network = Network(5);
+  view.sync(inst);
+  EXPECT_TRUE(view.in_sync_with(inst));
+  EXPECT_EQ(view.node_count(), 5u);
+  EXPECT_EQ(view.comm_time(2.0, 0, 4), inst.network.comm_time(2.0, 0, 4));
+}
+
+TEST(InstanceView, CopiedInstanceSharesStampsUntilMutated) {
+  const auto inst = diamond();
+  InstanceView view(inst);
+  ProblemInstance copy = inst;  // equal content, equal stamps
+  EXPECT_FALSE(view.in_sync_with(copy));  // different object, so not "in sync"
+  view.sync(copy);                        // but sync is a cheap re-point
+  EXPECT_TRUE(view.in_sync_with(copy));
+  copy.graph.set_cost(0, 42.0);
+  EXPECT_FALSE(view.in_sync_with(copy));  // mutation re-stamped the copy
+}
+
+}  // namespace
+}  // namespace saga

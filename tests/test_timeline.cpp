@@ -170,5 +170,115 @@ TEST(Timeline, MakespanTracksPlacements) {
   EXPECT_DOUBLE_EQ(builder.current_makespan(), 3.0);
 }
 
+/// Independent tasks with the given costs on a single unit-speed node, so
+/// exec time == cost and placements can shape the busy lane freely.
+ProblemInstance independent_tasks(std::initializer_list<double> costs) {
+  ProblemInstance inst;
+  for (double c : costs) inst.graph.add_task(c);
+  inst.network = Network(1);
+  return inst;
+}
+
+TEST(TimelineGaps, ExactFitGapIsUsed) {
+  const auto inst = independent_tasks({1.0, 1.0, 2.0});
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 0.0);  // busy [0, 1)
+  builder.place(1, 0, 3.0);  // busy [3, 4)
+  // Task 2 lasts exactly 2: the gap [1, 3) fits with no slack.
+  EXPECT_DOUBLE_EQ(builder.earliest_start(2, 0, /*insertion=*/true), 1.0);
+}
+
+TEST(TimelineGaps, TooSmallGapIsSkipped) {
+  const auto inst = independent_tasks({1.0, 1.0, 2.0});
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 0.0);  // busy [0, 1)
+  builder.place(1, 0, 2.5);  // busy [2.5, 3.5): gap [1, 2.5) is half a unit short
+  EXPECT_DOUBLE_EQ(builder.earliest_start(2, 0, /*insertion=*/true), 3.5);
+}
+
+TEST(TimelineGaps, InsertionBeforeFirstInterval) {
+  const auto inst = independent_tasks({1.0, 2.0});
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 2.0);  // busy [2, 3)
+  // The leading idle stretch [0, 2) hosts the 2-unit task.
+  EXPECT_DOUBLE_EQ(builder.earliest_start(1, 0, /*insertion=*/true), 0.0);
+}
+
+TEST(TimelineGaps, ZeroLengthTaskSlotsAtBusyIntervalStart) {
+  const auto inst = independent_tasks({1.0, 0.0});
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 0.0);  // busy [0, 1)
+  // A zero-length task needs no idle time at all: it starts at its ready
+  // time even though the node is busy there.
+  EXPECT_DOUBLE_EQ(builder.earliest_start(1, 0, /*insertion=*/true), 0.0);
+}
+
+TEST(TimelineGaps, ZeroLengthIntervalDoesNotHideLaterBusyTime) {
+  // Regression for the binary-search gap lookup: a zero-length interval
+  // placed at the start boundary of a longer one must not break the
+  // sorted-ends invariant the search relies on — a later insertion query
+  // must still see the long interval.
+  const auto inst = independent_tasks({1.0, 0.0, 1.0});
+  TimelineBuilder builder(inst);
+  builder.place(0, 0, 0.0);                             // busy [0, 1)
+  builder.place(1, 0, 0.0);                             // zero-length at 0
+  EXPECT_DOUBLE_EQ(builder.earliest_start(2, 0, /*insertion=*/true), 1.0);
+  builder.place_earliest(2, 0, /*insertion=*/true);
+  EXPECT_TRUE(builder.to_schedule().validate(inst).ok);
+}
+
+TEST(TimelineGaps, ReadyTimeLimitsTheLeadingGap) {
+  ProblemInstance inst;
+  const TaskId a = inst.graph.add_task("a", 1.0);
+  const TaskId b = inst.graph.add_task("b", 1.5);
+  const TaskId c = inst.graph.add_task("c", 1.0);
+  inst.graph.add_dependency(a, b, 1.0);
+  inst.network = Network(2);
+  TimelineBuilder builder(inst);
+  builder.place(a, 0, 0.0);  // finishes 1; b's data reaches node 1 at 2
+  builder.place(c, 1, 2.5);  // node 1 busy [2.5, 3.5)
+  EXPECT_DOUBLE_EQ(builder.data_ready_time(b, 1), 2.0);
+  // Only [2, 2.5) of the leading gap is usable — too short for 1.5 units,
+  // so b starts after c.
+  EXPECT_DOUBLE_EQ(builder.earliest_start(b, 1, /*insertion=*/true), 3.5);
+}
+
+TEST(TimelineArenaReuse, RepeatedBuildsRecycleScratchAndAgree) {
+  const auto inst = chain3();
+  TimelineArena arena;
+  double first_makespan = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    TimelineBuilder builder(inst, &arena);
+    builder.place_earliest(0, 0, false);
+    builder.place_earliest(1, 1, false);
+    builder.place_earliest(2, 0, false);
+    const double m = builder.to_schedule().makespan();
+    if (round == 0) {
+      first_makespan = m;
+    } else {
+      EXPECT_EQ(m, first_makespan);
+    }
+  }
+  // All scratch blocks returned to the pool once builders are destroyed.
+  EXPECT_EQ(arena.pooled(), 1u);
+}
+
+TEST(TimelineArenaReuse, CopiedBuildersDrawFromTheSamePool) {
+  const auto inst = chain3();
+  TimelineArena arena;
+  {
+    TimelineBuilder builder(inst, &arena);
+    builder.place_earliest(0, 0, false);
+    TimelineBuilder branch = builder;  // second scratch from the pool
+    branch.place_earliest(1, 1, false);
+    // The copy is independent: the original still has task 1 pending.
+    EXPECT_TRUE(builder.ready(1));
+    EXPECT_FALSE(branch.ready(1));
+    EXPECT_EQ(branch.placed_count(), 2u);
+    EXPECT_EQ(builder.placed_count(), 1u);
+  }
+  EXPECT_EQ(arena.pooled(), 2u);
+}
+
 }  // namespace
 }  // namespace saga

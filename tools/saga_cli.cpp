@@ -4,7 +4,13 @@
 /// Subcommands:
 ///   saga generate <dataset> <index> [seed]        print an instance
 ///   saga schedule <scheduler> <instance-file|->   schedule it, print the
-///                                                 schedule + Gantt
+///            [--repeat N] [--time]                schedule + Gantt;
+///                                                 --repeat re-runs the
+///                                                 scheduler N times on one
+///                                                 evaluation arena and
+///                                                 --time reports the
+///                                                 wall-clock throughput on
+///                                                 stderr
 ///   saga validate <instance-file> <schedule-file> check a schedule
 ///   saga compare <instance-file> [schedulers...]  makespans side by side
 ///   saga pisa <target> <baseline> [restarts]      adversarial search
@@ -16,6 +22,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +39,7 @@
 #include "core/annealer.hpp"
 #include "datasets/registry.hpp"
 #include "graph/serialization.hpp"
+#include "sched/arena.hpp"
 #include "sched/registry.hpp"
 #include "sched/schedule_io.hpp"
 
@@ -78,10 +86,42 @@ int cmd_generate(int argc, char** argv) {
 }
 
 int cmd_schedule(int argc, char** argv) {
-  if (argc < 2) throw std::runtime_error("usage: saga schedule <scheduler> <instance|->");
-  const auto inst = read_instance(argv[1]);
-  const auto scheduler = make_scheduler(argv[0]);
-  const Schedule schedule = scheduler->schedule(inst);
+  constexpr const char* kUsage =
+      "usage: saga schedule <scheduler> <instance|-> [--repeat N] [--time]";
+  std::vector<const char*> positional;
+  std::uint64_t repeat = 1;
+  bool timed = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repeat") {
+      if (i + 1 >= argc) throw std::runtime_error("--repeat needs a count");
+      repeat = parse_u64(argv[++i], "repeat count");
+      if (repeat == 0) throw std::runtime_error("--repeat must be at least 1");
+    } else if (arg == "--time") {
+      timed = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) throw std::runtime_error(kUsage);
+  const auto inst = read_instance(positional[1]);
+  const auto scheduler = make_scheduler(positional[0]);
+
+  // One evaluation arena across all repeats — the PISA usage pattern — so
+  // `--repeat N --time` measures the scheduler's warm per-call cost.
+  TimelineArena arena;
+  Schedule schedule;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < repeat; ++i) schedule = scheduler->schedule(inst, &arena);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  if (timed) {
+    std::fprintf(stderr, "%llu run(s) in %.3f ms: %.0f ns/schedule, %.0f schedules/sec\n",
+                 static_cast<unsigned long long>(repeat), seconds * 1e3,
+                 seconds / static_cast<double>(repeat) * 1e9,
+                 static_cast<double>(repeat) / seconds);
+  }
   save_schedule(std::cout, schedule);
   std::cout << analysis::render_gantt(inst, schedule);
   return EXIT_SUCCESS;
