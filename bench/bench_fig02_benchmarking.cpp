@@ -9,39 +9,38 @@
 ///
 /// Paper sizes: 1000 instances for random/IoT datasets, 100 for the
 /// scientific workflows — scaled by SAGA_SCALE (default 0.25).
+///
+/// Declaratively driven: the whole scenario is an ExperimentSpec (the same
+/// driver behind `saga run`; examples/specs/fig02_tiny.json is the
+/// file-based equivalent).
 
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
-#include "analysis/benchmarking.hpp"
 #include "analysis/csv.hpp"
-#include "analysis/ratio_matrix.hpp"
 #include "bench_common.hpp"
 #include "datasets/registry.hpp"
-#include "sched/registry.hpp"
+#include "exp/experiment.hpp"
 
 int main() {
   using namespace saga;
   bench::banner("bench_fig02_benchmarking", "Fig. 2 (benchmarking grid, 15 x 16)");
   bench::ScopedTimer timer("fig02 total");
 
-  const auto& roster = benchmark_scheduler_names();
-  std::vector<analysis::DatasetBenchmark> benchmarks;
-  for (const auto& spec : datasets::all_dataset_specs()) {
-    const std::size_t count = scaled_count(spec.paper_instance_count, 8);
-    bench::ScopedTimer dataset_timer(spec.name + " (" + std::to_string(count) + " instances)");
-    const auto dataset = datasets::generate_dataset(spec.name, env_seed(), count);
-    benchmarks.push_back(analysis::benchmark_dataset(dataset, roster, env_seed()));
-  }
+  exp::ExperimentSpec spec;
+  spec.name = "Fig. 2: max makespan ratio per dataset";
+  spec.mode = exp::Mode::kBenchmark;
+  spec.schedulers = {"@benchmark"};
+  for (const auto& ds : datasets::all_dataset_specs()) spec.datasets.push_back({ds.name, 0});
+  spec.seed = env_seed();
 
-  const auto table =
-      analysis::benchmarking_table(benchmarks, roster, "Fig. 2: max makespan ratio per dataset");
-  std::printf("\n%s\n", table.render().c_str());
+  const auto result = exp::run_experiment(spec, std::cout);
 
   std::printf("Per-scheduler ratio distributions (all datasets pooled):\n");
-  for (const auto& name : roster) {
+  for (const auto& name : spec.resolved_schedulers()) {
     std::vector<double> pooled;
-    for (const auto& b : benchmarks) {
+    for (const auto& b : result.benchmarks) {
       const auto& rs = b.for_scheduler(name).ratios;
       pooled.insert(pooled.end(), rs.begin(), rs.end());
     }
@@ -49,7 +48,7 @@ int main() {
   }
 
   const auto csv = analysis::maybe_write_csv(
-      "fig02", [&](std::ostream& out) { analysis::write_benchmark_csv(out, benchmarks); });
+      "fig02", [&](std::ostream& out) { analysis::write_benchmark_csv(out, result.benchmarks); });
   if (!csv.empty()) std::printf("wrote %s\n", csv.c_str());
   return 0;
 }

@@ -11,31 +11,36 @@
 /// Expected shape (paper Section VI-A): every scheduler has a cell >= 2
 /// somewhere; most have one >= 5; HEFT loses to FastestNode by > 4x; cells
 /// against OLB/WBA frequently exceed 1000.
+///
+/// Declaratively driven: the whole scenario is an ExperimentSpec (the same
+/// driver behind `saga run`; examples/specs/fig04_small.json is the
+/// file-based equivalent).
 
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
 
 #include "analysis/csv.hpp"
-#include "analysis/ratio_matrix.hpp"
 #include "bench_common.hpp"
-#include "core/pairwise.hpp"
-#include "sched/registry.hpp"
+#include "exp/experiment.hpp"
 
 int main() {
   using namespace saga;
   bench::banner("bench_fig04_pisa_pairwise", "Fig. 4 (PISA pairwise grid, 15 x 15)");
   bench::ScopedTimer timer("fig04 total");
 
-  pisa::PairwiseOptions options;
+  exp::ExperimentSpec spec;
+  spec.name = "Fig. 4: worst-case ratio of column scheduler vs row baseline";
+  spec.mode = exp::Mode::kPisaPairwise;
+  spec.schedulers = {"@benchmark"};
   // The paper uses 5 restarts; annealing is cheap enough in C++ that we
   // default to 10 (extra restarts only strengthen the discovered lower
   // bounds — 10 reproduces the paper's 15/15 and 10/15 headline counts).
-  options.pisa.restarts = std::max<std::size_t>(scaled_count(5, 5), 10);
+  spec.pisa.restarts = std::max<std::size_t>(scaled_count(5, 5), 10);
+  spec.seed = env_seed();
 
-  const auto grid = pisa::pairwise_compare(benchmark_scheduler_names(), options, env_seed());
-  const auto table = analysis::pairwise_table(
-      grid, "Fig. 4: worst-case ratio of column scheduler vs row baseline");
-  std::printf("\n%s\n", table.render().c_str());
+  const auto result = exp::run_experiment(spec, std::cout);
+  const auto& grid = result.pairwise;
 
   // The paper's headline statistics.
   const auto worst = grid.worst_per_target();

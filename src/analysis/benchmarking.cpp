@@ -18,7 +18,7 @@ const SchedulerBenchmark& DatasetBenchmark::for_scheduler(const std::string& nam
 
 DatasetBenchmark benchmark_dataset(const saga::Dataset& dataset,
                                    const std::vector<std::string>& scheduler_names,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed, saga::ThreadPool* pool) {
   const std::size_t n_instances = dataset.instances.size();
   const std::size_t n_schedulers = scheduler_names.size();
 
@@ -26,7 +26,7 @@ DatasetBenchmark benchmark_dataset(const saga::Dataset& dataset,
   std::vector<std::vector<double>> makespans(n_schedulers,
                                              std::vector<double>(n_instances, 0.0));
 
-  saga::global_pool().parallel_for(n_instances, [&](std::size_t i) {
+  (pool != nullptr ? *pool : saga::global_pool()).parallel_for(n_instances, [&](std::size_t i) {
     for (std::size_t s = 0; s < n_schedulers; ++s) {
       const auto scheduler =
           saga::make_scheduler(scheduler_names[s], saga::derive_seed(seed, {0xbe5cULL, s, i}));

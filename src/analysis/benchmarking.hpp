@@ -14,6 +14,10 @@
 /// instance of a dataset and report makespan ratios
 ///   m(S_A) / min over all schedulers B of m(S_B).
 
+namespace saga {
+class ThreadPool;
+}
+
 namespace saga::analysis {
 
 /// Makespan ratios of one scheduler across a dataset's instances.
@@ -30,11 +34,13 @@ struct DatasetBenchmark {
   [[nodiscard]] const SchedulerBenchmark& for_scheduler(const std::string& name) const;
 };
 
-/// Runs all `scheduler_names` on every instance; the ratio baseline is the
-/// minimum makespan across the same roster (the paper's convention).
-/// Parallel over instances via the global pool; deterministic.
+/// Runs all `scheduler_names` (names or spec strings) on every instance;
+/// the ratio baseline is the minimum makespan across the same roster (the
+/// paper's convention). Parallel over instances; deterministic regardless
+/// of thread count. `pool` null means the global pool.
 [[nodiscard]] DatasetBenchmark benchmark_dataset(const saga::Dataset& dataset,
                                                  const std::vector<std::string>& scheduler_names,
-                                                 std::uint64_t seed);
+                                                 std::uint64_t seed,
+                                                 saga::ThreadPool* pool = nullptr);
 
 }  // namespace saga::analysis

@@ -1,0 +1,64 @@
+#include "common/nearest.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace saga {
+
+namespace {
+
+char lower(char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); }
+
+}  // namespace
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // Two-row dynamic program.
+  std::vector<std::size_t> prev(m + 1);
+  std::vector<std::size_t> cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t subst = prev[j - 1] + (lower(a[i - 1]) == lower(b[j - 1]) ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::string nearest_match(std::string_view query,
+                          const std::vector<std::string>& candidates) {
+  const std::size_t budget = std::max<std::size_t>(2, query.size() / 2);
+  std::size_t best = budget + 1;
+  std::string winner;
+  for (const auto& candidate : candidates) {
+    const std::size_t d = edit_distance(query, candidate);
+    if (d < best) {
+      best = d;
+      winner = candidate;
+    }
+  }
+  return winner;
+}
+
+std::string did_you_mean(std::string_view query, const std::vector<std::string>& candidates) {
+  const std::string nearest = nearest_match(query, candidates);
+  if (nearest.empty()) return {};
+  return " (did you mean '" + nearest + "'?)";
+}
+
+std::string join(const std::vector<std::string>& items, const char* separator) {
+  std::string out;
+  for (const auto& item : items) {
+    if (!out.empty()) out += separator;
+    out += item;
+  }
+  return out;
+}
+
+}  // namespace saga

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file nearest.hpp
+/// Nearest-name lookup for error ergonomics: when a user misspells a
+/// scheduler, dataset, parameter or spec key, the thrown message suggests
+/// the closest known name ("did you mean `heft`?").
+
+namespace saga {
+
+/// Case-insensitive Levenshtein edit distance.
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `query` by case-insensitive edit distance, or
+/// an empty string when nothing is plausibly close (distance greater than
+/// max(2, |query| / 2)). Ties resolve to the earliest candidate.
+[[nodiscard]] std::string nearest_match(std::string_view query,
+                                        const std::vector<std::string>& candidates);
+
+/// Renders "did you mean 'X'?" when a near match exists, else "".
+[[nodiscard]] std::string did_you_mean(std::string_view query,
+                                       const std::vector<std::string>& candidates);
+
+/// Joins names with a separator — the other half of every "valid X: a, b,
+/// c" diagnostic this header serves.
+[[nodiscard]] std::string join(const std::vector<std::string>& items, const char* separator);
+
+}  // namespace saga

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "sched/arena.hpp"
 #include "sched/registry.hpp"
@@ -21,12 +23,20 @@ std::vector<double> PairwiseResult::worst_per_target() const {
   return worst;
 }
 
+CellSeeds pairwise_cell_seeds(std::uint64_t seed, std::size_t baseline_row,
+                              std::size_t target_col) {
+  return {derive_seed(seed, {0x7a26e7ULL, baseline_row, target_col}),
+          derive_seed(seed, {0xba5eULL, baseline_row, target_col}),
+          derive_seed(seed, {0xce11ULL, baseline_row, target_col})};
+}
+
 PairwiseResult pairwise_compare(const std::vector<std::string>& scheduler_names,
                                 const PairwiseOptions& options, std::uint64_t seed) {
   const std::size_t n = scheduler_names.size();
   PairwiseResult result;
   result.scheduler_names = scheduler_names;
   result.ratio.assign(n, std::vector<double>(n, std::numeric_limits<double>::quiet_NaN()));
+  result.best_instance.assign(n, std::vector<ProblemInstance>(n));
 
   // Flatten the off-diagonal cells into a work list.
   struct Cell {
@@ -48,18 +58,18 @@ PairwiseResult pairwise_compare(const std::vector<std::string>& scheduler_names,
     static thread_local TimelineArena arena;
     const auto [row, col] = cells[i];
     // Fresh scheduler objects per cell: schedulers are stateless apart from
-    // WBA's seed, which we derive per cell for independence.
-    const auto baseline =
-        make_scheduler(scheduler_names[row], derive_seed(seed, {0xba5eULL, row, col}));
-    const auto target =
-        make_scheduler(scheduler_names[col], derive_seed(seed, {0x7a26e7ULL, row, col}));
-    const auto cell_result = run_pisa(*target, *baseline, options.pisa,
-                                      derive_seed(seed, {0xce11ULL, row, col}), &arena);
+    // the randomized ones' seeds, which we derive per cell for independence.
+    const CellSeeds seeds = pairwise_cell_seeds(seed, row, col);
+    const auto baseline = make_scheduler(scheduler_names[row], seeds.baseline);
+    const auto target = make_scheduler(scheduler_names[col], seeds.target);
+    auto cell_result = run_pisa(*target, *baseline, options.pisa, seeds.anneal, &arena);
     result.ratio[row][col] = cell_result.best_ratio;
+    result.best_instance[row][col] = std::move(cell_result.best_instance);
   };
 
   if (options.parallel) {
-    global_pool().parallel_for(cells.size(), run_cell);
+    (options.pool != nullptr ? *options.pool : global_pool())
+        .parallel_for(cells.size(), run_cell);
   } else {
     for (std::size_t i = 0; i < cells.size(); ++i) run_cell(i);
   }

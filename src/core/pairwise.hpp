@@ -12,6 +12,10 @@
 /// per-workflow grids of Figs. 10-19): for every ordered pair of schedulers
 /// (target, baseline), the worst-case makespan ratio PISA can find.
 
+namespace saga {
+class ThreadPool;
+}
+
 namespace saga::pisa {
 
 /// Result grid: ratio[i][j] is the best ratio found for *target* j against
@@ -21,6 +25,10 @@ namespace saga::pisa {
 struct PairwiseResult {
   std::vector<std::string> scheduler_names;
   std::vector<std::vector<double>> ratio;
+  /// best_instance[i][j]: the adversarial instance achieving ratio[i][j]
+  /// (default-constructed on the diagonal), so drivers can publish the
+  /// discovered instances as atlas entries.
+  std::vector<std::vector<ProblemInstance>> best_instance;
 
   [[nodiscard]] double cell(std::size_t baseline_row, std::size_t target_col) const {
     return ratio[baseline_row][target_col];
@@ -32,13 +40,29 @@ struct PairwiseResult {
 
 struct PairwiseOptions {
   PisaOptions pisa;
-  /// Worker threads (0 = use the global pool). Each (pair, restart) cell
-  /// derives an independent RNG stream, so parallel runs are reproducible.
+  /// Run cells in parallel. Each (pair, restart) cell derives an
+  /// independent RNG stream, so parallel runs are reproducible.
   bool parallel = true;
+  /// Worker pool for parallel runs; null uses the global pool.
+  ThreadPool* pool = nullptr;
 };
 
-/// Runs PISA for every ordered pair of the named schedulers. WBA instances
-/// are constructed with per-pair derived seeds.
+/// The per-cell RNG stream derivation pairwise_compare uses: target and
+/// baseline scheduler construction seeds plus the annealer seed for the
+/// (baseline_row, target_col) cell. Exposed so drivers can reconstruct a
+/// cell's schedulers exactly (e.g. `saga pisa` annotating atlas entries
+/// with the effective seed of a randomized scheduler).
+struct CellSeeds {
+  std::uint64_t target = 0;
+  std::uint64_t baseline = 0;
+  std::uint64_t anneal = 0;
+};
+[[nodiscard]] CellSeeds pairwise_cell_seeds(std::uint64_t seed, std::size_t baseline_row,
+                                            std::size_t target_col);
+
+/// Runs PISA for every ordered pair of the named schedulers (names or spec
+/// strings). Randomized schedulers are constructed with per-cell derived
+/// seeds (see pairwise_cell_seeds).
 [[nodiscard]] PairwiseResult pairwise_compare(const std::vector<std::string>& scheduler_names,
                                               const PairwiseOptions& options,
                                               std::uint64_t seed);

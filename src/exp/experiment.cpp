@@ -1,0 +1,482 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/csv.hpp"
+#include "analysis/ratio_matrix.hpp"
+#include "common/env.hpp"
+#include "common/nearest.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "datasets/registry.hpp"
+#include "graph/serialization.hpp"
+#include "sched/arena.hpp"
+#include "sched/registry.hpp"
+
+namespace saga::exp {
+
+namespace {
+
+std::size_t to_size(const Json& json, const std::string& context) {
+  const double value = json.as_number();
+  if (value < 0.0 || value != std::floor(value) || value > 9.0e15) {
+    throw std::invalid_argument(context + " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Rejects keys outside `allowed`, suggesting the nearest valid one.
+void check_keys(const Json& object, const std::vector<std::string>& allowed,
+                const std::string& context) {
+  for (const auto& [key, value] : object.as_object()) {
+    (void)value;
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      throw std::invalid_argument("unknown key '" + key + "' in " + context +
+                                  did_you_mean(key, allowed) +
+                                  "; valid keys: " + join(allowed, ", "));
+    }
+  }
+}
+
+const std::vector<std::string>& dataset_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& ds : datasets::all_dataset_specs()) out.push_back(ds.name);
+    return out;
+  }();
+  return names;
+}
+
+void require_known_dataset(const std::string& name) {
+  const auto& names = dataset_names();
+  if (std::find(names.begin(), names.end(), name) != names.end()) return;
+  throw std::invalid_argument("unknown dataset '" + name + "'" + did_you_mean(name, names) +
+                              "; valid datasets: " + join(names, ", "));
+}
+
+/// Paper instance count scaled by SAGA_SCALE when the selection does not
+/// pin one (the Fig. 2 convention).
+std::size_t effective_count(const DatasetSelection& selection) {
+  if (selection.count > 0) return selection.count;
+  for (const auto& ds : datasets::all_dataset_specs()) {
+    if (ds.name == selection.name) return scaled_count(ds.paper_instance_count, 8);
+  }
+  require_known_dataset(selection.name);  // throws
+  return 0;
+}
+
+ProblemInstance load_instance_ref(const InstanceRef& ref, std::uint64_t seed) {
+  if (!ref.file.empty()) {
+    if (ref.file == "-") return load_instance(std::cin);
+    std::ifstream in(ref.file);
+    if (!in) throw std::runtime_error("cannot open instance file " + ref.file);
+    return load_instance(in);
+  }
+  return datasets::generate_instance(ref.dataset, seed, ref.index);
+}
+
+}  // namespace
+
+std::string_view to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kBenchmark: return "benchmark";
+    case Mode::kPisaPairwise: return "pisa-pairwise";
+    case Mode::kSchedule: return "schedule";
+  }
+  return "unknown";
+}
+
+Mode mode_from_string(std::string_view text) {
+  if (text == "benchmark") return Mode::kBenchmark;
+  if (text == "pisa-pairwise" || text == "pisa") return Mode::kPisaPairwise;
+  if (text == "schedule") return Mode::kSchedule;
+  static const std::vector<std::string> valid = {"benchmark", "pisa-pairwise", "schedule"};
+  throw std::invalid_argument("unknown experiment mode '" + std::string(text) + "'" +
+                              did_you_mean(text, valid) +
+                              "; valid modes: " + join(valid, ", "));
+}
+
+pisa::PisaOptions PisaSettings::to_options() const {
+  pisa::PisaOptions options;
+  options.restarts = restarts;
+  options.params.max_iterations = max_iterations;
+  options.params.t_max = t_max;
+  options.params.t_min = t_min;
+  options.params.alpha = alpha;
+  if (acceptance == "metropolis") {
+    options.params.acceptance = pisa::AnnealingParams::AcceptanceRule::kMetropolis;
+  } else if (acceptance != "paper") {
+    throw std::invalid_argument("pisa acceptance must be 'paper' or 'metropolis', got '" +
+                                acceptance + "'");
+  }
+  return options;
+}
+
+ExperimentSpec ExperimentSpec::from_json(const Json& json) {
+  ExperimentSpec spec;
+  check_keys(json,
+             {"name", "mode", "schedulers", "datasets", "instance", "pisa", "seed",
+              "parallel", "threads", "csv"},
+             "experiment spec");
+  if (const Json* v = json.find("name")) spec.name = v->as_string();
+  if (const Json* v = json.find("mode")) spec.mode = mode_from_string(v->as_string());
+  if (const Json* v = json.find("schedulers")) {
+    if (v->is_string()) {
+      spec.schedulers.push_back(v->as_string());
+    } else {
+      for (const auto& item : v->as_array()) spec.schedulers.push_back(item.as_string());
+    }
+  }
+  if (const Json* v = json.find("datasets")) {
+    for (const auto& item : v->as_array()) {
+      DatasetSelection selection;
+      if (item.is_string()) {
+        selection.name = item.as_string();
+      } else {
+        check_keys(item, {"name", "count"}, "dataset selection");
+        const Json* name = item.find("name");
+        if (name == nullptr) {
+          throw std::invalid_argument("dataset selection object needs a 'name'");
+        }
+        selection.name = name->as_string();
+        if (const Json* count = item.find("count")) {
+          selection.count = to_size(*count, "dataset 'count'");
+        }
+      }
+      spec.datasets.push_back(std::move(selection));
+    }
+  }
+  if (const Json* v = json.find("instance")) {
+    check_keys(*v, {"dataset", "index", "file"}, "instance reference");
+    if (const Json* d = v->find("dataset")) spec.instance.dataset = d->as_string();
+    if (const Json* i = v->find("index")) spec.instance.index = to_size(*i, "instance 'index'");
+    if (const Json* f = v->find("file")) spec.instance.file = f->as_string();
+  }
+  if (const Json* v = json.find("pisa")) {
+    check_keys(*v, {"restarts", "max_iterations", "t_max", "t_min", "alpha", "acceptance"},
+               "pisa settings");
+    if (const Json* x = v->find("restarts")) spec.pisa.restarts = to_size(*x, "'restarts'");
+    if (const Json* x = v->find("max_iterations")) {
+      spec.pisa.max_iterations = to_size(*x, "'max_iterations'");
+    }
+    if (const Json* x = v->find("t_max")) spec.pisa.t_max = x->as_number();
+    if (const Json* x = v->find("t_min")) spec.pisa.t_min = x->as_number();
+    if (const Json* x = v->find("alpha")) spec.pisa.alpha = x->as_number();
+    if (const Json* x = v->find("acceptance")) spec.pisa.acceptance = x->as_string();
+  }
+  if (const Json* v = json.find("seed")) {
+    spec.seed = static_cast<std::uint64_t>(to_size(*v, "'seed'"));
+  }
+  if (const Json* v = json.find("parallel")) spec.parallel = v->as_bool();
+  if (const Json* v = json.find("threads")) spec.threads = to_size(*v, "'threads'");
+  if (const Json* v = json.find("csv")) spec.csv = v->as_string();
+  return spec;
+}
+
+Json ExperimentSpec::to_json() const {
+  Json json = Json::object();
+  if (!name.empty()) json.set("name", Json::string(name));
+  json.set("mode", Json::string(std::string(to_string(mode))));
+  JsonArray scheduler_items;
+  for (const auto& entry : schedulers) scheduler_items.push_back(Json::string(entry));
+  json.set("schedulers", Json::array(std::move(scheduler_items)));
+  if (!datasets.empty()) {
+    JsonArray dataset_items;
+    for (const auto& selection : datasets) {
+      if (selection.count == 0) {
+        dataset_items.push_back(Json::string(selection.name));
+      } else {
+        Json item = Json::object();
+        item.set("name", Json::string(selection.name));
+        item.set("count", Json::number(static_cast<double>(selection.count)));
+        dataset_items.push_back(std::move(item));
+      }
+    }
+    json.set("datasets", Json::array(std::move(dataset_items)));
+  }
+  if (!instance.empty()) {
+    Json ref = Json::object();
+    if (!instance.file.empty()) {
+      ref.set("file", Json::string(instance.file));
+    } else {
+      ref.set("dataset", Json::string(instance.dataset));
+      ref.set("index", Json::number(static_cast<double>(instance.index)));
+    }
+    json.set("instance", std::move(ref));
+  }
+  Json pisa_json = Json::object();
+  pisa_json.set("restarts", Json::number(static_cast<double>(pisa.restarts)));
+  pisa_json.set("max_iterations", Json::number(static_cast<double>(pisa.max_iterations)));
+  pisa_json.set("t_max", Json::number(pisa.t_max));
+  pisa_json.set("t_min", Json::number(pisa.t_min));
+  pisa_json.set("alpha", Json::number(pisa.alpha));
+  pisa_json.set("acceptance", Json::string(pisa.acceptance));
+  json.set("pisa", std::move(pisa_json));
+  json.set("seed", Json::number(static_cast<double>(seed)));
+  json.set("parallel", Json::boolean(parallel));
+  if (threads > 0) json.set("threads", Json::number(static_cast<double>(threads)));
+  if (!csv.empty()) json.set("csv", Json::string(csv));
+  return json;
+}
+
+Json load_spec_document(const std::string& path) {
+  std::ostringstream buffer;
+  if (path == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open experiment spec " + path);
+    buffer << in.rdbuf();
+  }
+  return Json::parse(buffer.str());
+}
+
+ExperimentSpec ExperimentSpec::load(const std::string& path) {
+  return from_json(load_spec_document(path));
+}
+
+std::vector<std::string> ExperimentSpec::resolved_schedulers() const {
+  std::vector<std::string> out;
+  for (const auto& entry : schedulers) {
+    if (entry.empty() || entry.front() != '@') {
+      out.push_back(entry);
+      continue;
+    }
+    const std::string tag = entry.substr(1);
+    // Byte-wise sorted so "@benchmark" reproduces the historical roster
+    // order (which seeds the drivers' per-cell RNG streams).
+    auto expanded =
+        SchedulerRegistry::instance().names(tag, NameOrder::kLexicographic);
+    if (expanded.empty()) {
+      const auto valid = SchedulerRegistry::instance().tags();
+      throw std::invalid_argument("unknown scheduler tag '" + entry + "'" +
+                                  did_you_mean(tag, valid) +
+                                  "; valid tags: " + join(valid, ", "));
+    }
+    out.insert(out.end(), std::make_move_iterator(expanded.begin()),
+               std::make_move_iterator(expanded.end()));
+  }
+  return out;
+}
+
+void ExperimentSpec::validate() const {
+  if (schedulers.empty()) throw std::invalid_argument("experiment spec lists no schedulers");
+  const auto roster = resolved_schedulers();
+  for (const auto& entry : roster) {
+    (void)SchedulerRegistry::instance().make(entry, seed);  // diagnoses name/params
+  }
+  if (pisa.restarts == 0) throw std::invalid_argument("pisa restarts must be at least 1");
+  if (pisa.max_iterations == 0) {
+    throw std::invalid_argument("pisa max_iterations must be at least 1");
+  }
+  if (!(pisa.t_max > 0.0) || !(pisa.t_min > 0.0) || pisa.t_max < pisa.t_min) {
+    throw std::invalid_argument("pisa temperatures must satisfy t_max >= t_min > 0");
+  }
+  if (!(pisa.alpha > 0.0) || pisa.alpha >= 1.0) {
+    throw std::invalid_argument("pisa alpha must lie in (0, 1)");
+  }
+  (void)pisa.to_options();  // diagnoses the acceptance rule
+  switch (mode) {
+    case Mode::kBenchmark:
+      if (datasets.empty()) {
+        throw std::invalid_argument("benchmark mode needs at least one dataset");
+      }
+      for (const auto& selection : datasets) require_known_dataset(selection.name);
+      break;
+    case Mode::kPisaPairwise:
+      if (roster.size() < 2) {
+        throw std::invalid_argument("pisa-pairwise mode needs at least two schedulers");
+      }
+      break;
+    case Mode::kSchedule:
+      if (instance.empty()) {
+        throw std::invalid_argument(
+            "schedule mode needs an instance (dataset+index or file)");
+      }
+      if (!instance.dataset.empty() && !instance.file.empty()) {
+        throw std::invalid_argument("instance reference has both 'dataset' and 'file'");
+      }
+      if (!instance.dataset.empty()) require_known_dataset(instance.dataset);
+      break;
+  }
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec, std::ostream& out) {
+  spec.validate();
+  const auto roster = spec.resolved_schedulers();
+
+  // parallel == false wins over threads: everything runs on one worker.
+  // Otherwise threads > 0 runs on a local pool of that size. Results are
+  // bit-identical either way — every work item derives its own RNG stream.
+  std::optional<ThreadPool> local_pool;
+  if (!spec.parallel) {
+    local_pool.emplace(1);
+  } else if (spec.threads > 0) {
+    local_pool.emplace(spec.threads);
+  }
+  ThreadPool* pool = local_pool ? &*local_pool : nullptr;
+
+  ExperimentResult result;
+  switch (spec.mode) {
+    case Mode::kBenchmark: {
+      for (const auto& selection : spec.datasets) {
+        const std::size_t count = effective_count(selection);
+        const auto start = std::chrono::steady_clock::now();
+        const auto dataset = datasets::generate_dataset(selection.name, spec.seed, count);
+        result.benchmarks.push_back(
+            analysis::benchmark_dataset(dataset, roster, spec.seed, pool));
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        out << "  " << selection.name << ": " << count << " instances, "
+            << format_fixed(seconds, 2) << "s\n";
+      }
+      const std::string title =
+          spec.name.empty() ? "Benchmarking grid (max makespan ratio per dataset)" : spec.name;
+      out << "\n" << analysis::benchmarking_table(result.benchmarks, roster, title).render()
+          << "\n";
+      if (!spec.csv.empty()) {
+        std::ofstream csv_out(spec.csv);
+        if (!csv_out) throw std::runtime_error("cannot open csv sink " + spec.csv);
+        analysis::write_benchmark_csv(csv_out, result.benchmarks);
+        out << "wrote " << spec.csv << "\n";
+      }
+      break;
+    }
+    case Mode::kPisaPairwise: {
+      pisa::PairwiseOptions options;
+      options.pisa = spec.pisa.to_options();
+      options.parallel = spec.parallel;
+      options.pool = pool;
+      result.pairwise = pisa::pairwise_compare(roster, options, spec.seed);
+      const std::string title =
+          spec.name.empty() ? "PISA pairwise grid (worst-case ratio of column vs row)"
+                            : spec.name;
+      out << "\n" << analysis::pairwise_table(result.pairwise, title).render() << "\n";
+      if (!spec.csv.empty()) {
+        std::ofstream csv_out(spec.csv);
+        if (!csv_out) throw std::runtime_error("cannot open csv sink " + spec.csv);
+        analysis::write_pairwise_csv(csv_out, result.pairwise);
+        out << "wrote " << spec.csv << "\n";
+      }
+      break;
+    }
+    case Mode::kSchedule: {
+      result.instance = load_instance_ref(spec.instance, spec.seed);
+      TimelineArena arena;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < roster.size(); ++i) {
+        const auto scheduler = SchedulerRegistry::instance().make(
+            roster[i], derive_seed(spec.seed, {0x5c7ed01eULL, i}));
+        ScheduleOutcome outcome;
+        outcome.scheduler = roster[i];
+        outcome.schedule = scheduler->schedule(result.instance, &arena);
+        outcome.makespan = outcome.schedule.makespan();
+        best = std::min(best, outcome.makespan);
+        result.schedules.push_back(std::move(outcome));
+      }
+      Table table(spec.name.empty() ? "Makespans side by side" : spec.name,
+                  {"makespan", "ratio"});
+      for (const auto& outcome : result.schedules) {
+        table.add_row(outcome.scheduler,
+                      {format_fixed(outcome.makespan, 4),
+                       format_fixed(best > 0.0 ? outcome.makespan / best : 1.0, 3)});
+      }
+      out << "\n" << table.render() << "\n";
+      if (!spec.csv.empty()) {
+        std::ofstream csv_out(spec.csv);
+        if (!csv_out) throw std::runtime_error("cannot open csv sink " + spec.csv);
+        csv_out << "scheduler,makespan,ratio\n";
+        for (const auto& outcome : result.schedules) {
+          csv_out << outcome.scheduler << ',' << outcome.makespan << ','
+                  << (best > 0.0 ? outcome.makespan / best : 1.0) << '\n';
+        }
+        out << "wrote " << spec.csv << "\n";
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+void apply_override(Json& root, std::string_view assignment) {
+  const std::size_t eq = assignment.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    throw std::invalid_argument("--set expects key.path=value, got '" +
+                                std::string(assignment) + "'");
+  }
+  const std::string value_text(assignment.substr(eq + 1));
+  Json value;
+  try {
+    value = Json::parse(value_text);
+  } catch (const std::exception&) {
+    value = Json::string(value_text);  // bare words are strings
+  }
+  Json* node = &root;
+  std::string_view rest = assignment.substr(0, eq);
+  while (true) {
+    const std::size_t dot = rest.find('.');
+    const std::string key(rest.substr(0, dot));
+    if (key.empty()) {
+      throw std::invalid_argument("--set path has an empty segment: '" +
+                                  std::string(assignment) + "'");
+    }
+    if (dot == std::string_view::npos) {
+      node->set(key, std::move(value));
+      return;
+    }
+    Json* child = node->find(key);
+    if (child == nullptr || !child->is_object()) {
+      node->set(key, Json::object());
+      child = node->find(key);
+    }
+    node = child;
+    rest = rest.substr(dot + 1);
+  }
+}
+
+std::string describe(const ExperimentSpec& spec) {
+  std::ostringstream out;
+  out << "experiment" << (spec.name.empty() ? "" : " '" + spec.name + "'") << ": mode "
+      << to_string(spec.mode) << "\n";
+  const auto roster = spec.resolved_schedulers();
+  out << "  schedulers (" << roster.size() << "): " << join(roster, ", ") << "\n";
+  if (spec.mode == Mode::kBenchmark) {
+    out << "  datasets (" << spec.datasets.size() << "):";
+    for (const auto& selection : spec.datasets) {
+      out << " " << selection.name << " x" << effective_count(selection);
+    }
+    out << "\n";
+  }
+  if (spec.mode == Mode::kPisaPairwise) {
+    out << "  pisa: " << spec.pisa.restarts << " restarts x " << spec.pisa.max_iterations
+        << " iterations, T " << spec.pisa.t_max << "->" << spec.pisa.t_min << ", alpha "
+        << spec.pisa.alpha << ", " << spec.pisa.acceptance << " acceptance\n";
+  }
+  if (spec.mode == Mode::kSchedule) {
+    out << "  instance: ";
+    if (!spec.instance.file.empty()) {
+      out << "file " << spec.instance.file;
+    } else {
+      out << spec.instance.dataset << "[" << spec.instance.index << "]";
+    }
+    out << "\n";
+  }
+  out << "  seed " << spec.seed << ", "
+      << (spec.parallel ? (spec.threads > 0 ? std::to_string(spec.threads) + " threads"
+                                            : std::string("global thread pool"))
+                        : std::string("serial"))
+      << (spec.csv.empty() ? "" : ", csv -> " + spec.csv) << "\n";
+  return out.str();
+}
+
+}  // namespace saga::exp

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/benchmarking.hpp"
+#include "core/annealer.hpp"
+#include "core/pairwise.hpp"
+#include "exp/json.hpp"
+#include "sched/schedule.hpp"
+
+/// \file experiment.hpp
+/// The declarative experiment layer: an ExperimentSpec describes a whole
+/// scenario — mode, scheduler roster (spec strings or @tag expansions),
+/// dataset selection, PISA settings, seed, output sinks — and round-trips
+/// to/from a JSON file, so the paper's result matrix (and any scenario
+/// beyond it) is data rather than recompiled C++. `run_experiment()` is the
+/// single driver behind `saga run`, `saga compare`, `saga pisa` and the
+/// Fig. 2 / Fig. 4 bench binaries; it executes on the shared evaluation
+/// kernel (per-worker TimelineArena) and is bit-reproducible for a given
+/// spec regardless of thread count.
+
+namespace saga::exp {
+
+enum class Mode {
+  kBenchmark,     // Fig. 2: every scheduler on every instance of each dataset
+  kPisaPairwise,  // Fig. 4: worst-case ratio for every ordered scheduler pair
+  kSchedule,      // one instance, makespans side by side
+};
+
+[[nodiscard]] std::string_view to_string(Mode mode);
+/// Throws std::invalid_argument listing the valid modes for unknown input.
+[[nodiscard]] Mode mode_from_string(std::string_view text);
+
+/// One dataset to benchmark. count 0 means the dataset's paper instance
+/// count scaled by SAGA_SCALE (floor 8), matching the Fig. 2 driver.
+struct DatasetSelection {
+  std::string name;
+  std::size_t count = 0;
+};
+
+/// The instance a schedule-mode experiment runs on: either (dataset, index)
+/// for a generated instance, or a serialized-instance file ("-" = stdin).
+struct InstanceRef {
+  std::string dataset;
+  std::size_t index = 0;
+  std::string file;
+
+  [[nodiscard]] bool empty() const { return dataset.empty() && file.empty(); }
+};
+
+/// PISA annealing settings (defaults are the paper's Section VI values).
+struct PisaSettings {
+  std::size_t restarts = 5;
+  std::size_t max_iterations = 1000;
+  double t_max = 10.0;
+  double t_min = 0.1;
+  double alpha = 0.99;
+  std::string acceptance = "paper";  // "paper" | "metropolis"
+
+  [[nodiscard]] pisa::PisaOptions to_options() const;
+};
+
+struct ExperimentSpec {
+  std::string name;                        // experiment label (table titles)
+  Mode mode = Mode::kBenchmark;
+  std::vector<std::string> schedulers;     // spec strings; "@tag" expands to
+                                           // the registry roster (sorted)
+  std::vector<DatasetSelection> datasets;  // benchmark mode
+  InstanceRef instance;                    // schedule mode
+  PisaSettings pisa;                       // pisa-pairwise mode
+  std::uint64_t seed = 42;
+  bool parallel = true;
+  std::size_t threads = 0;                 // worker threads; 0 = global pool
+  std::string csv;                         // optional CSV sink path
+
+  /// JSON round-trip. from_json rejects unknown keys at every level (with a
+  /// nearest-key suggestion), duplicate keys are rejected by the parser.
+  [[nodiscard]] static ExperimentSpec from_json(const Json& json);
+  [[nodiscard]] Json to_json() const;
+
+  /// Loads and parses a spec file ("-" = stdin).
+  [[nodiscard]] static ExperimentSpec load(const std::string& path);
+
+  /// Expands @tag entries against the registry (byte-wise sorted, so
+  /// "@benchmark" reproduces the historical benchmarking roster order).
+  [[nodiscard]] std::vector<std::string> resolved_schedulers() const;
+
+  /// Full validation: scheduler specs construct, datasets exist, mode
+  /// requirements hold. Throws std::invalid_argument describing the first
+  /// problem. `saga run --dry-run` stops here.
+  void validate() const;
+};
+
+/// One schedule-mode row.
+struct ScheduleOutcome {
+  std::string scheduler;  // the spec string as given
+  Schedule schedule;
+  double makespan = 0.0;
+};
+
+struct ExperimentResult {
+  std::vector<analysis::DatasetBenchmark> benchmarks;  // benchmark mode
+  pisa::PairwiseResult pairwise;                       // pisa-pairwise mode
+  std::vector<ScheduleOutcome> schedules;              // schedule mode
+  ProblemInstance instance;                            // schedule-mode input
+};
+
+/// Validates and runs the experiment, rendering result tables and progress
+/// to `out` and the CSV sink when spec.csv is set.
+ExperimentResult run_experiment(const ExperimentSpec& spec, std::ostream& out);
+
+/// Reads and parses a spec file ("-" = stdin) into its JSON document
+/// without interpreting it, so callers can apply overrides before
+/// ExperimentSpec::from_json.
+[[nodiscard]] Json load_spec_document(const std::string& path);
+
+/// Applies a `--set key.path=value` override to a spec document. The value
+/// is parsed as JSON when possible ("3", "true", '["HEFT"]'), else taken as
+/// a string; intermediate objects are created as needed.
+void apply_override(Json& root, std::string_view assignment);
+
+/// Human-readable dry-run summary of a validated spec: resolved rosters,
+/// effective dataset counts, seeds and sinks.
+[[nodiscard]] std::string describe(const ExperimentSpec& spec);
+
+}  // namespace saga::exp

@@ -1,90 +1,177 @@
 #include "sched/registry.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
-#include "schedulers/bil.hpp"
-#include "schedulers/ensemble.hpp"
-#include "schedulers/ert.hpp"
-#include "schedulers/genetic.hpp"
-#include "schedulers/linear_clustering.hpp"
-#include "schedulers/lmt.hpp"
-#include "schedulers/mh.hpp"
-#include "schedulers/peft.hpp"
-#include "schedulers/sim_anneal.hpp"
-#include "schedulers/brute_force.hpp"
-#include "schedulers/cpop.hpp"
-#include "schedulers/duplex.hpp"
-#include "schedulers/etf.hpp"
-#include "schedulers/fastest_node.hpp"
-#include "schedulers/fcp.hpp"
-#include "schedulers/flb.hpp"
-#include "schedulers/gdl.hpp"
-#include "schedulers/heft.hpp"
-#include "schedulers/maxmin.hpp"
-#include "schedulers/mct.hpp"
-#include "schedulers/met.hpp"
-#include "schedulers/minmin.hpp"
-#include "schedulers/olb.hpp"
-#include "schedulers/smt_binary_search.hpp"
-#include "schedulers/wba.hpp"
+#include "common/nearest.hpp"
 
 namespace saga {
 
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SchedulerDesc::has_tag(std::string_view tag) const {
+  for (const auto& t : tags) {
+    if (t == tag) return true;
+  }
+  return false;
+}
+
+const ParamDesc* SchedulerDesc::find_param(std::string_view key) const {
+  for (const auto& param : params) {
+    if (param.key == key) return &param;
+  }
+  return nullptr;
+}
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry& registry = *[] {
+    auto* r = new SchedulerRegistry;  // never destroyed: schedulers may be
+                                      // constructed from static destructors
+    register_builtin_schedulers(*r);
+    return r;
+  }();
+  return registry;
+}
+
+void SchedulerRegistry::add(SchedulerDesc desc) {
+  if (desc.name.empty()) throw std::invalid_argument("scheduler descriptor has no name");
+  if (!desc.factory) {
+    throw std::invalid_argument("scheduler '" + desc.name + "' descriptor has no factory");
+  }
+  auto check_collision = [this](const std::string& candidate) {
+    for (const auto& existing : descs_) {
+      if (iequals(existing.name, candidate)) {
+        throw std::invalid_argument("scheduler name '" + candidate +
+                                    "' collides with registered '" + existing.name + "'");
+      }
+      for (const auto& alias : existing.aliases) {
+        if (iequals(alias, candidate)) {
+          throw std::invalid_argument("scheduler name '" + candidate +
+                                      "' collides with alias '" + alias + "' of '" +
+                                      existing.name + "'");
+        }
+      }
+    }
+  };
+  check_collision(desc.name);
+  for (const auto& alias : desc.aliases) check_collision(alias);
+  if (desc.randomized && !desc.has_tag("randomized")) desc.tags.emplace_back("randomized");
+  descs_.push_back(std::move(desc));
+}
+
+const SchedulerDesc* SchedulerRegistry::find(std::string_view name) const {
+  for (const auto& desc : descs_) {
+    if (desc.name == name) return &desc;
+  }
+  for (const auto& desc : descs_) {
+    if (iequals(desc.name, name)) return &desc;
+    for (const auto& alias : desc.aliases) {
+      if (iequals(alias, name)) return &desc;
+    }
+  }
+  return nullptr;
+}
+
+const SchedulerDesc& SchedulerRegistry::resolve(std::string_view name) const {
+  if (const SchedulerDesc* desc = find(name)) return *desc;
+  std::vector<std::string> candidates;
+  for (const auto& desc : descs_) {
+    candidates.push_back(desc.name);
+    candidates.insert(candidates.end(), desc.aliases.begin(), desc.aliases.end());
+  }
+  throw std::invalid_argument("unknown scheduler '" + std::string(name) + "'" +
+                              did_you_mean(name, candidates) +
+                              "; valid tags: " + join(tags(), ", ") +
+                              " (see `saga list --tags`)");
+}
+
+std::vector<std::string> SchedulerRegistry::names(std::string_view tag,
+                                                  NameOrder order) const {
+  std::vector<std::string> out;
+  for (const auto& desc : descs_) {
+    if (tag.empty() || desc.has_tag(tag)) out.push_back(desc.name);
+  }
+  if (order == NameOrder::kLexicographic) std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> SchedulerRegistry::tags() const {
+  std::vector<std::string> out;
+  for (const auto& desc : descs_) {
+    for (const auto& tag : desc.tags) {
+      if (std::find(out.begin(), out.end(), tag) == out.end()) out.push_back(tag);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SchedulerPtr SchedulerRegistry::make(const SchedulerSpec& spec, std::uint64_t seed) const {
+  const SchedulerDesc& desc = resolve(spec.name);
+  std::vector<std::string> valid_keys;
+  valid_keys.reserve(desc.params.size() + 1);
+  for (const auto& param : desc.params) valid_keys.push_back(param.key);
+  valid_keys.emplace_back("seed");
+  for (const auto& [key, value] : spec.params) {
+    if (key == "seed" || desc.find_param(key) != nullptr) continue;
+    std::string message = "scheduler '" + desc.name + "' has no parameter '" + key + "'" +
+                          did_you_mean(key, valid_keys);
+    message += desc.params.empty() ? "; it only accepts 'seed'"
+                                   : "; valid parameters: " + join(valid_keys, ", ");
+    throw std::invalid_argument(message);
+  }
+  const SchedulerParams params(desc.name, &spec.params);
+  return desc.factory(params, params.get_u64("seed", seed));
+}
+
+SchedulerPtr SchedulerRegistry::make(std::string_view spec_string, std::uint64_t seed) const {
+  return make(parse_scheduler_spec(spec_string), seed);
+}
+
+/// ---- Compatibility shims ------------------------------------------------
+
 const std::vector<std::string>& all_scheduler_names() {
-  static const std::vector<std::string> names = {
-      "BIL",  "BruteForce", "CPoP",   "Duplex", "ETF",    "FastestNode",
-      "FCP",  "FLB",        "GDL",    "HEFT",   "MaxMin", "MCT",
-      "MET",  "MinMin",     "OLB",    "SMT",    "WBA"};
+  static const std::vector<std::string> names =
+      SchedulerRegistry::instance().names("table1", NameOrder::kRegistration);
   return names;
 }
 
 const std::vector<std::string>& benchmark_scheduler_names() {
-  static const std::vector<std::string> names = {
-      "BIL", "CPoP", "Duplex", "ETF",    "FCP",    "FLB", "FastestNode", "GDL",
-      "HEFT", "MCT", "MET",    "MaxMin", "MinMin", "OLB", "WBA"};
+  // The historical benchmarking roster was byte-wise sorted; the order seeds
+  // the per-cell RNG streams of the Fig. 2/Fig. 4 drivers, so keep it.
+  static const std::vector<std::string> names =
+      SchedulerRegistry::instance().names("benchmark", NameOrder::kLexicographic);
   return names;
 }
 
 const std::vector<std::string>& app_specific_scheduler_names() {
-  static const std::vector<std::string> names = {"CPoP",   "FastestNode", "HEFT",
-                                                 "MaxMin", "MinMin",      "WBA"};
+  static const std::vector<std::string> names =
+      SchedulerRegistry::instance().names("app-specific", NameOrder::kRegistration);
   return names;
 }
 
 const std::vector<std::string>& extension_scheduler_names() {
-  static const std::vector<std::string> names = {"ERT", "MH",        "LMT",      "LC",
-                                                 "GA",  "SimAnneal", "Ensemble", "PEFT"};
+  static const std::vector<std::string> names =
+      SchedulerRegistry::instance().names("extension", NameOrder::kRegistration);
   return names;
 }
 
 SchedulerPtr make_scheduler(const std::string& name, std::uint64_t seed) {
-  if (name == "BIL") return std::make_unique<BilScheduler>();
-  if (name == "ERT") return std::make_unique<ErtScheduler>();
-  if (name == "PEFT") return std::make_unique<PeftScheduler>();
-  if (name == "MH") return std::make_unique<MhScheduler>();
-  if (name == "LMT") return std::make_unique<LmtScheduler>();
-  if (name == "LC") return std::make_unique<LinearClusteringScheduler>();
-  if (name == "GA") return std::make_unique<GeneticScheduler>(seed);
-  if (name == "SimAnneal") return std::make_unique<SimAnnealScheduler>(seed);
-  if (name == "Ensemble") return std::make_unique<EnsembleScheduler>(
-      std::vector<std::string>{"HEFT", "CPoP", "MinMin"}, seed);
-  if (name == "BruteForce") return std::make_unique<BruteForceScheduler>();
-  if (name == "CPoP") return std::make_unique<CpopScheduler>();
-  if (name == "Duplex") return std::make_unique<DuplexScheduler>();
-  if (name == "ETF") return std::make_unique<EtfScheduler>();
-  if (name == "FastestNode") return std::make_unique<FastestNodeScheduler>();
-  if (name == "FCP") return std::make_unique<FcpScheduler>();
-  if (name == "FLB") return std::make_unique<FlbScheduler>();
-  if (name == "GDL") return std::make_unique<GdlScheduler>();
-  if (name == "HEFT") return std::make_unique<HeftScheduler>();
-  if (name == "MaxMin") return std::make_unique<MaxMinScheduler>();
-  if (name == "MCT") return std::make_unique<MctScheduler>();
-  if (name == "MET") return std::make_unique<MetScheduler>();
-  if (name == "MinMin") return std::make_unique<MinMinScheduler>();
-  if (name == "OLB") return std::make_unique<OlbScheduler>();
-  if (name == "SMT") return std::make_unique<SmtBinarySearchScheduler>();
-  if (name == "WBA") return std::make_unique<WbaScheduler>(seed);
-  throw std::invalid_argument("unknown scheduler: " + name);
+  return SchedulerRegistry::instance().make(name, seed);
 }
 
 SchedulerPtr make_scheduler(const std::string& name) {

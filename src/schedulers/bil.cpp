@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -65,6 +67,19 @@ Schedule BilScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     builder.place_earliest(best_task, best_node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_bil_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "BIL";
+  desc.summary = "Best Imaginary Level (Oh & Ha 1996): shortest ideal-completion-path priority, revised-BIM placement";
+  desc.tags = {"table1", "benchmark"};
+  desc.requirements.homogeneous_link_strengths = true;
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<BilScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

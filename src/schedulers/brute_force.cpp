@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "schedulers/exact_search.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -12,6 +14,20 @@ Schedule BruteForceScheduler::schedule(const ProblemInstance& inst, TimelineAren
     throw std::logic_error("exact search found no schedule (unbounded search always does)");
   }
   return *result.schedule;
+}
+
+
+void register_brute_force_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "BruteForce";
+  desc.aliases = {"brute-force"};
+  desc.summary = "Exhaustive search over eager schedules; exact-minimum makespan oracle";
+  desc.tags = {"table1"};
+  desc.exponential_time = true;
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<BruteForceScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

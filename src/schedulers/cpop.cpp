@@ -5,6 +5,8 @@
 
 #include "sched/ranks.hpp"
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -68,6 +70,18 @@ Schedule CpopScheduler::schedule(const ProblemInstance& inst, TimelineArena* are
     builder.place_earliest(next, best_node, /*insertion=*/true);
   }
   return builder.to_schedule();
+}
+
+
+void register_cpop_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "CPoP";
+  desc.summary = "Critical Path on Processor (Topcuoglu et al. 1999): up+down rank, critical path pinned to one node";
+  desc.tags = {"table1", "benchmark", "app-specific"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<CpopScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

@@ -2,6 +2,8 @@
 
 #include "schedulers/maxmin.hpp"
 #include "schedulers/minmin.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -9,6 +11,18 @@ Schedule DuplexScheduler::schedule(const ProblemInstance& inst, TimelineArena* a
   Schedule a = MinMinScheduler{}.schedule(inst, arena);
   Schedule b = MaxMinScheduler{}.schedule(inst, arena);
   return a.makespan() <= b.makespan() ? a : b;
+}
+
+
+void register_duplex_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "Duplex";
+  desc.summary = "Duplex (Braun et al. 2001): runs MinMin and MaxMin, keeps the better schedule";
+  desc.tags = {"table1", "benchmark"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<DuplexScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

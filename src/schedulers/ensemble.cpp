@@ -4,12 +4,19 @@
 
 #include "common/rng.hpp"
 #include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
 EnsembleScheduler::EnsembleScheduler(std::vector<std::string> members, std::uint64_t seed)
     : members_(std::move(members)), seed_(seed) {
   if (members_.empty()) throw std::invalid_argument("ensemble needs at least one member");
+  // Construct every member eagerly so a misspelled name or parameter fails
+  // here — where spec validation and `saga run --dry-run` can report it —
+  // rather than mid-experiment on the first schedule() call.
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    (void)make_scheduler(members_[i], derive_seed(seed_, {i}));
+  }
 }
 
 NetworkRequirements EnsembleScheduler::requirements() const {
@@ -36,6 +43,24 @@ Schedule EnsembleScheduler::schedule(const ProblemInstance& inst, TimelineArena*
     }
   }
   return best;
+}
+
+
+void register_ensemble_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "Ensemble";
+  desc.aliases = {"Portfolio"};
+  desc.summary = "Portfolio: runs every member scheduler, returns the best schedule";
+  desc.tags = {"extension"};
+  desc.randomized = true;
+  desc.params = {
+      {"members", "'+'-separated member names (default heft+cpop+minmin)"},
+  };
+  desc.factory = [](const SchedulerParams& params, std::uint64_t seed) -> SchedulerPtr {
+    return std::make_unique<EnsembleScheduler>(
+        params.get_list("members", {"HEFT", "CPoP", "MinMin"}), seed);
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

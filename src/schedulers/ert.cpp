@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -39,6 +41,19 @@ Schedule ErtScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     builder.place_earliest(next, best_node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_ert_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "ERT";
+  desc.summary = "Earliest Ready Task (Lee et al. 1988): dispatch the earliest-data-arrival ready task";
+  desc.tags = {"extension"};
+  desc.requirements.homogeneous_node_speeds = true;
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<ErtScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

@@ -5,6 +5,8 @@
 
 #include "sched/ranks.hpp"
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -37,6 +39,19 @@ Schedule EtfScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     builder.place_earliest(best_task, best_node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_etf_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "ETF";
+  desc.summary = "Earliest Task First (Hwang et al. 1989): globally earliest start over (ready task, node) pairs";
+  desc.tags = {"table1", "benchmark"};
+  desc.requirements.homogeneous_node_speeds = true;
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<EtfScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

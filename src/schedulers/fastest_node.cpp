@@ -1,6 +1,8 @@
 #include "schedulers/fastest_node.hpp"
 
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -11,6 +13,19 @@ Schedule FastestNodeScheduler::schedule(const ProblemInstance& inst, TimelineAre
     builder.place_earliest(t, fastest, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_fastest_node_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "FastestNode";
+  desc.aliases = {"Fastest"};
+  desc.summary = "Serial baseline: the whole graph in topological order on the single fastest node";
+  desc.tags = {"table1", "benchmark", "app-specific"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<FastestNodeScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

@@ -6,6 +6,8 @@
 
 #include "sched/ranks.hpp"
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -75,6 +77,20 @@ Schedule FcpScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     }
   }
   return builder.to_schedule();
+}
+
+
+void register_fcp_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "FCP";
+  desc.summary = "Fast Critical Path (Radulescu & van Gemund 2000): static rank queue, two candidate nodes per task";
+  desc.tags = {"table1", "benchmark"};
+  desc.requirements.homogeneous_node_speeds = true;
+  desc.requirements.homogeneous_link_strengths = true;
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<FcpScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

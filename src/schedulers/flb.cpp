@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -61,6 +63,20 @@ Schedule FlbScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     builder.place_earliest(best_task, best_node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_flb_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "FLB";
+  desc.summary = "Fast Load Balancing (Radulescu & van Gemund 2000): earliest-finishing ready task, two-candidate placement";
+  desc.tags = {"table1", "benchmark"};
+  desc.requirements.homogeneous_node_speeds = true;
+  desc.requirements.homogeneous_link_strengths = true;
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<FlbScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

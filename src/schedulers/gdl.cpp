@@ -5,6 +5,8 @@
 
 #include "sched/ranks.hpp"
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -37,6 +39,20 @@ Schedule GdlScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     builder.place_earliest(best_task, best_node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_gdl_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "GDL";
+  desc.aliases = {"DLS"};
+  desc.summary = "Generalized Dynamic Level / DLS (Sih & Lee 1993): maximise static level minus availability";
+  desc.tags = {"table1", "benchmark"};
+  desc.requirements.homogeneous_link_strengths = true;
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<GdlScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

@@ -9,6 +9,8 @@
 #include "sched/decoder.hpp"
 #include "sched/ranks.hpp"
 #include "schedulers/heft.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -104,6 +106,33 @@ Schedule GeneticScheduler::schedule(const ProblemInstance& inst, TimelineArena* 
 
   const Individual& best = *std::min_element(population.begin(), population.end(), better);
   return decode_schedule(inst, best.encoding, arena);
+}
+
+
+void register_genetic_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "GA";
+  desc.aliases = {"Genetic"};
+  desc.summary = "Genetic algorithm over (assignment, priority) chromosomes, HEFT-seeded";
+  desc.tags = {"extension"};
+  desc.randomized = true;
+  desc.params = {
+      {"pop", "population size (default 24)"},
+      {"gens", "generations (default 60)"},
+      {"tournament", "tournament size (default 3)"},
+      {"crossover", "crossover rate in [0,1] (default 0.9)"},
+      {"mutation", "per-gene mutation rate (default 0.08)"},
+  };
+  desc.factory = [](const SchedulerParams& params, std::uint64_t seed) -> SchedulerPtr {
+    GeneticScheduler::Params p;
+    p.population = params.get_size("pop", p.population);
+    p.generations = params.get_size("gens", p.generations);
+    p.tournament = params.get_size("tournament", p.tournament);
+    p.crossover_rate = params.get_double("crossover", p.crossover_rate);
+    p.mutation_rate = params.get_double("mutation", p.mutation_rate);
+    return std::make_unique<GeneticScheduler>(seed, p);
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

@@ -1,10 +1,14 @@
 #include "schedulers/heft.hpp"
 
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sched/ranks.hpp"
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -90,6 +94,34 @@ Schedule HeftScheduler::schedule(const ProblemInstance& inst, TimelineArena* are
     builder.place_earliest(next, best_node, variant_.insertion);
   }
   return builder.to_schedule();
+}
+
+
+void register_heft_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "HEFT";
+  desc.summary = "Heterogeneous Earliest Finish Time (Topcuoglu et al. 1999): upward-rank priority, insertion-based EFT placement";
+  desc.tags = {"table1", "benchmark", "app-specific"};
+  desc.params = {
+      {"rank", "upward-rank statistic: mean|best|worst (default mean)"},
+      {"insertion", "insertion-based placement: true|false (default true)"},
+  };
+  desc.factory = [](const SchedulerParams& params, std::uint64_t) -> SchedulerPtr {
+    HeftScheduler::Variant variant;
+    const std::string rank = params.get_string("rank", "mean");
+    if (rank == "best") {
+      variant.rank = HeftScheduler::RankStatistic::kBest;
+    } else if (rank == "worst") {
+      variant.rank = HeftScheduler::RankStatistic::kWorst;
+    } else if (rank != "mean") {
+      throw std::invalid_argument(
+          "scheduler 'HEFT' parameter 'rank': expected mean|best|worst, got '" + rank +
+          "'");
+    }
+    variant.insertion = params.get_bool("insertion", true);
+    return std::make_unique<HeftScheduler>(variant);
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

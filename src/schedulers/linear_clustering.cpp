@@ -7,6 +7,8 @@
 #include "sched/arena.hpp"
 #include "sched/decoder.hpp"
 #include "sched/ranks.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -90,6 +92,19 @@ Schedule LinearClusteringScheduler::schedule(const ProblemInstance& inst,
     for (TaskId t : clusters[cluster_order[rank]]) encoding.assignment[t] = node;
   }
   return decode_schedule(inst, encoding, arena);
+}
+
+
+void register_linear_clustering_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "LC";
+  desc.aliases = {"LinearClustering"};
+  desc.summary = "Linear Clustering (Kim & Browne 1988): cluster longest paths, map clusters to nodes";
+  desc.tags = {"extension"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<LinearClusteringScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

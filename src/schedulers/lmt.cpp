@@ -6,6 +6,8 @@
 
 #include "sched/ranks.hpp"
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -49,6 +51,19 @@ Schedule LmtScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     }
   }
   return builder.to_schedule();
+}
+
+
+void register_lmt_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "LMT";
+  desc.aliases = {"LevelizedMinTime"};
+  desc.summary = "Levelized Min Time: levelise by dependency depth, min-time assignment per level";
+  desc.tags = {"extension"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<LmtScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -36,6 +38,18 @@ Schedule MaxMinScheduler::schedule(const ProblemInstance& inst, TimelineArena* a
     builder.place_earliest(chosen_task, chosen_node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_maxmin_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "MaxMin";
+  desc.summary = "MaxMin (Braun et al. 2001): largest minimum-completion-time ready task goes first";
+  desc.tags = {"table1", "benchmark", "app-specific"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<MaxMinScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

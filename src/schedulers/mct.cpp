@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -22,6 +24,18 @@ Schedule MctScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     builder.place_earliest(t, best_node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_mct_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "MCT";
+  desc.summary = "Minimum Completion Time (Armstrong et al. 1998): tasks in id order to the earliest-completing node";
+  desc.tags = {"table1", "benchmark"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<MctScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

@@ -1,6 +1,8 @@
 #include "schedulers/met.hpp"
 
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -21,6 +23,18 @@ Schedule MetScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     builder.place_earliest(t, best_node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_met_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "MET";
+  desc.summary = "Minimum Execution Time (Armstrong et al. 1998): each task to its fastest node, availability ignored";
+  desc.tags = {"table1", "benchmark"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<MetScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

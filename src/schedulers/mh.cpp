@@ -5,6 +5,8 @@
 
 #include "sched/ranks.hpp"
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -37,6 +39,19 @@ Schedule MhScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena
     builder.place_earliest(next, best_node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_mh_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "MH";
+  desc.aliases = {"MappingHeuristic"};
+  desc.summary = "Mapping Heuristic (El-Rewini & Lewis 1990): static-level priority, contention-aware placement";
+  desc.tags = {"extension"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<MhScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

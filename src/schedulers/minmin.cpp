@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -27,6 +29,18 @@ Schedule MinMinScheduler::schedule(const ProblemInstance& inst, TimelineArena* a
     builder.place_earliest(best_task, best_node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_minmin_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "MinMin";
+  desc.summary = "MinMin (Braun et al. 2001): smallest minimum-completion-time ready task goes first";
+  desc.tags = {"table1", "benchmark", "app-specific"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<MinMinScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

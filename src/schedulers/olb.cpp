@@ -1,6 +1,8 @@
 #include "schedulers/olb.hpp"
 
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -20,6 +22,18 @@ Schedule OlbScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     builder.place_earliest(t, best_node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_olb_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "OLB";
+  desc.summary = "Opportunistic Load Balancing (Armstrong et al. 1998): earliest-available node, costs ignored";
+  desc.tags = {"table1", "benchmark"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<OlbScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

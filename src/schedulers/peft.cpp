@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -67,6 +69,18 @@ Schedule PeftScheduler::schedule(const ProblemInstance& inst, TimelineArena* are
     builder.place_earliest(next, best_node, /*insertion=*/true);
   }
   return builder.to_schedule();
+}
+
+
+void register_peft_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "PEFT";
+  desc.summary = "Predict EFT (Arabnejad & Barbosa 2014): EFT placement with Optimistic Cost Table lookahead";
+  desc.tags = {"extension"};
+  desc.factory = [](const SchedulerParams&, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<PeftScheduler>();
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

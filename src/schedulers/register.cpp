@@ -1,0 +1,38 @@
+#include "schedulers/register.hpp"
+
+#include "sched/registry.hpp"
+
+namespace saga {
+
+void register_builtin_schedulers(SchedulerRegistry& registry) {
+  // Table I, in the paper's order (the `table1` enumeration preserves it).
+  register_bil_scheduler(registry);
+  register_brute_force_scheduler(registry);
+  register_cpop_scheduler(registry);
+  register_duplex_scheduler(registry);
+  register_etf_scheduler(registry);
+  register_fastest_node_scheduler(registry);
+  register_fcp_scheduler(registry);
+  register_flb_scheduler(registry);
+  register_gdl_scheduler(registry);
+  register_heft_scheduler(registry);
+  register_maxmin_scheduler(registry);
+  register_mct_scheduler(registry);
+  register_met_scheduler(registry);
+  register_minmin_scheduler(registry);
+  register_olb_scheduler(registry);
+  register_smt_binary_search_scheduler(registry);
+  register_wba_scheduler(registry);
+
+  // Extensions, in the historical extension-roster order.
+  register_ert_scheduler(registry);
+  register_mh_scheduler(registry);
+  register_lmt_scheduler(registry);
+  register_linear_clustering_scheduler(registry);
+  register_genetic_scheduler(registry);
+  register_sim_anneal_scheduler(registry);
+  register_ensemble_scheduler(registry);
+  register_peft_scheduler(registry);
+}
+
+}  // namespace saga

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file register.hpp
+/// Registration hooks for the built-in schedulers. Each function lives in
+/// its scheduler's own .cpp (next to the algorithm it describes) and adds
+/// that scheduler's SchedulerDesc to the registry; register.cpp invokes
+/// them all, in the paper's Table I order followed by the extension order.
+/// Direct calls (rather than static-initializer tricks) keep registration
+/// deterministic and immune to static-library dead-stripping.
+
+namespace saga {
+
+class SchedulerRegistry;
+
+void register_bil_scheduler(SchedulerRegistry& registry);
+void register_brute_force_scheduler(SchedulerRegistry& registry);
+void register_cpop_scheduler(SchedulerRegistry& registry);
+void register_duplex_scheduler(SchedulerRegistry& registry);
+void register_etf_scheduler(SchedulerRegistry& registry);
+void register_fastest_node_scheduler(SchedulerRegistry& registry);
+void register_fcp_scheduler(SchedulerRegistry& registry);
+void register_flb_scheduler(SchedulerRegistry& registry);
+void register_gdl_scheduler(SchedulerRegistry& registry);
+void register_heft_scheduler(SchedulerRegistry& registry);
+void register_maxmin_scheduler(SchedulerRegistry& registry);
+void register_mct_scheduler(SchedulerRegistry& registry);
+void register_met_scheduler(SchedulerRegistry& registry);
+void register_minmin_scheduler(SchedulerRegistry& registry);
+void register_olb_scheduler(SchedulerRegistry& registry);
+void register_smt_binary_search_scheduler(SchedulerRegistry& registry);
+void register_wba_scheduler(SchedulerRegistry& registry);
+
+void register_ert_scheduler(SchedulerRegistry& registry);
+void register_mh_scheduler(SchedulerRegistry& registry);
+void register_lmt_scheduler(SchedulerRegistry& registry);
+void register_linear_clustering_scheduler(SchedulerRegistry& registry);
+void register_genetic_scheduler(SchedulerRegistry& registry);
+void register_sim_anneal_scheduler(SchedulerRegistry& registry);
+void register_ensemble_scheduler(SchedulerRegistry& registry);
+void register_peft_scheduler(SchedulerRegistry& registry);
+
+}  // namespace saga

@@ -7,6 +7,8 @@
 #include "sched/decoder.hpp"
 #include "sched/ranks.hpp"
 #include "schedulers/heft.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -60,6 +62,31 @@ Schedule SimAnnealScheduler::schedule(const ProblemInstance& inst, TimelineArena
     }
   }
   return decode_schedule(inst, best, arena);
+}
+
+
+void register_sim_anneal_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "SimAnneal";
+  desc.aliases = {"SA"};
+  desc.summary = "Simulated annealing over schedule chromosomes (not PISA), HEFT-seeded";
+  desc.tags = {"extension"};
+  desc.randomized = true;
+  desc.params = {
+      {"tmax", "initial temperature relative to the initial makespan (default 1.0)"},
+      {"tmin", "final temperature (default 1e-3)"},
+      {"alpha", "geometric cooling rate (default 0.98)"},
+      {"steps", "steps per temperature (default 8)"},
+  };
+  desc.factory = [](const SchedulerParams& params, std::uint64_t seed) -> SchedulerPtr {
+    SimAnnealScheduler::Params p;
+    p.t_max = params.get_double("tmax", p.t_max);
+    p.t_min = params.get_double("tmin", p.t_min);
+    p.alpha = params.get_double("alpha", p.alpha);
+    p.steps_per_temperature = params.get_size("steps", p.steps_per_temperature);
+    return std::make_unique<SimAnnealScheduler>(seed, p);
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

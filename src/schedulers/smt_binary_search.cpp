@@ -4,6 +4,8 @@
 
 #include "schedulers/exact_search.hpp"
 #include "schedulers/fastest_node.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -31,6 +33,20 @@ Schedule SmtBinarySearchScheduler::schedule(const ProblemInstance& inst,
     }
   }
   return incumbent;
+}
+
+
+void register_smt_binary_search_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "SMT";
+  desc.summary = "SMT-style binary search on the makespan bound; (1+epsilon)-optimal oracle";
+  desc.tags = {"table1"};
+  desc.exponential_time = true;
+  desc.params = {{"epsilon", "relative optimality gap (default 0.01)"}};
+  desc.factory = [](const SchedulerParams& params, std::uint64_t) -> SchedulerPtr {
+    return std::make_unique<SmtBinarySearchScheduler>(params.get_double("epsilon", 0.01));
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

@@ -5,6 +5,8 @@
 
 #include "common/rng.hpp"
 #include "sched/timeline.hpp"
+#include "sched/registry.hpp"
+#include "schedulers/register.hpp"
 
 namespace saga {
 
@@ -48,6 +50,20 @@ Schedule WbaScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     builder.place_earliest(chosen.task, chosen.node, /*insertion=*/false);
   }
   return builder.to_schedule();
+}
+
+
+void register_wba_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "WBA";
+  desc.summary = "Workflow-Based Allocation (Blythe et al. 2005): randomized greedy, least makespan increase per step";
+  desc.tags = {"table1", "benchmark", "app-specific"};
+  desc.randomized = true;
+  desc.params = {{"tolerance", "width of the random-choice band in [0,1] (default 0.5)"}};
+  desc.factory = [](const SchedulerParams& params, std::uint64_t seed) -> SchedulerPtr {
+    return std::make_unique<WbaScheduler>(seed, params.get_double("tolerance", 0.5));
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga

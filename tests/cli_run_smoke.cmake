@@ -1,0 +1,97 @@
+# End-to-end smoke test for the declarative experiment CLI, run by ctest in
+# script mode:
+#   cmake -DSAGA_CLI=<path> -DWORK_DIR=<scratch> -DSPECS_DIR=<examples/specs> \
+#         -P cli_run_smoke.cmake
+# Exercises: `saga run --dry-run` on every checked-in example spec (schema
+# drift fails here), a full `saga run` of the tiny specs, --set overrides,
+# `saga list --tags`, and the usage-error exit-code contract.
+
+foreach(var SAGA_CLI WORK_DIR SPECS_DIR)
+  if(NOT ${var})
+    message(FATAL_ERROR "pass -D${var}=...")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(saga_expect_success name)
+  execute_process(COMMAND ${SAGA_CLI} ${ARGN}
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "step '${name}' failed (exit ${rv})\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${name}_output "${out}" PARENT_SCOPE)
+endfunction()
+
+function(saga_expect_failure name expected_code stderr_pattern)
+  execute_process(COMMAND ${SAGA_CLI} ${ARGN}
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET
+    ERROR_VARIABLE err)
+  if(rv EQUAL 0)
+    message(FATAL_ERROR "step '${name}' unexpectedly succeeded")
+  endif()
+  if(NOT expected_code STREQUAL "any" AND NOT rv EQUAL ${expected_code})
+    message(FATAL_ERROR "step '${name}' exited ${rv}, expected ${expected_code}\nstderr:\n${err}")
+  endif()
+  if(NOT err MATCHES "${stderr_pattern}")
+    message(FATAL_ERROR "step '${name}' stderr does not match '${stderr_pattern}':\n${err}")
+  endif()
+endfunction()
+
+# 1. Every checked-in example spec must pass --dry-run validation.
+file(GLOB example_specs ${SPECS_DIR}/*.json)
+if(NOT example_specs)
+  message(FATAL_ERROR "no example specs found under ${SPECS_DIR}")
+endif()
+foreach(spec IN LISTS example_specs)
+  get_filename_component(spec_name ${spec} NAME_WE)
+  saga_expect_success(dry_${spec_name} run ${spec} --dry-run)
+  if(NOT dry_${spec_name}_output MATCHES "spec is valid")
+    message(FATAL_ERROR "dry run of ${spec} did not report a valid spec:\n${dry_${spec_name}_output}")
+  endif()
+endforeach()
+
+# 2. Full runs of the tiny specs, with a --set CSV override.
+saga_expect_success(run_fig02 run ${SPECS_DIR}/fig02_tiny.json --set csv=${WORK_DIR}/fig02_tiny.csv)
+if(NOT run_fig02_output MATCHES "blast")
+  message(FATAL_ERROR "fig02_tiny run does not mention blast:\n${run_fig02_output}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/fig02_tiny.csv)
+  message(FATAL_ERROR "--set csv=... did not produce the CSV sink")
+endif()
+
+saga_expect_success(run_fig04 run ${SPECS_DIR}/fig04_small.json --set pisa.restarts=1 --set pisa.max_iterations=40)
+if(NOT run_fig04_output MATCHES "Worst")
+  message(FATAL_ERROR "fig04_small run does not print the pairwise grid:\n${run_fig04_output}")
+endif()
+
+saga_expect_success(run_schedule run ${SPECS_DIR}/schedule_blast.json)
+if(NOT run_schedule_output MATCHES "HEFT")
+  message(FATAL_ERROR "schedule_blast run does not list HEFT:\n${run_schedule_output}")
+endif()
+
+# 3. Registry enumeration by tag.
+saga_expect_success(list_tags list --tags)
+if(NOT list_tags_output MATCHES "benchmark")
+  message(FATAL_ERROR "saga list --tags does not mention the benchmark tag:\n${list_tags_output}")
+endif()
+saga_expect_success(list_benchmark list --tags benchmark)
+if(NOT list_benchmark_output MATCHES "HEFT")
+  message(FATAL_ERROR "saga list --tags benchmark does not mention HEFT:\n${list_benchmark_output}")
+endif()
+
+# 4. Schema drift fails loudly: an unknown spec key is rejected by name.
+file(WRITE ${WORK_DIR}/bad_spec.json "{\"mode\": \"schedule\", \"schedulerz\": [\"HEFT\"]}")
+saga_expect_failure(bad_key 1 "unknown key 'schedulerz'" run ${WORK_DIR}/bad_spec.json --dry-run)
+
+# 5. Usage errors exit 2 and print usage; domain errors exit 1 and suggest.
+saga_expect_failure(run_usage 2 "usage: saga run" run)
+saga_expect_failure(compare_usage 2 "usage: saga compare" compare)
+saga_expect_failure(list_usage 2 "usage: saga list" list --tags benchmark extra)
+saga_expect_failure(unknown_command 2 "usage: saga" definitely-not-a-command)
+saga_expect_failure(unknown_scheduler 1 "did you mean 'HEFT'" schedule heff ${WORK_DIR}/bad_spec.json)
+saga_expect_failure(unknown_tag 1 "valid tags" list --tags nope)
+
+message(STATUS "cli_run_smoke: all steps passed")

@@ -16,12 +16,16 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <cctype>
+
 #include "core/annealer.hpp"
 #include "datasets/chameleon.hpp"
 #include "datasets/registry.hpp"
 #include "graph/problem_instance.hpp"
 #include "sched/arena.hpp"
 #include "sched/registry.hpp"
+#include "sched/spec.hpp"
 
 namespace {
 
@@ -83,6 +87,25 @@ TEST(GoldenMakespans, BitIdenticalWithSharedArena) {
     const Schedule schedule = make_scheduler(entry.scheduler)->schedule(inst, &arena);
     EXPECT_EQ(schedule.makespan(), entry.makespan)
         << entry.scheduler << " on " << entry.fixture << " (arena path)";
+  }
+}
+
+TEST(GoldenMakespans, RegistrySpecConstructionIsBitIdentical) {
+  // Every golden pin must also hold for schedulers constructed through the
+  // descriptor registry's spec path — lowercase spec strings resolved via
+  // case-insensitive lookup, the explicit default seed spelled as a spec
+  // parameter for the randomized ones.
+  const auto& registry = SchedulerRegistry::instance();
+  for (const auto& entry : kGolden) {
+    const auto& inst = fixture(entry.fixture);
+    std::string spec_string = entry.scheduler;
+    std::transform(spec_string.begin(), spec_string.end(), spec_string.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (registry.resolve(entry.scheduler).randomized) spec_string += "?seed=1516896257";
+    const Schedule schedule =
+        registry.make(parse_scheduler_spec(spec_string), 0x5a6a0001ULL)->schedule(inst);
+    EXPECT_EQ(schedule.makespan(), entry.makespan)
+        << spec_string << " on " << entry.fixture << " (registry spec path)";
   }
 }
 

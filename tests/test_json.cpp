@@ -1,0 +1,131 @@
+// The experiment layer's minimal JSON: parse/dump round-trips, escape and
+// unicode handling, ordered objects with duplicate-key rejection, and
+// line/column-annotated parse errors.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exp/json.hpp"
+
+namespace {
+
+using saga::exp::Json;
+using saga::exp::JsonArray;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const Json doc = Json::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(doc.is_object());
+  const Json* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_TRUE(a->as_array()[2].find("b")->as_bool());
+  EXPECT_EQ(doc.find("c")->as_string(), "x");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  const Json doc = Json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = doc.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+  EXPECT_EQ(doc.dump(), R"({"z": 1, "a": 2, "m": 3})");
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  try {
+    (void)Json::parse(R"({"a": 1, "a": 2})");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate key 'a'"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn) {
+  try {
+    (void)Json::parse("{\n  \"a\": [1, 2,\n}");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, RejectsTrailingGarbageAndBadLiterals) {
+  EXPECT_THROW((void)Json::parse("{} x"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("1e999"), std::runtime_error);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string text = R"("a\"b\\c\n\tAé")";
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed.as_string(), "a\"b\\c\n\tA\xc3\xa9");
+  // Dump re-escapes control characters; re-parsing yields the same value.
+  EXPECT_EQ(Json::parse(parsed.dump()).as_string(), parsed.as_string());
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8) {
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+  EXPECT_THROW((void)Json::parse(R"("\ud83d")"), std::runtime_error);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (const double value : {0.25, 1.0 / 3.0, 1e-12, 123456789.125, -42.0}) {
+    const Json dumped = Json::parse(Json::number(value).dump());
+    EXPECT_EQ(dumped.as_number(), value);
+  }
+  EXPECT_EQ(Json::number(1234567.0).dump(), "1234567");
+}
+
+TEST(Json, DumpPrettyPrintsWithIndent) {
+  Json doc = Json::object();
+  doc.set("a", Json::number(1));
+  doc.set("b", Json::array(JsonArray{Json::boolean(true)}));
+  EXPECT_EQ(doc.dump(2),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}\n");
+}
+
+TEST(Json, TypeMismatchesThrowDescriptively) {
+  const Json doc = Json::parse("[1]");
+  try {
+    (void)doc.as_object();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("expected an object"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("found an array"), std::string::npos);
+  }
+}
+
+TEST(Json, SetReplacesAndAppends) {
+  Json doc = Json::object();
+  doc.set("a", Json::number(1));
+  doc.set("a", Json::number(2));
+  doc.set("b", Json::string("x"));
+  EXPECT_DOUBLE_EQ(doc.find("a")->as_number(), 2.0);
+  EXPECT_EQ(doc.as_object().size(), 2u);
+  Json null_doc;
+  null_doc.set("k", Json::number(1));  // null promotes to object
+  EXPECT_TRUE(null_doc.is_object());
+}
+
+TEST(Json, DepthLimitGuardsRecursion) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW((void)Json::parse(deep), std::runtime_error);
+}
+
+}  // namespace

@@ -2,8 +2,13 @@
 /// open-source release ships for users who don't want to write C++.
 ///
 /// Subcommands:
+///   saga run <spec.json|->                        run a declarative
+///            [--dry-run] [--set key.path=value]   experiment spec (see
+///                                                 docs/experiments.md);
+///                                                 --dry-run validates and
+///                                                 prints the resolved plan
 ///   saga generate <dataset> <index> [seed]        print an instance
-///   saga schedule <scheduler> <instance-file|->   schedule it, print the
+///   saga schedule <scheduler-spec> <instance|->   schedule it, print the
 ///            [--repeat N] [--time]                schedule + Gantt;
 ///                                                 --repeat re-runs the
 ///                                                 scheduler N times on one
@@ -12,14 +17,23 @@
 ///                                                 wall-clock throughput on
 ///                                                 stderr
 ///   saga validate <instance-file> <schedule-file> check a schedule
-///   saga compare <instance-file> [schedulers...]  makespans side by side
+///   saga compare <instance-file> [specs...]       makespans side by side
 ///   saga pisa <target> <baseline> [restarts]      adversarial search
 ///   saga atlas-verify <dir>                       re-verify a PISA atlas
-///   saga list                                     datasets & schedulers
+///   saga list [--tags [tag]]                      datasets & schedulers;
+///                                                 --tags enumerates the
+///                                                 registry by tag with
+///                                                 per-scheduler parameters
+///
+/// Schedulers are given as registry spec strings: `HEFT`,
+/// `ga?pop=64&gens=200`, `ensemble?members=heft+cpop+minmin`.
 ///
 /// "-" reads the instance from stdin, so commands compose:
 ///   saga generate blast 0 | saga schedule HEFT -
+///
+/// Exit codes: 0 success, 1 runtime error, 2 usage error.
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -30,14 +44,16 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
-#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "analysis/atlas.hpp"
 #include "analysis/gantt.hpp"
-#include "core/annealer.hpp"
+#include "common/nearest.hpp"
+#include "core/pairwise.hpp"
 #include "datasets/registry.hpp"
+#include "exp/experiment.hpp"
 #include "graph/serialization.hpp"
 #include "sched/arena.hpp"
 #include "sched/registry.hpp"
@@ -46,6 +62,25 @@
 namespace {
 
 using namespace saga;
+
+/// Malformed command lines print their usage string and exit 2 (runtime
+/// failures print "error: ..." and exit 1).
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+constexpr const char* kTopLevelUsage =
+    "usage: saga <command> ...\n"
+    "commands:\n"
+    "  run <spec.json|-> [--dry-run] [--set key.path=value]...\n"
+    "  generate <dataset> <index> [seed]\n"
+    "  schedule <scheduler-spec> <instance|-> [--repeat N] [--time]\n"
+    "  validate <instance-file> <schedule-file>\n"
+    "  compare <instance|-> [scheduler-specs...]\n"
+    "  pisa <target> <baseline> [restarts]\n"
+    "  atlas-verify <dir>\n"
+    "  list [--tags [tag]]\n";
 
 std::uint64_t parse_u64(const char* arg, const char* what) {
   char* end = nullptr;
@@ -65,19 +100,78 @@ ProblemInstance read_instance(const std::string& path) {
   return load_instance(in);
 }
 
-int cmd_list() {
-  std::printf("datasets (Table II):\n ");
-  for (const auto& spec : datasets::all_dataset_specs()) std::printf(" %s", spec.name.c_str());
-  std::printf("\nschedulers (Table I):\n ");
-  for (const auto& name : all_scheduler_names()) std::printf(" %s", name.c_str());
-  std::printf("\nextension schedulers:\n ");
-  for (const auto& name : extension_scheduler_names()) std::printf(" %s", name.c_str());
-  std::printf("\n");
+int cmd_list(int argc, char** argv) {
+  constexpr const char* kUsage = "usage: saga list [--tags [tag]]";
+  if (argc == 0) {
+    std::printf("datasets (Table II):\n ");
+    for (const auto& spec : datasets::all_dataset_specs()) std::printf(" %s", spec.name.c_str());
+    std::printf("\nschedulers (Table I):\n ");
+    for (const auto& name : all_scheduler_names()) std::printf(" %s", name.c_str());
+    std::printf("\nextension schedulers:\n ");
+    for (const auto& name : extension_scheduler_names()) std::printf(" %s", name.c_str());
+    std::printf("\n(`saga list --tags` enumerates the registry by tag)\n");
+    return EXIT_SUCCESS;
+  }
+  if (std::string(argv[0]) != "--tags" || argc > 2) throw UsageError(kUsage);
+  const auto& registry = SchedulerRegistry::instance();
+  if (argc == 1) {
+    for (const auto& tag : registry.tags()) {
+      const auto names = registry.names(tag, NameOrder::kLexicographic);
+      std::printf("%-13s (%2zu): %s\n", tag.c_str(), names.size(), join(names, " ").c_str());
+    }
+    return EXIT_SUCCESS;
+  }
+  const std::string tag = argv[1];
+  const auto tags = registry.tags();
+  if (std::find(tags.begin(), tags.end(), tag) == tags.end()) {
+    throw std::invalid_argument("unknown tag '" + tag + "'; valid tags: " + join(tags, ", "));
+  }
+  for (const auto& desc : registry.descriptors()) {
+    if (!desc.has_tag(tag)) continue;
+    std::printf("%-12s %s\n", desc.name.c_str(), desc.summary.c_str());
+    if (!desc.aliases.empty()) std::printf("             aliases: %s\n", join(desc.aliases, ", ").c_str());
+    for (const auto& param : desc.params) {
+      std::printf("             %s: %s\n", param.key.c_str(), param.summary.c_str());
+    }
+  }
+  return EXIT_SUCCESS;
+}
+
+int cmd_run(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: saga run <spec.json|-> [--dry-run] [--set key.path=value]...";
+  std::string path;
+  std::vector<std::string> overrides;
+  bool dry_run = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dry-run") {
+      dry_run = true;
+    } else if (arg == "--set") {
+      if (i + 1 >= argc) throw UsageError(std::string("--set needs key.path=value\n") + kUsage);
+      overrides.emplace_back(argv[++i]);
+    } else if (!path.empty()) {
+      throw UsageError(kUsage);
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) throw UsageError(kUsage);
+
+  exp::Json document = exp::load_spec_document(path);
+  for (const auto& assignment : overrides) exp::apply_override(document, assignment);
+  const auto spec = exp::ExperimentSpec::from_json(document);
+  spec.validate();
+  if (dry_run) {
+    std::cout << exp::describe(spec) << "dry run: spec is valid\n";
+    return EXIT_SUCCESS;
+  }
+  exp::run_experiment(spec, std::cout);
   return EXIT_SUCCESS;
 }
 
 int cmd_generate(int argc, char** argv) {
-  if (argc < 2) throw std::runtime_error("usage: saga generate <dataset> <index> [seed]");
+  if (argc < 2) throw UsageError("usage: saga generate <dataset> <index> [seed]");
   const std::string dataset = argv[0];
   const auto index = static_cast<std::size_t>(parse_u64(argv[1], "index"));
   const std::uint64_t seed = argc > 2 ? parse_u64(argv[2], "seed") : 42;
@@ -87,25 +181,27 @@ int cmd_generate(int argc, char** argv) {
 
 int cmd_schedule(int argc, char** argv) {
   constexpr const char* kUsage =
-      "usage: saga schedule <scheduler> <instance|-> [--repeat N] [--time]";
+      "usage: saga schedule <scheduler-spec> <instance|-> [--repeat N] [--time]";
   std::vector<const char*> positional;
   std::uint64_t repeat = 1;
   bool timed = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--repeat") {
-      if (i + 1 >= argc) throw std::runtime_error("--repeat needs a count");
+      if (i + 1 >= argc) throw UsageError(std::string("--repeat needs a count\n") + kUsage);
       repeat = parse_u64(argv[++i], "repeat count");
-      if (repeat == 0) throw std::runtime_error("--repeat must be at least 1");
+      if (repeat == 0) throw UsageError(std::string("--repeat must be at least 1\n") + kUsage);
     } else if (arg == "--time") {
       timed = true;
     } else {
       positional.push_back(argv[i]);
     }
   }
-  if (positional.size() != 2) throw std::runtime_error(kUsage);
-  const auto inst = read_instance(positional[1]);
+  if (positional.size() != 2) throw UsageError(kUsage);
+  // Resolve the scheduler spec before touching the instance stream, so a
+  // misspelled name is diagnosed without consuming stdin.
   const auto scheduler = make_scheduler(positional[0]);
+  const auto inst = read_instance(positional[1]);
 
   // One evaluation arena across all repeats — the PISA usage pattern — so
   // `--repeat N --time` measures the scheduler's warm per-call cost.
@@ -128,7 +224,7 @@ int cmd_schedule(int argc, char** argv) {
 }
 
 int cmd_validate(int argc, char** argv) {
-  if (argc < 2) throw std::runtime_error("usage: saga validate <instance> <schedule>");
+  if (argc < 2) throw UsageError("usage: saga validate <instance> <schedule>");
   const auto inst = read_instance(argv[0]);
   std::ifstream in(argv[1]);
   if (!in) throw std::runtime_error(std::string("cannot open ") + argv[1]);
@@ -143,47 +239,60 @@ int cmd_validate(int argc, char** argv) {
 }
 
 int cmd_compare(int argc, char** argv) {
-  if (argc < 1) throw std::runtime_error("usage: saga compare <instance|-> [schedulers...]");
-  const auto inst = read_instance(argv[0]);
-  std::vector<std::string> roster;
-  for (int i = 1; i < argc; ++i) roster.emplace_back(argv[i]);
-  if (roster.empty()) roster = benchmark_scheduler_names();
-  double best = std::numeric_limits<double>::infinity();
-  std::vector<std::pair<std::string, double>> results;
-  for (const auto& name : roster) {
-    const double makespan = make_scheduler(name)->schedule(inst).makespan();
-    results.emplace_back(name, makespan);
-    if (makespan < best) best = makespan;
-  }
-  std::printf("%-14s %12s %8s\n", "scheduler", "makespan", "ratio");
-  for (const auto& [name, makespan] : results) {
-    std::printf("%-14s %12.4f %8.3f\n", name.c_str(), makespan,
-                best > 0.0 ? makespan / best : 1.0);
-  }
+  if (argc < 1) throw UsageError("usage: saga compare <instance|-> [scheduler-specs...]");
+  exp::ExperimentSpec spec;
+  spec.mode = exp::Mode::kSchedule;
+  spec.name = "saga compare";
+  spec.instance.file = argv[0];
+  for (int i = 1; i < argc; ++i) spec.schedulers.emplace_back(argv[i]);
+  if (spec.schedulers.empty()) spec.schedulers = {"@benchmark"};
+  exp::run_experiment(spec, std::cout);
   return EXIT_SUCCESS;
 }
 
+/// Appends `seed=<derived>` to a randomized scheduler's spec string so the
+/// atlas entry reconstructs the exact scheduler the pairwise driver ran
+/// (deterministic schedulers round-trip unchanged).
+std::string annotate_seed(const std::string& spec_string, std::uint64_t derived_seed) {
+  SchedulerSpec spec = parse_scheduler_spec(spec_string);
+  const SchedulerDesc& desc = SchedulerRegistry::instance().resolve(spec.name);
+  if (!desc.randomized || spec.find("seed") != nullptr) return spec_string;
+  spec.params.emplace_back("seed", std::to_string(derived_seed));
+  return spec.to_string();
+}
+
 int cmd_pisa(int argc, char** argv) {
-  if (argc < 2) throw std::runtime_error("usage: saga pisa <target> <baseline> [restarts]");
+  if (argc < 2) throw UsageError("usage: saga pisa <target> <baseline> [restarts]");
   const std::uint64_t seed = 42;
-  const auto target = make_scheduler(argv[0], seed);
-  const auto baseline = make_scheduler(argv[1], seed);
-  pisa::PisaOptions options;
-  options.restarts = argc > 2 ? parse_u64(argv[2], "restarts") : 10;
-  const auto result = pisa::run_pisa(*target, *baseline, options, seed);
-  std::fprintf(stderr, "best ratio m(%s)/m(%s) = %.4f\n", argv[0], argv[1], result.best_ratio);
+  exp::ExperimentSpec spec;
+  spec.mode = exp::Mode::kPisaPairwise;
+  spec.name = "saga pisa";
+  spec.schedulers = {argv[0], argv[1]};
+  spec.pisa.restarts = argc > 2 ? parse_u64(argv[2], "restarts") : 10;
+  spec.seed = seed;
+  // Tables and progress go to stderr: stdout carries the atlas entry so
+  // `saga pisa ... > entry.txt` composes.
+  const auto result = exp::run_experiment(spec, std::cerr);
+
+  // The grid is 2x2; the (row=baseline, col=target) cell is (1, 0). The
+  // driver computed the reverse direction too — report it rather than
+  // discard it.
+  const double ratio = result.pairwise.cell(1, 0);
+  std::fprintf(stderr, "best ratio m(%s)/m(%s) = %.4f  (reverse: %.4f)\n", argv[0], argv[1],
+               ratio, result.pairwise.cell(0, 1));
+  const pisa::CellSeeds seeds = pisa::pairwise_cell_seeds(seed, 1, 0);
   analysis::AtlasEntry entry;
-  entry.target = argv[0];
-  entry.baseline = argv[1];
-  entry.ratio = result.best_ratio;
+  entry.target = annotate_seed(argv[0], seeds.target);
+  entry.baseline = annotate_seed(argv[1], seeds.baseline);
+  entry.ratio = ratio;
   entry.seed = seed;
-  entry.instance = result.best_instance;
+  entry.instance = result.pairwise.best_instance[1][0];
   std::cout << analysis::atlas_entry_to_string(entry);
   return EXIT_SUCCESS;
 }
 
 int cmd_atlas_verify(int argc, char** argv) {
-  if (argc < 1) throw std::runtime_error("usage: saga atlas-verify <dir>");
+  if (argc < 1) throw UsageError("usage: saga atlas-verify <dir>");
   const auto atlas = analysis::Atlas::load(argv[0]);
   const auto mismatches = atlas.verify(1e-9);
   std::printf("%zu entries", atlas.size());
@@ -200,22 +309,26 @@ int cmd_atlas_verify(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: saga <list|generate|schedule|validate|compare|pisa|atlas-verify> ...\n");
-    return EXIT_FAILURE;
+    std::fputs(kTopLevelUsage, stderr);
+    return 2;
   }
   const std::string command = argv[1];
   try {
-    if (command == "list") return cmd_list();
+    if (command == "list") return cmd_list(argc - 2, argv + 2);
+    if (command == "run") return cmd_run(argc - 2, argv + 2);
     if (command == "generate") return cmd_generate(argc - 2, argv + 2);
     if (command == "schedule") return cmd_schedule(argc - 2, argv + 2);
     if (command == "validate") return cmd_validate(argc - 2, argv + 2);
     if (command == "compare") return cmd_compare(argc - 2, argv + 2);
     if (command == "pisa") return cmd_pisa(argc - 2, argv + 2);
     if (command == "atlas-verify") return cmd_atlas_verify(argc - 2, argv + 2);
-    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(), kTopLevelUsage);
+    return 2;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  return EXIT_FAILURE;
 }
