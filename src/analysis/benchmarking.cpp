@@ -1,10 +1,14 @@
 #include "analysis/benchmarking.hpp"
 
+#include <functional>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "datasets/source.hpp"
+#include "sched/arena.hpp"
 #include "sched/registry.hpp"
 
 namespace saga::analysis {
@@ -16,10 +20,17 @@ const SchedulerBenchmark& DatasetBenchmark::for_scheduler(const std::string& nam
   throw std::out_of_range("scheduler not in benchmark: " + name);
 }
 
-DatasetBenchmark benchmark_dataset(const saga::Dataset& dataset,
-                                   const std::vector<std::string>& scheduler_names,
-                                   std::uint64_t seed, saga::ThreadPool* pool) {
-  const std::size_t n_instances = dataset.instances.size();
+namespace {
+
+/// Shared core of the eager and streaming entry points: `instance_at` hands
+/// each worker its instance (an in-memory vector element or a streamed
+/// generate(i) call); everything downstream is identical, so both paths
+/// produce bit-identical ratios.
+DatasetBenchmark benchmark_instances(
+    std::string label, std::size_t n_instances,
+    const std::function<saga::ProblemInstance(std::size_t)>& instance_at,
+    const std::vector<std::string>& scheduler_names, std::uint64_t seed,
+    saga::ThreadPool* pool) {
   const std::size_t n_schedulers = scheduler_names.size();
 
   // makespans[s][i]: scheduler s on instance i.
@@ -27,15 +38,17 @@ DatasetBenchmark benchmark_dataset(const saga::Dataset& dataset,
                                              std::vector<double>(n_instances, 0.0));
 
   (pool != nullptr ? *pool : saga::global_pool()).parallel_for(n_instances, [&](std::size_t i) {
+    const saga::ProblemInstance inst = instance_at(i);
+    thread_local saga::TimelineArena arena;
     for (std::size_t s = 0; s < n_schedulers; ++s) {
       const auto scheduler =
           saga::make_scheduler(scheduler_names[s], saga::derive_seed(seed, {0xbe5cULL, s, i}));
-      makespans[s][i] = scheduler->schedule(dataset.instances[i]).makespan();
+      makespans[s][i] = scheduler->schedule(inst, &arena).makespan();
     }
   });
 
   DatasetBenchmark result;
-  result.dataset = dataset.name;
+  result.dataset = std::move(label);
   result.per_scheduler.resize(n_schedulers);
   for (std::size_t i = 0; i < n_instances; ++i) {
     double best = std::numeric_limits<double>::infinity();
@@ -52,6 +65,25 @@ DatasetBenchmark benchmark_dataset(const saga::Dataset& dataset,
     result.per_scheduler[s].summary = saga::summarize(result.per_scheduler[s].ratios);
   }
   return result;
+}
+
+}  // namespace
+
+DatasetBenchmark benchmark_dataset(const saga::Dataset& dataset,
+                                   const std::vector<std::string>& scheduler_names,
+                                   std::uint64_t seed, saga::ThreadPool* pool) {
+  return benchmark_instances(
+      dataset.name, dataset.instances.size(),
+      [&dataset](std::size_t i) { return dataset.instances[i]; }, scheduler_names, seed, pool);
+}
+
+DatasetBenchmark benchmark_source(const saga::datasets::InstanceSource& source,
+                                  std::string label, std::size_t count,
+                                  const std::vector<std::string>& scheduler_names,
+                                  std::uint64_t seed, saga::ThreadPool* pool) {
+  return benchmark_instances(
+      std::move(label), count, [&source](std::size_t i) { return source.generate(i); },
+      scheduler_names, seed, pool);
 }
 
 }  // namespace saga::analysis

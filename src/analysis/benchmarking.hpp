@@ -18,6 +18,10 @@ namespace saga {
 class ThreadPool;
 }
 
+namespace saga::datasets {
+class InstanceSource;
+}
+
 namespace saga::analysis {
 
 /// Makespan ratios of one scheduler across a dataset's instances.
@@ -42,5 +46,16 @@ struct DatasetBenchmark {
                                                  const std::vector<std::string>& scheduler_names,
                                                  std::uint64_t seed,
                                                  saga::ThreadPool* pool = nullptr);
+
+/// Streaming variant: pulls instances 0..count-1 on demand from `source`
+/// inside the workers (InstanceSource::generate is pure and thread-safe),
+/// so the dataset is never materialized. Produces results bit-identical to
+/// benchmark_dataset over the eagerly generated equivalent; `label` names
+/// the dataset in the result (typically the selection's spec string).
+[[nodiscard]] DatasetBenchmark benchmark_source(const saga::datasets::InstanceSource& source,
+                                                std::string label, std::size_t count,
+                                                const std::vector<std::string>& scheduler_names,
+                                                std::uint64_t seed,
+                                                saga::ThreadPool* pool = nullptr);
 
 }  // namespace saga::analysis

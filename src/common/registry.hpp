@@ -1,0 +1,130 @@
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/nearest.hpp"
+
+/// \file registry.hpp (common)
+/// Shared mechanics of the descriptor registries (sched/registry.hpp,
+/// datasets/registry.hpp): name/alias storage with collision checking,
+/// exact-then-case-insensitive lookup, nearest-name suggestions, and tag
+/// enumeration. `Desc` must expose `name` (string), `aliases`
+/// (vector<string>), `tags` (vector<string>), and a truthy `factory`;
+/// the derived registry supplies the user-facing kind ("scheduler",
+/// "dataset") and the CLI hint printed with unknown-name errors.
+
+namespace saga {
+
+inline bool registry_iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename Desc>
+class DescriptorRegistry {
+ public:
+  /// Registers a descriptor; throws std::invalid_argument on a missing
+  /// name/factory or a name/alias collision. Not safe against concurrent
+  /// lookups — register at startup.
+  void add(Desc desc) {
+    if (desc.name.empty()) throw std::invalid_argument(kind_ + " descriptor has no name");
+    if (!desc.factory) {
+      throw std::invalid_argument(kind_ + " '" + desc.name + "' descriptor has no factory");
+    }
+    auto check_collision = [this](const std::string& candidate) {
+      for (const auto& existing : descs_) {
+        if (registry_iequals(existing.name, candidate)) {
+          throw std::invalid_argument(kind_ + " name '" + candidate +
+                                      "' collides with registered '" + existing.name + "'");
+        }
+        for (const auto& alias : existing.aliases) {
+          if (registry_iequals(alias, candidate)) {
+            throw std::invalid_argument(kind_ + " name '" + candidate +
+                                        "' collides with alias '" + alias + "' of '" +
+                                        existing.name + "'");
+          }
+        }
+      }
+    };
+    check_collision(desc.name);
+    for (const auto& alias : desc.aliases) check_collision(alias);
+    descs_.push_back(std::move(desc));
+  }
+
+  /// Looks up a descriptor by name or alias (exact match first, then
+  /// case-insensitive); null when unknown.
+  [[nodiscard]] const Desc* find(std::string_view name) const {
+    for (const auto& desc : descs_) {
+      if (desc.name == name) return &desc;
+    }
+    for (const auto& desc : descs_) {
+      if (registry_iequals(desc.name, name)) return &desc;
+      for (const auto& alias : desc.aliases) {
+        if (registry_iequals(alias, name)) return &desc;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Like find(), but throws std::invalid_argument with a nearest-name
+  /// suggestion and the list of valid tags for unknown names.
+  [[nodiscard]] const Desc& resolve(std::string_view name) const {
+    if (const Desc* desc = find(name)) return *desc;
+    std::vector<std::string> candidates;
+    for (const auto& desc : descs_) {
+      candidates.push_back(desc.name);
+      candidates.insert(candidates.end(), desc.aliases.begin(), desc.aliases.end());
+    }
+    throw std::invalid_argument("unknown " + kind_ + " '" + std::string(name) + "'" +
+                                did_you_mean(name, candidates) +
+                                "; valid tags: " + join(tags(), ", ") + " (see `" +
+                                list_hint_ + "`)");
+  }
+
+  /// Canonical names carrying `tag` (all names when `tag` is empty), in
+  /// registration order. Returns an empty vector for an unknown tag.
+  [[nodiscard]] std::vector<std::string> names(std::string_view tag = {}) const {
+    std::vector<std::string> out;
+    for (const auto& desc : descs_) {
+      if (tag.empty() || desc.has_tag(tag)) out.push_back(desc.name);
+    }
+    return out;
+  }
+
+  /// All registered descriptors, in registration order.
+  [[nodiscard]] const std::vector<Desc>& descriptors() const noexcept { return descs_; }
+
+  /// Sorted union of every descriptor's tags.
+  [[nodiscard]] std::vector<std::string> tags() const {
+    std::vector<std::string> out;
+    for (const auto& desc : descs_) {
+      for (const auto& tag : desc.tags) {
+        if (std::find(out.begin(), out.end(), tag) == out.end()) out.push_back(tag);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ protected:
+  DescriptorRegistry(std::string kind, std::string list_hint)
+      : kind_(std::move(kind)), list_hint_(std::move(list_hint)) {}
+
+  std::string kind_;
+  std::string list_hint_;
+  std::vector<Desc> descs_;
+};
+
+}  // namespace saga

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/problem_instance.hpp"
+
+/// \file erdos.hpp
+/// Erdős–Rényi style random DAGs — an extension family beyond the paper's
+/// Table II for scale and density sweeps. Tasks are ordered 0..n-1 and each
+/// forward pair (i, j), i < j, is an edge independently with probability p,
+/// so every draw is acyclic by construction. Task and edge weights follow
+/// the Table II random-dataset distribution (clipped Gaussian, mean 1,
+/// std 1/3, in [0, 2]). The network is complete; with heterogeneity factor
+/// h > 1, node speeds and link strengths are additionally scaled by a
+/// log-uniform factor in [1/h, h] (h = 1 reproduces the homogeneous-ish
+/// clipped-Gaussian network of the tree/chain datasets).
+
+namespace saga::datasets {
+
+class DatasetRegistry;
+
+struct ErdosTuning {
+  std::int64_t n = 32;     // tasks
+  double p = 0.1;          // forward-edge probability
+  double hetero = 1.0;     // network heterogeneity factor (>= 1)
+  std::int64_t nodes = 0;  // network nodes; 0: uniform 4-8
+};
+
+[[nodiscard]] saga::ProblemInstance erdos_instance(std::uint64_t seed,
+                                                   const ErdosTuning& tuning = {});
+
+void register_erdos_dataset(DatasetRegistry& registry);
+
+}  // namespace saga::datasets

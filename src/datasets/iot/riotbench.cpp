@@ -1,9 +1,13 @@
 #include "datasets/iot/riotbench.hpp"
 
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datasets/iot/edge_fog_cloud.hpp"
+#include "datasets/registry.hpp"
 
 namespace saga::iot {
 
@@ -113,30 +117,98 @@ TaskGraph make_train_graph(saga::Rng& rng) {
 namespace {
 
 saga::ProblemInstance make_instance(TaskGraph (*make_graph)(saga::Rng&), std::uint64_t seed,
-                                    std::uint64_t salt) {
+                                    std::uint64_t salt, const IotTuning& tuning) {
   saga::Rng rng(seed);
   saga::ProblemInstance inst;
   inst.graph = make_graph(rng);
-  inst.network = edge_fog_cloud_network(saga::derive_seed(seed, {salt}));
+  // Sample the paper's shape first (keeping the default path bit-identical),
+  // then apply any fixed tier sizes from the tuning.
+  EdgeFogCloudShape shape = sample_edge_fog_cloud_shape(saga::derive_seed(seed, {salt}));
+  if (tuning.edge > 0) shape.edge_nodes = static_cast<std::size_t>(tuning.edge);
+  if (tuning.fog > 0) shape.fog_nodes = static_cast<std::size_t>(tuning.fog);
+  if (tuning.cloud > 0) shape.cloud_nodes = static_cast<std::size_t>(tuning.cloud);
+  inst.network = make_edge_fog_cloud_network(shape);
   return inst;
 }
 
 }  // namespace
 
-saga::ProblemInstance etl_instance(std::uint64_t seed) {
-  return make_instance(make_etl_graph, seed, 0xe71ULL);
+saga::ProblemInstance etl_instance(std::uint64_t seed, const IotTuning& tuning) {
+  return make_instance(make_etl_graph, seed, 0xe71ULL, tuning);
 }
 
-saga::ProblemInstance stats_instance(std::uint64_t seed) {
-  return make_instance(make_stats_graph, seed, 0x57a75ULL);
+saga::ProblemInstance stats_instance(std::uint64_t seed, const IotTuning& tuning) {
+  return make_instance(make_stats_graph, seed, 0x57a75ULL, tuning);
 }
 
-saga::ProblemInstance predict_instance(std::uint64_t seed) {
-  return make_instance(make_predict_graph, seed, 0x94ed1c7ULL);
+saga::ProblemInstance predict_instance(std::uint64_t seed, const IotTuning& tuning) {
+  return make_instance(make_predict_graph, seed, 0x94ed1c7ULL, tuning);
 }
 
-saga::ProblemInstance train_instance(std::uint64_t seed) {
-  return make_instance(make_train_graph, seed, 0x72a12ULL);
+saga::ProblemInstance train_instance(std::uint64_t seed, const IotTuning& tuning) {
+  return make_instance(make_train_graph, seed, 0x72a12ULL, tuning);
+}
+
+saga::ProblemInstance etl_instance(std::uint64_t seed) { return etl_instance(seed, {}); }
+
+saga::ProblemInstance stats_instance(std::uint64_t seed) { return stats_instance(seed, {}); }
+
+saga::ProblemInstance predict_instance(std::uint64_t seed) { return predict_instance(seed, {}); }
+
+saga::ProblemInstance train_instance(std::uint64_t seed) { return train_instance(seed, {}); }
+
+namespace {
+
+constexpr std::size_t kIotPaperCount = 1000;
+
+void register_iot_dataset(saga::datasets::DatasetRegistry& registry, const char* name,
+                          const char* summary,
+                          saga::ProblemInstance (*instance)(std::uint64_t, const IotTuning&)) {
+  saga::datasets::DatasetDesc desc;
+  desc.name = name;
+  desc.summary = summary;
+  desc.tags = {"table2", "iot"};
+  desc.paper_count = kIotPaperCount;
+  desc.params = {
+      {"edge", "edge nodes (speed 1): integer in [1, 10000] (default: uniform 75-125)"},
+      {"fog", "fog nodes (speed 6): integer in [1, 10000] (default: uniform 3-7)"},
+      {"cloud", "cloud nodes (speed 50): integer in [1, 10000] (default: uniform 1-10)"},
+  };
+  desc.factory = [name, instance](const saga::datasets::DatasetParams& params,
+                                  std::uint64_t master_seed)
+      -> saga::datasets::InstanceSourcePtr {
+    IotTuning tuning;
+    tuning.edge = params.get_i64("edge", 0);
+    tuning.fog = params.get_i64("fog", 0);
+    tuning.cloud = params.get_i64("cloud", 0);
+    saga::datasets::check_param_range(name, "edge", tuning.edge, 1, 10000);
+    saga::datasets::check_param_range(name, "fog", tuning.fog, 1, 10000);
+    saga::datasets::check_param_range(name, "cloud", tuning.cloud, 1, 10000);
+    return std::make_unique<saga::datasets::GeneratorSource>(
+        name, kIotPaperCount, master_seed,
+        [instance, tuning](std::uint64_t seed) { return instance(seed, tuning); });
+  };
+  registry.add(std::move(desc));
+}
+
+}  // namespace
+
+void register_riotbench_datasets(saga::datasets::DatasetRegistry& registry) {
+  register_iot_dataset(registry, "etl",
+                       "RIoTBench ETL: linear sensing pipeline with a dual-sink tail on an "
+                       "Edge/Fog/Cloud network",
+                       etl_instance);
+  register_iot_dataset(registry, "predict",
+                       "RIoTBench PREDICT: two parallel models score each message, blended "
+                       "and published",
+                       predict_instance);
+  register_iot_dataset(registry, "stats",
+                       "RIoTBench STATS: parse fans out to three windowed statistics, "
+                       "grouped and plotted",
+                       stats_instance);
+  register_iot_dataset(registry, "train",
+                       "RIoTBench TRAIN: periodic model retraining with validation and upload",
+                       train_instance);
 }
 
 }  // namespace saga::iot

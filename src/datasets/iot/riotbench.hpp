@@ -17,6 +17,10 @@
 ///     successor.
 /// Four applications: ETL, STATS, PREDICT, and TRAIN.
 
+namespace saga::datasets {
+class DatasetRegistry;
+}  // namespace saga::datasets
+
 namespace saga::iot {
 
 [[nodiscard]] saga::TaskGraph make_etl_graph(saga::Rng& rng);
@@ -24,10 +28,27 @@ namespace saga::iot {
 [[nodiscard]] saga::TaskGraph make_predict_graph(saga::Rng& rng);
 [[nodiscard]] saga::TaskGraph make_train_graph(saga::Rng& rng);
 
+/// Spec-string knobs for the Edge/Fog/Cloud topology. Zero values mean
+/// "the paper's uniform draw", so a default-constructed tuning reproduces
+/// the paper-default instances bit for bit.
+struct IotTuning {
+  std::int64_t edge = 0;   // edge nodes; 0: uniform 75-125
+  std::int64_t fog = 0;    // fog nodes; 0: uniform 3-7
+  std::int64_t cloud = 0;  // cloud nodes; 0: uniform 1-10
+};
+
 /// Full instances paired with an Edge/Fog/Cloud network.
 [[nodiscard]] saga::ProblemInstance etl_instance(std::uint64_t seed);
+[[nodiscard]] saga::ProblemInstance etl_instance(std::uint64_t seed, const IotTuning& tuning);
 [[nodiscard]] saga::ProblemInstance stats_instance(std::uint64_t seed);
+[[nodiscard]] saga::ProblemInstance stats_instance(std::uint64_t seed, const IotTuning& tuning);
 [[nodiscard]] saga::ProblemInstance predict_instance(std::uint64_t seed);
+[[nodiscard]] saga::ProblemInstance predict_instance(std::uint64_t seed,
+                                                     const IotTuning& tuning);
 [[nodiscard]] saga::ProblemInstance train_instance(std::uint64_t seed);
+[[nodiscard]] saga::ProblemInstance train_instance(std::uint64_t seed, const IotTuning& tuning);
+
+/// Registers etl, predict, stats, and train (Table II order).
+void register_riotbench_datasets(saga::datasets::DatasetRegistry& registry);
 
 }  // namespace saga::iot

@@ -1,10 +1,14 @@
 #include "datasets/random_graphs.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "datasets/dataset.hpp"
+#include "datasets/registry.hpp"
 
 namespace saga {
 
@@ -18,10 +22,11 @@ double net_weight(Rng& rng) { return std::max(weight(rng), kMinNetworkWeight); }
 
 /// Builds the level structure of a (in|out)-tree: levels 0..L-1, level k
 /// has b^k tasks, with b the branching factor. Returns per-level task ids.
-std::vector<std::vector<TaskId>> tree_levels(TaskGraph& g, Rng& rng, int levels, int branch) {
+std::vector<std::vector<TaskId>> tree_levels(TaskGraph& g, Rng& rng, std::int64_t levels,
+                                             std::int64_t branch) {
   std::vector<std::vector<TaskId>> by_level(static_cast<std::size_t>(levels));
   std::size_t width = 1;
-  for (int level = 0; level < levels; ++level) {
+  for (std::int64_t level = 0; level < levels; ++level) {
     for (std::size_t i = 0; i < width; ++i) {
       by_level[static_cast<std::size_t>(level)].push_back(g.add_task(weight(rng)));
     }
@@ -32,9 +37,10 @@ std::vector<std::vector<TaskId>> tree_levels(TaskGraph& g, Rng& rng, int levels,
 
 }  // namespace
 
-Network random_network(std::uint64_t seed) {
+Network random_network(std::uint64_t seed, std::int64_t node_override) {
   Rng rng(seed);
-  const auto nodes = static_cast<std::size_t>(rng.uniform_int(3, 5));
+  const auto nodes = node_override > 0 ? static_cast<std::size_t>(node_override)
+                                       : static_cast<std::size_t>(rng.uniform_int(3, 5));
   Network net(nodes);
   for (NodeId v = 0; v < nodes; ++v) net.set_speed(v, net_weight(rng));
   for (NodeId a = 0; a < nodes; ++a) {
@@ -43,10 +49,10 @@ Network random_network(std::uint64_t seed) {
   return net;
 }
 
-TaskGraph random_in_tree(std::uint64_t seed) {
+TaskGraph random_in_tree(std::uint64_t seed, const TreeTuning& tuning) {
   Rng rng(seed);
-  const int levels = static_cast<int>(rng.uniform_int(2, 4));
-  const int branch = static_cast<int>(rng.uniform_int(2, 3));
+  const auto levels = tuning.levels > 0 ? tuning.levels : rng.uniform_int(2, 4);
+  const auto branch = tuning.branch > 0 ? tuning.branch : rng.uniform_int(2, 3);
   TaskGraph g;
   const auto by_level = tree_levels(g, rng, levels, branch);
   // In-tree: children (deeper level) feed their parent.
@@ -59,10 +65,10 @@ TaskGraph random_in_tree(std::uint64_t seed) {
   return g;
 }
 
-TaskGraph random_out_tree(std::uint64_t seed) {
+TaskGraph random_out_tree(std::uint64_t seed, const TreeTuning& tuning) {
   Rng rng(seed);
-  const int levels = static_cast<int>(rng.uniform_int(2, 4));
-  const int branch = static_cast<int>(rng.uniform_int(2, 3));
+  const auto levels = tuning.levels > 0 ? tuning.levels : rng.uniform_int(2, 4);
+  const auto branch = tuning.branch > 0 ? tuning.branch : rng.uniform_int(2, 3);
   TaskGraph g;
   const auto by_level = tree_levels(g, rng, levels, branch);
   // Out-tree: the parent feeds its children.
@@ -75,10 +81,10 @@ TaskGraph random_out_tree(std::uint64_t seed) {
   return g;
 }
 
-TaskGraph random_parallel_chains(std::uint64_t seed) {
+TaskGraph random_parallel_chains(std::uint64_t seed, const ChainsTuning& tuning) {
   Rng rng(seed);
-  const auto chains = rng.uniform_int(2, 5);
-  const auto length = rng.uniform_int(2, 5);
+  const auto chains = tuning.chains > 0 ? tuning.chains : rng.uniform_int(2, 5);
+  const auto length = tuning.length > 0 ? tuning.length : rng.uniform_int(2, 5);
   TaskGraph g;
   for (std::int64_t c = 0; c < chains; ++c) {
     TaskId prev = g.add_task(weight(rng));
@@ -93,25 +99,133 @@ TaskGraph random_parallel_chains(std::uint64_t seed) {
 
 namespace {
 
-ProblemInstance make_instance(TaskGraph graph, std::uint64_t seed) {
+ProblemInstance make_instance(TaskGraph graph, std::uint64_t seed, std::int64_t nodes) {
   ProblemInstance inst;
   inst.graph = std::move(graph);
-  inst.network = random_network(derive_seed(seed, {0x4e4554ULL}));  // "NET"
+  inst.network = random_network(derive_seed(seed, {0x4e4554ULL}), nodes);  // "NET"
   return inst;
 }
 
 }  // namespace
 
-ProblemInstance in_trees_instance(std::uint64_t seed) {
-  return make_instance(random_in_tree(seed), seed);
+ProblemInstance in_trees_instance(std::uint64_t seed, const TreeTuning& tuning) {
+  return make_instance(random_in_tree(seed, tuning), seed, tuning.nodes);
 }
 
-ProblemInstance out_trees_instance(std::uint64_t seed) {
-  return make_instance(random_out_tree(seed), seed);
+ProblemInstance out_trees_instance(std::uint64_t seed, const TreeTuning& tuning) {
+  return make_instance(random_out_tree(seed, tuning), seed, tuning.nodes);
 }
 
-ProblemInstance chains_instance(std::uint64_t seed) {
-  return make_instance(random_parallel_chains(seed), seed);
+ProblemInstance chains_instance(std::uint64_t seed, const ChainsTuning& tuning) {
+  return make_instance(random_parallel_chains(seed, tuning), seed, tuning.nodes);
+}
+
+ProblemInstance in_trees_instance(std::uint64_t seed) { return in_trees_instance(seed, {}); }
+
+ProblemInstance out_trees_instance(std::uint64_t seed) { return out_trees_instance(seed, {}); }
+
+ProblemInstance chains_instance(std::uint64_t seed) { return chains_instance(seed, {}); }
+
+namespace {
+
+constexpr std::size_t kRandomPaperCount = 1000;
+constexpr std::int64_t kMaxTreeLevels = 24;
+constexpr std::int64_t kMaxWidth = 100000;  // cap on total task count
+constexpr std::int64_t kMaxNetNodes = 10000;
+
+void register_tree_dataset(datasets::DatasetRegistry& registry, const char* name,
+                           const char* summary,
+                           ProblemInstance (*instance)(std::uint64_t, const TreeTuning&)) {
+  datasets::DatasetDesc desc;
+  desc.name = name;
+  desc.summary = summary;
+  desc.tags = {"table2", "random"};
+  desc.paper_count = kRandomPaperCount;
+  desc.params = {
+      {"levels", "tree levels: integer in [1, 24] (default: uniform 2-4); total tasks "
+                 "capped at 100000"},
+      {"branch", "branching factor: integer in [1, 16] (default: uniform 2 or 3)"},
+      {"nodes", "network nodes: integer in [1, 10000] (default: uniform 3-5)"},
+  };
+  desc.factory = [name, instance](const datasets::DatasetParams& params,
+                                  std::uint64_t master_seed) -> datasets::InstanceSourcePtr {
+    TreeTuning tuning;
+    tuning.levels = params.get_i64("levels", 0);
+    tuning.branch = params.get_i64("branch", 0);
+    tuning.nodes = params.get_i64("nodes", 0);
+    datasets::check_param_range(name, "levels", tuning.levels, 1, kMaxTreeLevels);
+    datasets::check_param_range(name, "branch", tuning.branch, 1, 16);
+    datasets::check_param_range(name, "nodes", tuning.nodes, 1, kMaxNetNodes);
+    // Joint explosion cap: levels and branch multiply (sum of branch^k
+    // tasks), so bound the worst-case task count with any unfixed knob at
+    // its maximum paper draw. Doubles avoid overflow (16^23 >> 2^63).
+    const double branch_max = tuning.branch > 0 ? static_cast<double>(tuning.branch) : 3.0;
+    const auto levels_max = tuning.levels > 0 ? tuning.levels : 4;
+    double total = 0.0;
+    double width = 1.0;
+    for (std::int64_t level = 0; level < levels_max; ++level) {
+      total += width;
+      width *= branch_max;
+    }
+    if (total > static_cast<double>(kMaxWidth)) {
+      throw std::invalid_argument(std::string("dataset '") + name +
+                                  "': levels/branch would generate ~" +
+                                  std::to_string(static_cast<long long>(total)) +
+                                  " tasks, beyond the cap of " + std::to_string(kMaxWidth));
+    }
+    return std::make_unique<datasets::GeneratorSource>(
+        name, kRandomPaperCount, master_seed,
+        [instance, tuning](std::uint64_t seed) { return instance(seed, tuning); });
+  };
+  registry.add(std::move(desc));
+}
+
+}  // namespace
+
+void register_random_graph_datasets(datasets::DatasetRegistry& registry) {
+  register_tree_dataset(registry, "in_trees",
+                        "random in-trees: leaves feed a single root, clipped-Gaussian weights, "
+                        "complete 3-5 node network",
+                        in_trees_instance);
+  register_tree_dataset(registry, "out_trees",
+                        "random out-trees: a single root feeds the leaves, clipped-Gaussian "
+                        "weights, complete 3-5 node network",
+                        out_trees_instance);
+
+  datasets::DatasetDesc chains;
+  chains.name = "chains";
+  chains.summary =
+      "independent parallel chains, clipped-Gaussian weights, complete 3-5 node network";
+  chains.tags = {"table2", "random"};
+  chains.paper_count = kRandomPaperCount;
+  chains.params = {
+      {"chains", "chain count: integer in [1, 100000] (default: uniform 2-5); total tasks "
+                 "capped at 100000"},
+      {"length", "tasks per chain: integer in [1, 100000] (default: uniform 2-5)"},
+      {"nodes", "network nodes: integer in [1, 10000] (default: uniform 3-5)"},
+  };
+  chains.factory = [](const datasets::DatasetParams& params,
+                      std::uint64_t master_seed) -> datasets::InstanceSourcePtr {
+    ChainsTuning tuning;
+    tuning.chains = params.get_i64("chains", 0);
+    tuning.length = params.get_i64("length", 0);
+    tuning.nodes = params.get_i64("nodes", 0);
+    datasets::check_param_range("chains", "chains", tuning.chains, 1, kMaxWidth);
+    datasets::check_param_range("chains", "length", tuning.length, 1, kMaxWidth);
+    datasets::check_param_range("chains", "nodes", tuning.nodes, 1, kMaxNetNodes);
+    // Joint cap: chains x length tasks, unfixed knobs at their max draw (5).
+    const double total = static_cast<double>(tuning.chains > 0 ? tuning.chains : 5) *
+                         static_cast<double>(tuning.length > 0 ? tuning.length : 5);
+    if (total > static_cast<double>(kMaxWidth)) {
+      throw std::invalid_argument("dataset 'chains': chains x length would generate ~" +
+                                  std::to_string(static_cast<long long>(total)) +
+                                  " tasks, beyond the cap of " + std::to_string(kMaxWidth));
+    }
+    return std::make_unique<datasets::GeneratorSource>(
+        "chains", kRandomPaperCount, master_seed,
+        [tuning](std::uint64_t seed) { return chains_instance(seed, tuning); });
+  };
+  registry.add(std::move(chains));
 }
 
 }  // namespace saga

@@ -17,22 +17,50 @@
 
 namespace saga {
 
-/// A complete network with 3-5 nodes and clipped-Gaussian weights.
-[[nodiscard]] Network random_network(std::uint64_t seed);
+namespace datasets {
+class DatasetRegistry;
+}  // namespace datasets
+
+/// Spec-string knobs for the tree datasets. Zero values mean "the paper's
+/// uniform draw", so a default-constructed tuning reproduces the
+/// paper-default instances bit for bit.
+struct TreeTuning {
+  std::int64_t levels = 0;  // 0: uniform 2-4
+  std::int64_t branch = 0;  // 0: uniform 2 or 3
+  std::int64_t nodes = 0;   // network nodes; 0: uniform 3-5
+};
+
+/// Spec-string knobs for the parallel-chains dataset.
+struct ChainsTuning {
+  std::int64_t chains = 0;  // 0: uniform 2-5
+  std::int64_t length = 0;  // 0: uniform 2-5
+  std::int64_t nodes = 0;   // network nodes; 0: uniform 3-5
+};
+
+/// A complete network with clipped-Gaussian weights; `nodes` fixes the node
+/// count (0: the paper's uniform 3-5 draw).
+[[nodiscard]] Network random_network(std::uint64_t seed, std::int64_t nodes = 0);
 
 /// In-tree: every task has exactly one successor; data flows from the
 /// leaves (sources) toward the single root (sink).
-[[nodiscard]] TaskGraph random_in_tree(std::uint64_t seed);
+[[nodiscard]] TaskGraph random_in_tree(std::uint64_t seed, const TreeTuning& tuning = {});
 
 /// Out-tree: mirror image of the in-tree (root is the single source).
-[[nodiscard]] TaskGraph random_out_tree(std::uint64_t seed);
+[[nodiscard]] TaskGraph random_out_tree(std::uint64_t seed, const TreeTuning& tuning = {});
 
-/// 2-5 independent chains of 2-5 tasks each.
-[[nodiscard]] TaskGraph random_parallel_chains(std::uint64_t seed);
+/// 2-5 independent chains of 2-5 tasks each (unless tuned).
+[[nodiscard]] TaskGraph random_parallel_chains(std::uint64_t seed,
+                                               const ChainsTuning& tuning = {});
 
 /// Full instances (graph + independent random network).
 [[nodiscard]] ProblemInstance in_trees_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance in_trees_instance(std::uint64_t seed, const TreeTuning& tuning);
 [[nodiscard]] ProblemInstance out_trees_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance out_trees_instance(std::uint64_t seed, const TreeTuning& tuning);
 [[nodiscard]] ProblemInstance chains_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance chains_instance(std::uint64_t seed, const ChainsTuning& tuning);
+
+/// Registers in_trees, out_trees, and chains (Table II order).
+void register_random_graph_datasets(datasets::DatasetRegistry& registry);
 
 }  // namespace saga

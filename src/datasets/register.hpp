@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file register.hpp (datasets)
+/// Registration hooks for the built-in datasets. Each function lives in its
+/// family's own .cpp (next to the generator it describes) and adds that
+/// family's DatasetDesc(s) to the registry; register.cpp invokes them all,
+/// in the paper's Table II order followed by the extension order. Direct
+/// calls (rather than static-initializer tricks) keep registration
+/// deterministic and immune to static-library dead-stripping — the same
+/// scheme as schedulers/register.hpp.
+
+namespace saga::datasets {
+
+class DatasetRegistry;
+
+}  // namespace saga::datasets
+
+// The per-family hooks are declared next to their generators:
+//   register_random_graph_datasets   datasets/random_graphs.hpp
+//   register_<workflow>_dataset      datasets/workflows/<workflow>.hpp (x9)
+//   register_riotbench_datasets      datasets/iot/riotbench.hpp
+//   register_erdos_dataset           datasets/erdos.hpp
+//   register_wrapper_datasets        datasets/wrappers.hpp

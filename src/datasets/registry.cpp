@@ -1,98 +1,126 @@
 #include "datasets/registry.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
-#include "common/rng.hpp"
-#include "datasets/iot/riotbench.hpp"
-#include "datasets/random_graphs.hpp"
-#include "datasets/workflows/blast.hpp"
-#include "datasets/workflows/bwa.hpp"
-#include "datasets/workflows/cycles.hpp"
-#include "datasets/workflows/epigenomics.hpp"
-#include "datasets/workflows/genome.hpp"
-#include "datasets/workflows/montage.hpp"
-#include "datasets/workflows/seismology.hpp"
-#include "datasets/workflows/soykb.hpp"
-#include "datasets/workflows/srasearch.hpp"
+#include "common/nearest.hpp"
 
 namespace saga::datasets {
 
+bool DatasetDesc::has_tag(std::string_view tag) const {
+  for (const auto& t : tags) {
+    if (t == tag) return true;
+  }
+  return false;
+}
+
+const ParamDesc* DatasetDesc::find_param(std::string_view key) const {
+  for (const auto& param : params) {
+    if (param.key == key) return &param;
+  }
+  return nullptr;
+}
+
+DatasetRegistry& DatasetRegistry::instance() {
+  static DatasetRegistry& registry = *[] {
+    auto* r = new DatasetRegistry;  // never destroyed: sources may be
+                                    // constructed from static destructors
+    register_builtin_datasets(*r);
+    return r;
+  }();
+  return registry;
+}
+
 namespace {
 
-using Generator = saga::ProblemInstance (*)(std::uint64_t seed);
+/// Wraps a factory-built source so name() reports the spec string the
+/// consumer actually wrote (InstanceSource's documented contract for
+/// parameterized sources).
+class RenamedSource final : public InstanceSource {
+ public:
+  RenamedSource(InstanceSourcePtr inner, std::string name)
+      : inner_(std::move(inner)), name_(std::move(name)) {}
 
-struct Entry {
-  const char* name;
-  Generator generator;
-  std::size_t paper_count;
-};
-
-constexpr std::size_t kRandomCount = 1000;
-constexpr std::size_t kWorkflowCount = 100;
-constexpr std::size_t kIotCount = 1000;
-
-const Entry kEntries[] = {
-    {"in_trees", saga::in_trees_instance, kRandomCount},
-    {"out_trees", saga::out_trees_instance, kRandomCount},
-    {"chains", saga::chains_instance, kRandomCount},
-    {"blast", saga::workflows::blast_instance, kWorkflowCount},
-    {"bwa", saga::workflows::bwa_instance, kWorkflowCount},
-    {"cycles", saga::workflows::cycles_instance, kWorkflowCount},
-    {"epigenomics", saga::workflows::epigenomics_instance, kWorkflowCount},
-    {"genome", saga::workflows::genome_instance, kWorkflowCount},
-    {"montage", saga::workflows::montage_instance, kWorkflowCount},
-    {"seismology", saga::workflows::seismology_instance, kWorkflowCount},
-    {"soykb", saga::workflows::soykb_instance, kWorkflowCount},
-    {"srasearch", saga::workflows::srasearch_instance, kWorkflowCount},
-    {"etl", saga::iot::etl_instance, kIotCount},
-    {"predict", saga::iot::predict_instance, kIotCount},
-    {"stats", saga::iot::stats_instance, kIotCount},
-    {"train", saga::iot::train_instance, kIotCount},
-};
-
-const Entry& find_entry(const std::string& dataset) {
-  for (const auto& entry : kEntries) {
-    if (dataset == entry.name) return entry;
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return inner_->size(); }
+  [[nodiscard]] ProblemInstance generate(std::size_t index) const override {
+    return inner_->generate(index);
   }
-  throw std::invalid_argument("unknown dataset: " + dataset);
-}
+
+ private:
+  InstanceSourcePtr inner_;
+  std::string name_;
+};
 
 }  // namespace
 
+InstanceSourcePtr DatasetRegistry::make(const Spec& spec, std::uint64_t master_seed) const {
+  const DatasetDesc& desc = resolve(spec.name);
+  std::vector<std::string> valid_keys;
+  valid_keys.reserve(desc.params.size() + 1);
+  for (const auto& param : desc.params) valid_keys.push_back(param.key);
+  valid_keys.emplace_back("seed");
+  for (const auto& [key, value] : spec.params) {
+    if (key == "seed" || desc.find_param(key) != nullptr) continue;
+    std::string message = "dataset '" + desc.name + "' has no parameter '" + key + "'" +
+                          did_you_mean(key, valid_keys);
+    message += desc.params.empty() ? "; it only accepts 'seed'"
+                                   : "; valid parameters: " + join(valid_keys, ", ");
+    throw std::invalid_argument(message);
+  }
+  const DatasetParams params(desc.name, &spec.params);
+  InstanceSourcePtr source = desc.factory(params, params.get_u64("seed", master_seed));
+  if (spec.params.empty()) return source;
+  return std::make_unique<RenamedSource>(std::move(source), spec.to_string());
+}
+
+InstanceSourcePtr DatasetRegistry::make(std::string_view spec_string,
+                                        std::uint64_t master_seed) const {
+  return make(parse_spec(spec_string, "dataset"), master_seed);
+}
+
+void check_param_range(const std::string& dataset, const char* key, std::int64_t value,
+                       std::int64_t lo, std::int64_t hi, bool zero_is_default) {
+  if (zero_is_default && value == 0) return;
+  if (value >= lo && value <= hi) return;
+  throw std::invalid_argument("dataset '" + dataset + "' parameter '" + key +
+                              "' must lie in [" + std::to_string(lo) + ", " +
+                              std::to_string(hi) + "]" +
+                              (zero_is_default ? " (or 0 for the paper draw)" : ""));
+}
+
+/// ---- Compatibility shims ------------------------------------------------
+
 saga::ProblemInstance generate_instance(const std::string& dataset, std::uint64_t master_seed,
                                         std::size_t index) {
-  const auto& entry = find_entry(dataset);
-  // Mix the dataset name into the stream so same-index instances of
-  // different datasets are unrelated.
-  std::uint64_t name_hash = 0xcbf29ce484222325ULL;
-  for (char c : dataset) name_hash = (name_hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
-  return entry.generator(saga::derive_seed(master_seed, {name_hash, index}));
+  return DatasetRegistry::instance().make(dataset, master_seed)->generate(index);
 }
 
 const std::vector<saga::DatasetSpec>& all_dataset_specs() {
   static const std::vector<saga::DatasetSpec> specs = [] {
     std::vector<saga::DatasetSpec> out;
-    for (const auto& entry : kEntries) out.push_back({entry.name, entry.paper_count});
+    for (const auto& desc : DatasetRegistry::instance().descriptors()) {
+      if (desc.has_tag("table2")) out.push_back({desc.name, desc.paper_count});
+    }
     return out;
   }();
   return specs;
 }
 
 const std::vector<std::string>& workflow_dataset_names() {
-  static const std::vector<std::string> names = {
-      "blast",   "bwa",        "cycles", "epigenomics", "genome",
-      "montage", "seismology", "soykb",  "srasearch"};
+  static const std::vector<std::string> names =
+      DatasetRegistry::instance().names("workflow");
   return names;
 }
 
 saga::Dataset generate_dataset(const std::string& dataset, std::uint64_t master_seed,
                                std::size_t count) {
+  const auto source = DatasetRegistry::instance().make(dataset, master_seed);
   saga::Dataset out;
   out.name = dataset;
   out.instances.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    out.instances.push_back(generate_instance(dataset, master_seed, i));
-  }
+  for (std::size_t i = 0; i < count; ++i) out.instances.push_back(source->generate(i));
   return out;
 }
 

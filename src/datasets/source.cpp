@@ -1,0 +1,28 @@
+#include "datasets/source.hpp"
+
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace saga::datasets {
+
+std::uint64_t dataset_name_hash(std::string_view name) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : name) hash = (hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  return hash;
+}
+
+GeneratorSource::GeneratorSource(std::string stream, std::size_t size,
+                                 std::uint64_t master_seed, Generator generator,
+                                 std::string display)
+    : display_(display.empty() ? stream : std::move(display)),
+      stream_hash_(dataset_name_hash(stream)),
+      size_(size),
+      master_seed_(master_seed),
+      generator_(std::move(generator)) {}
+
+ProblemInstance GeneratorSource::generate(std::size_t index) const {
+  return generator_(derive_seed(master_seed_, {stream_hash_, index}));
+}
+
+}  // namespace saga::datasets

@@ -18,9 +18,9 @@ const TraceStats& blast_stats() {
   return stats;
 }
 
-TaskGraph make_blast_graph(Rng& rng) {
+TaskGraph make_blast_graph(Rng& rng, std::int64_t n_override) {
   const auto& stats = blast_stats();
-  const auto n = rng.uniform_int(8, 24);  // number of blastall shards
+  const auto n = n_override > 0 ? n_override : rng.uniform_int(8, 24);  // number of blastall shards
 
   TaskGraph g;
   const TaskId split = g.add_task("split_fasta", sample_runtime(rng, 30.0, stats));
@@ -40,12 +40,27 @@ TaskGraph make_blast_graph(Rng& rng) {
   return g;
 }
 
-ProblemInstance blast_instance(std::uint64_t seed) {
+ProblemInstance blast_instance(std::uint64_t seed, const WorkflowTuning& tuning) {
   Rng rng(seed);
   ProblemInstance inst;
-  inst.graph = make_blast_graph(rng);
-  inst.network = datasets::chameleon_network(derive_seed(seed, {0xb1a57ULL}));
+  inst.graph = make_blast_graph(rng, tuning.n);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0xb1a57ULL}),
+                                             tuning.min_nodes, tuning.max_nodes);
+  if (tuning.ccr > 0.0) set_homogeneous_ccr(inst, tuning.ccr);
   return inst;
+}
+
+ProblemInstance blast_instance(std::uint64_t seed) { return blast_instance(seed, {}); }
+
+void register_blast_dataset(saga::datasets::DatasetRegistry& registry) {
+  register_workflow_family(
+      registry,
+      {.name = "blast",
+       .summary = "BLAST sequence-similarity search: split_fasta fan-out to heavy blastall shards, dual merge tail",
+       .n_help = "blastall shards: integer in [1, 100000] (default: uniform 8-24)",
+       .instance = [](std::uint64_t seed, const WorkflowTuning& tuning) {
+         return blast_instance(seed, tuning);
+       }});
 }
 
 }  // namespace saga::workflows

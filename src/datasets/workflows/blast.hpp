@@ -17,8 +17,11 @@
 ///                        receiving output from every blastall task)
 namespace saga::workflows {
 
-[[nodiscard]] TaskGraph make_blast_graph(Rng& rng);
+/// `n` overrides the primary width (n; 0: the paper's draw).
+[[nodiscard]] TaskGraph make_blast_graph(Rng& rng, std::int64_t n = 0);
 [[nodiscard]] ProblemInstance blast_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance blast_instance(std::uint64_t seed, const WorkflowTuning& tuning);
 [[nodiscard]] const TraceStats& blast_stats();
+void register_blast_dataset(saga::datasets::DatasetRegistry& registry);
 
 }  // namespace saga::workflows

@@ -16,9 +16,9 @@ const TraceStats& bwa_stats() {
   return stats;
 }
 
-TaskGraph make_bwa_graph(Rng& rng) {
+TaskGraph make_bwa_graph(Rng& rng, std::int64_t n_override) {
   const auto& stats = bwa_stats();
-  const auto n = rng.uniform_int(6, 20);
+  const auto n = n_override > 0 ? n_override : rng.uniform_int(6, 20);
 
   TaskGraph g;
   const TaskId index = g.add_task("bwa_index", sample_runtime(rng, 200.0, stats));
@@ -34,12 +34,27 @@ TaskGraph make_bwa_graph(Rng& rng) {
   return g;
 }
 
-ProblemInstance bwa_instance(std::uint64_t seed) {
+ProblemInstance bwa_instance(std::uint64_t seed, const WorkflowTuning& tuning) {
   Rng rng(seed);
   ProblemInstance inst;
-  inst.graph = make_bwa_graph(rng);
-  inst.network = datasets::chameleon_network(derive_seed(seed, {0xb3aULL}));
+  inst.graph = make_bwa_graph(rng, tuning.n);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0xb3aULL}),
+                                             tuning.min_nodes, tuning.max_nodes);
+  if (tuning.ccr > 0.0) set_homogeneous_ccr(inst, tuning.ccr);
   return inst;
+}
+
+ProblemInstance bwa_instance(std::uint64_t seed) { return bwa_instance(seed, {}); }
+
+void register_bwa_dataset(saga::datasets::DatasetRegistry& registry) {
+  register_workflow_family(
+      registry,
+      {.name = "bwa",
+       .summary = "BWA Burrows-Wheeler alignment: index + reduce feeding parallel alignment shards, single merge",
+       .n_help = "alignment shards: integer in [1, 100000] (default: uniform 6-20)",
+       .instance = [](std::uint64_t seed, const WorkflowTuning& tuning) {
+         return bwa_instance(seed, tuning);
+       }});
 }
 
 }  // namespace saga::workflows

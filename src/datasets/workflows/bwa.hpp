@@ -16,8 +16,11 @@
 ///   fastq_reduce┘
 namespace saga::workflows {
 
-[[nodiscard]] TaskGraph make_bwa_graph(Rng& rng);
+/// `n` overrides the primary width (n; 0: the paper's draw).
+[[nodiscard]] TaskGraph make_bwa_graph(Rng& rng, std::int64_t n = 0);
 [[nodiscard]] ProblemInstance bwa_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance bwa_instance(std::uint64_t seed, const WorkflowTuning& tuning);
 [[nodiscard]] const TraceStats& bwa_stats();
+void register_bwa_dataset(saga::datasets::DatasetRegistry& registry);
 
 }  // namespace saga::workflows

@@ -16,9 +16,9 @@ const TraceStats& cycles_stats() {
   return stats;
 }
 
-TaskGraph make_cycles_graph(Rng& rng) {
+TaskGraph make_cycles_graph(Rng& rng, std::int64_t n) {
   const auto& stats = cycles_stats();
-  const auto pipelines = rng.uniform_int(4, 12);
+  const auto pipelines = n > 0 ? n : rng.uniform_int(4, 12);
 
   TaskGraph g;
   const TaskId summary = g.add_task("cycles_summary", sample_runtime(rng, 10.0, stats));
@@ -38,12 +38,27 @@ TaskGraph make_cycles_graph(Rng& rng) {
   return g;
 }
 
-ProblemInstance cycles_instance(std::uint64_t seed) {
+ProblemInstance cycles_instance(std::uint64_t seed, const WorkflowTuning& tuning) {
   Rng rng(seed);
   ProblemInstance inst;
-  inst.graph = make_cycles_graph(rng);
-  inst.network = datasets::chameleon_network(derive_seed(seed, {0xc7c1e5ULL}));
+  inst.graph = make_cycles_graph(rng, tuning.n);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0xc7c1e5ULL}),
+                                             tuning.min_nodes, tuning.max_nodes);
+  if (tuning.ccr > 0.0) set_homogeneous_ccr(inst, tuning.ccr);
   return inst;
+}
+
+ProblemInstance cycles_instance(std::uint64_t seed) { return cycles_instance(seed, {}); }
+
+void register_cycles_dataset(saga::datasets::DatasetRegistry& registry) {
+  register_workflow_family(
+      registry,
+      {.name = "cycles",
+       .summary = "Cycles agroecosystem parameter sweep: independent 4-task pipelines joined by a summary task",
+       .n_help = "simulation pipelines: integer in [1, 100000] (default: uniform 4-12)",
+       .instance = [](std::uint64_t seed, const WorkflowTuning& tuning) {
+         return cycles_instance(seed, tuning);
+       }});
 }
 
 }  // namespace saga::workflows

@@ -15,8 +15,11 @@
 ///   (baseline -> cycles -> fert_out -> plot) × p  ──>  summary
 namespace saga::workflows {
 
-[[nodiscard]] TaskGraph make_cycles_graph(Rng& rng);
+/// `n` overrides the primary width (pipelines; 0: the paper's draw).
+[[nodiscard]] TaskGraph make_cycles_graph(Rng& rng, std::int64_t n = 0);
 [[nodiscard]] ProblemInstance cycles_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance cycles_instance(std::uint64_t seed, const WorkflowTuning& tuning);
 [[nodiscard]] const TraceStats& cycles_stats();
+void register_cycles_dataset(saga::datasets::DatasetRegistry& registry);
 
 }  // namespace saga::workflows

@@ -16,9 +16,9 @@ const TraceStats& epigenomics_stats() {
   return stats;
 }
 
-TaskGraph make_epigenomics_graph(Rng& rng) {
+TaskGraph make_epigenomics_graph(Rng& rng, std::int64_t n) {
   const auto& stats = epigenomics_stats();
-  const auto lanes = rng.uniform_int(4, 10);
+  const auto lanes = n > 0 ? n : rng.uniform_int(4, 10);
 
   TaskGraph g;
   const TaskId split = g.add_task("fastqSplit", sample_runtime(rng, 30.0, stats));
@@ -42,12 +42,27 @@ TaskGraph make_epigenomics_graph(Rng& rng) {
   return g;
 }
 
-ProblemInstance epigenomics_instance(std::uint64_t seed) {
+ProblemInstance epigenomics_instance(std::uint64_t seed, const WorkflowTuning& tuning) {
   Rng rng(seed);
   ProblemInstance inst;
-  inst.graph = make_epigenomics_graph(rng);
-  inst.network = datasets::chameleon_network(derive_seed(seed, {0xe9165ULL}));
+  inst.graph = make_epigenomics_graph(rng, tuning.n);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0xe9165ULL}),
+                                             tuning.min_nodes, tuning.max_nodes);
+  if (tuning.ccr > 0.0) set_homogeneous_ccr(inst, tuning.ccr);
   return inst;
+}
+
+ProblemInstance epigenomics_instance(std::uint64_t seed) { return epigenomics_instance(seed, {}); }
+
+void register_epigenomics_dataset(saga::datasets::DatasetRegistry& registry) {
+  register_workflow_family(
+      registry,
+      {.name = "epigenomics",
+       .summary = "Epigenomics DNA methylation: fastqSplit fan-out to 4-task lanes, mapMerge/maqIndex/pileup tail",
+       .n_help = "read-processing lanes: integer in [1, 100000] (default: uniform 4-10)",
+       .instance = [](std::uint64_t seed, const WorkflowTuning& tuning) {
+         return epigenomics_instance(seed, tuning);
+       }});
 }
 
 }  // namespace saga::workflows

@@ -15,8 +15,11 @@
 ///              -> mapMerge -> maqIndex -> pileup
 namespace saga::workflows {
 
-[[nodiscard]] TaskGraph make_epigenomics_graph(Rng& rng);
+/// `n` overrides the primary width (lanes; 0: the paper's draw).
+[[nodiscard]] TaskGraph make_epigenomics_graph(Rng& rng, std::int64_t n = 0);
 [[nodiscard]] ProblemInstance epigenomics_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance epigenomics_instance(std::uint64_t seed, const WorkflowTuning& tuning);
 [[nodiscard]] const TraceStats& epigenomics_stats();
+void register_epigenomics_dataset(saga::datasets::DatasetRegistry& registry);
 
 }  // namespace saga::workflows

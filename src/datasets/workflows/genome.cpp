@@ -16,10 +16,10 @@ const TraceStats& genome_stats() {
   return stats;
 }
 
-TaskGraph make_genome_graph(Rng& rng) {
+TaskGraph make_genome_graph(Rng& rng, std::int64_t n, std::int64_t m) {
   const auto& stats = genome_stats();
-  const auto extractors = rng.uniform_int(5, 15);
-  const auto analyses = rng.uniform_int(3, 8);
+  const auto extractors = n > 0 ? n : rng.uniform_int(5, 15);
+  const auto analyses = m > 0 ? m : rng.uniform_int(3, 8);
 
   TaskGraph g;
   const TaskId merge = g.add_task("individuals_merge", sample_runtime(rng, 100.0, stats));
@@ -42,12 +42,29 @@ TaskGraph make_genome_graph(Rng& rng) {
   return g;
 }
 
-ProblemInstance genome_instance(std::uint64_t seed) {
+ProblemInstance genome_instance(std::uint64_t seed, const WorkflowTuning& tuning) {
   Rng rng(seed);
   ProblemInstance inst;
-  inst.graph = make_genome_graph(rng);
-  inst.network = datasets::chameleon_network(derive_seed(seed, {0x6e40eULL}));
+  inst.graph = make_genome_graph(rng, tuning.n, tuning.analyses);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0x6e40eULL}),
+                                             tuning.min_nodes, tuning.max_nodes);
+  if (tuning.ccr > 0.0) set_homogeneous_ccr(inst, tuning.ccr);
   return inst;
+}
+
+ProblemInstance genome_instance(std::uint64_t seed) { return genome_instance(seed, {}); }
+
+void register_genome_dataset(saga::datasets::DatasetRegistry& registry) {
+  register_workflow_family(
+      registry,
+      {.name = "genome",
+       .summary = "1000Genome reconstruction: parallel individuals extraction, merge + sifting "
+                  "feeding analysis pairs",
+       .n_help = "individuals extraction tasks: integer in [1, 100000] (default: uniform 5-15)",
+       .analyses_param = true,
+       .instance = [](std::uint64_t seed, const WorkflowTuning& tuning) {
+         return genome_instance(seed, tuning);
+       }});
 }
 
 }  // namespace saga::workflows

@@ -17,8 +17,12 @@
 ///   sifting ────────────────────────────--┘
 namespace saga::workflows {
 
-[[nodiscard]] TaskGraph make_genome_graph(Rng& rng);
+/// `n` overrides the extractor count, `m` the analysis-pair count (0: the
+/// paper's uniform draws).
+[[nodiscard]] TaskGraph make_genome_graph(Rng& rng, std::int64_t n = 0, std::int64_t m = 0);
 [[nodiscard]] ProblemInstance genome_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance genome_instance(std::uint64_t seed, const WorkflowTuning& tuning);
 [[nodiscard]] const TraceStats& genome_stats();
+void register_genome_dataset(saga::datasets::DatasetRegistry& registry);
 
 }  // namespace saga::workflows

@@ -16,9 +16,9 @@ const TraceStats& montage_stats() {
   return stats;
 }
 
-TaskGraph make_montage_graph(Rng& rng) {
+TaskGraph make_montage_graph(Rng& rng, std::int64_t n) {
   const auto& stats = montage_stats();
-  const auto images = rng.uniform_int(6, 16);
+  const auto images = n > 0 ? n : rng.uniform_int(6, 16);
 
   TaskGraph g;
   std::vector<TaskId> projects;
@@ -55,12 +55,28 @@ TaskGraph make_montage_graph(Rng& rng) {
   return g;
 }
 
-ProblemInstance montage_instance(std::uint64_t seed) {
+ProblemInstance montage_instance(std::uint64_t seed, const WorkflowTuning& tuning) {
   Rng rng(seed);
   ProblemInstance inst;
-  inst.graph = make_montage_graph(rng);
-  inst.network = datasets::chameleon_network(derive_seed(seed, {0x303aULL}));
+  inst.graph = make_montage_graph(rng, tuning.n);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0x303aULL}), tuning.min_nodes,
+                                             tuning.max_nodes);
+  if (tuning.ccr > 0.0) set_homogeneous_ccr(inst, tuning.ccr);
   return inst;
+}
+
+ProblemInstance montage_instance(std::uint64_t seed) { return montage_instance(seed, {}); }
+
+void register_montage_dataset(saga::datasets::DatasetRegistry& registry) {
+  register_workflow_family(
+      registry,
+      {.name = "montage",
+       .summary = "Montage astronomical image mosaic: layered "
+                  "mProject/mDiffFit/mBackground structure on a Chameleon network",
+       .n_help = "input images: integer in [1, 100000] (default: uniform 6-16)",
+       .instance = [](std::uint64_t seed, const WorkflowTuning& tuning) {
+         return montage_instance(seed, tuning);
+       }});
 }
 
 }  // namespace saga::workflows

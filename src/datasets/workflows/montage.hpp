@@ -16,8 +16,11 @@
 ///   mImgtbl -> mAdd -> mShrink -> mJPEG (assemble final mosaic)
 namespace saga::workflows {
 
-[[nodiscard]] TaskGraph make_montage_graph(Rng& rng);
+/// `n` overrides the input-image count (0: the paper's uniform 6-16 draw).
+[[nodiscard]] TaskGraph make_montage_graph(Rng& rng, std::int64_t n = 0);
 [[nodiscard]] ProblemInstance montage_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance montage_instance(std::uint64_t seed, const WorkflowTuning& tuning);
 [[nodiscard]] const TraceStats& montage_stats();
+void register_montage_dataset(saga::datasets::DatasetRegistry& registry);
 
 }  // namespace saga::workflows

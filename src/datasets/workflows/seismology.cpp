@@ -16,9 +16,9 @@ const TraceStats& seismology_stats() {
   return stats;
 }
 
-TaskGraph make_seismology_graph(Rng& rng) {
+TaskGraph make_seismology_graph(Rng& rng, std::int64_t n) {
   const auto& stats = seismology_stats();
-  const auto stations = rng.uniform_int(8, 30);
+  const auto stations = n > 0 ? n : rng.uniform_int(8, 30);
 
   TaskGraph g;
   const TaskId sift = g.add_task("wrapper_siftSTFByMisfit", sample_runtime(rng, 30.0, stats));
@@ -30,12 +30,27 @@ TaskGraph make_seismology_graph(Rng& rng) {
   return g;
 }
 
-ProblemInstance seismology_instance(std::uint64_t seed) {
+ProblemInstance seismology_instance(std::uint64_t seed, const WorkflowTuning& tuning) {
   Rng rng(seed);
   ProblemInstance inst;
-  inst.graph = make_seismology_graph(rng);
-  inst.network = datasets::chameleon_network(derive_seed(seed, {0x5e15ULL}));
+  inst.graph = make_seismology_graph(rng, tuning.n);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0x5e15ULL}),
+                                             tuning.min_nodes, tuning.max_nodes);
+  if (tuning.ccr > 0.0) set_homogeneous_ccr(inst, tuning.ccr);
   return inst;
+}
+
+ProblemInstance seismology_instance(std::uint64_t seed) { return seismology_instance(seed, {}); }
+
+void register_seismology_dataset(saga::datasets::DatasetRegistry& registry) {
+  register_workflow_family(
+      registry,
+      {.name = "seismology",
+       .summary = "Seismology cross-correlation: parallel sG1IterDecon stations joined by one sifting task",
+       .n_help = "seismic stations: integer in [1, 100000] (default: uniform 8-30)",
+       .instance = [](std::uint64_t seed, const WorkflowTuning& tuning) {
+         return seismology_instance(seed, tuning);
+       }});
 }
 
 }  // namespace saga::workflows

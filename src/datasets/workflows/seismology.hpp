@@ -14,8 +14,11 @@
 ///   sG1IterDecon × n ──> wrapper_siftSTFByMisfit
 namespace saga::workflows {
 
-[[nodiscard]] TaskGraph make_seismology_graph(Rng& rng);
+/// `n` overrides the primary width (stations; 0: the paper's draw).
+[[nodiscard]] TaskGraph make_seismology_graph(Rng& rng, std::int64_t n = 0);
 [[nodiscard]] ProblemInstance seismology_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance seismology_instance(std::uint64_t seed, const WorkflowTuning& tuning);
 [[nodiscard]] const TraceStats& seismology_stats();
+void register_seismology_dataset(saga::datasets::DatasetRegistry& registry);
 
 }  // namespace saga::workflows

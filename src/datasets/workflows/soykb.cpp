@@ -18,9 +18,9 @@ const TraceStats& soykb_stats() {
   return stats;
 }
 
-TaskGraph make_soykb_graph(Rng& rng) {
+TaskGraph make_soykb_graph(Rng& rng, std::int64_t n) {
   const auto& stats = soykb_stats();
-  const auto samples = rng.uniform_int(3, 8);
+  const auto samples = n > 0 ? n : rng.uniform_int(3, 8);
 
   // (stage name, mean runtime, mean output size) for each per-sample stage.
   static constexpr std::array<std::tuple<const char*, double, double>, 7> kStages = {{
@@ -55,12 +55,27 @@ TaskGraph make_soykb_graph(Rng& rng) {
   return g;
 }
 
-ProblemInstance soykb_instance(std::uint64_t seed) {
+ProblemInstance soykb_instance(std::uint64_t seed, const WorkflowTuning& tuning) {
   Rng rng(seed);
   ProblemInstance inst;
-  inst.graph = make_soykb_graph(rng);
-  inst.network = datasets::chameleon_network(derive_seed(seed, {0x50b6ULL}));
+  inst.graph = make_soykb_graph(rng, tuning.n);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0x50b6ULL}),
+                                             tuning.min_nodes, tuning.max_nodes);
+  if (tuning.ccr > 0.0) set_homogeneous_ccr(inst, tuning.ccr);
   return inst;
+}
+
+ProblemInstance soykb_instance(std::uint64_t seed) { return soykb_instance(seed, {}); }
+
+void register_soykb_dataset(saga::datasets::DatasetRegistry& registry) {
+  register_workflow_family(
+      registry,
+      {.name = "soykb",
+       .summary = "SoyKB variant calling: per-sample 7-task GATK chains, combine/genotype/filtering tail",
+       .n_help = "samples: integer in [1, 100000] (default: uniform 3-8)",
+       .instance = [](std::uint64_t seed, const WorkflowTuning& tuning) {
+         return soykb_instance(seed, tuning);
+       }});
 }
 
 }  // namespace saga::workflows

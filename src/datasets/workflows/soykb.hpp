@@ -16,8 +16,11 @@
 ///      -> combine_variants -> genotype_gvcfs -> filtering
 namespace saga::workflows {
 
-[[nodiscard]] TaskGraph make_soykb_graph(Rng& rng);
+/// `n` overrides the primary width (samples; 0: the paper's draw).
+[[nodiscard]] TaskGraph make_soykb_graph(Rng& rng, std::int64_t n = 0);
 [[nodiscard]] ProblemInstance soykb_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance soykb_instance(std::uint64_t seed, const WorkflowTuning& tuning);
 [[nodiscard]] const TraceStats& soykb_stats();
+void register_soykb_dataset(saga::datasets::DatasetRegistry& registry);
 
 }  // namespace saga::workflows

@@ -16,9 +16,9 @@ const TraceStats& srasearch_stats() {
   return stats;
 }
 
-TaskGraph make_srasearch_graph(Rng& rng) {
+TaskGraph make_srasearch_graph(Rng& rng, std::int64_t n_override) {
   const auto& stats = srasearch_stats();
-  const auto n = rng.uniform_int(4, 12);  // accessions processed in parallel
+  const auto n = n_override > 0 ? n_override : rng.uniform_int(4, 12);  // accessions processed in parallel
 
   TaskGraph g;
   const TaskId bootstrap = g.add_task("bootstrap", sample_runtime(rng, 5.0, stats));
@@ -53,12 +53,27 @@ TaskGraph make_srasearch_graph(Rng& rng) {
   return g;
 }
 
-ProblemInstance srasearch_instance(std::uint64_t seed) {
+ProblemInstance srasearch_instance(std::uint64_t seed, const WorkflowTuning& tuning) {
   Rng rng(seed);
   ProblemInstance inst;
-  inst.graph = make_srasearch_graph(rng);
-  inst.network = datasets::chameleon_network(derive_seed(seed, {0x5a5eaULL}));
+  inst.graph = make_srasearch_graph(rng, tuning.n);
+  inst.network = datasets::chameleon_network(derive_seed(seed, {0x5a5eaULL}),
+                                             tuning.min_nodes, tuning.max_nodes);
+  if (tuning.ccr > 0.0) set_homogeneous_ccr(inst, tuning.ccr);
   return inst;
+}
+
+ProblemInstance srasearch_instance(std::uint64_t seed) { return srasearch_instance(seed, {}); }
+
+void register_srasearch_dataset(saga::datasets::DatasetRegistry& registry) {
+  register_workflow_family(
+      registry,
+      {.name = "srasearch",
+       .summary = "SRASearch archive search: bootstrap fan-out to prefetch/metadata columns, dual merge + report",
+       .n_help = "accessions: integer in [1, 100000] (default: uniform 4-12)",
+       .instance = [](std::uint64_t seed, const WorkflowTuning& tuning) {
+         return srasearch_instance(seed, tuning);
+       }});
 }
 
 }  // namespace saga::workflows

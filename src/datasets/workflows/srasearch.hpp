@@ -21,8 +21,11 @@
 ///     t_{4n+3}   (report)       t_{4n+1}, t_{4n+2} -> t_{4n+3}
 namespace saga::workflows {
 
-[[nodiscard]] TaskGraph make_srasearch_graph(Rng& rng);
+/// `n` overrides the primary width (n; 0: the paper's draw).
+[[nodiscard]] TaskGraph make_srasearch_graph(Rng& rng, std::int64_t n = 0);
 [[nodiscard]] ProblemInstance srasearch_instance(std::uint64_t seed);
+[[nodiscard]] ProblemInstance srasearch_instance(std::uint64_t seed, const WorkflowTuning& tuning);
 [[nodiscard]] const TraceStats& srasearch_stats();
+void register_srasearch_dataset(saga::datasets::DatasetRegistry& registry);
 
 }  // namespace saga::workflows

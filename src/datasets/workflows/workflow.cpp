@@ -1,8 +1,12 @@
 #include "datasets/workflows/workflow.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
 
 #include "datasets/dataset.hpp"
+#include "datasets/registry.hpp"
 
 namespace saga::workflows {
 
@@ -35,6 +39,61 @@ void set_homogeneous_ccr(ProblemInstance& inst, double ccr) {
       inst.network.set_strength(a, b, strength);
     }
   }
+}
+
+namespace {
+
+constexpr std::size_t kWorkflowPaperCount = 100;
+constexpr std::int64_t kMaxWidth = 100000;   // sanity cap on n / analyses
+constexpr std::size_t kMaxNetNodes = 10000;  // sanity cap on network sizes
+
+}  // namespace
+
+void register_workflow_family(saga::datasets::DatasetRegistry& registry,
+                              WorkflowFamily family) {
+  datasets::DatasetDesc desc;
+  desc.name = family.name;
+  desc.summary = family.summary;
+  desc.tags = {"table2", "workflow"};
+  desc.paper_count = kWorkflowPaperCount;
+  desc.params = {
+      {"n", family.n_help},
+      {"ccr", "homogeneous average CCR override: positive number (default: off, "
+              "Chameleon's infinite-strength links)"},
+      {"min_nodes", "network size range, lower bound: integer >= 1 (default 4)"},
+      {"max_nodes", "network size range, upper bound: integer >= min_nodes (default 12)"},
+  };
+  if (family.analyses_param) {
+    desc.params.insert(desc.params.begin() + 1,
+                       {"analyses", "analysis pairs: integer in [1, 100000] (default: uniform 3-8)"});
+  }
+  desc.factory = [family = std::move(family)](const datasets::DatasetParams& params,
+                                              std::uint64_t master_seed)
+      -> datasets::InstanceSourcePtr {
+    WorkflowTuning tuning;
+    tuning.n = params.get_i64("n", 0);
+    if (family.analyses_param) tuning.analyses = params.get_i64("analyses", 0);
+    tuning.ccr = params.get_double("ccr", 0.0);
+    tuning.min_nodes = params.get_size("min_nodes", tuning.min_nodes);
+    tuning.max_nodes = params.get_size("max_nodes", tuning.max_nodes);
+    datasets::check_param_range(family.name, "n", tuning.n, 1, kMaxWidth);
+    datasets::check_param_range(family.name, "analyses", tuning.analyses, 1, kMaxWidth);
+    if (tuning.ccr < 0.0) {
+      throw std::invalid_argument("dataset '" + family.name +
+                                  "' parameter 'ccr' must be positive");
+    }
+    if (tuning.min_nodes < 1 || tuning.max_nodes < tuning.min_nodes ||
+        tuning.max_nodes > kMaxNetNodes) {
+      throw std::invalid_argument("dataset '" + family.name +
+                                  "' needs 1 <= min_nodes <= max_nodes <= " +
+                                  std::to_string(kMaxNetNodes));
+    }
+    auto instance = family.instance;
+    return std::make_unique<datasets::GeneratorSource>(
+        family.name, kWorkflowPaperCount, master_seed,
+        [instance, tuning](std::uint64_t seed) { return instance(seed, tuning); });
+  };
+  registry.add(std::move(desc));
 }
 
 }  // namespace saga::workflows

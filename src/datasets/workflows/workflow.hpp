@@ -1,10 +1,15 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 #include "common/rng.hpp"
 #include "graph/problem_instance.hpp"
+
+namespace saga::datasets {
+class DatasetRegistry;
+}  // namespace saga::datasets
 
 /// \file workflow.hpp
 /// Shared machinery for the nine scientific-workflow dataset generators
@@ -51,5 +56,31 @@ struct WorkflowRecipe {
   TraceStats stats;
   ProblemInstance (*make_instance)(std::uint64_t seed);
 };
+
+/// Spec-string knobs shared by all nine workflow families. Zero values mean
+/// "the paper's random draw", so a default-constructed tuning reproduces
+/// the paper-default instances bit for bit.
+struct WorkflowTuning {
+  std::int64_t n = 0;         // primary width (images/shards/lanes/...)
+  std::int64_t analyses = 0;  // genome only: analysis pairs
+  double ccr = 0.0;           // > 0: homogeneous links at this average CCR
+  std::size_t min_nodes = 4;  // chameleon network size range
+  std::size_t max_nodes = 12;
+};
+
+/// Registration glue shared by the nine workflow families: builds the
+/// DatasetDesc (params `n`, `ccr`, `min_nodes`, `max_nodes`, plus
+/// `analyses` when `analyses_param` is set) around a tuned-instance
+/// generator and adds it to the registry with tags table2 + workflow.
+struct WorkflowFamily {
+  std::string name;
+  std::string summary;
+  std::string n_help;  // family-specific meaning of the `n` parameter
+  bool analyses_param = false;
+  ProblemInstance (*instance)(std::uint64_t seed, const WorkflowTuning& tuning);
+};
+
+void register_workflow_family(saga::datasets::DatasetRegistry& registry,
+                              WorkflowFamily family);
 
 }  // namespace saga::workflows

@@ -1,0 +1,170 @@
+#include "datasets/wrappers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "core/perturbation.hpp"
+#include "datasets/dataset.hpp"
+#include "datasets/registry.hpp"
+#include "graph/network.hpp"
+#include "stochastic/stochastic_instance.hpp"
+
+namespace saga::datasets {
+
+namespace {
+
+/// PISA-style adversarial wrapper: applies `level x (tasks + dependencies)`
+/// random perturbation steps (all six operators) to each base instance,
+/// with weight ranges scaled to the instance's observed maxima — the
+/// Section VII "application-specific" recipe generalised to any base
+/// dataset.
+class PerturbedSource final : public InstanceSource {
+ public:
+  PerturbedSource(InstanceSourcePtr base, double level, std::uint64_t master_seed)
+      : base_(std::move(base)),
+        name_("perturbed?base=" + base_->name() + "&level=" + std::to_string(level)),
+        level_(level),
+        master_seed_(master_seed) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return base_->size(); }
+
+  [[nodiscard]] ProblemInstance generate(std::size_t index) const override {
+    ProblemInstance inst = base_->generate(index);
+    const auto config = scaled_config(inst);
+    const auto elements = inst.graph.task_count() + inst.graph.dependency_count();
+    const auto steps = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(level_ * static_cast<double>(elements))));
+    Rng rng(derive_seed(master_seed_, {dataset_name_hash("perturbed"), index}));
+    for (std::size_t s = 0; s < steps; ++s) {
+      (void)pisa::perturb_in_place(inst, config, rng);
+    }
+    return inst;
+  }
+
+ private:
+  /// Weight ranges spanning [floor, 2 x observed max] per category, so
+  /// perturbations stay on the instance's natural scale.
+  [[nodiscard]] static pisa::PerturbationConfig scaled_config(const ProblemInstance& inst) {
+    const auto& g = inst.graph;
+    const auto& net = inst.network;
+    double max_cost = 0.0;
+    for (TaskId t = 0; t < g.task_count(); ++t) max_cost = std::max(max_cost, g.cost(t));
+    double max_dep = 0.0;
+    for (const auto& [from, to] : g.dependencies()) {
+      max_dep = std::max(max_dep, g.dependency_cost(from, to));
+    }
+    double max_speed = 0.0;
+    for (NodeId v = 0; v < net.node_count(); ++v) max_speed = std::max(max_speed, net.speed(v));
+    double max_strength = 0.0;  // infinite links (Chameleon) are skipped
+    for (NodeId a = 0; a < net.node_count(); ++a) {
+      for (NodeId b = a + 1; b < net.node_count(); ++b) {
+        const double s = net.strength(a, b);
+        if (std::isfinite(s)) max_strength = std::max(max_strength, s);
+      }
+    }
+    pisa::PerturbationConfig config = pisa::PerturbationConfig::generic();
+    config.task_cost = {0.0, std::max(1.0, 2.0 * max_cost)};
+    config.dependency_cost = {0.0, std::max(1.0, 2.0 * max_dep)};
+    config.node_speed = {kMinNetworkWeight, std::max(1.0, 2.0 * max_speed)};
+    config.link_strength = {kMinNetworkWeight, std::max(1.0, 2.0 * max_strength)};
+    return config;
+  }
+
+  InstanceSourcePtr base_;
+  std::string name_;
+  double level_;
+  std::uint64_t master_seed_;
+};
+
+/// Stochastic wrapper over src/stochastic: every weight of the base
+/// instance becomes a clipped Gaussian with coefficient of variation `cv`,
+/// and generate(i) returns one realisation.
+class NoisySource final : public InstanceSource {
+ public:
+  NoisySource(InstanceSourcePtr base, double cv, std::uint64_t master_seed)
+      : base_(std::move(base)),
+        name_("noisy?base=" + base_->name() + "&cv=" + std::to_string(cv)),
+        cv_(cv),
+        master_seed_(master_seed) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return base_->size(); }
+
+  [[nodiscard]] ProblemInstance generate(std::size_t index) const override {
+    stochastic::StochasticInstance stochastic(base_->generate(index));
+    stochastic.apply_relative_noise(cv_);
+    return stochastic.realize(derive_seed(master_seed_, {dataset_name_hash("noisy"), index}));
+  }
+
+ private:
+  InstanceSourcePtr base_;
+  std::string name_;
+  double cv_;
+  std::uint64_t master_seed_;
+};
+
+InstanceSourcePtr make_base(const char* wrapper, const DatasetParams& params,
+                            std::uint64_t master_seed) {
+  const std::string base = params.get_string("base", "");
+  if (base.empty()) {
+    throw std::invalid_argument(std::string("dataset '") + wrapper +
+                                "' requires base=<dataset spec>, e.g. " + wrapper +
+                                "?base=montage");
+  }
+  return DatasetRegistry::instance().make(base, master_seed);
+}
+
+}  // namespace
+
+void register_wrapper_datasets(DatasetRegistry& registry) {
+  DatasetDesc perturbed;
+  perturbed.name = "perturbed";
+  perturbed.summary =
+      "adversarial wrapper: PISA-style weight/structure perturbations over a base dataset";
+  perturbed.tags = {"wrapper", "adversarial", "extension"};
+  perturbed.params = {
+      {"base", "base dataset spec (required), e.g. base=montage"},
+      {"level", "perturbation intensity: steps per graph element, number in [0, 10] "
+                "(default 0.3)"},
+  };
+  perturbed.factory = [](const DatasetParams& params,
+                         std::uint64_t master_seed) -> InstanceSourcePtr {
+    const double level = params.get_double("level", 0.3);
+    if (!(level >= 0.0 && level <= 10.0)) {
+      throw std::invalid_argument("dataset 'perturbed' parameter 'level' must lie in [0, 10]");
+    }
+    return std::make_unique<PerturbedSource>(make_base("perturbed", params, master_seed),
+                                             level, master_seed);
+  };
+  registry.add(std::move(perturbed));
+
+  DatasetDesc noisy;
+  noisy.name = "noisy";
+  noisy.aliases = {"stochastic"};
+  noisy.summary =
+      "stochastic wrapper: clipped-Gaussian weight noise (coefficient of variation cv) over "
+      "a base dataset";
+  noisy.tags = {"wrapper", "stochastic", "extension"};
+  noisy.params = {
+      {"base", "base dataset spec (required), e.g. base=blast"},
+      {"cv", "coefficient of variation: number in [0, 2] (default 0.2)"},
+  };
+  noisy.factory = [](const DatasetParams& params,
+                     std::uint64_t master_seed) -> InstanceSourcePtr {
+    const double cv = params.get_double("cv", 0.2);
+    if (!(cv >= 0.0 && cv <= 2.0)) {
+      throw std::invalid_argument("dataset 'noisy' parameter 'cv' must lie in [0, 2]");
+    }
+    return std::make_unique<NoisySource>(make_base("noisy", params, master_seed), cv,
+                                         master_seed);
+  };
+  registry.add(std::move(noisy));
+}
+
+}  // namespace saga::datasets

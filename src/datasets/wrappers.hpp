@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file wrappers.hpp
+/// Composable wrapping sources: datasets whose instances are derived from
+/// another registered dataset (`base=`), making adversarial and noisy
+/// scenarios first-class spec strings:
+///
+///   perturbed?base=montage&level=0.3   PISA-style random perturbations
+///                                      (weights and structure) applied to
+///                                      each base instance, ranges scaled
+///                                      to the instance's observed weights
+///   noisy?base=blast&cv=0.2            stochastic realisation: every
+///                                      weight resampled from a clipped
+///                                      Gaussian centred on its base value
+///                                      with coefficient of variation cv
+///                                      (src/stochastic)
+///
+/// The `base` value is itself resolved through the DatasetRegistry, so it
+/// may carry its own parameters as long as they need no '&' separator
+/// (e.g. `perturbed?base=montage?n=50&level=0.5` — '&'-separated keys bind
+/// to the outer spec).
+
+namespace saga::datasets {
+
+class DatasetRegistry;
+
+void register_wrapper_datasets(DatasetRegistry& registry);
+
+}  // namespace saga::datasets

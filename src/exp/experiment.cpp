@@ -30,7 +30,8 @@ namespace {
 std::size_t to_size(const Json& json, const std::string& context) {
   const double value = json.as_number();
   if (value < 0.0 || value != std::floor(value) || value > 9.0e15) {
-    throw std::invalid_argument(context + " must be a non-negative integer");
+    throw std::invalid_argument(context + " must be a non-negative integer (got " +
+                                json.dump() + ")" + json.position_suffix());
   }
   return static_cast<std::size_t>(value);
 }
@@ -48,31 +49,22 @@ void check_keys(const Json& object, const std::vector<std::string>& allowed,
   }
 }
 
-const std::vector<std::string>& dataset_names() {
-  static const std::vector<std::string> names = [] {
-    std::vector<std::string> out;
-    for (const auto& ds : datasets::all_dataset_specs()) out.push_back(ds.name);
-    return out;
-  }();
-  return names;
+/// Constructs the selection's streaming source, diagnosing unknown dataset
+/// names and bad parameters (with nearest-name suggestions) on the way.
+datasets::InstanceSourcePtr make_source(const std::string& spec_string, std::uint64_t seed) {
+  return datasets::DatasetRegistry::instance().make(spec_string, seed);
 }
 
-void require_known_dataset(const std::string& name) {
-  const auto& names = dataset_names();
-  if (std::find(names.begin(), names.end(), name) != names.end()) return;
-  throw std::invalid_argument("unknown dataset '" + name + "'" + did_you_mean(name, names) +
-                              "; valid datasets: " + join(names, ", "));
-}
-
-/// Paper instance count scaled by SAGA_SCALE when the selection does not
-/// pin one (the Fig. 2 convention).
-std::size_t effective_count(const DatasetSelection& selection) {
+/// The source's natural count scaled by SAGA_SCALE when the selection does
+/// not pin one (the Fig. 2 convention; floor 8).
+std::size_t effective_count(const DatasetSelection& selection,
+                            const datasets::InstanceSource& source) {
   if (selection.count > 0) return selection.count;
-  for (const auto& ds : datasets::all_dataset_specs()) {
-    if (ds.name == selection.name) return scaled_count(ds.paper_instance_count, 8);
-  }
-  require_known_dataset(selection.name);  // throws
-  return 0;
+  return scaled_count(source.size(), 8);
+}
+
+std::size_t effective_count(const DatasetSelection& selection, std::uint64_t seed) {
+  return effective_count(selection, *make_source(selection.name, seed));
 }
 
 ProblemInstance load_instance_ref(const InstanceRef& ref, std::uint64_t seed) {
@@ -291,7 +283,7 @@ void ExperimentSpec::validate() const {
       if (datasets.empty()) {
         throw std::invalid_argument("benchmark mode needs at least one dataset");
       }
-      for (const auto& selection : datasets) require_known_dataset(selection.name);
+      for (const auto& selection : datasets) (void)make_source(selection.name, seed);
       break;
     case Mode::kPisaPairwise:
       if (roster.size() < 2) {
@@ -306,7 +298,7 @@ void ExperimentSpec::validate() const {
       if (!instance.dataset.empty() && !instance.file.empty()) {
         throw std::invalid_argument("instance reference has both 'dataset' and 'file'");
       }
-      if (!instance.dataset.empty()) require_known_dataset(instance.dataset);
+      if (!instance.dataset.empty()) (void)make_source(instance.dataset, seed);
       break;
   }
 }
@@ -330,11 +322,13 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, std::ostream& out) {
   switch (spec.mode) {
     case Mode::kBenchmark: {
       for (const auto& selection : spec.datasets) {
-        const std::size_t count = effective_count(selection);
+        // Streaming: workers pull instances straight from the source, so the
+        // dataset is never materialized (bit-identical to the eager path).
+        const auto source = make_source(selection.name, spec.seed);
+        const std::size_t count = effective_count(selection, *source);
         const auto start = std::chrono::steady_clock::now();
-        const auto dataset = datasets::generate_dataset(selection.name, spec.seed, count);
         result.benchmarks.push_back(
-            analysis::benchmark_dataset(dataset, roster, spec.seed, pool));
+            analysis::benchmark_source(*source, selection.name, count, roster, spec.seed, pool));
         const double seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
         out << "  " << selection.name << ": " << count << " instances, "
@@ -453,7 +447,7 @@ std::string describe(const ExperimentSpec& spec) {
   if (spec.mode == Mode::kBenchmark) {
     out << "  datasets (" << spec.datasets.size() << "):";
     for (const auto& selection : spec.datasets) {
-      out << " " << selection.name << " x" << effective_count(selection);
+      out << " " << selection.name << " x" << effective_count(selection, spec.seed);
     }
     out << "\n";
   }

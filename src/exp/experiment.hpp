@@ -36,15 +36,20 @@ enum class Mode {
 /// Throws std::invalid_argument listing the valid modes for unknown input.
 [[nodiscard]] Mode mode_from_string(std::string_view text);
 
-/// One dataset to benchmark. count 0 means the dataset's paper instance
-/// count scaled by SAGA_SCALE (floor 8), matching the Fig. 2 driver.
+/// One dataset to benchmark. `name` is a dataset spec string resolved by
+/// the DatasetRegistry (`montage`, `montage?n=200&ccr=0.5`,
+/// `perturbed?base=blast&level=0.3`, see docs/datasets.md). count 0 means
+/// the source's natural instance count (the paper's Table II count for
+/// registry datasets) scaled by SAGA_SCALE with a floor of 8, matching the
+/// Fig. 2 driver.
 struct DatasetSelection {
   std::string name;
   std::size_t count = 0;
 };
 
-/// The instance a schedule-mode experiment runs on: either (dataset, index)
-/// for a generated instance, or a serialized-instance file ("-" = stdin).
+/// The instance a schedule-mode experiment runs on: either (dataset spec
+/// string, index) for a generated instance, or a serialized-instance file
+/// ("-" = stdin).
 struct InstanceRef {
   std::string dataset;
   std::size_t index = 0;

@@ -45,7 +45,7 @@ class Parser {
   std::string_view text_;
   std::size_t pos_ = 0;
 
-  [[noreturn]] void fail(const std::string& what) const {
+  [[nodiscard]] std::pair<std::size_t, std::size_t> location() const {
     std::size_t line = 1;
     std::size_t column = 1;
     for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
@@ -56,6 +56,11 @@ class Parser {
         ++column;
       }
     }
+    return {line, column};
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    const auto [line, column] = location();
     throw std::runtime_error("json parse error at line " + std::to_string(line) +
                              ", column " + std::to_string(column) + ": " + what);
   }
@@ -87,6 +92,13 @@ class Parser {
   Json parse_value(int depth) {
     if (depth > kMaxDepth) fail("nesting too deep");
     skip_whitespace();
+    const auto [line, column] = location();
+    Json value = parse_value_at(depth);
+    value.set_position(line, column);
+    return value;
+  }
+
+  Json parse_value_at(int depth) {
     const char c = peek();
     switch (c) {
       case '{': return parse_object(depth);
@@ -370,6 +382,11 @@ void Json::set(std::string key, Json value) {
 }
 
 Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+std::string Json::position_suffix() const {
+  if (line_ == 0) return "";
+  return " at line " + std::to_string(line_) + ", column " + std::to_string(column_);
+}
 
 void Json::write(std::string& out, int indent, int depth) const {
   const auto newline_indent = [&](int level) {

@@ -61,12 +61,26 @@ class Json {
   /// "line L, column C" context on malformed input or duplicate keys.
   [[nodiscard]] static Json parse(std::string_view text);
 
+  /// Source position of a parsed value (1-based; 0 when the value was built
+  /// programmatically rather than parsed). Lets schema validation report
+  /// "at line L, column C" for well-formed-but-invalid values.
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+  void set_position(std::size_t line, std::size_t column) noexcept {
+    line_ = line;
+    column_ = column;
+  }
+  /// " at line L, column C" when the position is known, else "".
+  [[nodiscard]] std::string position_suffix() const;
+
   /// Serializes. indent 0 renders compactly; indent > 0 pretty-prints.
   /// Numbers round-trip exactly (shortest form via std::to_chars).
   [[nodiscard]] std::string dump(int indent = 0) const;
 
  private:
   std::variant<std::monostate, bool, double, std::string, JsonArray, JsonObject> value_;
+  std::size_t line_ = 0;    // 0 = not from the parser
+  std::size_t column_ = 0;
 
   void write(std::string& out, int indent, int depth) const;
 };

@@ -1,27 +1,11 @@
 #include "sched/registry.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <stdexcept>
 
 #include "common/nearest.hpp"
 
 namespace saga {
-
-namespace {
-
-bool iequals(std::string_view a, std::string_view b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i]))) {
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
 
 bool SchedulerDesc::has_tag(std::string_view tag) const {
   for (const auto& t : tags) {
@@ -48,75 +32,14 @@ SchedulerRegistry& SchedulerRegistry::instance() {
 }
 
 void SchedulerRegistry::add(SchedulerDesc desc) {
-  if (desc.name.empty()) throw std::invalid_argument("scheduler descriptor has no name");
-  if (!desc.factory) {
-    throw std::invalid_argument("scheduler '" + desc.name + "' descriptor has no factory");
-  }
-  auto check_collision = [this](const std::string& candidate) {
-    for (const auto& existing : descs_) {
-      if (iequals(existing.name, candidate)) {
-        throw std::invalid_argument("scheduler name '" + candidate +
-                                    "' collides with registered '" + existing.name + "'");
-      }
-      for (const auto& alias : existing.aliases) {
-        if (iequals(alias, candidate)) {
-          throw std::invalid_argument("scheduler name '" + candidate +
-                                      "' collides with alias '" + alias + "' of '" +
-                                      existing.name + "'");
-        }
-      }
-    }
-  };
-  check_collision(desc.name);
-  for (const auto& alias : desc.aliases) check_collision(alias);
   if (desc.randomized && !desc.has_tag("randomized")) desc.tags.emplace_back("randomized");
-  descs_.push_back(std::move(desc));
-}
-
-const SchedulerDesc* SchedulerRegistry::find(std::string_view name) const {
-  for (const auto& desc : descs_) {
-    if (desc.name == name) return &desc;
-  }
-  for (const auto& desc : descs_) {
-    if (iequals(desc.name, name)) return &desc;
-    for (const auto& alias : desc.aliases) {
-      if (iequals(alias, name)) return &desc;
-    }
-  }
-  return nullptr;
-}
-
-const SchedulerDesc& SchedulerRegistry::resolve(std::string_view name) const {
-  if (const SchedulerDesc* desc = find(name)) return *desc;
-  std::vector<std::string> candidates;
-  for (const auto& desc : descs_) {
-    candidates.push_back(desc.name);
-    candidates.insert(candidates.end(), desc.aliases.begin(), desc.aliases.end());
-  }
-  throw std::invalid_argument("unknown scheduler '" + std::string(name) + "'" +
-                              did_you_mean(name, candidates) +
-                              "; valid tags: " + join(tags(), ", ") +
-                              " (see `saga list --tags`)");
+  DescriptorRegistry::add(std::move(desc));
 }
 
 std::vector<std::string> SchedulerRegistry::names(std::string_view tag,
                                                   NameOrder order) const {
-  std::vector<std::string> out;
-  for (const auto& desc : descs_) {
-    if (tag.empty() || desc.has_tag(tag)) out.push_back(desc.name);
-  }
+  std::vector<std::string> out = DescriptorRegistry::names(tag);
   if (order == NameOrder::kLexicographic) std::sort(out.begin(), out.end());
-  return out;
-}
-
-std::vector<std::string> SchedulerRegistry::tags() const {
-  std::vector<std::string> out;
-  for (const auto& desc : descs_) {
-    for (const auto& tag : desc.tags) {
-      if (std::find(out.begin(), out.end(), tag) == out.end()) out.push_back(tag);
-    }
-  }
-  std::sort(out.begin(), out.end());
   return out;
 }
 

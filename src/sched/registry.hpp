@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/registry.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/spec.hpp"
 
@@ -28,11 +29,8 @@
 
 namespace saga {
 
-/// One declared spec parameter of a scheduler.
-struct ParamDesc {
-  std::string key;
-  std::string summary;  // human help: type, accepted values, default
-};
+// ParamDesc (one declared spec parameter) now lives in common/spec.hpp,
+// shared with the dataset registry.
 
 /// Self-description one scheduler registers.
 struct SchedulerDesc {
@@ -57,37 +55,24 @@ enum class NameOrder {
   kLexicographic,  // byte-wise sorted (the historical benchmark-roster order)
 };
 
-class SchedulerRegistry {
+/// Lookup/enumeration mechanics (add, find, resolve with "did you mean",
+/// tags) are shared with the dataset registry via common/registry.hpp.
+class SchedulerRegistry : public DescriptorRegistry<SchedulerDesc> {
  public:
+  SchedulerRegistry() : DescriptorRegistry("scheduler", "saga list --tags") {}
+
   /// The process-wide registry; the built-in schedulers are registered on
   /// first access (see schedulers/register.cpp).
   [[nodiscard]] static SchedulerRegistry& instance();
 
-  /// Registers a descriptor; throws std::invalid_argument on a missing
-  /// name/factory or a name/alias collision. Not safe against concurrent
-  /// lookups — register at startup.
+  /// Registers a descriptor (see DescriptorRegistry::add); additionally
+  /// tags randomized schedulers with "randomized".
   void add(SchedulerDesc desc);
-
-  /// Looks up a descriptor by name or alias (exact match first, then
-  /// case-insensitive); null when unknown.
-  [[nodiscard]] const SchedulerDesc* find(std::string_view name) const;
-
-  /// Like find(), but throws std::invalid_argument with a nearest-name
-  /// suggestion and the list of valid tags for unknown names.
-  [[nodiscard]] const SchedulerDesc& resolve(std::string_view name) const;
 
   /// Canonical names carrying `tag` (all names when `tag` is empty).
   /// Returns an empty vector for an unknown tag.
   [[nodiscard]] std::vector<std::string> names(
       std::string_view tag = {}, NameOrder order = NameOrder::kRegistration) const;
-
-  /// All registered descriptors, in registration order.
-  [[nodiscard]] const std::vector<SchedulerDesc>& descriptors() const noexcept {
-    return descs_;
-  }
-
-  /// Sorted union of every descriptor's tags.
-  [[nodiscard]] std::vector<std::string> tags() const;
 
   /// Constructs a scheduler from a parsed spec. Unknown names and unknown
   /// parameter keys throw std::invalid_argument naming the offender (with a
@@ -96,9 +81,6 @@ class SchedulerRegistry {
 
   /// Parses `spec_string` and constructs (see sched/spec.hpp for the grammar).
   [[nodiscard]] SchedulerPtr make(std::string_view spec_string, std::uint64_t seed) const;
-
- private:
-  std::vector<SchedulerDesc> descs_;
 };
 
 /// Registers the 25 built-in schedulers (defined in schedulers/register.cpp;

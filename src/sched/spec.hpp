@@ -1,72 +1,38 @@
 #pragma once
 
-#include <cstdint>
-#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
-/// \file spec.hpp
-/// The scheduler spec-string grammar:
-///
-///   spec   := name [ '?' param ( '&' param )* ]
-///   param  := key '=' value
-///   value  := any characters except '&' ('+' separates list elements)
-///
-/// Examples: `HEFT`, `heft?rank=best&insertion=false`, `ga?pop=64&gens=200`,
-/// `ensemble?members=heft+cpop+minmin`. Names resolve case-insensitively
-/// against the SchedulerRegistry (sched/registry.hpp); parameter keys are
-/// validated against the scheduler's declared descriptor. Every scheduler
-/// also accepts the universal `seed` key, which overrides the seed passed
-/// to the factory. `parse` / `to_string` round-trip exactly.
+#include "common/spec.hpp"
+
+/// \file spec.hpp (sched)
+/// Scheduler-flavoured aliases over the shared spec-string grammar
+/// (common/spec.hpp). Examples: `HEFT`, `heft?rank=best&insertion=false`,
+/// `ga?pop=64&gens=200`, `ensemble?members=heft+cpop+minmin`. Names resolve
+/// case-insensitively against the SchedulerRegistry (sched/registry.hpp);
+/// parameter keys are validated against the scheduler's declared
+/// descriptor. Every scheduler also accepts the universal `seed` key, which
+/// overrides the seed passed to the factory.
 
 namespace saga {
 
-/// A parsed spec string: scheduler name plus key=value parameters in the
-/// order they were written.
-struct SchedulerSpec {
-  std::string name;
-  std::vector<std::pair<std::string, std::string>> params;
+/// A parsed scheduler spec string (shared grammar, see common/spec.hpp).
+using SchedulerSpec = Spec;
 
-  /// Serializes back to the grammar above; `parse_scheduler_spec(s).to_string() == s`
-  /// for any valid spec string `s`.
-  [[nodiscard]] std::string to_string() const;
+/// Parses a scheduler spec string; throws std::invalid_argument on grammar
+/// errors with a message naming the offending key.
+[[nodiscard]] inline SchedulerSpec parse_scheduler_spec(std::string_view text) {
+  return parse_spec(text, "scheduler");
+}
 
-  /// The value for `key`, or null when absent.
-  [[nodiscard]] const std::string* find(std::string_view key) const;
-};
-
-/// Parses a spec string; throws std::invalid_argument on grammar errors
-/// (empty name, missing '=', empty or duplicate keys — the message names
-/// the offending key). Does not consult the registry: unknown scheduler
-/// names and parameter keys are diagnosed at construction time.
-[[nodiscard]] SchedulerSpec parse_scheduler_spec(std::string_view text);
-
-/// Typed, validated access to a spec's parameters, handed to scheduler
-/// factories by the registry. Conversion failures throw
-/// std::invalid_argument naming the scheduler and the offending key.
-class SchedulerParams {
+/// Typed parameter access handed to scheduler factories by the registry;
+/// conversion failures name the scheduler and the offending key.
+class SchedulerParams : public SpecParams {
  public:
   SchedulerParams(std::string scheduler,
-                  const std::vector<std::pair<std::string, std::string>>* params);
-
-  [[nodiscard]] bool has(std::string_view key) const;
-  [[nodiscard]] std::uint64_t get_u64(std::string_view key, std::uint64_t fallback) const;
-  [[nodiscard]] std::size_t get_size(std::string_view key, std::size_t fallback) const;
-  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
-  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
-  [[nodiscard]] std::string get_string(std::string_view key, std::string_view fallback) const;
-  /// '+'-separated list, e.g. `members=heft+cpop+minmin`.
-  [[nodiscard]] std::vector<std::string> get_list(std::string_view key,
-                                                  std::vector<std::string> fallback) const;
-
- private:
-  [[nodiscard]] const std::string* raw(std::string_view key) const;
-  [[noreturn]] void fail(std::string_view key, std::string_view expected,
-                         const std::string& got) const;
-
-  std::string scheduler_;
-  const std::vector<std::pair<std::string, std::string>>* params_;
+                  const std::vector<std::pair<std::string, std::string>>* params)
+      : SpecParams("scheduler", std::move(scheduler), params) {}
 };
 
 }  // namespace saga

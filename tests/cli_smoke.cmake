@@ -69,6 +69,34 @@ endif()
 # 5. compare a couple of schedulers on the same instance.
 saga_step(compare compare ${WORK_DIR}/instance.txt HEFT MinMin)
 
+# 5b. dataset registry: tag enumeration and parameterized spec strings.
+saga_step(list_datasets list --datasets)
+if(NOT list_datasets_output MATCHES "table2")
+  message(FATAL_ERROR "saga list --datasets does not mention the table2 tag:\n${list_datasets_output}")
+endif()
+saga_step(list_datasets_tag list --datasets workflow)
+if(NOT list_datasets_tag_output MATCHES "montage")
+  message(FATAL_ERROR "saga list --datasets workflow does not mention montage:\n${list_datasets_tag_output}")
+endif()
+execute_process(COMMAND ${SAGA_CLI} generate "montage?n=12&ccr=1" 0
+  RESULT_VARIABLE rv
+  OUTPUT_FILE ${WORK_DIR}/spec_instance.txt
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "saga generate with a dataset spec string failed (exit ${rv}):\n${err}")
+endif()
+execute_process(COMMAND ${SAGA_CLI} schedule HEFT ${WORK_DIR}/spec_instance.txt
+  RESULT_VARIABLE rv
+  OUTPUT_QUIET
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "saga schedule on a spec-generated instance failed (exit ${rv}):\n${err}")
+endif()
+execute_process(COMMAND ${SAGA_CLI} generate no_such_dataset 0 RESULT_VARIABLE rv OUTPUT_QUIET ERROR_QUIET)
+if(rv EQUAL 0)
+  message(FATAL_ERROR "saga generate accepted an unknown dataset")
+endif()
+
 # 6. unknown subcommands must fail loudly, not exit 0.
 execute_process(COMMAND ${SAGA_CLI} no-such-command RESULT_VARIABLE rv OUTPUT_QUIET ERROR_QUIET)
 if(rv EQUAL 0)

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "graph/problem_instance.hpp"
+
+/// \file dataset_digest.hpp
+/// Structural FNV-1a digest of a ProblemInstance: task/edge counts, task
+/// names, and the exact bit patterns of every weight (task costs, dependency
+/// costs, node speeds, link strengths). Two instances digest equal iff the
+/// generator produced bit-identical graphs and networks, so the pinned
+/// digests in dataset_digests.inc detect any drift in the dataset
+/// generators or their seed derivation.
+
+namespace saga::testing {
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((v >> (8 * i)) & 0xffULL)) * 0x100000001b3ULL;
+  }
+}
+
+inline std::uint64_t weight_bits(double d) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(d));
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+inline std::uint64_t instance_digest(const saga::ProblemInstance& inst) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto& g = inst.graph;
+  fnv_mix(h, g.task_count());
+  fnv_mix(h, g.dependency_count());
+  for (saga::TaskId t = 0; t < g.task_count(); ++t) {
+    for (char c : g.name(t)) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    fnv_mix(h, weight_bits(g.cost(t)));
+  }
+  for (const auto& [from, to] : g.dependencies()) {
+    fnv_mix(h, from);
+    fnv_mix(h, to);
+    fnv_mix(h, weight_bits(g.dependency_cost(from, to)));
+  }
+  const auto& net = inst.network;
+  fnv_mix(h, net.node_count());
+  for (saga::NodeId v = 0; v < net.node_count(); ++v) fnv_mix(h, weight_bits(net.speed(v)));
+  for (saga::NodeId a = 0; a < net.node_count(); ++a) {
+    for (saga::NodeId b = a + 1; b < net.node_count(); ++b) {
+      fnv_mix(h, weight_bits(net.strength(a, b)));
+    }
+  }
+  return h;
+}
+
+}  // namespace saga::testing

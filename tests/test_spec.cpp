@@ -1,0 +1,155 @@
+// Fuzz-ish unit tests for the shared spec-string parser (common/spec.hpp),
+// exercised through both the scheduler and dataset flavours: grammar edge
+// cases (empty keys/values, duplicate keys, trailing '&', '+'-lists),
+// typed-conversion failures, exact round-trips, and the guarantee that a
+// grammar error is always a clean std::invalid_argument naming the kind.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/spec.hpp"
+
+namespace {
+
+using namespace saga;
+
+// --- grammar edge cases ----------------------------------------------------
+
+TEST(SharedSpecGrammar, RejectsEmptyAndSeparatorOnlyInputs) {
+  for (const char* text : {"", "?", "?a=1", "&", "=", "a&b", "a=b"}) {
+    EXPECT_THROW((void)parse_spec(text, "dataset"), std::invalid_argument) << "'" << text << "'";
+  }
+}
+
+TEST(SharedSpecGrammar, RejectsTrailingAndDoubledAmpersands) {
+  for (const char* text : {"montage?n=5&", "montage?n=5&&ccr=1", "montage?&n=5"}) {
+    EXPECT_THROW((void)parse_spec(text, "dataset"), std::invalid_argument) << "'" << text << "'";
+  }
+}
+
+TEST(SharedSpecGrammar, RejectsEmptyKeysAndValuesNamingThem) {
+  try {
+    (void)parse_spec("erdos?=5", "dataset");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("empty parameter key"), std::string::npos) << e.what();
+  }
+  try {
+    (void)parse_spec("erdos?n=", "dataset");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'n' has an empty value"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SharedSpecGrammar, RejectsDuplicateKeysNamingThem) {
+  try {
+    (void)parse_spec("erdos?n=5&p=0.2&n=9", "dataset");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate parameter 'n'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SharedSpecGrammar, ErrorMessagesNameTheKind) {
+  for (const char* kind : {"scheduler", "dataset"}) {
+    try {
+      (void)parse_spec("x?broken", kind);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(std::string("bad ") + kind + " spec"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(SharedSpecGrammar, RoundTripsExactly) {
+  for (const char* text :
+       {"montage", "montage?n=200&ccr=0.5", "erdos?n=64&p=0.1&hetero=2.0",
+        "perturbed?base=montage&level=0.3", "noisy?base=blast&cv=0.2",
+        "ensemble?members=heft+cpop+minmin", "a?b=c&d=e&f=g+h+i"}) {
+    EXPECT_EQ(parse_spec(text, "dataset").to_string(), text) << text;
+  }
+}
+
+TEST(SharedSpecGrammar, ValuesMayContainQuestionMarks) {
+  // Nested wrapper specs ride in values: the first '?' ends the name, later
+  // ones are plain value characters.
+  const auto spec = parse_spec("noisy?base=montage?n=50&cv=0.5", "dataset");
+  EXPECT_EQ(spec.name, "noisy");
+  ASSERT_EQ(spec.params.size(), 2u);
+  EXPECT_EQ(spec.params[0].second, "montage?n=50");
+  EXPECT_EQ(spec.params[1].first, "cv");
+}
+
+TEST(SharedSpecGrammar, FindReturnsNullForAbsentKeys) {
+  const auto spec = parse_spec("erdos?n=64", "dataset");
+  ASSERT_NE(spec.find("n"), nullptr);
+  EXPECT_EQ(*spec.find("n"), "64");
+  EXPECT_EQ(spec.find("p"), nullptr);
+  EXPECT_EQ(spec.find(""), nullptr);
+}
+
+// --- typed parameter conversions -------------------------------------------
+
+class SpecParamsTyped : public ::testing::Test {
+ protected:
+  [[nodiscard]] static SpecParams params_for(const Spec& spec) {
+    return SpecParams("dataset", spec.name, &spec.params);
+  }
+};
+
+TEST_F(SpecParamsTyped, NonNumericValuesForNumericKeysThrowNamingOwner) {
+  const auto spec = parse_spec("erdos?n=banana&p=0.5x&q=-3", "dataset");
+  const auto params = params_for(spec);
+  for (const char* key : {"n"}) {
+    try {
+      (void)params.get_u64(key, 0);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("dataset 'erdos'"), std::string::npos) << what;
+      EXPECT_NE(what.find("banana"), std::string::npos) << what;
+    }
+  }
+  EXPECT_THROW((void)params.get_double("p", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)params.get_u64("q", 0), std::invalid_argument);  // negative for unsigned
+  EXPECT_EQ(params.get_i64("q", 0), -3);                              // fine for signed
+}
+
+TEST_F(SpecParamsTyped, FallbacksApplyOnlyWhenAbsent) {
+  const auto spec = parse_spec("x?a=7&b=true&c=hello", "dataset");
+  const auto params = params_for(spec);
+  EXPECT_EQ(params.get_u64("a", 1), 7u);
+  EXPECT_EQ(params.get_u64("missing", 1), 1u);
+  EXPECT_TRUE(params.get_bool("b", false));
+  EXPECT_FALSE(params.get_bool("missing", false));
+  EXPECT_EQ(params.get_string("c", "nope"), "hello");
+  EXPECT_EQ(params.get_string("missing", "nope"), "nope");
+}
+
+TEST_F(SpecParamsTyped, ListsSplitOnPlusAndRejectEmptyElements) {
+  const auto spec = parse_spec("x?good=a+b+c&bad=a++c&worse=a+", "dataset");
+  const auto params = params_for(spec);
+  const auto list = params.get_list("good", {});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], "a");
+  EXPECT_EQ(list[2], "c");
+  EXPECT_THROW((void)params.get_list("bad", {}), std::invalid_argument);
+  EXPECT_THROW((void)params.get_list("worse", {}), std::invalid_argument);
+}
+
+TEST_F(SpecParamsTyped, BoolAcceptsCanonicalSpellingsOnly) {
+  const auto spec = parse_spec("x?a=1&b=0&c=yes", "dataset");
+  const auto params = params_for(spec);
+  EXPECT_TRUE(params.get_bool("a", false));
+  EXPECT_FALSE(params.get_bool("b", true));
+  EXPECT_THROW((void)params.get_bool("c", false), std::invalid_argument);
+}
+
+}  // namespace

@@ -7,7 +7,9 @@
 ///                                                 docs/experiments.md);
 ///                                                 --dry-run validates and
 ///                                                 prints the resolved plan
-///   saga generate <dataset> <index> [seed]        print an instance
+///   saga generate <dataset-spec> <index> [seed]   print an instance
+///                                                 (spec strings work:
+///                                                 `montage?n=50&ccr=1`)
 ///   saga schedule <scheduler-spec> <instance|->   schedule it, print the
 ///            [--repeat N] [--time]                schedule + Gantt;
 ///                                                 --repeat re-runs the
@@ -21,9 +23,10 @@
 ///   saga pisa <target> <baseline> [restarts]      adversarial search
 ///   saga atlas-verify <dir>                       re-verify a PISA atlas
 ///   saga list [--tags [tag]]                      datasets & schedulers;
-///                                                 --tags enumerates the
-///                                                 registry by tag with
-///                                                 per-scheduler parameters
+///             [--datasets [tag]]                  --tags/--datasets
+///                                                 enumerate the registries
+///                                                 by tag with per-entry
+///                                                 parameters
 ///
 /// Schedulers are given as registry spec strings: `HEFT`,
 /// `ga?pop=64&gens=200`, `ensemble?members=heft+cpop+minmin`.
@@ -74,13 +77,13 @@ constexpr const char* kTopLevelUsage =
     "usage: saga <command> ...\n"
     "commands:\n"
     "  run <spec.json|-> [--dry-run] [--set key.path=value]...\n"
-    "  generate <dataset> <index> [seed]\n"
+    "  generate <dataset-spec> <index> [seed]\n"
     "  schedule <scheduler-spec> <instance|-> [--repeat N] [--time]\n"
     "  validate <instance-file> <schedule-file>\n"
     "  compare <instance|-> [scheduler-specs...]\n"
     "  pisa <target> <baseline> [restarts]\n"
     "  atlas-verify <dir>\n"
-    "  list [--tags [tag]]\n";
+    "  list [--tags [tag]] [--datasets [tag]]\n";
 
 std::uint64_t parse_u64(const char* arg, const char* what) {
   char* end = nullptr;
@@ -101,18 +104,53 @@ ProblemInstance read_instance(const std::string& path) {
 }
 
 int cmd_list(int argc, char** argv) {
-  constexpr const char* kUsage = "usage: saga list [--tags [tag]]";
+  constexpr const char* kUsage = "usage: saga list [--tags [tag]] [--datasets [tag]]";
   if (argc == 0) {
     std::printf("datasets (Table II):\n ");
     for (const auto& spec : datasets::all_dataset_specs()) std::printf(" %s", spec.name.c_str());
+    std::printf("\nextension datasets:\n ");
+    for (const auto& desc : datasets::DatasetRegistry::instance().descriptors()) {
+      if (!desc.has_tag("table2")) std::printf(" %s", desc.name.c_str());
+    }
     std::printf("\nschedulers (Table I):\n ");
     for (const auto& name : all_scheduler_names()) std::printf(" %s", name.c_str());
     std::printf("\nextension schedulers:\n ");
     for (const auto& name : extension_scheduler_names()) std::printf(" %s", name.c_str());
-    std::printf("\n(`saga list --tags` enumerates the registry by tag)\n");
+    std::printf(
+        "\n(`saga list --tags` enumerates schedulers by tag, `saga list --datasets` "
+        "datasets)\n");
     return EXIT_SUCCESS;
   }
-  if (std::string(argv[0]) != "--tags" || argc > 2) throw UsageError(kUsage);
+  const std::string mode = argv[0];
+  if ((mode != "--tags" && mode != "--datasets") || argc > 2) throw UsageError(kUsage);
+
+  if (mode == "--datasets") {
+    const auto& registry = datasets::DatasetRegistry::instance();
+    if (argc == 1) {
+      for (const auto& tag : registry.tags()) {
+        const auto names = registry.names(tag);
+        std::printf("%-13s (%2zu): %s\n", tag.c_str(), names.size(), join(names, " ").c_str());
+      }
+      return EXIT_SUCCESS;
+    }
+    const std::string tag = argv[1];
+    const auto tags = registry.tags();
+    if (std::find(tags.begin(), tags.end(), tag) == tags.end()) {
+      throw std::invalid_argument("unknown tag '" + tag + "'; valid tags: " + join(tags, ", "));
+    }
+    for (const auto& desc : registry.descriptors()) {
+      if (!desc.has_tag(tag)) continue;
+      std::printf("%-12s %s\n", desc.name.c_str(), desc.summary.c_str());
+      if (!desc.aliases.empty()) {
+        std::printf("             aliases: %s\n", join(desc.aliases, ", ").c_str());
+      }
+      for (const auto& param : desc.params) {
+        std::printf("             %s: %s\n", param.key.c_str(), param.summary.c_str());
+      }
+    }
+    return EXIT_SUCCESS;
+  }
+
   const auto& registry = SchedulerRegistry::instance();
   if (argc == 1) {
     for (const auto& tag : registry.tags()) {
@@ -171,7 +209,7 @@ int cmd_run(int argc, char** argv) {
 }
 
 int cmd_generate(int argc, char** argv) {
-  if (argc < 2) throw UsageError("usage: saga generate <dataset> <index> [seed]");
+  if (argc < 2) throw UsageError("usage: saga generate <dataset-spec> <index> [seed]");
   const std::string dataset = argv[0];
   const auto index = static_cast<std::size_t>(parse_u64(argv[1], "index"));
   const std::uint64_t seed = argc > 2 ? parse_u64(argv[2], "seed") : 42;
