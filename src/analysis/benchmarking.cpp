@@ -47,6 +47,16 @@ DatasetBenchmark benchmark_instances(
     }
   });
 
+  return assemble_benchmark(std::move(label), makespans, scheduler_names);
+}
+
+}  // namespace
+
+DatasetBenchmark assemble_benchmark(std::string label,
+                                    const std::vector<std::vector<double>>& makespans,
+                                    const std::vector<std::string>& scheduler_names) {
+  const std::size_t n_schedulers = scheduler_names.size();
+  const std::size_t n_instances = n_schedulers == 0 ? 0 : makespans.front().size();
   DatasetBenchmark result;
   result.dataset = std::move(label);
   result.per_scheduler.resize(n_schedulers);
@@ -66,8 +76,6 @@ DatasetBenchmark benchmark_instances(
   }
   return result;
 }
-
-}  // namespace
 
 DatasetBenchmark benchmark_dataset(const saga::Dataset& dataset,
                                    const std::vector<std::string>& scheduler_names,

@@ -47,6 +47,15 @@ struct DatasetBenchmark {
                                                  std::uint64_t seed,
                                                  saga::ThreadPool* pool = nullptr);
 
+/// Assembly tail shared by the eager/streaming drivers and the result-store
+/// merge path: turns a makespan matrix `makespans[s][i]` (scheduler s on
+/// instance i) into per-scheduler ratios against the per-instance roster
+/// minimum, plus summaries. Keeping this a single function is what makes a
+/// merged shard decomposition bit-identical to the monolithic run.
+[[nodiscard]] DatasetBenchmark assemble_benchmark(
+    std::string label, const std::vector<std::vector<double>>& makespans,
+    const std::vector<std::string>& scheduler_names);
+
 /// Streaming variant: pulls instances 0..count-1 on demand from `source`
 /// inside the workers (InstanceSource::generate is pure and thread-safe),
 /// so the dataset is never materialized. Produces results bit-identical to

@@ -1,8 +1,10 @@
 #include "analysis/csv.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <ostream>
 
 namespace saga::analysis {
@@ -35,6 +37,19 @@ void write_benchmark_csv(std::ostream& out, const std::vector<DatasetBenchmark>&
       out << benchmark.dataset << ',' << sb.scheduler << ',' << s.min << ',' << s.q1 << ','
           << s.median << ',' << s.q3 << ',' << s.max << ',' << s.mean << '\n';
     }
+  }
+}
+
+void write_schedule_csv(std::ostream& out,
+                        const std::vector<std::pair<std::string, double>>& makespans) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [name, makespan] : makespans) {
+    (void)name;
+    best = std::min(best, makespan);
+  }
+  out << "scheduler,makespan,ratio\n";
+  for (const auto& [name, makespan] : makespans) {
+    out << name << ',' << makespan << ',' << (best > 0.0 ? makespan / best : 1.0) << '\n';
   }
 }
 

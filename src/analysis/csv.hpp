@@ -3,6 +3,7 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/benchmarking.hpp"
@@ -22,6 +23,12 @@ void write_pairwise_csv(std::ostream& out, const saga::pisa::PairwiseResult& res
 /// Header: "dataset,scheduler,min,q1,median,q3,max,mean"; one row per
 /// (dataset, scheduler).
 void write_benchmark_csv(std::ostream& out, const std::vector<DatasetBenchmark>& benchmarks);
+
+/// Header: "scheduler,makespan,ratio"; one row per (scheduler, makespan)
+/// pair, the ratio taken against the minimum makespan in the list (1.0 when
+/// the minimum is zero) — the schedule-mode convention of `saga run`.
+void write_schedule_csv(std::ostream& out,
+                        const std::vector<std::pair<std::string, double>>& makespans);
 
 /// If SAGA_CSV_DIR is set, opens `<dir>/<name>.csv` and passes the stream
 /// to `writer`; otherwise does nothing. Returns the path written, if any.

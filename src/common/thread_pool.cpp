@@ -42,6 +42,10 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Counted before running: a future obtained from this job is only
+    // satisfied inside job(), so observers that waited on it are guaranteed
+    // to see the incremented count.
+    jobs_completed_.fetch_add(1, std::memory_order_relaxed);
     job();
   }
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -32,6 +33,14 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
 
+  /// Number of queued jobs the workers have picked up for execution (lane
+  /// jobs spawned by parallel_for count as one each; the caller's own lane
+  /// does not). Monotonic; lets tests and drivers observe that work
+  /// actually reached the pool.
+  [[nodiscard]] std::size_t jobs_completed() const noexcept {
+    return jobs_completed_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueues a callable; returns a future for its result.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
@@ -55,6 +64,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::atomic<std::size_t> jobs_completed_{0};
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,0 +1,168 @@
+#include "exp/cells.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "common/env.hpp"
+#include "common/hash.hpp"
+#include "datasets/registry.hpp"
+
+namespace saga::exp {
+
+namespace {
+
+/// The Fig. 2 convention shared with the monolithic driver: a selection
+/// without a pinned count runs the source's natural count scaled by
+/// SAGA_SCALE, with a floor of 8.
+std::size_t effective_count(const DatasetSelection& selection,
+                            const datasets::InstanceSource& source) {
+  if (selection.count > 0) return selection.count;
+  return scaled_count(source.size(), 8);
+}
+
+}  // namespace
+
+CellPlan enumerate_cells(const ExperimentSpec& spec) {
+  CellPlan plan;
+  plan.roster = spec.resolved_schedulers();
+  switch (spec.mode) {
+    case Mode::kBenchmark: {
+      for (std::size_t d = 0; d < spec.datasets.size(); ++d) {
+        const auto& selection = spec.datasets[d];
+        auto source = datasets::DatasetRegistry::instance().make(selection.name, spec.seed);
+        const std::size_t count = effective_count(selection, *source);
+        plan.dataset_counts.push_back(count);
+        plan.sources.push_back(std::move(source));
+        for (std::size_t i = 0; i < count; ++i) {
+          WorkCell cell;
+          cell.index = plan.cells.size();
+          cell.dataset = d;
+          cell.instance = i;
+          cell.key = "bench:" + std::to_string(d) + ":" + selection.name + "[" +
+                     std::to_string(i) + "]";
+          plan.cells.push_back(std::move(cell));
+        }
+      }
+      break;
+    }
+    case Mode::kPisaPairwise: {
+      // Row-major over off-diagonal (baseline row, target col) pairs — the
+      // exact pairwise_compare work-list order.
+      const std::size_t n = plan.roster.size();
+      for (std::size_t row = 0; row < n; ++row) {
+        for (std::size_t col = 0; col < n; ++col) {
+          if (row == col) continue;
+          WorkCell cell;
+          cell.index = plan.cells.size();
+          cell.row = row;
+          cell.col = col;
+          cell.key = "pisa:" + std::to_string(row) + "x" + std::to_string(col) + ":" +
+                     plan.roster[col] + " vs " + plan.roster[row];
+          plan.cells.push_back(std::move(cell));
+        }
+      }
+      break;
+    }
+    case Mode::kSchedule: {
+      for (std::size_t s = 0; s < plan.roster.size(); ++s) {
+        WorkCell cell;
+        cell.index = plan.cells.size();
+        cell.scheduler = s;
+        cell.key = "sched:" + std::to_string(s) + ":" + plan.roster[s];
+        plan.cells.push_back(std::move(cell));
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+ExperimentSpec frozen_spec(const ExperimentSpec& spec, const CellPlan& plan) {
+  ExperimentSpec frozen = spec;
+  for (std::size_t d = 0; d < plan.dataset_counts.size(); ++d) {
+    frozen.datasets[d].count = plan.dataset_counts[d];
+  }
+  return frozen;
+}
+
+std::string plan_hash_hex(const ExperimentSpec& spec, const CellPlan& plan) {
+  // Canonicalize through the JSON writer: insertion order is fixed below and
+  // doubles render in shortest round-trip form, so two specs hash equal iff
+  // their result-affecting fields are identical.
+  Json doc = Json::object();
+  doc.set("store", Json::string("saga-result-store v1"));
+  doc.set("name", Json::string(spec.name));
+  doc.set("mode", Json::string(std::string(to_string(spec.mode))));
+  doc.set("seed", Json::number(static_cast<double>(spec.seed)));
+  JsonArray roster;
+  for (const auto& name : plan.roster) roster.push_back(Json::string(name));
+  doc.set("schedulers", Json::array(std::move(roster)));
+  switch (spec.mode) {
+    case Mode::kBenchmark: {
+      JsonArray selections;
+      for (std::size_t d = 0; d < spec.datasets.size(); ++d) {
+        Json item = Json::object();
+        item.set("name", Json::string(spec.datasets[d].name));
+        item.set("count", Json::number(static_cast<double>(plan.dataset_counts[d])));
+        selections.push_back(std::move(item));
+      }
+      doc.set("datasets", Json::array(std::move(selections)));
+      break;
+    }
+    case Mode::kPisaPairwise: {
+      Json pisa = Json::object();
+      pisa.set("restarts", Json::number(static_cast<double>(spec.pisa.restarts)));
+      pisa.set("max_iterations", Json::number(static_cast<double>(spec.pisa.max_iterations)));
+      pisa.set("t_max", Json::number(spec.pisa.t_max));
+      pisa.set("t_min", Json::number(spec.pisa.t_min));
+      pisa.set("alpha", Json::number(spec.pisa.alpha));
+      pisa.set("acceptance", Json::string(spec.pisa.acceptance));
+      doc.set("pisa", std::move(pisa));
+      break;
+    }
+    case Mode::kSchedule: {
+      Json ref = Json::object();
+      if (!spec.instance.file.empty()) {
+        ref.set("file", Json::string(spec.instance.file));
+      } else {
+        ref.set("dataset", Json::string(spec.instance.dataset));
+        ref.set("index", Json::number(static_cast<double>(spec.instance.index)));
+      }
+      doc.set("instance", std::move(ref));
+      break;
+    }
+  }
+  doc.set("cells", Json::number(static_cast<double>(plan.cells.size())));
+  return hash_hex(fnv1a64(doc.dump()));
+}
+
+Shard parse_shard(std::string_view text) {
+  const auto parse_part = [&](std::string_view part) -> std::size_t {
+    if (part.empty()) throw std::invalid_argument("invalid shard '" + std::string(text) +
+                                                  "': expected i/N, e.g. 2/3");
+    std::size_t value = 0;
+    for (const char c : part) {
+      if (!std::isdigit(static_cast<unsigned char>(c)) || value > 100000) {
+        throw std::invalid_argument("invalid shard '" + std::string(text) +
+                                    "': expected i/N, e.g. 2/3");
+      }
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return value;
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw std::invalid_argument("invalid shard '" + std::string(text) +
+                                "': expected i/N, e.g. 2/3");
+  }
+  Shard shard;
+  shard.index = parse_part(text.substr(0, slash));
+  shard.count = parse_part(text.substr(slash + 1));
+  if (shard.index == 0 || shard.count == 0 || shard.index > shard.count) {
+    throw std::invalid_argument("invalid shard '" + std::string(text) +
+                                "': need 1 <= i <= N");
+  }
+  return shard;
+}
+
+}  // namespace saga::exp

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datasets/source.hpp"
+#include "exp/experiment.hpp"
+
+/// \file cells.hpp
+/// Deterministic decomposition of an ExperimentSpec into **work cells** —
+/// the unit of sharding, persistence, and resume. Every mode flattens into
+/// a stably-ordered list:
+///
+///   benchmark      one cell per (dataset selection, instance index): all
+///                  schedulers on that instance (the ratio baseline needs
+///                  the whole roster's makespans, so the roster stays
+///                  inside the cell)
+///   pisa-pairwise  one cell per ordered off-diagonal (baseline, target)
+///                  pair, row-major — the pairwise_compare work list
+///   schedule       one cell per roster entry
+///
+/// A cell's global index is its position in this enumeration and never
+/// depends on the shard decomposition; per-cell RNG streams derive from the
+/// same global coordinates the monolithic drivers use, so any shard split
+/// recombines bit-identically. `plan_hash_hex` fingerprints everything
+/// result-affecting (mode, seed, roster, dataset selections with their
+/// effective counts, instance ref, PISA settings, experiment name) so the
+/// result store can refuse to mix records from different experiments.
+
+namespace saga::exp {
+
+/// One unit of schedulable work. Only the coordinates for the spec's mode
+/// are meaningful (dataset/instance for benchmark, row/col for pisa,
+/// scheduler for schedule).
+struct WorkCell {
+  std::size_t index = 0;      // global index, stable across shard counts
+  std::string key;            // human-readable stable key (store messages)
+  std::size_t dataset = 0;    // benchmark: index into spec.datasets
+  std::size_t instance = 0;   // benchmark: instance index within the dataset
+  std::size_t row = 0;        // pisa: baseline scheduler (roster index)
+  std::size_t col = 0;        // pisa: target scheduler (roster index)
+  std::size_t scheduler = 0;  // schedule: roster index
+};
+
+/// The full decomposition of a spec: resolved roster, effective per-dataset
+/// counts (count 0 pinned via the SAGA_SCALE convention), the streaming
+/// sources (benchmark mode; generate() is pure and thread-safe, so workers
+/// share them), and the cell list.
+struct CellPlan {
+  std::vector<std::string> roster;
+  std::vector<std::size_t> dataset_counts;       // benchmark: one per selection
+  std::vector<datasets::InstanceSourcePtr> sources;  // benchmark: one per selection
+  std::vector<WorkCell> cells;
+};
+
+/// Enumerates the spec's cells. Deterministic: same spec (and SAGA_SCALE,
+/// for count-0 selections) yields the same plan, cell for cell.
+[[nodiscard]] CellPlan enumerate_cells(const ExperimentSpec& spec);
+
+/// Copy of `spec` with every dataset count pinned to its effective value,
+/// so the stored spec re-enumerates identically regardless of the
+/// SAGA_SCALE in effect at merge/resume time.
+[[nodiscard]] ExperimentSpec frozen_spec(const ExperimentSpec& spec, const CellPlan& plan);
+
+/// FNV-1a fingerprint (16 hex chars) of the plan's result-affecting fields.
+/// Execution knobs (parallel, threads) and output sinks (csv, json, atlas)
+/// are deliberately excluded: shards run with different thread counts or
+/// sink paths still merge.
+[[nodiscard]] std::string plan_hash_hex(const ExperimentSpec& spec, const CellPlan& plan);
+
+/// 1-based shard selector ("--shard i/N"). Shard i owns the cells with
+/// index ≡ i-1 (mod N), a round-robin partition: disjoint, covering, and
+/// balanced even when cell costs correlate with enumeration order.
+struct Shard {
+  std::size_t index = 1;
+  std::size_t count = 1;
+
+  [[nodiscard]] bool owns(std::size_t cell_index) const noexcept {
+    return cell_index % count == index - 1;
+  }
+};
+
+/// Parses "i/N" (1 <= i <= N). Throws std::invalid_argument on anything
+/// else, including zero, reversed, or trailing garbage.
+[[nodiscard]] Shard parse_shard(std::string_view text);
+
+}  // namespace saga::exp

@@ -11,17 +11,20 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/atlas.hpp"
 #include "analysis/csv.hpp"
 #include "analysis/ratio_matrix.hpp"
-#include "common/env.hpp"
 #include "common/nearest.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "datasets/registry.hpp"
+#include "exp/cells.hpp"
+#include "exp/resultstore.hpp"
 #include "graph/serialization.hpp"
 #include "sched/arena.hpp"
 #include "sched/registry.hpp"
+#include "sched/schedule_io.hpp"
 
 namespace saga::exp {
 
@@ -53,18 +56,6 @@ void check_keys(const Json& object, const std::vector<std::string>& allowed,
 /// names and bad parameters (with nearest-name suggestions) on the way.
 datasets::InstanceSourcePtr make_source(const std::string& spec_string, std::uint64_t seed) {
   return datasets::DatasetRegistry::instance().make(spec_string, seed);
-}
-
-/// The source's natural count scaled by SAGA_SCALE when the selection does
-/// not pin one (the Fig. 2 convention; floor 8).
-std::size_t effective_count(const DatasetSelection& selection,
-                            const datasets::InstanceSource& source) {
-  if (selection.count > 0) return selection.count;
-  return scaled_count(source.size(), 8);
-}
-
-std::size_t effective_count(const DatasetSelection& selection, std::uint64_t seed) {
-  return effective_count(selection, *make_source(selection.name, seed));
 }
 
 ProblemInstance load_instance_ref(const InstanceRef& ref, std::uint64_t seed) {
@@ -118,7 +109,7 @@ ExperimentSpec ExperimentSpec::from_json(const Json& json) {
   ExperimentSpec spec;
   check_keys(json,
              {"name", "mode", "schedulers", "datasets", "instance", "pisa", "seed",
-              "parallel", "threads", "csv"},
+              "parallel", "threads", "csv", "json", "atlas"},
              "experiment spec");
   if (const Json* v = json.find("name")) spec.name = v->as_string();
   if (const Json* v = json.find("mode")) spec.mode = mode_from_string(v->as_string());
@@ -172,6 +163,8 @@ ExperimentSpec ExperimentSpec::from_json(const Json& json) {
   if (const Json* v = json.find("parallel")) spec.parallel = v->as_bool();
   if (const Json* v = json.find("threads")) spec.threads = to_size(*v, "'threads'");
   if (const Json* v = json.find("csv")) spec.csv = v->as_string();
+  if (const Json* v = json.find("json")) spec.json = v->as_string();
+  if (const Json* v = json.find("atlas")) spec.atlas = v->as_string();
   return spec;
 }
 
@@ -218,6 +211,8 @@ Json ExperimentSpec::to_json() const {
   json.set("parallel", Json::boolean(parallel));
   if (threads > 0) json.set("threads", Json::number(static_cast<double>(threads)));
   if (!csv.empty()) json.set("csv", Json::string(csv));
+  if (!this->json.empty()) json.set("json", Json::string(this->json));
+  if (!atlas.empty()) json.set("atlas", Json::string(atlas));
   return json;
 }
 
@@ -278,6 +273,10 @@ void ExperimentSpec::validate() const {
     throw std::invalid_argument("pisa alpha must lie in (0, 1)");
   }
   (void)pisa.to_options();  // diagnoses the acceptance rule
+  if (!atlas.empty() && mode != Mode::kPisaPairwise) {
+    throw std::invalid_argument(
+        "the 'atlas' sink publishes adversarial instances and needs pisa-pairwise mode");
+  }
   switch (mode) {
     case Mode::kBenchmark:
       if (datasets.empty()) {
@@ -303,37 +302,146 @@ void ExperimentSpec::validate() const {
   }
 }
 
-ExperimentResult run_experiment(const ExperimentSpec& spec, std::ostream& out) {
-  spec.validate();
-  const auto roster = spec.resolved_schedulers();
+namespace {
 
-  // parallel == false wins over threads: everything runs on one worker.
-  // Otherwise threads > 0 runs on a local pool of that size. Results are
-  // bit-identical either way — every work item derives its own RNG stream.
-  std::optional<ThreadPool> local_pool;
-  if (!spec.parallel) {
-    local_pool.emplace(1);
-  } else if (spec.threads > 0) {
-    local_pool.emplace(spec.threads);
-  }
-  ThreadPool* pool = local_pool ? &*local_pool : nullptr;
-
-  ExperimentResult result;
+/// Computes one work cell's payload. Seeds derive from the cell's *global*
+/// coordinates — exactly the streams the historical monolithic drivers used
+/// — so results are bit-identical for any shard decomposition and any
+/// thread count.
+Json execute_cell(const ExperimentSpec& spec, const CellPlan& plan, const WorkCell& cell,
+                  const pisa::PisaOptions& pisa_options,
+                  const ProblemInstance& schedule_instance, TimelineArena& arena) {
+  Json payload = Json::object();
   switch (spec.mode) {
     case Mode::kBenchmark: {
-      for (const auto& selection : spec.datasets) {
-        // Streaming: workers pull instances straight from the source, so the
-        // dataset is never materialized (bit-identical to the eager path).
-        const auto source = make_source(selection.name, spec.seed);
-        const std::size_t count = effective_count(selection, *source);
-        const auto start = std::chrono::steady_clock::now();
-        result.benchmarks.push_back(
-            analysis::benchmark_source(*source, selection.name, count, roster, spec.seed, pool));
-        const double seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-        out << "  " << selection.name << ": " << count << " instances, "
-            << format_fixed(seconds, 2) << "s\n";
+      // Streaming: the worker pulls its instance straight from the shared
+      // source (generate() is pure and thread-safe).
+      const ProblemInstance inst = plan.sources[cell.dataset]->generate(cell.instance);
+      JsonArray makespans;
+      for (std::size_t s = 0; s < plan.roster.size(); ++s) {
+        const auto scheduler = make_scheduler(
+            plan.roster[s], derive_seed(spec.seed, {0xbe5cULL, s, cell.instance}));
+        makespans.push_back(encode_double(scheduler->schedule(inst, &arena).makespan()));
       }
+      payload.set("makespans", Json::array(std::move(makespans)));
+      break;
+    }
+    case Mode::kPisaPairwise: {
+      const pisa::CellSeeds seeds = pisa::pairwise_cell_seeds(spec.seed, cell.row, cell.col);
+      const auto baseline = make_scheduler(plan.roster[cell.row], seeds.baseline);
+      const auto target = make_scheduler(plan.roster[cell.col], seeds.target);
+      auto cell_result =
+          pisa::run_pisa(*target, *baseline, pisa_options, seeds.anneal, &arena);
+      payload.set("ratio", encode_double(cell_result.best_ratio));
+      payload.set("instance", Json::string(instance_to_string(cell_result.best_instance)));
+      break;
+    }
+    case Mode::kSchedule: {
+      const auto scheduler = SchedulerRegistry::instance().make(
+          plan.roster[cell.scheduler], derive_seed(spec.seed, {0x5c7ed01eULL, cell.scheduler}));
+      const Schedule schedule = scheduler->schedule(schedule_instance, &arena);
+      payload.set("makespan", encode_double(schedule.makespan()));
+      payload.set("schedule", Json::string(schedule_to_string(schedule)));
+      break;
+    }
+  }
+  return payload;
+}
+
+}  // namespace
+
+std::string annotate_scheduler_seed(const std::string& spec_string,
+                                    std::uint64_t derived_seed) {
+  SchedulerSpec spec = parse_scheduler_spec(spec_string);
+  const SchedulerDesc& desc = SchedulerRegistry::instance().resolve(spec.name);
+  if (!desc.randomized || spec.find("seed") != nullptr) return spec_string;
+  spec.params.emplace_back("seed", std::to_string(derived_seed));
+  return spec.to_string();
+}
+
+Json result_to_json(const ExperimentSpec& spec, const ExperimentResult& result) {
+  Json doc = Json::object();
+  if (!spec.name.empty()) doc.set("name", Json::string(spec.name));
+  doc.set("mode", Json::string(std::string(to_string(spec.mode))));
+  doc.set("seed", Json::number(static_cast<double>(spec.seed)));
+  const auto roster = spec.resolved_schedulers();
+  JsonArray roster_items;
+  for (const auto& name : roster) roster_items.push_back(Json::string(name));
+  doc.set("schedulers", Json::array(std::move(roster_items)));
+  switch (spec.mode) {
+    case Mode::kBenchmark: {
+      JsonArray benchmarks;
+      for (const auto& benchmark : result.benchmarks) {
+        Json entry = Json::object();
+        entry.set("dataset", Json::string(benchmark.dataset));
+        JsonArray per_scheduler;
+        for (const auto& sb : benchmark.per_scheduler) {
+          Json item = Json::object();
+          item.set("scheduler", Json::string(sb.scheduler));
+          Json summary = Json::object();
+          summary.set("count", Json::number(static_cast<double>(sb.summary.count)));
+          summary.set("min", encode_double(sb.summary.min));
+          summary.set("q1", encode_double(sb.summary.q1));
+          summary.set("median", encode_double(sb.summary.median));
+          summary.set("q3", encode_double(sb.summary.q3));
+          summary.set("max", encode_double(sb.summary.max));
+          summary.set("mean", encode_double(sb.summary.mean));
+          summary.set("stddev", encode_double(sb.summary.stddev));
+          item.set("summary", std::move(summary));
+          JsonArray ratios;
+          for (const double ratio : sb.ratios) ratios.push_back(encode_double(ratio));
+          item.set("ratios", Json::array(std::move(ratios)));
+          per_scheduler.push_back(std::move(item));
+        }
+        entry.set("per_scheduler", Json::array(std::move(per_scheduler)));
+        benchmarks.push_back(std::move(entry));
+      }
+      doc.set("benchmarks", Json::array(std::move(benchmarks)));
+      break;
+    }
+    case Mode::kPisaPairwise: {
+      Json section = Json::object();
+      JsonArray rows;
+      for (std::size_t row = 0; row < result.pairwise.ratio.size(); ++row) {
+        JsonArray cols;
+        for (std::size_t col = 0; col < result.pairwise.ratio[row].size(); ++col) {
+          cols.push_back(row == col ? Json()  // diagonal: null, not NaN
+                                    : encode_double(result.pairwise.ratio[row][col]));
+        }
+        rows.push_back(Json::array(std::move(cols)));
+      }
+      section.set("ratio", Json::array(std::move(rows)));
+      JsonArray worst;
+      for (const double w : result.pairwise.worst_per_target()) {
+        worst.push_back(encode_double(w));
+      }
+      section.set("worst", Json::array(std::move(worst)));
+      doc.set("pairwise", std::move(section));
+      break;
+    }
+    case Mode::kSchedule: {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& outcome : result.schedules) best = std::min(best, outcome.makespan);
+      JsonArray items;
+      for (const auto& outcome : result.schedules) {
+        Json item = Json::object();
+        item.set("scheduler", Json::string(outcome.scheduler));
+        item.set("makespan", encode_double(outcome.makespan));
+        item.set("ratio", encode_double(best > 0.0 ? outcome.makespan / best : 1.0));
+        items.push_back(std::move(item));
+      }
+      doc.set("schedules", Json::array(std::move(items)));
+      break;
+    }
+  }
+  return doc;
+}
+
+void emit_result(const ExperimentSpec& spec, const ExperimentResult& result,
+                 std::ostream& out) {
+  const auto roster = spec.resolved_schedulers();
+  switch (spec.mode) {
+    case Mode::kBenchmark: {
       const std::string title =
           spec.name.empty() ? "Benchmarking grid (max makespan ratio per dataset)" : spec.name;
       out << "\n" << analysis::benchmarking_table(result.benchmarks, roster, title).render()
@@ -347,11 +455,6 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, std::ostream& out) {
       break;
     }
     case Mode::kPisaPairwise: {
-      pisa::PairwiseOptions options;
-      options.pisa = spec.pisa.to_options();
-      options.parallel = spec.parallel;
-      options.pool = pool;
-      result.pairwise = pisa::pairwise_compare(roster, options, spec.seed);
       const std::string title =
           spec.name.empty() ? "PISA pairwise grid (worst-case ratio of column vs row)"
                             : spec.name;
@@ -362,22 +465,32 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, std::ostream& out) {
         analysis::write_pairwise_csv(csv_out, result.pairwise);
         out << "wrote " << spec.csv << "\n";
       }
+      if (!spec.atlas.empty()) {
+        // Every finite cell becomes an atlas entry; randomized schedulers'
+        // spec strings are annotated with their derived per-cell seed so
+        // `saga atlas-verify` replays them exactly.
+        analysis::Atlas atlas;
+        for (std::size_t row = 0; row < roster.size(); ++row) {
+          for (std::size_t col = 0; col < roster.size(); ++col) {
+            if (row == col || !std::isfinite(result.pairwise.ratio[row][col])) continue;
+            const pisa::CellSeeds seeds = pisa::pairwise_cell_seeds(spec.seed, row, col);
+            analysis::AtlasEntry entry;
+            entry.target = annotate_scheduler_seed(roster[col], seeds.target);
+            entry.baseline = annotate_scheduler_seed(roster[row], seeds.baseline);
+            entry.ratio = result.pairwise.ratio[row][col];
+            entry.seed = spec.seed;
+            entry.instance = result.pairwise.best_instance[row][col];
+            atlas.add(std::move(entry));
+          }
+        }
+        const auto written = atlas.save(spec.atlas);
+        out << "wrote " << written.size() << " atlas entries to " << spec.atlas << "\n";
+      }
       break;
     }
     case Mode::kSchedule: {
-      result.instance = load_instance_ref(spec.instance, spec.seed);
-      TimelineArena arena;
       double best = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < roster.size(); ++i) {
-        const auto scheduler = SchedulerRegistry::instance().make(
-            roster[i], derive_seed(spec.seed, {0x5c7ed01eULL, i}));
-        ScheduleOutcome outcome;
-        outcome.scheduler = roster[i];
-        outcome.schedule = scheduler->schedule(result.instance, &arena);
-        outcome.makespan = outcome.schedule.makespan();
-        best = std::min(best, outcome.makespan);
-        result.schedules.push_back(std::move(outcome));
-      }
+      for (const auto& outcome : result.schedules) best = std::min(best, outcome.makespan);
       Table table(spec.name.empty() ? "Makespans side by side" : spec.name,
                   {"makespan", "ratio"});
       for (const auto& outcome : result.schedules) {
@@ -389,15 +502,154 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, std::ostream& out) {
       if (!spec.csv.empty()) {
         std::ofstream csv_out(spec.csv);
         if (!csv_out) throw std::runtime_error("cannot open csv sink " + spec.csv);
-        csv_out << "scheduler,makespan,ratio\n";
+        std::vector<std::pair<std::string, double>> makespans;
         for (const auto& outcome : result.schedules) {
-          csv_out << outcome.scheduler << ',' << outcome.makespan << ','
-                  << (best > 0.0 ? outcome.makespan / best : 1.0) << '\n';
+          makespans.emplace_back(outcome.scheduler, outcome.makespan);
         }
+        analysis::write_schedule_csv(csv_out, makespans);
         out << "wrote " << spec.csv << "\n";
       }
       break;
     }
+  }
+  if (!spec.json.empty()) {
+    std::ofstream json_out(spec.json);
+    if (!json_out) throw std::runtime_error("cannot open json sink " + spec.json);
+    json_out << result_to_json(spec, result).dump(2) << "\n";
+    out << "wrote " << spec.json << "\n";
+  }
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec, std::ostream& out) {
+  return run_experiment(spec, out, RunOptions{});
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec, std::ostream& out,
+                                const RunOptions& options) {
+  spec.validate();
+  if (options.shard_index == 0 || options.shard_count == 0 ||
+      options.shard_index > options.shard_count) {
+    throw std::invalid_argument("shard selection must satisfy 1 <= index <= count");
+  }
+  if (options.shard_count > 1 && options.out_dir.empty()) {
+    throw std::invalid_argument(
+        "a sharded run needs an --out result store, or its cells are lost");
+  }
+  if (options.resume && options.out_dir.empty()) {
+    throw std::invalid_argument("--resume needs the --out result store to resume from");
+  }
+
+  const CellPlan plan = enumerate_cells(spec);
+  const std::string hash = plan_hash_hex(spec, plan);
+  const Shard shard{options.shard_index, options.shard_count};
+
+  // Worker selection: an explicit pool wins; otherwise parallel == false
+  // runs on one worker and threads > 0 on a local pool of that size.
+  // Results are bit-identical either way — every cell derives its own RNG
+  // streams from its global coordinates.
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    if (!spec.parallel) {
+      local_pool.emplace(1);
+    } else if (spec.threads > 0) {
+      local_pool.emplace(spec.threads);
+    }
+    pool = local_pool ? &*local_pool : &global_pool();
+  }
+
+  RunStats stats;
+  stats.total_cells = plan.cells.size();
+  std::optional<ResultStore> store;
+  std::vector<Json> payloads(plan.cells.size());  // null = not yet computed
+  if (!options.out_dir.empty()) {
+    store.emplace(options.out_dir);
+    store->initialize(frozen_spec(spec, plan), hash);
+    if (options.resume) {
+      auto scan = store->scan(plan, hash);
+      stats.torn = scan.torn.size();
+      stats.reused = scan.records.size();
+      for (auto& [index, record] : scan.records) payloads[index] = std::move(record.payload);
+    }
+  }
+
+  std::vector<std::size_t> work;
+  for (const WorkCell& cell : plan.cells) {
+    if (shard.owns(cell.index) && payloads[cell.index].is_null()) work.push_back(cell.index);
+  }
+
+  // Schedule mode reads its instance exactly once ("-" composes with
+  // pipes); the workers share the loaded copy.
+  ProblemInstance schedule_instance;
+  if (spec.mode == Mode::kSchedule) {
+    schedule_instance = load_instance_ref(spec.instance, spec.seed);
+  }
+  const pisa::PisaOptions pisa_options =
+      spec.mode == Mode::kPisaPairwise ? spec.pisa.to_options() : pisa::PisaOptions{};
+
+  const auto start = std::chrono::steady_clock::now();
+  pool->parallel_for(work.size(), [&](std::size_t k) {
+    // One evaluation arena per worker thread, recycled across its cells.
+    thread_local TimelineArena arena;
+    const WorkCell& cell = plan.cells[work[k]];
+    const auto cell_start = std::chrono::steady_clock::now();
+    Json payload = execute_cell(spec, plan, cell, pisa_options, schedule_instance, arena);
+    if (store) {
+      CellRecord record;
+      record.spec_hash = hash;
+      record.index = cell.index;
+      record.key = cell.key;
+      record.seed = spec.seed;
+      record.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - cell_start)
+                           .count();
+      record.payload = payload;
+      store->write_cell(record);
+    }
+    payloads[cell.index] = std::move(payload);  // distinct slots: no race
+  });
+  stats.executed = work.size();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  if (store) {
+    out << "store " << store->dir().string() << ": ran " << stats.executed << " of "
+        << stats.total_cells << " cells";
+    if (options.shard_count > 1) {
+      out << " (shard " << options.shard_index << "/" << options.shard_count << ")";
+    }
+    if (stats.reused > 0) out << ", " << stats.reused << " reused";
+    if (stats.torn > 0) out << ", " << stats.torn << " torn record(s) discarded";
+    out << ", " << format_fixed(seconds, 2) << "s\n";
+  }
+
+  bool complete = true;
+  for (const Json& payload : payloads) {
+    if (payload.is_null()) {
+      complete = false;
+      break;
+    }
+  }
+
+  ExperimentResult result;
+  if (complete) {
+    result = assemble_result(spec, plan, payloads);
+    result.instance = std::move(schedule_instance);
+    stats.complete = true;
+    result.stats = stats;
+    if (spec.mode == Mode::kBenchmark) {
+      for (std::size_t d = 0; d < plan.dataset_counts.size(); ++d) {
+        out << "  " << spec.datasets[d].name << ": " << plan.dataset_counts[d]
+            << " instances\n";
+      }
+    }
+    emit_result(spec, result, out);
+  } else {
+    result.stats = stats;
+    std::size_t outstanding = 0;
+    for (const Json& payload : payloads) outstanding += payload.is_null() ? 1 : 0;
+    out << "partial run: " << outstanding
+        << " cells outstanding; combine the shards with `saga merge`\n";
   }
   return result;
 }
@@ -442,12 +694,14 @@ std::string describe(const ExperimentSpec& spec) {
   std::ostringstream out;
   out << "experiment" << (spec.name.empty() ? "" : " '" + spec.name + "'") << ": mode "
       << to_string(spec.mode) << "\n";
-  const auto roster = spec.resolved_schedulers();
-  out << "  schedulers (" << roster.size() << "): " << join(roster, ", ") << "\n";
+  // One enumeration serves the dataset counts and the cell total, so the
+  // dry-run plan is by construction the plan the executor runs and hashes.
+  const CellPlan plan = enumerate_cells(spec);
+  out << "  schedulers (" << plan.roster.size() << "): " << join(plan.roster, ", ") << "\n";
   if (spec.mode == Mode::kBenchmark) {
     out << "  datasets (" << spec.datasets.size() << "):";
-    for (const auto& selection : spec.datasets) {
-      out << " " << selection.name << " x" << effective_count(selection, spec.seed);
+    for (std::size_t d = 0; d < spec.datasets.size(); ++d) {
+      out << " " << spec.datasets[d].name << " x" << plan.dataset_counts[d];
     }
     out << "\n";
   }
@@ -465,11 +719,14 @@ std::string describe(const ExperimentSpec& spec) {
     }
     out << "\n";
   }
+  out << "  cells: " << plan.cells.size() << " (shardable with --shard i/N)\n";
   out << "  seed " << spec.seed << ", "
       << (spec.parallel ? (spec.threads > 0 ? std::to_string(spec.threads) + " threads"
                                             : std::string("global thread pool"))
                         : std::string("serial"))
-      << (spec.csv.empty() ? "" : ", csv -> " + spec.csv) << "\n";
+      << (spec.csv.empty() ? "" : ", csv -> " + spec.csv)
+      << (spec.json.empty() ? "" : ", json -> " + spec.json)
+      << (spec.atlas.empty() ? "" : ", atlas -> " + spec.atlas) << "\n";
   return out.str();
 }
 

@@ -82,6 +82,9 @@ struct ExperimentSpec {
   bool parallel = true;
   std::size_t threads = 0;                 // worker threads; 0 = global pool
   std::string csv;                         // optional CSV sink path
+  std::string json;                        // optional JSON result sink path
+  std::string atlas;                       // optional atlas dir (pisa mode):
+                                           // adversarial instances as entries
 
   /// JSON round-trip. from_json rejects unknown keys at every level (with a
   /// nearest-key suggestion), duplicate keys are rejected by the parser.
@@ -108,16 +111,73 @@ struct ScheduleOutcome {
   double makespan = 0.0;
 };
 
+/// What a (possibly sharded or resumed) run actually did, cell by cell.
+struct RunStats {
+  std::size_t total_cells = 0;  // full grid size for the spec
+  std::size_t executed = 0;     // cells computed by this run
+  std::size_t reused = 0;       // cells loaded from the result store (--resume)
+  std::size_t torn = 0;         // torn store records discarded (and re-run
+                                // when owned by this shard)
+  bool complete = false;        // every cell present -> artifacts emitted
+};
+
 struct ExperimentResult {
   std::vector<analysis::DatasetBenchmark> benchmarks;  // benchmark mode
   pisa::PairwiseResult pairwise;                       // pisa-pairwise mode
   std::vector<ScheduleOutcome> schedules;              // schedule mode
   ProblemInstance instance;                            // schedule-mode input
+  RunStats stats;
+};
+
+/// Execution options for run_experiment: shard selection, result-store
+/// persistence, crash resume. The defaults reproduce the historical
+/// monolithic in-process run.
+struct RunOptions {
+  /// 1-based shard selector: shard i of N owns the cells whose global index
+  /// is congruent to i-1 mod N (round-robin, so heterogeneous cells spread
+  /// evenly). N > 1 requires `out_dir` — a partial run is useless unless its
+  /// cells are persisted for `saga merge`.
+  std::size_t shard_index = 1;
+  std::size_t shard_count = 1;
+  /// Result-store directory: every completed cell is written as a JSONL
+  /// record via atomic write-then-rename. Empty = no store.
+  std::string out_dir;
+  /// Skip cells already completed in `out_dir`; torn (truncated) records are
+  /// discarded and their cells re-run.
+  bool resume = false;
+  /// Worker pool override (tests / embedders). When set it wins over
+  /// spec.parallel and spec.threads.
+  ThreadPool* pool = nullptr;
 };
 
 /// Validates and runs the experiment, rendering result tables and progress
 /// to `out` and the CSV sink when spec.csv is set.
 ExperimentResult run_experiment(const ExperimentSpec& spec, std::ostream& out);
+
+/// Sharded / persistent / resumable variant. Cells keep their global index
+/// and derived seeds regardless of sharding, so any shard decomposition
+/// (merged back with `saga merge` / merge_stores) is bit-identical to the
+/// monolithic run. Artifacts (tables, csv/json/atlas sinks) are emitted only
+/// when the run covers every cell.
+ExperimentResult run_experiment(const ExperimentSpec& spec, std::ostream& out,
+                                const RunOptions& options);
+
+/// Renders result tables to `out` and writes the spec's csv/json/atlas
+/// sinks. Shared by the monolithic path and `saga merge`, so merged shards
+/// reproduce the monolithic artifacts byte for byte.
+void emit_result(const ExperimentSpec& spec, const ExperimentResult& result, std::ostream& out);
+
+/// Structured JSON rendering of a result (the `json` sink's content):
+/// per-dataset ratio summaries, the pairwise ratio grid, or the schedule
+/// makespans, plus the resolved roster. Non-finite numbers render as
+/// strings ("inf", "nan") to stay within strict JSON.
+[[nodiscard]] Json result_to_json(const ExperimentSpec& spec, const ExperimentResult& result);
+
+/// Appends `seed=<derived>` to a randomized scheduler's spec string so a
+/// stored artifact (atlas entry) reconstructs the exact scheduler a driver
+/// ran; deterministic schedulers round-trip unchanged.
+[[nodiscard]] std::string annotate_scheduler_seed(const std::string& spec_string,
+                                                  std::uint64_t derived_seed);
 
 /// Reads and parses a spec file ("-" = stdin) into its JSON document
 /// without interpreting it, so callers can apply overrides before

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/cells.hpp"
+#include "exp/experiment.hpp"
+#include "exp/json.hpp"
+
+/// \file resultstore.hpp
+/// The structured on-disk result store behind `saga run --out/--resume` and
+/// `saga merge`. Layout:
+///
+///   <dir>/spec.json                  the frozen experiment spec (dataset
+///                                    counts pinned) — itself a runnable
+///                                    `saga run` input
+///   <dir>/cells/c<index>.jsonl       one self-describing JSONL record per
+///                                    completed cell, e.g.
+///     {"v": 1, "spec": "<16-hex hash>", "cell": 7, "key": "bench:0:blast[7]",
+///      "seed": 42, "wall_ms": 3.25, "payload": {...}}
+///
+/// Records are written to a temp file and atomically renamed into place, so
+/// a crash never leaves a half-written record under its final name; a
+/// truncated (torn) record — however it got that way — fails to parse and
+/// is discarded on scan, and `--resume` re-runs just that cell. Merging
+/// recombines any complete shard decomposition into the exact artifacts the
+/// monolithic run emits, refusing loudly on missing cells, torn records,
+/// spec-hash mismatches, or conflicting duplicates.
+
+namespace saga::exp {
+
+/// One completed cell, as persisted in a store record.
+struct CellRecord {
+  std::string spec_hash;  // plan_hash_hex of the owning experiment
+  std::size_t index = 0;  // global cell index
+  std::string key;        // WorkCell::key (cross-checked on scan)
+  std::uint64_t seed = 0; // the spec's master seed
+  double wall_ms = 0.0;   // cell wall time (informational; never merged)
+  Json payload;           // mode-specific result payload
+};
+
+class ResultStore {
+ public:
+  explicit ResultStore(std::filesystem::path dir);
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+
+  /// Creates the store layout and writes `spec.json` (atomically) if absent.
+  /// If the directory already holds a spec, its plan hash must equal
+  /// `spec_hash` — a mismatch throws rather than mixing experiments.
+  void initialize(const ExperimentSpec& frozen, const std::string& spec_hash);
+
+  /// Loads the stored spec; throws when `dir` is not a result store.
+  [[nodiscard]] ExperimentSpec load_spec() const;
+
+  struct Scan {
+    std::map<std::size_t, CellRecord> records;  // valid records by cell index
+    std::vector<std::filesystem::path> torn;    // truncated/unparsable records
+  };
+
+  /// Reads every cell record. Torn records are collected, not thrown;
+  /// well-formed records from a different experiment (hash or key mismatch)
+  /// throw.
+  [[nodiscard]] Scan scan(const CellPlan& plan, const std::string& expected_hash) const;
+
+  /// Persists one record via write-to-temp + atomic rename. Safe to call
+  /// concurrently for distinct cells.
+  void write_cell(const CellRecord& record) const;
+
+ private:
+  std::filesystem::path dir_;
+  std::filesystem::path cells_dir_;
+};
+
+/// Payload-safe double encoding: finite values are JSON numbers (shortest
+/// round-trip form, bit-exact through parse), non-finite values are the
+/// strings "inf" / "-inf" / "nan" so records stay strict JSON.
+[[nodiscard]] Json encode_double(double value);
+[[nodiscard]] double decode_double(const Json& json, const std::string& context);
+
+/// Rebuilds the full ExperimentResult from a complete payload set (indexed
+/// by global cell index; a null Json marks a missing payload, which throws).
+/// This is the single assembly path shared by the monolithic run, resume,
+/// and merge — the reason they are bit-identical.
+[[nodiscard]] ExperimentResult assemble_result(const ExperimentSpec& spec, const CellPlan& plan,
+                                               const std::vector<Json>& payloads);
+
+struct MergedRun {
+  ExperimentSpec spec;  // the stores' frozen spec
+  ExperimentResult result;
+};
+
+/// Merges one or more result stores covering the same experiment. Throws
+/// std::runtime_error naming the offender on: spec hash mismatch between
+/// stores, missing cells, torn records, or duplicate cells with differing
+/// payloads (identical duplicates — overlapping shards — are fine).
+[[nodiscard]] MergedRun merge_stores(const std::vector<std::filesystem::path>& dirs);
+
+}  // namespace saga::exp

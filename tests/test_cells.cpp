@@ -1,0 +1,209 @@
+// Cell enumeration and sharding: every (mode, spec) must decompose into a
+// stable, deterministic work-cell list whose global indices never depend on
+// the shard count, and whose round-robin shards form a true partition
+// (disjoint and covering) for every N. The plan hash must fingerprint
+// exactly the result-affecting fields — execution knobs and sinks excluded.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "exp/cells.hpp"
+#include "exp/experiment.hpp"
+
+namespace {
+
+using namespace saga;
+using exp::CellPlan;
+using exp::ExperimentSpec;
+using exp::Mode;
+using exp::Shard;
+
+ExperimentSpec benchmark_spec() {
+  ExperimentSpec spec;
+  spec.mode = Mode::kBenchmark;
+  spec.schedulers = {"HEFT", "CPoP"};
+  spec.datasets = {{"blast", 3}, {"chains", 2}, {"blast", 2}};  // duplicate name on purpose
+  spec.seed = 42;
+  return spec;
+}
+
+ExperimentSpec pisa_spec() {
+  ExperimentSpec spec;
+  spec.mode = Mode::kPisaPairwise;
+  spec.schedulers = {"HEFT", "CPoP", "MinMin"};
+  spec.seed = 42;
+  return spec;
+}
+
+ExperimentSpec schedule_spec() {
+  ExperimentSpec spec;
+  spec.mode = Mode::kSchedule;
+  spec.schedulers = {"HEFT", "CPoP", "MinMin", "MaxMin"};
+  spec.instance.dataset = "blast";
+  spec.seed = 42;
+  return spec;
+}
+
+/// The partition property: for every shard count N, each cell is owned by
+/// exactly one shard, and the shards together cover the whole grid.
+void expect_partition(const CellPlan& plan) {
+  for (std::size_t n = 1; n <= 8; ++n) {
+    std::vector<std::size_t> owners(plan.cells.size(), 0);
+    for (std::size_t i = 1; i <= n; ++i) {
+      const Shard shard{i, n};
+      for (const auto& cell : plan.cells) {
+        if (shard.owns(cell.index)) ++owners[cell.index];
+      }
+    }
+    for (std::size_t c = 0; c < owners.size(); ++c) {
+      EXPECT_EQ(owners[c], 1u) << "cell " << c << " with " << n << " shards";
+    }
+  }
+}
+
+TEST(CellEnumeration, BenchmarkFlattensDatasetsInOrder) {
+  const CellPlan plan = exp::enumerate_cells(benchmark_spec());
+  ASSERT_EQ(plan.cells.size(), 7u);  // 3 + 2 + 2
+  ASSERT_EQ(plan.dataset_counts, (std::vector<std::size_t>{3, 2, 2}));
+  ASSERT_EQ(plan.sources.size(), 3u);
+  std::set<std::string> keys;
+  for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+    EXPECT_EQ(plan.cells[c].index, c);  // global index == enumeration position
+    keys.insert(plan.cells[c].key);
+  }
+  EXPECT_EQ(keys.size(), plan.cells.size()) << "cell keys must be unique";
+  // Dataset-major, instance-minor, in spec order.
+  EXPECT_EQ(plan.cells[0].dataset, 0u);
+  EXPECT_EQ(plan.cells[0].instance, 0u);
+  EXPECT_EQ(plan.cells[2].instance, 2u);
+  EXPECT_EQ(plan.cells[3].dataset, 1u);
+  EXPECT_EQ(plan.cells[3].instance, 0u);
+  EXPECT_EQ(plan.cells[5].dataset, 2u);
+}
+
+TEST(CellEnumeration, PisaMatchesThePairwiseWorkListOrder) {
+  const CellPlan plan = exp::enumerate_cells(pisa_spec());
+  const std::size_t n = 3;
+  ASSERT_EQ(plan.cells.size(), n * (n - 1));
+  std::size_t c = 0;
+  for (std::size_t row = 0; row < n; ++row) {
+    for (std::size_t col = 0; col < n; ++col) {
+      if (row == col) continue;
+      EXPECT_EQ(plan.cells[c].row, row);
+      EXPECT_EQ(plan.cells[c].col, col);
+      EXPECT_EQ(plan.cells[c].index, c);
+      ++c;
+    }
+  }
+}
+
+TEST(CellEnumeration, ScheduleYieldsOneCellPerRosterEntry) {
+  const CellPlan plan = exp::enumerate_cells(schedule_spec());
+  ASSERT_EQ(plan.cells.size(), 4u);
+  for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+    EXPECT_EQ(plan.cells[c].scheduler, c);
+  }
+}
+
+TEST(CellEnumeration, StableUnderReenumeration) {
+  for (const auto& spec : {benchmark_spec(), pisa_spec(), schedule_spec()}) {
+    const CellPlan a = exp::enumerate_cells(spec);
+    const CellPlan b = exp::enumerate_cells(spec);
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (std::size_t c = 0; c < a.cells.size(); ++c) {
+      EXPECT_EQ(a.cells[c].key, b.cells[c].key);
+      EXPECT_EQ(a.cells[c].index, b.cells[c].index);
+    }
+    EXPECT_EQ(exp::plan_hash_hex(spec, a), exp::plan_hash_hex(spec, b));
+  }
+}
+
+TEST(CellEnumeration, ShardsPartitionEveryMode) {
+  expect_partition(exp::enumerate_cells(benchmark_spec()));
+  expect_partition(exp::enumerate_cells(pisa_spec()));
+  expect_partition(exp::enumerate_cells(schedule_spec()));
+}
+
+TEST(CellEnumeration, FuzzedBenchmarkSpecsKeepThePartitionInvariants) {
+  Rng rng(20260729);
+  const std::vector<std::string> names = {"blast", "chains", "montage?n=10&ccr=1",
+                                          "in_trees"};
+  for (int round = 0; round < 25; ++round) {
+    ExperimentSpec spec;
+    spec.mode = Mode::kBenchmark;
+    spec.schedulers = {"HEFT", "CPoP"};
+    spec.seed = static_cast<std::uint64_t>(rng.uniform_int(0, 1000));
+    const std::size_t n_datasets = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    for (std::size_t d = 0; d < n_datasets; ++d) {
+      spec.datasets.push_back({names[rng.index(names.size())],
+                               static_cast<std::size_t>(rng.uniform_int(1, 9))});
+    }
+    const CellPlan plan = exp::enumerate_cells(spec);
+    std::size_t expected = 0;
+    for (const auto& selection : spec.datasets) expected += selection.count;
+    ASSERT_EQ(plan.cells.size(), expected);
+    std::set<std::string> keys;
+    for (const auto& cell : plan.cells) keys.insert(cell.key);
+    EXPECT_EQ(keys.size(), plan.cells.size());
+    expect_partition(plan);
+  }
+}
+
+TEST(PlanHash, CoversResultAffectingFieldsOnly) {
+  const ExperimentSpec base = benchmark_spec();
+  const std::string base_hash = exp::plan_hash_hex(base, exp::enumerate_cells(base));
+
+  // Execution knobs and sinks must not change the hash: shards run with
+  // different thread counts / sink paths still merge.
+  ExperimentSpec tweaked = base;
+  tweaked.parallel = false;
+  tweaked.threads = 7;
+  tweaked.csv = "a.csv";
+  tweaked.json = "b.json";
+  EXPECT_EQ(exp::plan_hash_hex(tweaked, exp::enumerate_cells(tweaked)), base_hash);
+
+  ExperimentSpec seeded = base;
+  seeded.seed = 43;
+  EXPECT_NE(exp::plan_hash_hex(seeded, exp::enumerate_cells(seeded)), base_hash);
+
+  ExperimentSpec counted = base;
+  counted.datasets[0].count = 4;
+  EXPECT_NE(exp::plan_hash_hex(counted, exp::enumerate_cells(counted)), base_hash);
+
+  ExperimentSpec rostered = base;
+  rostered.schedulers.push_back("MinMin");
+  EXPECT_NE(exp::plan_hash_hex(rostered, exp::enumerate_cells(rostered)), base_hash);
+
+  // The name titles the artifacts, so it is result-affecting too.
+  ExperimentSpec renamed = base;
+  renamed.name = "other";
+  EXPECT_NE(exp::plan_hash_hex(renamed, exp::enumerate_cells(renamed)), base_hash);
+}
+
+TEST(PlanHash, FrozenSpecPinsEffectiveCounts) {
+  ExperimentSpec spec = benchmark_spec();
+  spec.datasets[1].count = 0;  // natural count scaled by SAGA_SCALE
+  const CellPlan plan = exp::enumerate_cells(spec);
+  const ExperimentSpec frozen = exp::frozen_spec(spec, plan);
+  EXPECT_GT(frozen.datasets[1].count, 0u);
+  EXPECT_EQ(frozen.datasets[1].count, plan.dataset_counts[1]);
+  // Freezing is idempotent and hash-preserving.
+  const CellPlan refrozen = exp::enumerate_cells(frozen);
+  EXPECT_EQ(exp::plan_hash_hex(frozen, refrozen), exp::plan_hash_hex(spec, plan));
+}
+
+TEST(ShardParse, AcceptsWellFormedAndRejectsTheRest) {
+  const Shard shard = exp::parse_shard("2/3");
+  EXPECT_EQ(shard.index, 2u);
+  EXPECT_EQ(shard.count, 3u);
+  EXPECT_EQ(exp::parse_shard("1/1").count, 1u);
+  for (const char* bad : {"", "3", "0/3", "4/3", "1/0", "a/b", "1/3x", " 1/3", "-1/3", "1//3"}) {
+    EXPECT_THROW((void)exp::parse_shard(bad), std::invalid_argument) << "'" << bad << "'";
+  }
+}
+
+}  // namespace

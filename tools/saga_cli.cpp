@@ -4,9 +4,20 @@
 /// Subcommands:
 ///   saga run <spec.json|->                        run a declarative
 ///            [--dry-run] [--set key.path=value]   experiment spec (see
-///                                                 docs/experiments.md);
+///            [--shard i/N] [--out dir] [--resume] docs/experiments.md);
 ///                                                 --dry-run validates and
-///                                                 prints the resolved plan
+///                                                 prints the resolved plan;
+///                                                 --shard runs one slice of
+///                                                 the cell grid, --out
+///                                                 streams completed cells
+///                                                 into a result store, and
+///                                                 --resume skips cells the
+///                                                 store already holds
+///   saga merge <dir>... [--csv path]              recombine result stores
+///              [--json path] [--atlas dir]        into the monolithic run's
+///                                                 artifacts (byte-identical);
+///                                                 fails loudly on missing
+///                                                 cells or spec mismatch
 ///   saga generate <dataset-spec> <index> [seed]   print an instance
 ///                                                 (spec strings work:
 ///                                                 `montage?n=50&ccr=1`)
@@ -44,6 +55,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -56,7 +68,9 @@
 #include "common/nearest.hpp"
 #include "core/pairwise.hpp"
 #include "datasets/registry.hpp"
+#include "exp/cells.hpp"
 #include "exp/experiment.hpp"
+#include "exp/resultstore.hpp"
 #include "graph/serialization.hpp"
 #include "sched/arena.hpp"
 #include "sched/registry.hpp"
@@ -77,6 +91,8 @@ constexpr const char* kTopLevelUsage =
     "usage: saga <command> ...\n"
     "commands:\n"
     "  run <spec.json|-> [--dry-run] [--set key.path=value]...\n"
+    "      [--shard i/N] [--out dir] [--resume]\n"
+    "  merge <dir>... [--csv path] [--json path] [--atlas dir]\n"
     "  generate <dataset-spec> <index> [seed]\n"
     "  schedule <scheduler-spec> <instance|-> [--repeat N] [--time]\n"
     "  validate <instance-file> <schedule-file>\n"
@@ -177,10 +193,12 @@ int cmd_list(int argc, char** argv) {
 
 int cmd_run(int argc, char** argv) {
   constexpr const char* kUsage =
-      "usage: saga run <spec.json|-> [--dry-run] [--set key.path=value]...";
+      "usage: saga run <spec.json|-> [--dry-run] [--set key.path=value]...\n"
+      "                [--shard i/N] [--out dir] [--resume]";
   std::string path;
   std::vector<std::string> overrides;
   bool dry_run = false;
+  exp::RunOptions options;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--dry-run") {
@@ -188,6 +206,20 @@ int cmd_run(int argc, char** argv) {
     } else if (arg == "--set") {
       if (i + 1 >= argc) throw UsageError(std::string("--set needs key.path=value\n") + kUsage);
       overrides.emplace_back(argv[++i]);
+    } else if (arg == "--shard") {
+      if (i + 1 >= argc) throw UsageError(std::string("--shard needs i/N\n") + kUsage);
+      try {
+        const exp::Shard shard = exp::parse_shard(argv[++i]);
+        options.shard_index = shard.index;
+        options.shard_count = shard.count;
+      } catch (const std::invalid_argument& e) {
+        throw UsageError(std::string(e.what()) + "\n" + kUsage);
+      }
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) throw UsageError(std::string("--out needs a directory\n") + kUsage);
+      options.out_dir = argv[++i];
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (!path.empty()) {
       throw UsageError(kUsage);
     } else {
@@ -195,6 +227,13 @@ int cmd_run(int argc, char** argv) {
     }
   }
   if (path.empty()) throw UsageError(kUsage);
+  if (options.shard_count > 1 && options.out_dir.empty()) {
+    throw UsageError(std::string("--shard needs --out: a partial run must persist its cells\n") +
+                     kUsage);
+  }
+  if (options.resume && options.out_dir.empty()) {
+    throw UsageError(std::string("--resume needs --out\n") + kUsage);
+  }
 
   exp::Json document = exp::load_spec_document(path);
   for (const auto& assignment : overrides) exp::apply_override(document, assignment);
@@ -204,7 +243,52 @@ int cmd_run(int argc, char** argv) {
     std::cout << exp::describe(spec) << "dry run: spec is valid\n";
     return EXIT_SUCCESS;
   }
-  exp::run_experiment(spec, std::cout);
+  exp::run_experiment(spec, std::cout, options);
+  return EXIT_SUCCESS;
+}
+
+int cmd_merge(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: saga merge <dir>... [--csv path] [--json path] [--atlas dir]";
+  std::vector<std::filesystem::path> dirs;
+  std::string csv_override, json_override, atlas_override;
+  bool csv_set = false, json_set = false, atlas_set = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        throw UsageError(std::string(what) + " needs a value\n" + kUsage);
+      }
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      csv_override = take("--csv");
+      csv_set = true;
+    } else if (arg == "--json") {
+      json_override = take("--json");
+      json_set = true;
+    } else if (arg == "--atlas") {
+      atlas_override = take("--atlas");
+      atlas_set = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      throw UsageError("unknown option '" + arg + "'\n" + kUsage);
+    } else {
+      dirs.emplace_back(arg);
+    }
+  }
+  if (dirs.empty()) throw UsageError(kUsage);
+
+  auto merged = exp::merge_stores(dirs);
+  // Flag overrides replace the stored spec's sinks (set or clear), then the
+  // spec re-validates so e.g. --atlas on a benchmark store fails exactly
+  // like `saga run` would, instead of silently writing nothing.
+  if (csv_set) merged.spec.csv = csv_override;
+  if (json_set) merged.spec.json = json_override;
+  if (atlas_set) merged.spec.atlas = atlas_override;
+  merged.spec.validate();
+  std::cout << "merged " << dirs.size() << " store(s): " << merged.result.stats.total_cells
+            << " cells\n";
+  exp::emit_result(merged.spec, merged.result, std::cout);
   return EXIT_SUCCESS;
 }
 
@@ -288,17 +372,6 @@ int cmd_compare(int argc, char** argv) {
   return EXIT_SUCCESS;
 }
 
-/// Appends `seed=<derived>` to a randomized scheduler's spec string so the
-/// atlas entry reconstructs the exact scheduler the pairwise driver ran
-/// (deterministic schedulers round-trip unchanged).
-std::string annotate_seed(const std::string& spec_string, std::uint64_t derived_seed) {
-  SchedulerSpec spec = parse_scheduler_spec(spec_string);
-  const SchedulerDesc& desc = SchedulerRegistry::instance().resolve(spec.name);
-  if (!desc.randomized || spec.find("seed") != nullptr) return spec_string;
-  spec.params.emplace_back("seed", std::to_string(derived_seed));
-  return spec.to_string();
-}
-
 int cmd_pisa(int argc, char** argv) {
   if (argc < 2) throw UsageError("usage: saga pisa <target> <baseline> [restarts]");
   const std::uint64_t seed = 42;
@@ -320,8 +393,8 @@ int cmd_pisa(int argc, char** argv) {
                ratio, result.pairwise.cell(0, 1));
   const pisa::CellSeeds seeds = pisa::pairwise_cell_seeds(seed, 1, 0);
   analysis::AtlasEntry entry;
-  entry.target = annotate_seed(argv[0], seeds.target);
-  entry.baseline = annotate_seed(argv[1], seeds.baseline);
+  entry.target = exp::annotate_scheduler_seed(argv[0], seeds.target);
+  entry.baseline = exp::annotate_scheduler_seed(argv[1], seeds.baseline);
   entry.ratio = ratio;
   entry.seed = seed;
   entry.instance = result.pairwise.best_instance[1][0];
@@ -354,6 +427,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "list") return cmd_list(argc - 2, argv + 2);
     if (command == "run") return cmd_run(argc - 2, argv + 2);
+    if (command == "merge") return cmd_merge(argc - 2, argv + 2);
     if (command == "generate") return cmd_generate(argc - 2, argv + 2);
     if (command == "schedule") return cmd_schedule(argc - 2, argv + 2);
     if (command == "validate") return cmd_validate(argc - 2, argv + 2);
