@@ -7,6 +7,8 @@
 #include <limits>
 #include <ostream>
 
+#include "common/hash.hpp"
+
 namespace saga::analysis {
 
 void write_pairwise_csv(std::ostream& out, const saga::pisa::PairwiseResult& result) {
@@ -50,6 +52,23 @@ void write_schedule_csv(std::ostream& out,
   out << "scheduler,makespan,ratio\n";
   for (const auto& [name, makespan] : makespans) {
     out << name << ',' << makespan << ',' << (best > 0.0 ? makespan / best : 1.0) << '\n';
+  }
+}
+
+void write_sim_csv(std::ostream& out,
+                   const std::vector<std::pair<std::string, sim::SimReport>>& reports) {
+  out << "scheduler,jobs,completed_jobs,tasks_completed,reexecutions,makespan,"
+         "response_mean,response_max,degradation_mean,degradation_max,"
+         "utilization_mean,trace_events,trace_hash\n";
+  for (const auto& [name, report] : reports) {
+    double util_mean = 0.0;
+    for (const double u : report.utilization) util_mean += u;
+    if (!report.utilization.empty()) util_mean /= static_cast<double>(report.utilization.size());
+    out << name << ',' << report.jobs << ',' << report.completed_jobs << ','
+        << report.tasks_completed << ',' << report.reexecutions << ',' << report.makespan
+        << ',' << report.response.mean << ',' << report.response.max << ','
+        << report.degradation.mean << ',' << report.degradation.max << ',' << util_mean
+        << ',' << report.trace_events << ',' << hash_hex(report.trace_hash) << '\n';
   }
 }
 

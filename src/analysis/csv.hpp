@@ -8,6 +8,7 @@
 
 #include "analysis/benchmarking.hpp"
 #include "core/pairwise.hpp"
+#include "sim/simulator.hpp"
 
 /// \file csv.hpp
 /// CSV export of experiment results, so figures can be re-plotted with
@@ -29,6 +30,13 @@ void write_benchmark_csv(std::ostream& out, const std::vector<DatasetBenchmark>&
 /// the minimum is zero) — the schedule-mode convention of `saga run`.
 void write_schedule_csv(std::ostream& out,
                         const std::vector<std::pair<std::string, double>>& makespans);
+
+/// Header: "scheduler,jobs,completed_jobs,tasks_completed,reexecutions,
+/// makespan,response_mean,response_max,degradation_mean,degradation_max,
+/// utilization_mean,trace_events,trace_hash"; one row per scheduler of a
+/// simulate-mode run. The trace hash is the 16-hex event-trace fingerprint.
+void write_sim_csv(std::ostream& out,
+                   const std::vector<std::pair<std::string, sim::SimReport>>& reports);
 
 /// If SAGA_CSV_DIR is set, opens `<dir>/<name>.csv` and passes the stream
 /// to `writer`; otherwise does nothing. Returns the path written, if any.

@@ -73,6 +73,18 @@ CellPlan enumerate_cells(const ExperimentSpec& spec) {
       }
       break;
     }
+    case Mode::kSimulate: {
+      // One cell per roster entry: every scheduler replays the identical
+      // scenario (the workload streams derive from the master seed alone).
+      for (std::size_t s = 0; s < plan.roster.size(); ++s) {
+        WorkCell cell;
+        cell.index = plan.cells.size();
+        cell.scheduler = s;
+        cell.key = "sim:" + std::to_string(s) + ":" + plan.roster[s];
+        plan.cells.push_back(std::move(cell));
+      }
+      break;
+    }
   }
   return plan;
 }
@@ -129,6 +141,12 @@ std::string plan_hash_hex(const ExperimentSpec& spec, const CellPlan& plan) {
         ref.set("index", Json::number(static_cast<double>(spec.instance.index)));
       }
       doc.set("instance", std::move(ref));
+      break;
+    }
+    case Mode::kSimulate: {
+      // Canonical scenario JSON (fixed key order, shortest round-trip
+      // doubles), so equal-hash stores describe the identical simulation.
+      doc.set("scenario", spec.scenario.to_json());
       break;
     }
   }

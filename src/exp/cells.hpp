@@ -21,6 +21,7 @@
 ///   pisa-pairwise  one cell per ordered off-diagonal (baseline, target)
 ///                  pair, row-major — the pairwise_compare work list
 ///   schedule       one cell per roster entry
+///   simulate       one cell per roster entry (each replays the scenario)
 ///
 /// A cell's global index is its position in this enumeration and never
 /// depends on the shard decomposition; per-cell RNG streams derive from the
@@ -42,7 +43,7 @@ struct WorkCell {
   std::size_t instance = 0;   // benchmark: instance index within the dataset
   std::size_t row = 0;        // pisa: baseline scheduler (roster index)
   std::size_t col = 0;        // pisa: target scheduler (roster index)
-  std::size_t scheduler = 0;  // schedule: roster index
+  std::size_t scheduler = 0;  // schedule/simulate: roster index
 };
 
 /// The full decomposition of a spec: resolved roster, effective per-dataset

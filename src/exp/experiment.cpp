@@ -75,6 +75,7 @@ std::string_view to_string(Mode mode) {
     case Mode::kBenchmark: return "benchmark";
     case Mode::kPisaPairwise: return "pisa-pairwise";
     case Mode::kSchedule: return "schedule";
+    case Mode::kSimulate: return "simulate";
   }
   return "unknown";
 }
@@ -83,7 +84,9 @@ Mode mode_from_string(std::string_view text) {
   if (text == "benchmark") return Mode::kBenchmark;
   if (text == "pisa-pairwise" || text == "pisa") return Mode::kPisaPairwise;
   if (text == "schedule") return Mode::kSchedule;
-  static const std::vector<std::string> valid = {"benchmark", "pisa-pairwise", "schedule"};
+  if (text == "simulate") return Mode::kSimulate;
+  static const std::vector<std::string> valid = {"benchmark", "pisa-pairwise", "schedule",
+                                                 "simulate"};
   throw std::invalid_argument("unknown experiment mode '" + std::string(text) + "'" +
                               did_you_mean(text, valid) +
                               "; valid modes: " + join(valid, ", "));
@@ -108,8 +111,8 @@ pisa::PisaOptions PisaSettings::to_options() const {
 ExperimentSpec ExperimentSpec::from_json(const Json& json) {
   ExperimentSpec spec;
   check_keys(json,
-             {"name", "mode", "schedulers", "datasets", "instance", "pisa", "seed",
-              "parallel", "threads", "csv", "json", "atlas"},
+             {"name", "mode", "schedulers", "datasets", "instance", "pisa", "scenario",
+              "seed", "parallel", "threads", "csv", "json", "atlas"},
              "experiment spec");
   if (const Json* v = json.find("name")) spec.name = v->as_string();
   if (const Json* v = json.find("mode")) spec.mode = mode_from_string(v->as_string());
@@ -157,6 +160,7 @@ ExperimentSpec ExperimentSpec::from_json(const Json& json) {
     if (const Json* x = v->find("alpha")) spec.pisa.alpha = x->as_number();
     if (const Json* x = v->find("acceptance")) spec.pisa.acceptance = x->as_string();
   }
+  if (const Json* v = json.find("scenario")) spec.scenario = sim::Scenario::from_json(*v);
   if (const Json* v = json.find("seed")) {
     spec.seed = static_cast<std::uint64_t>(to_size(*v, "'seed'"));
   }
@@ -207,6 +211,7 @@ Json ExperimentSpec::to_json() const {
   pisa_json.set("alpha", Json::number(pisa.alpha));
   pisa_json.set("acceptance", Json::string(pisa.acceptance));
   json.set("pisa", std::move(pisa_json));
+  if (!scenario.empty()) json.set("scenario", scenario.to_json());
   json.set("seed", Json::number(static_cast<double>(seed)));
   json.set("parallel", Json::boolean(parallel));
   if (threads > 0) json.set("threads", Json::number(static_cast<double>(threads)));
@@ -299,6 +304,19 @@ void ExperimentSpec::validate() const {
       }
       if (!instance.dataset.empty()) (void)make_source(instance.dataset, seed);
       break;
+    case Mode::kSimulate: {
+      if (scenario.empty()) {
+        throw std::invalid_argument("simulate mode needs a 'scenario'");
+      }
+      scenario.validate();
+      // Range-check the fault/jitter node indices against the dataset's
+      // actual network, so `--dry-run` catches them before any cell runs.
+      const auto source = make_source(scenario.dataset, seed);
+      const std::size_t nodes = source->generate(0).network.node_count();
+      sim::validate_faults(scenario.faults, nodes);
+      sim::validate_jitter(scenario.jitter, nodes);
+      break;
+    }
   }
 }
 
@@ -344,6 +362,17 @@ Json execute_cell(const ExperimentSpec& spec, const CellPlan& plan, const WorkCe
       payload.set("schedule", Json::string(schedule_to_string(schedule)));
       break;
     }
+    case Mode::kSimulate: {
+      // The workload (arrival times, per-job weight noise) derives from the
+      // master seed alone, so every roster entry faces the identical
+      // scenario; only the scheduler's own stream is per-cell.
+      const auto scheduler = SchedulerRegistry::instance().make(
+          plan.roster[cell.scheduler], derive_seed(spec.seed, {0x51aaULL, cell.scheduler}));
+      const sim::SimReport report =
+          sim::simulate_scenario(spec.scenario, *scheduler, spec.seed, &arena);
+      payload = sim_report_to_json(report);
+      break;
+    }
   }
   return payload;
 }
@@ -378,16 +407,7 @@ Json result_to_json(const ExperimentSpec& spec, const ExperimentResult& result) 
         for (const auto& sb : benchmark.per_scheduler) {
           Json item = Json::object();
           item.set("scheduler", Json::string(sb.scheduler));
-          Json summary = Json::object();
-          summary.set("count", Json::number(static_cast<double>(sb.summary.count)));
-          summary.set("min", encode_double(sb.summary.min));
-          summary.set("q1", encode_double(sb.summary.q1));
-          summary.set("median", encode_double(sb.summary.median));
-          summary.set("q3", encode_double(sb.summary.q3));
-          summary.set("max", encode_double(sb.summary.max));
-          summary.set("mean", encode_double(sb.summary.mean));
-          summary.set("stddev", encode_double(sb.summary.stddev));
-          item.set("summary", std::move(summary));
+          item.set("summary", summary_to_json(sb.summary));
           JsonArray ratios;
           for (const double ratio : sb.ratios) ratios.push_back(encode_double(ratio));
           item.set("ratios", Json::array(std::move(ratios)));
@@ -431,6 +451,17 @@ Json result_to_json(const ExperimentSpec& spec, const ExperimentResult& result) 
         items.push_back(std::move(item));
       }
       doc.set("schedules", Json::array(std::move(items)));
+      break;
+    }
+    case Mode::kSimulate: {
+      JsonArray items;
+      for (const auto& outcome : result.sims) {
+        Json item = Json::object();
+        item.set("scheduler", Json::string(outcome.scheduler));
+        item.set("report", sim_report_to_json(outcome.report));
+        items.push_back(std::move(item));
+      }
+      doc.set("simulate", Json::array(std::move(items)));
       break;
     }
   }
@@ -507,6 +538,34 @@ void emit_result(const ExperimentSpec& spec, const ExperimentResult& result,
           makespans.emplace_back(outcome.scheduler, outcome.makespan);
         }
         analysis::write_schedule_csv(csv_out, makespans);
+        out << "wrote " << spec.csv << "\n";
+      }
+      break;
+    }
+    case Mode::kSimulate: {
+      Table table(spec.name.empty() ? "Dynamic simulation (per-scheduler outcome)" : spec.name,
+                  {"jobs", "resp mean", "resp max", "degr mean", "util mean", "reexec",
+                   "makespan"});
+      for (const auto& outcome : result.sims) {
+        const sim::SimReport& r = outcome.report;
+        double util_mean = 0.0;
+        for (const double u : r.utilization) util_mean += u;
+        if (!r.utilization.empty()) util_mean /= static_cast<double>(r.utilization.size());
+        table.add_row(outcome.scheduler,
+                      {std::to_string(r.completed_jobs) + "/" + std::to_string(r.jobs),
+                       format_fixed(r.response.mean, 4), format_fixed(r.response.max, 4),
+                       format_fixed(r.degradation.mean, 3), format_fixed(util_mean, 3),
+                       std::to_string(r.reexecutions), format_fixed(r.makespan, 4)});
+      }
+      out << "\n" << table.render() << "\n";
+      if (!spec.csv.empty()) {
+        std::ofstream csv_out(spec.csv);
+        if (!csv_out) throw std::runtime_error("cannot open csv sink " + spec.csv);
+        std::vector<std::pair<std::string, sim::SimReport>> rows;
+        for (const auto& outcome : result.sims) {
+          rows.emplace_back(outcome.scheduler, outcome.report);
+        }
+        analysis::write_sim_csv(csv_out, rows);
         out << "wrote " << spec.csv << "\n";
       }
       break;
@@ -717,6 +776,19 @@ std::string describe(const ExperimentSpec& spec) {
     } else {
       out << spec.instance.dataset << "[" << spec.instance.index << "]";
     }
+    out << "\n";
+  }
+  if (spec.mode == Mode::kSimulate) {
+    out << "  scenario: dataset " << spec.scenario.dataset << ", ";
+    if (spec.scenario.arrivals.kind == sim::ArrivalProcess::Kind::kPoisson) {
+      out << spec.scenario.arrivals.jobs << " Poisson arrival(s) at rate "
+          << spec.scenario.arrivals.rate;
+    } else {
+      out << spec.scenario.arrivals.times.size() << " trace arrival(s)";
+    }
+    out << ", " << spec.scenario.faults.size() << " fault event(s), "
+        << spec.scenario.jitter.size() << " jitter event(s)";
+    if (spec.scenario.noise_cv > 0.0) out << ", noise cv " << spec.scenario.noise_cv;
     out << "\n";
   }
   out << "  cells: " << plan.cells.size() << " (shardable with --shard i/N)\n";

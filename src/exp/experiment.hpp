@@ -12,6 +12,8 @@
 #include "core/pairwise.hpp"
 #include "exp/json.hpp"
 #include "sched/schedule.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
 
 /// \file experiment.hpp
 /// The declarative experiment layer: an ExperimentSpec describes a whole
@@ -30,6 +32,7 @@ enum class Mode {
   kBenchmark,     // Fig. 2: every scheduler on every instance of each dataset
   kPisaPairwise,  // Fig. 4: worst-case ratio for every ordered scheduler pair
   kSchedule,      // one instance, makespans side by side
+  kSimulate,      // discrete-event simulation of a dynamic-workload scenario
 };
 
 [[nodiscard]] std::string_view to_string(Mode mode);
@@ -78,6 +81,7 @@ struct ExperimentSpec {
   std::vector<DatasetSelection> datasets;  // benchmark mode
   InstanceRef instance;                    // schedule mode
   PisaSettings pisa;                       // pisa-pairwise mode
+  sim::Scenario scenario;                  // simulate mode
   std::uint64_t seed = 42;
   bool parallel = true;
   std::size_t threads = 0;                 // worker threads; 0 = global pool
@@ -111,6 +115,12 @@ struct ScheduleOutcome {
   double makespan = 0.0;
 };
 
+/// One simulate-mode row: a scheduler's full dynamic-workload report.
+struct SimOutcome {
+  std::string scheduler;  // the spec string as given
+  sim::SimReport report;
+};
+
 /// What a (possibly sharded or resumed) run actually did, cell by cell.
 struct RunStats {
   std::size_t total_cells = 0;  // full grid size for the spec
@@ -125,6 +135,7 @@ struct ExperimentResult {
   std::vector<analysis::DatasetBenchmark> benchmarks;  // benchmark mode
   pisa::PairwiseResult pairwise;                       // pisa-pairwise mode
   std::vector<ScheduleOutcome> schedules;              // schedule mode
+  std::vector<SimOutcome> sims;                        // simulate mode
   ProblemInstance instance;                            // schedule-mode input
   RunStats stats;
 };

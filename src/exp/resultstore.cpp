@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "analysis/benchmarking.hpp"
+#include "common/hash.hpp"
 #include "graph/serialization.hpp"
 #include "sched/schedule_io.hpp"
 
@@ -196,6 +197,79 @@ double decode_double(const Json& json, const std::string& context) {
   throw std::runtime_error(context + " is not a number");
 }
 
+Json summary_to_json(const Summary& summary) {
+  Json json = Json::object();
+  json.set("count", Json::number(static_cast<double>(summary.count)));
+  json.set("min", encode_double(summary.min));
+  json.set("q1", encode_double(summary.q1));
+  json.set("median", encode_double(summary.median));
+  json.set("q3", encode_double(summary.q3));
+  json.set("max", encode_double(summary.max));
+  json.set("mean", encode_double(summary.mean));
+  json.set("stddev", encode_double(summary.stddev));
+  return json;
+}
+
+Summary summary_from_json(const Json& json, const std::string& context) {
+  Summary summary;
+  summary.count = to_index(require_field(json, "count", context), context + " 'count'");
+  summary.min = decode_double(require_field(json, "min", context), context + " 'min'");
+  summary.q1 = decode_double(require_field(json, "q1", context), context + " 'q1'");
+  summary.median =
+      decode_double(require_field(json, "median", context), context + " 'median'");
+  summary.q3 = decode_double(require_field(json, "q3", context), context + " 'q3'");
+  summary.max = decode_double(require_field(json, "max", context), context + " 'max'");
+  summary.mean = decode_double(require_field(json, "mean", context), context + " 'mean'");
+  summary.stddev =
+      decode_double(require_field(json, "stddev", context), context + " 'stddev'");
+  return summary;
+}
+
+Json sim_report_to_json(const sim::SimReport& report) {
+  Json json = Json::object();
+  json.set("jobs", Json::number(static_cast<double>(report.jobs)));
+  json.set("completed_jobs", Json::number(static_cast<double>(report.completed_jobs)));
+  json.set("tasks_completed", Json::number(static_cast<double>(report.tasks_completed)));
+  json.set("reexecutions", Json::number(static_cast<double>(report.reexecutions)));
+  json.set("makespan", encode_double(report.makespan));
+  json.set("response", summary_to_json(report.response));
+  json.set("degradation", summary_to_json(report.degradation));
+  JsonArray utilization;
+  for (const double u : report.utilization) utilization.push_back(encode_double(u));
+  json.set("utilization", Json::array(std::move(utilization)));
+  json.set("trace_hash", Json::string(hash_hex(report.trace_hash)));
+  json.set("trace_events", Json::number(static_cast<double>(report.trace_events)));
+  return json;
+}
+
+sim::SimReport sim_report_from_json(const Json& json, const std::string& context) {
+  sim::SimReport report;
+  report.jobs = to_index(require_field(json, "jobs", context), context + " 'jobs'");
+  report.completed_jobs = to_index(require_field(json, "completed_jobs", context),
+                                   context + " 'completed_jobs'");
+  report.tasks_completed = to_index(require_field(json, "tasks_completed", context),
+                                    context + " 'tasks_completed'");
+  report.reexecutions =
+      to_index(require_field(json, "reexecutions", context), context + " 'reexecutions'");
+  report.makespan =
+      decode_double(require_field(json, "makespan", context), context + " 'makespan'");
+  report.response = summary_from_json(require_field(json, "response", context),
+                                      context + " response");
+  report.degradation = summary_from_json(require_field(json, "degradation", context),
+                                         context + " degradation");
+  for (const Json& u : require_field(json, "utilization", context).as_array()) {
+    report.utilization.push_back(decode_double(u, context + " utilization"));
+  }
+  const std::string& hex = require_field(json, "trace_hash", context).as_string();
+  if (hex.size() != 16 || hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    throw std::runtime_error(context + " 'trace_hash' is not a 16-hex-digit string");
+  }
+  report.trace_hash = std::stoull(hex, nullptr, 16);
+  report.trace_events =
+      to_index(require_field(json, "trace_events", context), context + " 'trace_events'");
+  return report;
+}
+
 ExperimentResult assemble_result(const ExperimentSpec& spec, const CellPlan& plan,
                                  const std::vector<Json>& payloads) {
   if (payloads.size() != plan.cells.size()) {
@@ -267,6 +341,15 @@ ExperimentResult assemble_result(const ExperimentSpec& spec, const CellPlan& pla
         outcome.schedule = schedule_from_string(
             require_field(payload, "schedule", "cell " + cell.key).as_string());
         result.schedules.push_back(std::move(outcome));
+      }
+      break;
+    }
+    case Mode::kSimulate: {
+      for (const WorkCell& cell : plan.cells) {
+        SimOutcome outcome;
+        outcome.scheduler = plan.roster[cell.scheduler];
+        outcome.report = sim_report_from_json(payload_of(cell), "cell " + cell.key);
+        result.sims.push_back(std::move(outcome));
       }
       break;
     }

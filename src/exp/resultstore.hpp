@@ -82,6 +82,17 @@ class ResultStore {
 [[nodiscard]] Json encode_double(double value);
 [[nodiscard]] double decode_double(const Json& json, const std::string& context);
 
+/// Summary codec shared by the benchmark json sink and simulate payloads:
+/// fixed key order (count, min, q1, median, q3, max, mean, stddev),
+/// encode_double for the values, bit-exact through a JSON round-trip.
+[[nodiscard]] Json summary_to_json(const Summary& summary);
+[[nodiscard]] Summary summary_from_json(const Json& json, const std::string& context);
+
+/// SimReport codec for simulate-mode cell payloads; the trace hash is a
+/// 16-hex string (hash_hex), everything else is numbers / summaries.
+[[nodiscard]] Json sim_report_to_json(const sim::SimReport& report);
+[[nodiscard]] sim::SimReport sim_report_from_json(const Json& json, const std::string& context);
+
 /// Rebuilds the full ExperimentResult from a complete payload set (indexed
 /// by global cell index; a null Json marks a missing payload, which throws).
 /// This is the single assembly path shared by the monolithic run, resume,

@@ -1,0 +1,82 @@
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "online/online.hpp"
+#include "sched/registry.hpp"
+#include "sched/scheduler.hpp"
+#include "schedulers/register.hpp"
+
+/// \file online_adapter.cpp
+/// Registry adapter over the reveal-on-ready online policies (src/online).
+/// `Online?policy=eft` behaves like any other roster scheduler — it returns
+/// a valid offline schedule — but plans each task knowing nothing about
+/// unrevealed successors, so it measures the price of not knowing the
+/// future. Tagged "online" (not "extension": it is a protocol restriction,
+/// not another offline heuristic) so it can join simulate-mode rosters via
+/// `@online` without disturbing the historical extension roster.
+
+namespace saga {
+namespace {
+
+constexpr std::string_view kPolicyHelp =
+    "eft (default), rr, fastest, locality, or random";
+
+class OnlineAdapterScheduler final : public Scheduler {
+ public:
+  OnlineAdapterScheduler(std::string policy, double tolerance, std::uint64_t seed)
+      : policy_(std::move(policy)), tolerance_(tolerance), seed_(seed) {
+    (void)make_policy();  // reject unknown policies at construction time
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "Online"; }
+
+  using Scheduler::schedule;
+  [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
+                                  TimelineArena* /*arena*/) const override {
+    // A fresh policy per call keeps schedule() stateless and deterministic
+    // (round-robin cursors and random streams restart every instance).
+    const online::OnlinePolicyPtr policy = make_policy();
+    return online::simulate_online(inst, *policy);
+  }
+
+ private:
+  [[nodiscard]] online::OnlinePolicyPtr make_policy() const {
+    if (policy_ == "eft") return online::make_online_eft();
+    if (policy_ == "rr") return online::make_online_round_robin();
+    if (policy_ == "fastest") return online::make_online_fastest();
+    if (policy_ == "locality") return online::make_online_locality(tolerance_);
+    if (policy_ == "random") return online::make_online_random(seed_);
+    throw std::invalid_argument("scheduler 'Online': unknown policy '" + policy_ +
+                                "' (expected " + std::string(kPolicyHelp) + ")");
+  }
+
+  std::string policy_;
+  double tolerance_;
+  std::uint64_t seed_;
+};
+
+}  // namespace
+
+void register_online_scheduler(SchedulerRegistry& registry) {
+  SchedulerDesc desc;
+  desc.name = "Online";
+  desc.summary =
+      "Reveal-on-ready online scheduling adapter: tasks are placed the moment "
+      "they become ready, with no knowledge of unrevealed successors";
+  desc.tags = {"online"};
+  desc.randomized = true;  // policy=random consumes the seed
+  desc.params = {{"policy", std::string("online placement policy: ") + std::string(kPolicyHelp)},
+                 {"tolerance", "locality policy's relative EFT tolerance >= 0 (default 0.25)"}};
+  desc.factory = [](const SchedulerParams& params, std::uint64_t seed) -> SchedulerPtr {
+    std::string policy = params.get_string("policy", "eft");
+    const double tolerance = params.get_double("tolerance", 0.25);
+    return std::make_unique<OnlineAdapterScheduler>(std::move(policy), tolerance, seed);
+  };
+  registry.add(std::move(desc));
+}
+
+}  // namespace saga

@@ -33,6 +33,9 @@ void register_builtin_schedulers(SchedulerRegistry& registry) {
   register_sim_anneal_scheduler(registry);
   register_ensemble_scheduler(registry);
   register_peft_scheduler(registry);
+
+  // Protocol adapters (not part of the offline extension roster).
+  register_online_scheduler(registry);
 }
 
 }  // namespace saga

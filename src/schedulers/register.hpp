@@ -38,5 +38,6 @@ void register_genetic_scheduler(SchedulerRegistry& registry);
 void register_sim_anneal_scheduler(SchedulerRegistry& registry);
 void register_ensemble_scheduler(SchedulerRegistry& registry);
 void register_peft_scheduler(SchedulerRegistry& registry);
+void register_online_scheduler(SchedulerRegistry& registry);
 
 }  // namespace saga

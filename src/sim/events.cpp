@@ -1,0 +1,58 @@
+#include "sim/events.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace saga::sim {
+
+namespace {
+
+/// std::push_heap/pop_heap build a max-heap; "later (time, seq) is smaller"
+/// turns it into the min-heap the simulator needs.
+bool heap_before(const Event& a, const Event& b) noexcept {
+  if (a.time != b.time) return a.time > b.time;
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+std::string_view to_string(EventType type) {
+  switch (type) {
+    case EventType::kJobArrival: return "job-arrival";
+    case EventType::kTaskReady: return "task-ready";
+    case EventType::kTaskStart: return "task-start";
+    case EventType::kTaskFinish: return "task-finish";
+    case EventType::kTaskLost: return "task-lost";
+    case EventType::kNodeCrash: return "node-crash";
+    case EventType::kNodeRecover: return "node-recover";
+    case EventType::kSlowdownBegin: return "slowdown-begin";
+    case EventType::kSlowdownEnd: return "slowdown-end";
+    case EventType::kJitterChange: return "jitter-change";
+  }
+  return "unknown";
+}
+
+void EventQueue::push(Event event) {
+  event.seq = next_seq_++;
+  heap_.push_back(event);
+  std::push_heap(heap_.begin(), heap_.end(), heap_before);
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on an empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), heap_before);
+  const Event event = heap_.back();
+  heap_.pop_back();
+  return event;
+}
+
+void SimClock::advance_to(double time) {
+  if (time < now_) {
+    throw std::logic_error("SimClock regressed from t=" + std::to_string(now_) +
+                           " to t=" + std::to_string(time));
+  }
+  now_ = time;
+}
+
+}  // namespace saga::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+/// \file events.hpp
+/// The discrete-event substrate of the simulator: a typed Event, a min-heap
+/// EventQueue with *stable* tie-breaking, and a monotonic SimClock.
+///
+/// Determinism is the design center. Events at the same timestamp pop in
+/// push order (each push stamps a process-local sequence number), so a
+/// simulation's event order — and therefore its trace, metrics, and stored
+/// payload — is a pure function of its inputs, independent of heap layout,
+/// standard-library internals, thread count, or shard decomposition.
+
+namespace saga::sim {
+
+enum class EventType {
+  kJobArrival,     // a DAG job enters the system and is planned
+  kTaskReady,      // internal: the last input of a task arrived on its node
+  kTaskStart,      // trace-only: a task began executing
+  kTaskFinish,     // a running task completes (generation-checked)
+  kTaskLost,       // trace-only: a crash destroyed in-flight work
+  kNodeCrash,      // the node fails; its running task is lost
+  kNodeRecover,    // the node returns with full capacity
+  kSlowdownBegin,  // node speed divided by `factor` until the matching end
+  kSlowdownEnd,    // the slowdown window closes (speed restored)
+  kJitterChange,   // communication-time multiplier changes (global or link)
+};
+
+[[nodiscard]] std::string_view to_string(EventType type);
+
+struct Event {
+  double time = 0.0;
+  EventType type = EventType::kJobArrival;
+  std::size_t job = 0;            // job index (arrival order)
+  std::uint32_t task = 0;         // TaskId within the job
+  std::uint32_t node = 0;         // NodeId (crash/recover/slowdown/task events)
+  std::uint32_t peer = 0;         // jitter: the link's other endpoint
+  bool has_link = false;          // jitter: per-link (node, peer) vs global
+  double factor = 1.0;            // slowdown / jitter multiplier
+  std::uint64_t generation = 0;   // task-finish staleness check
+  std::uint64_t seq = 0;          // assigned by EventQueue::push (tie-break)
+};
+
+/// Min-heap ordered by (time, seq): earliest time first, ties in push order.
+class EventQueue {
+ public:
+  /// Stamps the event's sequence number and enqueues it.
+  void push(Event event);
+
+  /// Removes and returns the earliest event. Requires !empty().
+  [[nodiscard]] Event pop();
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Monotonic simulation clock: time only moves forward; a regressing event
+/// is a simulator bug and throws std::logic_error.
+class SimClock {
+ public:
+  [[nodiscard]] double now() const noexcept { return now_; }
+  void advance_to(double time);
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace saga::sim

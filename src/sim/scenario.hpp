@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/json.hpp"
+
+/// \file scenario.hpp
+/// The declarative description of a dynamic workload: which dataset streams
+/// the arriving DAG jobs, how arrivals are timed (Poisson or an explicit
+/// trace), which faults strike which nodes when (crash/recover, slowdown
+/// windows), how link jitter evolves, and how much multiplicative noise the
+/// realised task weights carry. A Scenario round-trips to/from JSON with the
+/// same unknown-key rejection and range validation as dataset parameters, so
+/// `simulate`-mode experiment specs stay data rather than code.
+///
+/// Grammar (see docs/simulator.md):
+///
+///   {"dataset": "chains?chains=2&length=4&nodes=3",
+///    "arrivals": {"process": "poisson", "rate": 0.5, "jobs": 8},
+///                // or {"process": "trace", "times": [0, 1.5, 3]}
+///    "faults":  [{"type": "crash",    "node": 1, "at": 4.0},
+///                {"type": "recover",  "node": 1, "at": 6.0},
+///                {"type": "slowdown", "node": 0, "from": 2, "to": 5,
+///                 "factor": 2.0}],
+///    "jitter":  [{"at": 0.0, "factor": 1.2},
+///                {"at": 3.0, "link": [0, 2], "factor": 2.0}],
+///    "noise_cv": 0.1}
+
+namespace saga::sim {
+
+/// How jobs enter the system. Poisson draws `jobs` exponential gaps of mean
+/// 1/rate from a stream derived from the experiment seed (identical for
+/// every scheduler in a roster); trace uses the given times verbatim.
+struct ArrivalProcess {
+  enum class Kind { kPoisson, kTrace };
+  Kind kind = Kind::kPoisson;
+  double rate = 1.0;          // poisson: expected arrivals per unit time
+  std::size_t jobs = 1;       // poisson: number of arrivals drawn
+  std::vector<double> times;  // trace: explicit arrival times (sorted)
+};
+
+/// One scripted fault. Crash/recover use `at`; a slowdown divides the
+/// node's speed by `factor` over the window [at, until).
+struct FaultEvent {
+  enum class Kind { kCrash, kRecover, kSlowdown };
+  Kind kind = Kind::kCrash;
+  std::size_t node = 0;
+  double at = 0.0;
+  double until = 0.0;   // slowdown only
+  double factor = 1.0;  // slowdown only (> 1 stretches work)
+};
+
+/// One scripted change of the communication-time multiplier: global when
+/// `has_link` is false, otherwise for the (a, b) link only. Transfers whose
+/// producing task finishes at or after `at` use the new factor.
+struct JitterEvent {
+  double at = 0.0;
+  bool has_link = false;
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double factor = 1.0;
+};
+
+/// Passed as `node_count` when the network is not known yet (parse-time
+/// validation); node indices are then range-checked at simulation time.
+inline constexpr std::size_t kAnyNodeCount = static_cast<std::size_t>(-1);
+
+/// Structural validation of a fault script: finite non-negative times,
+/// positive finite factors, per-node crash/recover alternation in
+/// increasing time order (a trailing crash — permanent failure — is
+/// allowed), and per-node slowdown windows non-overlapping and listed in
+/// increasing order. Throws std::invalid_argument naming the offender.
+void validate_faults(const std::vector<FaultEvent>& faults, std::size_t node_count);
+
+/// Structural validation of a jitter script: finite non-negative times,
+/// positive finite factors, links with two distinct endpoints.
+void validate_jitter(const std::vector<JitterEvent>& jitter, std::size_t node_count);
+
+struct Scenario {
+  std::string dataset;  // dataset spec string; instance j is job j's graph
+  ArrivalProcess arrivals;
+  std::vector<FaultEvent> faults;
+  std::vector<JitterEvent> jitter;
+  double noise_cv = 0.0;  // relative weight noise per job (0 = exact weights)
+
+  /// JSON round-trip; from_json rejects unknown keys with a nearest-key
+  /// suggestion and validates ranges.
+  [[nodiscard]] static Scenario from_json(const exp::Json& json);
+  [[nodiscard]] exp::Json to_json() const;
+
+  [[nodiscard]] bool empty() const { return dataset.empty(); }
+
+  /// Full structural validation (everything checkable without the network;
+  /// node indices are re-checked against the actual node count when the
+  /// simulation starts). Throws std::invalid_argument on the first problem.
+  void validate() const;
+};
+
+}  // namespace saga::sim

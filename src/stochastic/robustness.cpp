@@ -1,6 +1,8 @@
 #include "stochastic/robustness.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <stdexcept>
 
 #include "sched/decoder.hpp"
 
@@ -11,11 +13,31 @@ Schedule reexecute(const Schedule& planned, const ProblemInstance& realized) {
   ScheduleEncoding encoding;
   encoding.assignment.resize(n);
   encoding.priority.resize(n);
+  if (n == 0) return decode_schedule(realized, encoding);
+
+  // Dispatch priority is the task's *rank* in planned (start, finish, id)
+  // order, not the raw start time: raw starts tie for zero-cost tasks
+  // sharing an instant with a positive-cost task on the same node, and the
+  // decoder's smaller-id tie-break can then invert the planned order.
+  // Distinct ranks leave no ties to break.
+  std::vector<TaskId> order(n);
+  std::iota(order.begin(), order.end(), TaskId{0});
   for (TaskId t = 0; t < n; ++t) {
-    const auto& a = planned.of_task(t);
-    encoding.assignment[t] = a.node;
-    // Earlier planned start = higher dispatch priority.
-    encoding.priority[t] = -a.start;
+    if (!planned.contains(t)) {
+      throw std::invalid_argument("reexecute: planned schedule does not cover task " +
+                                  std::to_string(t) + " of the realized instance");
+    }
+    encoding.assignment[t] = planned.of_task(t).node;
+  }
+  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const Assignment& pa = planned.of_task(a);
+    const Assignment& pb = planned.of_task(b);
+    if (pa.start != pb.start) return pa.start < pb.start;
+    if (pa.finish != pb.finish) return pa.finish < pb.finish;
+    return a < b;
+  });
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    encoding.priority[order[rank]] = -static_cast<double>(rank);
   }
   return decode_schedule(realized, encoding);
 }

@@ -37,8 +37,14 @@ struct RobustnessReport {
                                                    std::size_t samples, std::uint64_t seed);
 
 /// Re-executes a planned schedule's decisions under realised weights:
-/// node assignments are kept, tasks dispatch in the planned start order,
-/// start times are recomputed eagerly. Returns the realised schedule.
+/// node assignments are kept, tasks dispatch in planned (start, finish,
+/// task-id) rank order — distinct ranks, so zero-cost tasks and tied
+/// planned starts replay exactly as planned — and start times are
+/// recomputed eagerly. An empty planned schedule replays an empty instance;
+/// a planned schedule missing a task of the realised instance throws
+/// std::invalid_argument. Returns the realised schedule. This is the same
+/// plan-then-execute protocol the discrete-event simulator (src/sim) uses
+/// per job.
 [[nodiscard]] Schedule reexecute(const Schedule& planned, const ProblemInstance& realized);
 
 }  // namespace saga::stochastic

@@ -1,0 +1,92 @@
+# End-to-end smoke of the discrete-event simulate mode through the CLI,
+# run by ctest in script mode:
+#   cmake -DSAGA_CLI=<path> -DWORK_DIR=<scratch> -DSPECS_DIR=<examples/specs> \
+#         -P cli_sim_smoke.cmake
+# Exercises: `saga simulate` on the checked-in example scenario (dry-run,
+# then a monolithic run with csv/json sinks), a 2-shard decomposition merged
+# back to byte-identical artifacts, and the command's error contracts
+# (usage exits 2; a spec declaring a different mode is rejected).
+
+foreach(var SAGA_CLI WORK_DIR SPECS_DIR)
+  if(NOT ${var})
+    message(FATAL_ERROR "pass -D${var}=...")
+  endif()
+endforeach()
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(saga_expect_success name)
+  execute_process(COMMAND ${SAGA_CLI} ${ARGN}
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "step '${name}' failed (exit ${rv})\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${name}_output "${out}" PARENT_SCOPE)
+endfunction()
+
+function(saga_expect_failure name expected_code stderr_pattern)
+  execute_process(COMMAND ${SAGA_CLI} ${ARGN}
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET
+    ERROR_VARIABLE err)
+  if(rv EQUAL 0)
+    message(FATAL_ERROR "step '${name}' unexpectedly succeeded")
+  endif()
+  if(NOT rv EQUAL ${expected_code})
+    message(FATAL_ERROR "step '${name}' exited ${rv}, expected ${expected_code}\nstderr:\n${err}")
+  endif()
+  if(NOT err MATCHES "${stderr_pattern}")
+    message(FATAL_ERROR "step '${name}' stderr does not match '${stderr_pattern}':\n${err}")
+  endif()
+endfunction()
+
+function(expect_identical a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b} RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "${a} and ${b} differ (expected byte-identical)")
+  endif()
+endfunction()
+
+set(spec ${SPECS_DIR}/sim_tiny.json)
+
+# 1. Dry run: the scenario validates and is described without simulating.
+saga_expect_success(dry simulate ${spec} --dry-run)
+if(NOT dry_output MATCHES "scenario:")
+  message(FATAL_ERROR "dry run did not describe the scenario:\n${dry_output}")
+endif()
+if(NOT dry_output MATCHES "dry run: spec is valid")
+  message(FATAL_ERROR "dry run did not report validity:\n${dry_output}")
+endif()
+
+# 2. Monolithic golden run with csv + json artifacts.
+saga_expect_success(mono simulate ${spec}
+  --set csv=${WORK_DIR}/mono.csv --set json=${WORK_DIR}/mono.json)
+if(NOT EXISTS ${WORK_DIR}/mono.csv OR NOT EXISTS ${WORK_DIR}/mono.json)
+  message(FATAL_ERROR "monolithic simulate did not write its csv/json artifacts")
+endif()
+if(NOT mono_output MATCHES "makespan")
+  message(FATAL_ERROR "simulate did not render its report table:\n${mono_output}")
+endif()
+
+# 3. The same scenario as two shards, merged to byte-identical artifacts.
+foreach(i RANGE 1 2)
+  saga_expect_success(shard_${i} simulate ${spec}
+    --shard ${i}/2 --out ${WORK_DIR}/store_${i})
+  if(NOT EXISTS ${WORK_DIR}/store_${i}/spec.json)
+    message(FATAL_ERROR "shard ${i} store has no spec.json")
+  endif()
+endforeach()
+saga_expect_success(merge merge ${WORK_DIR}/store_1 ${WORK_DIR}/store_2
+  --csv ${WORK_DIR}/merged.csv --json ${WORK_DIR}/merged.json)
+expect_identical(${WORK_DIR}/mono.csv ${WORK_DIR}/merged.csv)
+expect_identical(${WORK_DIR}/mono.json ${WORK_DIR}/merged.json)
+
+# 4. Error contracts: usage errors exit 2; a spec that declares a different
+# mode is refused (exit 1) instead of being silently re-run as a simulation.
+saga_expect_failure(no_spec 2 "usage: saga simulate" simulate)
+saga_expect_failure(mode_conflict 1 "use `saga run` for other modes"
+  simulate ${SPECS_DIR}/fig02_tiny.json)
+
+message(STATUS "cli_sim_smoke: all steps passed")

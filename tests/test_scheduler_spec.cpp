@@ -146,13 +146,13 @@ TEST(SchedulerRegistry, TagEnumerationMatchesHistoricalRosters) {
             app_specific_scheduler_names());
   EXPECT_EQ(registry.names("extension", NameOrder::kRegistration),
             extension_scheduler_names());
-  EXPECT_EQ(registry.names().size(), 25u);
+  EXPECT_EQ(registry.names().size(), 26u);
 }
 
 TEST(SchedulerRegistry, RandomizedTagCoversSeededSchedulers) {
   const auto randomized = SchedulerRegistry::instance().names("randomized");
-  EXPECT_EQ(randomized.size(), 4u);
-  for (const char* name : {"WBA", "GA", "SimAnneal", "Ensemble"}) {
+  EXPECT_EQ(randomized.size(), 5u);
+  for (const char* name : {"WBA", "GA", "SimAnneal", "Ensemble", "Online"}) {
     EXPECT_NE(std::find(randomized.begin(), randomized.end(), name), randomized.end())
         << name;
   }

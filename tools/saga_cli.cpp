@@ -92,6 +92,8 @@ constexpr const char* kTopLevelUsage =
     "commands:\n"
     "  run <spec.json|-> [--dry-run] [--set key.path=value]...\n"
     "      [--shard i/N] [--out dir] [--resume]\n"
+    "  simulate <spec.json|-> [--dry-run] [--set key.path=value]...\n"
+    "      [--shard i/N] [--out dir] [--resume]\n"
     "  merge <dir>... [--csv path] [--json path] [--atlas dir]\n"
     "  generate <dataset-spec> <index> [seed]\n"
     "  schedule <scheduler-spec> <instance|-> [--repeat N] [--time]\n"
@@ -191,10 +193,11 @@ int cmd_list(int argc, char** argv) {
   return EXIT_SUCCESS;
 }
 
-int cmd_run(int argc, char** argv) {
-  constexpr const char* kUsage =
-      "usage: saga run <spec.json|-> [--dry-run] [--set key.path=value]...\n"
-      "                [--shard i/N] [--out dir] [--resume]";
+/// Shared implementation of `saga run` and `saga simulate`. When
+/// `forced_mode` is non-null the spec document's mode is pinned to it: a
+/// missing mode is filled in, a conflicting one is rejected (a simulate
+/// alias silently running a benchmark would be a footgun).
+int run_spec_command(int argc, char** argv, const char* kUsage, const char* forced_mode) {
   std::string path;
   std::vector<std::string> overrides;
   bool dry_run = false;
@@ -237,6 +240,15 @@ int cmd_run(int argc, char** argv) {
 
   exp::Json document = exp::load_spec_document(path);
   for (const auto& assignment : overrides) exp::apply_override(document, assignment);
+  if (forced_mode != nullptr) {
+    if (const exp::Json* mode = document.find("mode");
+        mode != nullptr && mode->as_string() != forced_mode) {
+      throw std::runtime_error("this command runs mode '" + std::string(forced_mode) +
+                               "' but the spec says mode '" + mode->as_string() +
+                               "'; use `saga run` for other modes");
+    }
+    document.set("mode", exp::Json::string(forced_mode));
+  }
   const auto spec = exp::ExperimentSpec::from_json(document);
   spec.validate();
   if (dry_run) {
@@ -245,6 +257,20 @@ int cmd_run(int argc, char** argv) {
   }
   exp::run_experiment(spec, std::cout, options);
   return EXIT_SUCCESS;
+}
+
+int cmd_run(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: saga run <spec.json|-> [--dry-run] [--set key.path=value]...\n"
+      "                [--shard i/N] [--out dir] [--resume]";
+  return run_spec_command(argc, argv, kUsage, nullptr);
+}
+
+int cmd_simulate(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: saga simulate <spec.json|-> [--dry-run] [--set key.path=value]...\n"
+      "                     [--shard i/N] [--out dir] [--resume]";
+  return run_spec_command(argc, argv, kUsage, "simulate");
 }
 
 int cmd_merge(int argc, char** argv) {
@@ -427,6 +453,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "list") return cmd_list(argc - 2, argv + 2);
     if (command == "run") return cmd_run(argc - 2, argv + 2);
+    if (command == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (command == "merge") return cmd_merge(argc - 2, argv + 2);
     if (command == "generate") return cmd_generate(argc - 2, argv + 2);
     if (command == "schedule") return cmd_schedule(argc - 2, argv + 2);
