@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <utility>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/constraints.hpp"
 #include "sched/arena.hpp"
 
@@ -10,34 +12,124 @@ namespace saga::pisa {
 
 double makespan_ratio(const Scheduler& target, const Scheduler& baseline,
                       const ProblemInstance& inst, TimelineArena* arena) {
-  const double m_target = target.schedule(inst, arena).makespan();
-  const double m_baseline = baseline.schedule(inst, arena).makespan();
+  // plan_makespan is bit-identical to schedule(...).makespan() but skips
+  // materializing the Schedule — two fewer allocations per PISA step.
+  const double m_target = target.plan_makespan(inst, arena);
+  const double m_baseline = baseline.plan_makespan(inst, arena);
   if (m_baseline == 0.0) {
     return m_target == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
   }
   return m_target / m_baseline;
 }
 
-AnnealResult anneal_objective(const ArenaObjective& objective, const ProblemInstance& initial,
-                              const PerturbationConfig& config, const AnnealingParams& params,
-                              std::uint64_t seed, TimelineArena* arena) {
+namespace {
+
+/// Acceptance probability for a strictly worse candidate (Algorithm 1 line
+/// 9, or the Metropolis ablation).
+double acceptance_probability(const AnnealingParams& params, double candidate_ratio,
+                              double current_ratio, double best_ratio, double temperature) {
+  switch (params.acceptance) {
+    case AnnealingParams::AcceptanceRule::kPaper: {
+      // Algorithm 1 line 9: exp(-(M'/M_best)/T). With an infinite best
+      // ratio the exponent underflows to exp(0) = 1; guard explicitly.
+      const double rel = std::isinf(best_ratio) || best_ratio == 0.0
+                             ? 1.0
+                             : candidate_ratio / best_ratio;
+      return std::exp(-rel / temperature);
+    }
+    case AnnealingParams::AcceptanceRule::kMetropolis: {
+      // Classic rule on the relative decrease from the *current* state.
+      if (current_ratio > 0.0 && std::isfinite(current_ratio)) {
+        const double decrease = (current_ratio - candidate_ratio) / current_ratio;
+        return std::exp(-decrease / temperature);
+      }
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+/// Propagates a recorded perturbation into the arena's cached view without
+/// a table refresh: weight operators overwrite the one changed weight in
+/// the packed tables, structural operators splice the one edge in or out of
+/// the CSR arrays, and the new stamps are adopted — so the next
+/// evaluation's sync is a no-op. The patched view is bit-identical to a
+/// freshly synced one (see InstanceView::patch_*).
+void patch_view_apply(InstanceView& view, const ProblemInstance& inst,
+                      const AppliedPerturbation& p) {
+  switch (p.op) {
+    case PerturbationOp::kChangeNetworkNodeWeight:
+      view.patch_node_speed(inst, p.a, p.after);
+      break;
+    case PerturbationOp::kChangeNetworkEdgeWeight:
+      view.patch_link_strength(inst, p.a, p.b, p.after);
+      break;
+    case PerturbationOp::kChangeTaskWeight:
+      view.patch_task_cost(inst, p.a, p.after);
+      break;
+    case PerturbationOp::kChangeDependencyWeight:
+      view.patch_dependency_cost(inst, p.a, p.b, p.after);
+      break;
+    case PerturbationOp::kAddDependency:
+      view.patch_add_dependency(inst, p.a, p.b, p.after);
+      break;
+    case PerturbationOp::kRemoveDependency:
+      view.patch_remove_dependency(inst, p.a, p.b);
+      break;
+  }
+}
+
+/// The inverse: propagates `undo_perturbation(inst, p)` into the view.
+void patch_view_undo(InstanceView& view, const ProblemInstance& inst,
+                     const AppliedPerturbation& p) {
+  switch (p.op) {
+    case PerturbationOp::kChangeNetworkNodeWeight:
+      view.patch_node_speed(inst, p.a, p.before);
+      break;
+    case PerturbationOp::kChangeNetworkEdgeWeight:
+      view.patch_link_strength(inst, p.a, p.b, p.before);
+      break;
+    case PerturbationOp::kChangeTaskWeight:
+      view.patch_task_cost(inst, p.a, p.before);
+      break;
+    case PerturbationOp::kChangeDependencyWeight:
+      view.patch_dependency_cost(inst, p.a, p.b, p.before);
+      break;
+    case PerturbationOp::kAddDependency:
+      view.patch_remove_dependency(inst, p.a, p.b);
+      break;
+    case PerturbationOp::kRemoveDependency:
+      view.patch_add_dependency(inst, p.a, p.b, p.before);
+      break;
+  }
+}
+
+/// The sequential (batch == 1) path: Algorithm 1 with one interleaved RNG
+/// stream, byte-identical to the pre-batch annealer. Templated on the
+/// objective so the scheduler-pair entry point (`anneal`) runs without a
+/// std::function indirection per step.
+template <class Objective>
+AnnealResult anneal_sequential(const Objective& objective, const ProblemInstance& initial,
+                               const PerturbationConfig& config, const AnnealingParams& params,
+                               std::uint64_t seed, TimelineArena* arena) {
   Rng rng(seed);
   TimelineArena run_arena;
   TimelineArena& eval_arena = arena != nullptr ? *arena : run_arena;
 
   AnnealResult result;
-  // Two persistent instance buffers ping-pong across the whole run via
-  // pointer swap (no container moves, so no re-stamping): each step
-  // copy-assigns current into the candidate buffer — reusing its vectors'
-  // capacity — and perturbs it in place. A step only allocates when the
-  // graph grows.
-  ProblemInstance buffer_a = initial;
-  ProblemInstance buffer_b;
-  ProblemInstance* current = &buffer_a;
-  ProblemInstance* candidate = &buffer_b;
+  // One persistent working instance holds the current state. Each step
+  // perturbs it in place and records the change; a rejected candidate is
+  // rolled back by inverting the record instead of restoring from a copy,
+  // so the loop never copy-assigns the instance. Both shortcuts are
+  // bit-exact: undo restores weights and adjacency byte for byte (see
+  // AppliedPerturbation), and when a perturbation provably left the
+  // instance unchanged (a clamped nudge landing back on the old value) the
+  // skipped re-evaluation would have returned exactly current_ratio.
+  ProblemInstance state = initial;
 
-  double current_ratio = objective(*current, eval_arena);
-  result.best_instance = *current;
+  double current_ratio = objective(state, eval_arena);
+  result.evaluations = 1;
+  result.best_instance = state;
   result.best_ratio = current_ratio;
   result.initial_ratio = current_ratio;
 
@@ -46,49 +138,135 @@ AnnealResult anneal_objective(const ArenaObjective& objective, const ProblemInst
   double temperature = params.t_max;
   std::size_t iteration = 0;
   while (temperature > params.t_min && iteration < params.max_iterations) {
-    *candidate = *current;
-    const auto applied = perturb_in_place(*candidate, config, rng);
-    const double candidate_ratio =
-        applied.has_value() ? objective(*candidate, eval_arena) : current_ratio;
+    // When the arena's view tracks the current state, the perturbation is
+    // propagated into it directly (patch_view_apply) instead of letting the
+    // next sync re-derive whole tables from the instance — the two are
+    // bit-identical, and the patch touches only what changed.
+    const bool view_synced = eval_arena.view().in_sync_with(state);
+    const auto applied = perturb_in_place_recorded(state, config, rng);
+    if (applied.has_value() && view_synced) {
+      patch_view_apply(eval_arena.view(), state, *applied);
+    }
+    double candidate_ratio = current_ratio;
+    if (applied.has_value() && applied->changed()) {
+      candidate_ratio = objective(state, eval_arena);
+      ++result.evaluations;
+    }
     const double ratio_before = current_ratio;
 
     if (candidate_ratio > result.best_ratio) {
       // Algorithm 1 line 6-7: improving candidates update the best solution
       // (and become the current state).
-      result.best_instance = *candidate;
+      result.best_instance = state;
       result.best_ratio = candidate_ratio;
-      std::swap(current, candidate);
       current_ratio = candidate_ratio;
       ++result.improved;
     } else if (candidate_ratio >= current_ratio) {
       // Better than (or equal to) the current state, though not a new best:
       // always accept, as in standard simulated annealing (Algorithm 1
       // leaves this case implicit).
-      std::swap(current, candidate);
       current_ratio = candidate_ratio;
     } else {
-      double accept_probability = 0.0;
-      switch (params.acceptance) {
-        case AnnealingParams::AcceptanceRule::kPaper: {
-          // Algorithm 1 line 9: exp(-(M'/M_best)/T). With an infinite best
-          // ratio the exponent underflows to exp(0) = 1; guard explicitly.
-          const double rel = std::isinf(result.best_ratio) || result.best_ratio == 0.0
-                                 ? 1.0
-                                 : candidate_ratio / result.best_ratio;
-          accept_probability = std::exp(-rel / temperature);
-          break;
-        }
-        case AnnealingParams::AcceptanceRule::kMetropolis: {
-          // Classic rule on the relative decrease from the *current* state.
-          if (current_ratio > 0.0 && std::isfinite(current_ratio)) {
-            const double decrease = (current_ratio - candidate_ratio) / current_ratio;
-            accept_probability = std::exp(-decrease / temperature);
-          }
-          break;
-        }
-      }
+      const double accept_probability = acceptance_probability(
+          params, candidate_ratio, current_ratio, result.best_ratio, temperature);
       if (rng.bernoulli(accept_probability)) {
-        std::swap(current, candidate);
+        current_ratio = candidate_ratio;
+        ++result.accepted;
+      } else if (applied.has_value()) {
+        const bool synced = eval_arena.view().in_sync_with(state);
+        undo_perturbation(state, *applied);
+        if (synced) patch_view_undo(eval_arena.view(), state, *applied);
+      }
+    }
+
+    if (params.record_trace) {
+      result.trace.push_back({iteration, temperature, candidate_ratio, current_ratio,
+                              result.best_ratio, current_ratio != ratio_before});
+    }
+    temperature *= params.alpha;
+    ++iteration;
+  }
+  result.iterations = iteration;
+  return result;
+}
+
+/// The batched (batch == K > 1) path: K candidates per step against the
+/// shared immutable current state, annealing on the best of them. See
+/// AnnealingParams::batch for the seed-derivation contract.
+template <class Objective>
+AnnealResult anneal_batch(const Objective& objective, const ProblemInstance& initial,
+                          const PerturbationConfig& config, const AnnealingParams& params,
+                          std::uint64_t seed) {
+  const std::size_t k_slots = params.batch;
+  Rng accept_rng(derive_seed(seed, {0xacc9ULL}));
+
+  // Slot k always evaluates buffer k on arena k, whether the slots run
+  // serially or on a pool: the result depends only on (seed, K), never on
+  // the thread count or scheduling order.
+  std::vector<TimelineArena> arenas(k_slots);
+  std::vector<ProblemInstance> buffers(k_slots);
+  std::vector<double> ratios(k_slots, 0.0);
+  std::vector<char> evaluated(k_slots, 0);
+
+  AnnealResult result;
+  ProblemInstance current = initial;
+  double current_ratio = objective(current, arenas[0]);
+  result.evaluations = 1;
+  result.best_instance = current;
+  result.best_ratio = current_ratio;
+  result.initial_ratio = current_ratio;
+
+  if (params.record_trace) result.trace.reserve(params.max_iterations);
+
+  double temperature = params.t_max;
+  std::size_t iteration = 0;
+  while (temperature > params.t_min && iteration < params.max_iterations) {
+    const std::size_t step = iteration;
+    const auto eval_slot = [&](std::size_t k) {
+      // Copy-assign reuses the buffer's capacity; `current` is only read
+      // concurrently.
+      buffers[k] = current;
+      Rng slot_rng(derive_seed(seed, {0xba7cULL, step, k}));
+      const auto applied = perturb_in_place_recorded(buffers[k], config, slot_rng);
+      if (applied.has_value() && applied->changed()) {
+        ratios[k] = objective(buffers[k], arenas[k]);
+        evaluated[k] = 1;
+      } else {
+        ratios[k] = current_ratio;
+        evaluated[k] = 0;
+      }
+    };
+    if (params.pool != nullptr) {
+      params.pool->parallel_for(k_slots, eval_slot);
+    } else {
+      for (std::size_t k = 0; k < k_slots; ++k) eval_slot(k);
+    }
+    for (std::size_t k = 0; k < k_slots; ++k) {
+      if (evaluated[k] != 0) ++result.evaluations;
+    }
+
+    // Winner: highest ratio, lowest slot index on ties.
+    std::size_t winner = 0;
+    for (std::size_t k = 1; k < k_slots; ++k) {
+      if (ratios[k] > ratios[winner]) winner = k;
+    }
+    const double candidate_ratio = ratios[winner];
+    const double ratio_before = current_ratio;
+
+    if (candidate_ratio > result.best_ratio) {
+      result.best_instance = buffers[winner];
+      result.best_ratio = candidate_ratio;
+      current = buffers[winner];
+      current_ratio = candidate_ratio;
+      ++result.improved;
+    } else if (candidate_ratio >= current_ratio) {
+      current = buffers[winner];
+      current_ratio = candidate_ratio;
+    } else {
+      const double accept_probability = acceptance_probability(
+          params, candidate_ratio, current_ratio, result.best_ratio, temperature);
+      if (accept_rng.bernoulli(accept_probability)) {
+        current = buffers[winner];
         current_ratio = candidate_ratio;
         ++result.accepted;
       }
@@ -105,6 +283,28 @@ AnnealResult anneal_objective(const ArenaObjective& objective, const ProblemInst
   return result;
 }
 
+/// Dispatches on params.batch; templated so concrete objectives (the
+/// scheduler pair in `anneal`) skip std::function entirely.
+template <class Objective>
+AnnealResult anneal_impl(const Objective& objective, const ProblemInstance& initial,
+                         const PerturbationConfig& config, const AnnealingParams& params,
+                         std::uint64_t seed, TimelineArena* arena) {
+  if (params.batch > 1) {
+    // Batch slots evaluate on their own dedicated arenas (a caller-provided
+    // arena cannot be shared across concurrent slots).
+    return anneal_batch(objective, initial, config, params, seed);
+  }
+  return anneal_sequential(objective, initial, config, params, seed, arena);
+}
+
+}  // namespace
+
+AnnealResult anneal_objective(const ArenaObjective& objective, const ProblemInstance& initial,
+                              const PerturbationConfig& config, const AnnealingParams& params,
+                              std::uint64_t seed, TimelineArena* arena) {
+  return anneal_impl(objective, initial, config, params, seed, arena);
+}
+
 AnnealResult anneal_objective(const InstanceObjective& objective, const ProblemInstance& initial,
                               const PerturbationConfig& config, const AnnealingParams& params,
                               std::uint64_t seed, TimelineArena* arena) {
@@ -116,11 +316,12 @@ AnnealResult anneal_objective(const InstanceObjective& objective, const ProblemI
 AnnealResult anneal(const Scheduler& target, const Scheduler& baseline,
                     const ProblemInstance& initial, const PerturbationConfig& config,
                     const AnnealingParams& params, std::uint64_t seed, TimelineArena* arena) {
-  return anneal_objective(
-      [&](const ProblemInstance& inst, TimelineArena& eval) {
-        return makespan_ratio(target, baseline, inst, &eval);
-      },
-      initial, config, params, seed, arena);
+  // Concrete lambda straight into the template: the per-step objective call
+  // is direct (two virtual plan_makespan calls), not a std::function hop.
+  const auto objective = [&](const ProblemInstance& inst, TimelineArena& eval) {
+    return makespan_ratio(target, baseline, inst, &eval);
+  };
+  return anneal_impl(objective, initial, config, params, seed, arena);
 }
 
 ProblemInstance random_chain_instance(std::uint64_t seed) {

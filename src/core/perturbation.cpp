@@ -27,14 +27,18 @@ double nudge(double value, const WeightRange& range, Rng& rng) {
 }
 
 bool apply_op(ProblemInstance& inst, PerturbationOp op, const PerturbationConfig& config,
-              Rng& rng) {
+              Rng& rng, AppliedPerturbation& record) {
   auto& g = inst.graph;
   auto& net = inst.network;
+  record.op = op;
   switch (op) {
     case PerturbationOp::kChangeNetworkNodeWeight: {
       if (net.node_count() == 0) return false;
       const auto v = static_cast<NodeId>(rng.index(net.node_count()));
-      net.set_speed(v, nudge(net.speed(v), config.node_speed, rng));
+      record.a = v;
+      record.before = net.speed(v);
+      record.after = nudge(record.before, config.node_speed, rng);
+      net.set_speed(v, record.after);
       return true;
     }
     case PerturbationOp::kChangeNetworkEdgeWeight: {
@@ -43,20 +47,30 @@ bool apply_op(ProblemInstance& inst, PerturbationOp op, const PerturbationConfig
       const auto a = static_cast<NodeId>(rng.index(net.node_count()));
       auto b = static_cast<NodeId>(rng.index(net.node_count() - 1));
       if (b >= a) ++b;
-      net.set_strength(a, b, nudge(net.strength(a, b), config.link_strength, rng));
+      record.a = a;
+      record.b = b;
+      record.before = net.strength(a, b);
+      record.after = nudge(record.before, config.link_strength, rng);
+      net.set_strength(a, b, record.after);
       return true;
     }
     case PerturbationOp::kChangeTaskWeight: {
       if (g.task_count() == 0) return false;
       const auto t = static_cast<TaskId>(rng.index(g.task_count()));
-      g.set_cost(t, nudge(g.cost(t), config.task_cost, rng));
+      record.a = t;
+      record.before = g.cost(t);
+      record.after = nudge(record.before, config.task_cost, rng);
+      g.set_cost(t, record.after);
       return true;
     }
     case PerturbationOp::kChangeDependencyWeight: {
       if (g.dependency_count() == 0) return false;
       const auto [from, to] = g.dependency_at(rng.index(g.dependency_count()));
-      g.set_dependency_cost(from, to,
-                            nudge(g.dependency_cost(from, to), config.dependency_cost, rng));
+      record.a = from;
+      record.b = to;
+      record.before = g.dependency_cost(from, to);
+      record.after = nudge(record.before, config.dependency_cost, rng);
+      g.set_dependency_cost(from, to, record.after);
       return true;
     }
     case PerturbationOp::kAddDependency: {
@@ -64,31 +78,57 @@ bool apply_op(ProblemInstance& inst, PerturbationOp op, const PerturbationConfig
       // "Select a task t uniformly at random and add a dependency from t to
       // a uniformly random task t' such that (t, t') is absent and acyclic."
       const auto from = static_cast<TaskId>(rng.index(g.task_count()));
-      std::vector<TaskId> candidates;
-      for (TaskId to = 0; to < g.task_count(); ++to) {
-        if (to == from || g.has_dependency(from, to) || g.would_create_cycle(from, to)) {
-          continue;
+      // (from, to) closes a cycle iff `from` is reachable from `to`, i.e.
+      // iff `to` is an ancestor of `from` (or `from` itself). One
+      // predecessor-side DFS from `from` marks every such target at once —
+      // the same exclusion set `would_create_cycle(from, to)` computes one
+      // probe at a time. Thread-local scratch keeps this allocation-free.
+      static thread_local std::vector<char> blocked;
+      static thread_local std::vector<TaskId> stack;
+      static thread_local std::vector<TaskId> candidates;
+      blocked.assign(g.task_count(), 0);
+      stack.clear();
+      blocked[from] = 1;
+      stack.push_back(from);
+      while (!stack.empty()) {
+        const TaskId cur = stack.back();
+        stack.pop_back();
+        for (TaskId p : g.predecessors(cur)) {
+          if (blocked[p] == 0) {
+            blocked[p] = 1;
+            stack.push_back(p);
+          }
         }
+      }
+      candidates.clear();
+      for (TaskId to = 0; to < g.task_count(); ++to) {
+        if (blocked[to] != 0 || g.has_dependency(from, to)) continue;
         candidates.push_back(to);
       }
       if (candidates.empty()) return false;
       const TaskId to = candidates[rng.index(candidates.size())];
       const double cost = rng.uniform(config.dependency_cost.lo, config.dependency_cost.hi);
-      return g.add_dependency(from, to, cost);
+      record.a = from;
+      record.b = to;
+      record.after = cost;
+      // The candidate sweep above already established absence + acyclicity.
+      g.add_dependency_unchecked(from, to, cost);
+      return true;
     }
     case PerturbationOp::kRemoveDependency: {
       if (g.dependency_count() == 0) return false;
       const auto [from, to] = g.dependency_at(rng.index(g.dependency_count()));
+      record.a = from;
+      record.b = to;
+      record.before = g.dependency_cost(from, to);
       return g.remove_dependency(from, to);
     }
   }
   return false;
 }
 
-}  // namespace
-
-std::optional<PerturbationOp> perturb_in_place(ProblemInstance& inst,
-                                               const PerturbationConfig& config, Rng& rng) {
+std::optional<AppliedPerturbation> pick_and_apply(ProblemInstance& inst,
+                                                  const PerturbationConfig& config, Rng& rng) {
   // Small fixed-capacity op list: no allocation on the annealing hot path.
   std::array<PerturbationOp, kPerturbationOpCount> enabled{};
   std::size_t enabled_count = 0;
@@ -97,14 +137,80 @@ std::optional<PerturbationOp> perturb_in_place(ProblemInstance& inst,
   }
   // Pick uniformly among enabled ops; if the chosen op is inapplicable
   // (e.g. RemoveDependency on an edgeless graph), retry among the rest.
+  AppliedPerturbation record;
   while (enabled_count > 0) {
     const std::size_t pick = rng.index(enabled_count);
     const PerturbationOp op = enabled[pick];
-    if (apply_op(inst, op, config, rng)) return op;
+    if (apply_op(inst, op, config, rng, record)) return record;
     for (std::size_t i = pick + 1; i < enabled_count; ++i) enabled[i - 1] = enabled[i];
     --enabled_count;
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<PerturbationOp> perturb_in_place(ProblemInstance& inst,
+                                               const PerturbationConfig& config, Rng& rng) {
+  const auto applied = pick_and_apply(inst, config, rng);
+  if (!applied.has_value()) return std::nullopt;
+  return applied->op;
+}
+
+std::optional<AppliedPerturbation> perturb_in_place_recorded(ProblemInstance& inst,
+                                                             const PerturbationConfig& config,
+                                                             Rng& rng) {
+  return pick_and_apply(inst, config, rng);
+}
+
+void undo_perturbation(ProblemInstance& inst, const AppliedPerturbation& p) {
+  switch (p.op) {
+    case PerturbationOp::kChangeNetworkNodeWeight:
+      inst.network.set_speed(p.a, p.before);
+      break;
+    case PerturbationOp::kChangeNetworkEdgeWeight:
+      inst.network.set_strength(p.a, p.b, p.before);
+      break;
+    case PerturbationOp::kChangeTaskWeight:
+      inst.graph.set_cost(p.a, p.before);
+      break;
+    case PerturbationOp::kChangeDependencyWeight:
+      inst.graph.set_dependency_cost(p.a, p.b, p.before);
+      break;
+    case PerturbationOp::kAddDependency:
+      inst.graph.remove_dependency(p.a, p.b);
+      break;
+    case PerturbationOp::kRemoveDependency:
+      // Sorted adjacency makes re-adding exact: the lists come back
+      // identical to their pre-removal state, not appended-at-the-end.
+      // Unchecked is safe — re-adding restores the original acyclic graph.
+      inst.graph.add_dependency_unchecked(p.a, p.b, p.before);
+      break;
+  }
+}
+
+void redo_perturbation(ProblemInstance& inst, const AppliedPerturbation& p) {
+  switch (p.op) {
+    case PerturbationOp::kChangeNetworkNodeWeight:
+      inst.network.set_speed(p.a, p.after);
+      break;
+    case PerturbationOp::kChangeNetworkEdgeWeight:
+      inst.network.set_strength(p.a, p.b, p.after);
+      break;
+    case PerturbationOp::kChangeTaskWeight:
+      inst.graph.set_cost(p.a, p.after);
+      break;
+    case PerturbationOp::kChangeDependencyWeight:
+      inst.graph.set_dependency_cost(p.a, p.b, p.after);
+      break;
+    case PerturbationOp::kAddDependency:
+      // Replays an edge that was validated when first applied to this state.
+      inst.graph.add_dependency_unchecked(p.a, p.b, p.after);
+      break;
+    case PerturbationOp::kRemoveDependency:
+      inst.graph.remove_dependency(p.a, p.b);
+      break;
+  }
 }
 
 PerturbationResult perturb(const ProblemInstance& inst, const PerturbationConfig& config,

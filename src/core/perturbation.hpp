@@ -87,4 +87,47 @@ struct PerturbationResult {
 std::optional<PerturbationOp> perturb_in_place(ProblemInstance& inst,
                                                const PerturbationConfig& config, Rng& rng);
 
+/// A fully-applied perturbation, recorded with enough detail to invert or
+/// replay it exactly. Every operator is bit-exactly reversible: weight ops
+/// restore the previous value, and the graph keeps its adjacency lists
+/// sorted at all times (add re-sorts, remove erases in place), so the
+/// adjacency state is a pure function of the edge set — removing an added
+/// edge, or re-adding a removed one with its old cost, reproduces the
+/// original lists byte for byte.
+struct AppliedPerturbation {
+  PerturbationOp op{};
+  /// Endpoints: the node (weight ops on nodes), the task (task weight), or
+  /// the (from, to) pair (dependency ops). NodeId and TaskId share the
+  /// representation.
+  TaskId a = 0;
+  TaskId b = 0;
+  double before = 0.0;  ///< weight before the change (weight ops, removed-edge cost)
+  double after = 0.0;   ///< weight after the change (weight ops, added-edge cost)
+
+  /// True when applying the perturbation altered the instance. A weight
+  /// nudge whose clamp lands back on the old value applies successfully but
+  /// leaves the instance — and therefore any objective of it — unchanged;
+  /// the annealer uses this to skip re-evaluation entirely.
+  [[nodiscard]] bool changed() const {
+    return op == PerturbationOp::kAddDependency ||
+           op == PerturbationOp::kRemoveDependency || before != after;
+  }
+};
+
+/// Exactly `perturb_in_place` — same operator selection, same RNG stream,
+/// same mutations — but returns the record needed for undo/redo.
+std::optional<AppliedPerturbation> perturb_in_place_recorded(ProblemInstance& inst,
+                                                             const PerturbationConfig& config,
+                                                             Rng& rng);
+
+/// Inverts a recorded perturbation. `inst` must be in the exact state the
+/// perturbation left it in; afterwards it is bit-identical to the state
+/// before the perturbation was applied.
+void undo_perturbation(ProblemInstance& inst, const AppliedPerturbation& p);
+
+/// Re-applies a recorded perturbation (no RNG). `inst` must be in the exact
+/// pre-perturbation state; afterwards it is bit-identical to the state the
+/// original application produced.
+void redo_perturbation(ProblemInstance& inst, const AppliedPerturbation& p);
+
 }  // namespace saga::pisa

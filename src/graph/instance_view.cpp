@@ -1,5 +1,9 @@
 #include "graph/instance_view.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
 namespace saga {
 
 bool InstanceView::in_sync_with(const ProblemInstance& inst) const noexcept {
@@ -17,17 +21,38 @@ void InstanceView::sync(const ProblemInstance& inst) {
   const bool same_shape = inst_ != nullptr &&
                           graph_structure_stamp_ == inst.graph.structure_stamp() &&
                           node_speed_.size() == inst.network.node_count();
+  // Re-syncing the instance we already track means it is being mutated and
+  // re-evaluated in place — the reuse pattern the derived quotient tables
+  // pay off for. A switch to a different instance resets that signal (it
+  // may well be a one-shot evaluation).
+  if (inst_ == &inst) {
+    derived_wanted_ = true;
+  } else {
+    derived_wanted_ = false;
+  }
   inst_ = &inst;
+  bool refreshed = false;
   if (!same_shape) {
     rebuild_structure(inst.graph);
     refresh_graph_weights(inst.graph);
     refresh_network(inst.network);
+    refreshed = true;
   } else {
     if (graph_weights_stamp_ != inst.graph.weights_stamp()) {
       refresh_graph_weights(inst.graph);
+      refreshed = true;
     }
     if (network_stamp_ != inst.network.weights_stamp()) {
       refresh_network(inst.network);
+      refreshed = true;
+    }
+  }
+  if (refreshed) {
+    if (derived_wanted_) {
+      refresh_derived();
+    } else {
+      exec_.clear();
+      comm_.clear();
     }
   }
   graph_structure_stamp_ = inst.graph.structure_stamp();
@@ -52,7 +77,41 @@ void InstanceView::rebuild_structure(const TaskGraph& graph) {
   }
   pred_offset_[tasks] = pred_.size();
   succ_offset_[tasks] = succ_.size();
-  topo_ = graph.topological_order();
+  rebuild_topo();
+}
+
+void InstanceView::rebuild_topo() {
+  // Kahn's algorithm, smallest id first — the same pop sequence as
+  // TaskGraph::topological_order (a priority_queue is exactly these heap
+  // operations on a vector), but into capacity-reusing buffers: PISA's
+  // structural perturbation steps land here, so the rebuild allocates
+  // nothing once the view is warm. Works purely off the CSR arrays so the
+  // single-edge structural patches can reuse it without touching the graph.
+  const std::size_t tasks = task_cost_.size();
+  topo_.clear();
+  topo_.reserve(tasks);
+  topo_indegree_.resize(tasks);
+  topo_heap_.clear();
+  const auto heap_greater = [](TaskId a, TaskId b) { return a > b; };
+  for (TaskId t = 0; t < tasks; ++t) {
+    topo_indegree_[t] = static_cast<std::uint32_t>(pred_offset_[t + 1] - pred_offset_[t]);
+    if (topo_indegree_[t] == 0) {
+      topo_heap_.push_back(t);
+      std::push_heap(topo_heap_.begin(), topo_heap_.end(), heap_greater);
+    }
+  }
+  while (!topo_heap_.empty()) {
+    std::pop_heap(topo_heap_.begin(), topo_heap_.end(), heap_greater);
+    const TaskId t = topo_heap_.back();
+    topo_heap_.pop_back();
+    topo_.push_back(t);
+    for (std::size_t i = succ_offset_[t]; i < succ_offset_[t + 1]; ++i) {
+      if (--topo_indegree_[succ_[i].task] == 0) {
+        topo_heap_.push_back(succ_[i].task);
+        std::push_heap(topo_heap_.begin(), topo_heap_.end(), heap_greater);
+      }
+    }
+  }
 }
 
 void InstanceView::refresh_graph_weights(const TaskGraph& graph) {
@@ -68,6 +127,149 @@ void InstanceView::refresh_graph_weights(const TaskGraph& graph) {
   }
 }
 
+void InstanceView::patch_task_cost(const ProblemInstance& inst, TaskId t, double cost) {
+  assert(inst_ == &inst && graph_structure_stamp_ == inst.graph.structure_stamp());
+  task_cost_[t] = cost;
+  if (!ensure_derived() && !exec_.empty()) {
+    const std::size_t n = node_speed_.size();
+    for (std::size_t v = 0; v < n; ++v) exec_[t * n + v] = cost / node_speed_[v];
+  }
+  graph_weights_stamp_ = inst.graph.weights_stamp();
+}
+
+void InstanceView::patch_dependency_cost(const ProblemInstance& inst, TaskId from, TaskId to,
+                                         double cost) {
+  assert(inst_ == &inst && graph_structure_stamp_ == inst.graph.structure_stamp());
+  std::size_t entry = succ_.size();
+  for (std::size_t i = succ_offset_[from]; i < succ_offset_[from + 1]; ++i) {
+    if (succ_[i].task == to) {
+      succ_[i].cost = cost;
+      entry = i;
+      break;
+    }
+  }
+  for (std::size_t i = pred_offset_[to]; i < pred_offset_[to + 1]; ++i) {
+    if (pred_[i].task == from) {
+      pred_[i].cost = cost;
+      break;
+    }
+  }
+  if (!ensure_derived() && !comm_.empty() && entry < succ_.size()) refresh_comm_entry(entry);
+  graph_weights_stamp_ = inst.graph.weights_stamp();
+}
+
+void InstanceView::patch_node_speed(const ProblemInstance& inst, NodeId v, double speed) {
+  assert(inst_ == &inst && node_speed_.size() == inst.network.node_count());
+  node_speed_[v] = speed;
+  if (!ensure_derived() && !exec_.empty()) {
+    const std::size_t n = node_speed_.size();
+    for (std::size_t t = 0; t < task_cost_.size(); ++t) {
+      exec_[t * n + v] = task_cost_[t] / speed;
+    }
+  }
+  // Same fold as Network::mean_inverse_speed over identical values.
+  double total = 0.0;
+  for (double s : node_speed_) total += 1.0 / s;
+  mean_inv_speed_ = total / static_cast<double>(node_speed_.size());
+  network_stamp_ = inst.network.weights_stamp();
+}
+
+void InstanceView::patch_link_strength(const ProblemInstance& inst, NodeId a, NodeId b,
+                                       double strength) {
+  assert(inst_ == &inst && node_speed_.size() == inst.network.node_count());
+  const std::size_t n = node_speed_.size();
+  strength_[a * n + b] = strength;
+  strength_[b * n + a] = strength;
+  if (!ensure_derived() && !comm_.empty()) {
+    for (std::size_t e = 0; e < succ_.size(); ++e) {
+      double* block = comm_.data() + e * n * n;
+      block[a * n + b] = succ_[e].cost / strength;
+      block[b * n + a] = succ_[e].cost / strength;
+    }
+  }
+  // Same fold as Network::mean_inverse_strength: the packed upper triangle
+  // in row-major order, infinite links contributing zero.
+  const std::size_t pairs = n < 2 ? 0 : n * (n - 1) / 2;
+  if (pairs == 0) {
+    mean_inv_strength_ = 0.0;
+  } else {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double s = strength_[i * n + j];
+        if (!std::isinf(s)) total += 1.0 / s;
+      }
+    }
+    mean_inv_strength_ = total / static_cast<double>(pairs);
+  }
+  network_stamp_ = inst.network.weights_stamp();
+}
+
+void InstanceView::patch_add_dependency(const ProblemInstance& inst, TaskId from, TaskId to,
+                                        double cost) {
+  assert(inst_ == &inst && task_cost_.size() == inst.graph.task_count());
+  // Insert into the sorted CSR segments (adjacency is kept id-sorted, like
+  // TaskGraph's lists) and shift the offsets after the insertion point.
+  const auto succ_begin = succ_.begin() + static_cast<std::ptrdiff_t>(succ_offset_[from]);
+  const auto succ_end = succ_.begin() + static_cast<std::ptrdiff_t>(succ_offset_[from + 1]);
+  const auto succ_pos = std::lower_bound(
+      succ_begin, succ_end, to, [](const Edge& e, TaskId id) { return e.task < id; });
+  const std::size_t entry = static_cast<std::size_t>(succ_pos - succ_.begin());
+  succ_.insert(succ_pos, Edge{to, cost});
+  for (std::size_t t = from + 1; t < succ_offset_.size(); ++t) ++succ_offset_[t];
+  if (!ensure_derived() && (!comm_.empty() || succ_.size() == 1)) {
+    const std::size_t n = node_speed_.size();
+    if (succ_.size() * n * n <= kMaxCachedCommEntries) {
+      // Splice a block for the new entry into the cached comm table; the
+      // other entries' values are index-independent, so a shift suffices.
+      comm_.insert(comm_.begin() + static_cast<std::ptrdiff_t>(entry * n * n), n * n, 0.0);
+      refresh_comm_entry(entry);
+    } else {
+      comm_.clear();  // crossed the gate; the next full sync may rebuild it
+    }
+  }
+
+  const auto pred_begin = pred_.begin() + static_cast<std::ptrdiff_t>(pred_offset_[to]);
+  const auto pred_end = pred_.begin() + static_cast<std::ptrdiff_t>(pred_offset_[to + 1]);
+  const auto pred_pos = std::lower_bound(
+      pred_begin, pred_end, from, [](const Edge& e, TaskId id) { return e.task < id; });
+  pred_.insert(pred_pos, Edge{from, cost});
+  for (std::size_t t = to + 1; t < pred_offset_.size(); ++t) ++pred_offset_[t];
+
+  rebuild_topo();
+  graph_structure_stamp_ = inst.graph.structure_stamp();
+  graph_weights_stamp_ = inst.graph.weights_stamp();
+}
+
+void InstanceView::patch_remove_dependency(const ProblemInstance& inst, TaskId from, TaskId to) {
+  assert(inst_ == &inst && task_cost_.size() == inst.graph.task_count());
+  const auto succ_begin = succ_.begin() + static_cast<std::ptrdiff_t>(succ_offset_[from]);
+  const auto succ_end = succ_.begin() + static_cast<std::ptrdiff_t>(succ_offset_[from + 1]);
+  const auto succ_pos = std::lower_bound(
+      succ_begin, succ_end, to, [](const Edge& e, TaskId id) { return e.task < id; });
+  assert(succ_pos != succ_end && succ_pos->task == to);
+  const std::size_t entry = static_cast<std::size_t>(succ_pos - succ_.begin());
+  succ_.erase(succ_pos);
+  for (std::size_t t = from + 1; t < succ_offset_.size(); ++t) --succ_offset_[t];
+  if (!ensure_derived() && !comm_.empty()) {
+    const std::size_t n = node_speed_.size();
+    const auto block = comm_.begin() + static_cast<std::ptrdiff_t>(entry * n * n);
+    comm_.erase(block, block + static_cast<std::ptrdiff_t>(n * n));
+  }
+
+  const auto pred_begin = pred_.begin() + static_cast<std::ptrdiff_t>(pred_offset_[to]);
+  const auto pred_end = pred_.begin() + static_cast<std::ptrdiff_t>(pred_offset_[to + 1]);
+  const auto pred_pos = std::lower_bound(
+      pred_begin, pred_end, from, [](const Edge& e, TaskId id) { return e.task < id; });
+  assert(pred_pos != pred_end && pred_pos->task == from);
+  pred_.erase(pred_pos);
+  for (std::size_t t = to + 1; t < pred_offset_.size(); ++t) --pred_offset_[t];
+
+  rebuild_topo();
+  graph_structure_stamp_ = inst.graph.structure_stamp();
+  graph_weights_stamp_ = inst.graph.weights_stamp();
+}
+
 void InstanceView::refresh_network(const Network& network) {
   const std::size_t nodes = network.node_count();
   node_speed_.resize(nodes);
@@ -80,6 +282,47 @@ void InstanceView::refresh_network(const Network& network) {
   }
   mean_inv_speed_ = network.mean_inverse_speed();
   mean_inv_strength_ = network.mean_inverse_strength();
+}
+
+void InstanceView::refresh_comm_entry(std::size_t e) {
+  const std::size_t n = node_speed_.size();
+  const double cost = succ_[e].cost;
+  double* block = comm_.data() + e * n * n;
+  for (std::size_t i = 0; i < n * n; ++i) block[i] = cost / strength_[i];
+}
+
+/// Lazily builds the derived tables on the first patch: a patch means the
+/// instance is being mutated in place and re-evaluated — exactly the reuse
+/// the cached quotients pay off for; one-shot evaluations never build
+/// them. Returns true when the tables were just (re)built whole from the
+/// current arrays, making the caller's targeted update unnecessary.
+bool InstanceView::ensure_derived() {
+  if (derived_wanted_) return false;
+  derived_wanted_ = true;
+  refresh_derived();
+  return true;
+}
+
+void InstanceView::refresh_derived() {
+  // Cached quotient tables — only for instances small enough that keeping
+  // them hot beats recomputing the divisions per schedule. An empty table
+  // is always valid (callers divide on the fly instead).
+  const std::size_t n = node_speed_.size();
+  const std::size_t tasks = task_cost_.size();
+  if (tasks * n <= kMaxCachedExecEntries) {
+    exec_.resize(tasks * n);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      for (std::size_t v = 0; v < n; ++v) exec_[t * n + v] = task_cost_[t] / node_speed_[v];
+    }
+  } else {
+    exec_.clear();
+  }
+  if (succ_.size() * n * n <= kMaxCachedCommEntries) {
+    comm_.resize(succ_.size() * n * n);
+    for (std::size_t e = 0; e < succ_.size(); ++e) refresh_comm_entry(e);
+  } else {
+    comm_.clear();
+  }
 }
 
 }  // namespace saga

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -61,8 +62,12 @@ class InstanceView {
   [[nodiscard]] double node_speed(NodeId v) const { return node_speed_[v]; }
 
   /// Execution time of t on v — same arithmetic as Network::exec_time.
+  /// Served from the cached table when the instance is small enough (see
+  /// exec_row_or_null); the table holds exactly these quotients, so the two
+  /// paths are bit-identical.
   [[nodiscard]] double exec_time(TaskId t, NodeId v) const {
-    return task_cost_[t] / node_speed_[v];
+    return exec_.empty() ? task_cost_[t] / node_speed_[v]
+                         : exec_[t * node_speed_.size() + v];
   }
 
   /// Transfer time of `data_size` from a to b — same arithmetic as
@@ -72,12 +77,53 @@ class InstanceView {
     return data_size / strength_[a * node_speed_.size() + b];
   }
 
+  /// SoA access for row-wise kernel sweeps (see TimelineBuilder::eft_row):
+  /// contiguous per-task cost and per-node speed tables, and one row of the
+  /// dense strength table (s(a, b) for every b; the diagonal is +inf, so
+  /// `cost / strength_row(a)[a]` is exactly comm_time's co-located 0 for
+  /// positive costs — zero-cost edges still need comm_time's early-out).
+  [[nodiscard]] std::span<const double> task_costs() const noexcept { return task_cost_; }
+  [[nodiscard]] std::span<const double> node_speeds() const noexcept { return node_speed_; }
+  [[nodiscard]] std::span<const double> strength_row(NodeId a) const {
+    return {strength_.data() + a * node_speed_.size(), node_speed_.size()};
+  }
+
   [[nodiscard]] std::span<const Edge> predecessors(TaskId t) const {
     return {pred_.data() + pred_offset_[t], pred_offset_[t + 1] - pred_offset_[t]};
   }
   [[nodiscard]] std::span<const Edge> successors(TaskId t) const {
     return {succ_.data() + succ_offset_[t], succ_offset_[t + 1] - succ_offset_[t]};
   }
+
+  /// Index of t's first successor entry in the flat CSR array; entry i of
+  /// successors(t) is global entry successors_base(t) + i. Keys the cached
+  /// comm-time table below.
+  [[nodiscard]] std::size_t successors_base(TaskId t) const { return succ_offset_[t]; }
+
+  /// Cached derived tables, populated lazily on the first sign of reuse —
+  /// a patch_* call or a re-sync of the same instance object — and only
+  /// for instances small enough that keeping them hot pays off (thresholds
+  /// kMaxCachedExecEntries / kMaxCachedCommEntries). Null for one-shot
+  /// evaluations and larger instances — callers fall back to dividing on
+  /// the fly, which yields bit-identical values since the tables hold
+  /// exactly those quotients.
+  ///
+  /// exec_row_or_null(t)[v]      == task_cost(t) / node_speed(v)
+  /// comm_row_or_null(e, v)[u]   == successors(...)[...].cost / s(v, u)
+  ///   (edge e = global successor-entry index; the +inf diagonal makes the
+  ///   co-located entry +0.0, and a zero-cost edge's whole row is +0.0, so
+  ///   `finish + row[u]` is exactly comm_time's semantics for every case).
+  [[nodiscard]] const double* exec_row_or_null(TaskId t) const noexcept {
+    return exec_.empty() ? nullptr : exec_.data() + t * node_speed_.size();
+  }
+  [[nodiscard]] const double* comm_row_or_null(std::size_t succ_index, NodeId v) const noexcept {
+    const std::size_t n = node_speed_.size();
+    return comm_.empty() ? nullptr : comm_.data() + (succ_index * n + v) * n;
+  }
+
+  /// Cached-table size gates, in table entries (doubles).
+  static constexpr std::size_t kMaxCachedExecEntries = 4096;
+  static constexpr std::size_t kMaxCachedCommEntries = 16384;
 
   /// Deterministic topological order (same order as
   /// TaskGraph::topological_order), precomputed at (re)build time.
@@ -87,10 +133,37 @@ class InstanceView {
   [[nodiscard]] double mean_inverse_speed() const noexcept { return mean_inv_speed_; }
   [[nodiscard]] double mean_inverse_strength() const noexcept { return mean_inv_strength_; }
 
+  /// O(1) weight patches for the annealer's hot path. Each overwrites one
+  /// weight in the packed tables (plus the derived means it feeds) and
+  /// adopts the instance's current weight stamps, so the next sync is a
+  /// no-op — no per-edge hash lookups, no dense-table rewrite. Only valid
+  /// when the view is otherwise in sync with `inst`: same instance object,
+  /// same structure, and the sole divergence is the one weight being
+  /// patched. The values written are exactly those a full refresh would
+  /// copy (and the means are recomputed with the same folds Network uses),
+  /// so a patched view is bit-identical to a freshly synced one.
+  void patch_task_cost(const ProblemInstance& inst, TaskId t, double cost);
+  void patch_dependency_cost(const ProblemInstance& inst, TaskId from, TaskId to, double cost);
+  void patch_node_speed(const ProblemInstance& inst, NodeId v, double speed);
+  void patch_link_strength(const ProblemInstance& inst, NodeId a, NodeId b, double strength);
+
+  /// Single-edge structural patches, same contract as the weight patches:
+  /// the view must have been in sync with `inst` just before the edge was
+  /// added to (removed from) the graph, and that edge must be the sole
+  /// divergence. The CSR entry is inserted into (erased from) its sorted
+  /// segment in place and the topological order re-derived from the patched
+  /// CSR — byte-identical to a full rebuild, without re-walking the graph.
+  void patch_add_dependency(const ProblemInstance& inst, TaskId from, TaskId to, double cost);
+  void patch_remove_dependency(const ProblemInstance& inst, TaskId from, TaskId to);
+
  private:
   void rebuild_structure(const TaskGraph& graph);
+  void rebuild_topo();
   void refresh_graph_weights(const TaskGraph& graph);
   void refresh_network(const Network& network);
+  void refresh_derived();
+  void refresh_comm_entry(std::size_t e);
+  bool ensure_derived();
 
   const ProblemInstance* inst_ = nullptr;
   VersionStamp graph_structure_stamp_ = 0;
@@ -103,6 +176,11 @@ class InstanceView {
   std::vector<std::size_t> pred_offset_, succ_offset_;  // CSR offsets, size T+1
   std::vector<Edge> pred_, succ_;                       // CSR entries, size E each
   std::vector<TaskId> topo_;
+  std::vector<std::uint32_t> topo_indegree_;            // Kahn scratch, capacity reused
+  std::vector<TaskId> topo_heap_;                       // Kahn scratch, capacity reused
+  std::vector<double> exec_;  // T*N cached exec times; empty until reuse, or over gate
+  std::vector<double> comm_;  // E*N*N cached comm times (succ entries); likewise
+  bool derived_wanted_ = false;  // reuse detected: keep the tables refreshed
   double mean_inv_speed_ = 0.0;
   double mean_inv_strength_ = 0.0;
 };

@@ -106,15 +106,19 @@ bool TaskGraph::add_dependency(TaskId from, TaskId to, double data_size) {
   }
   if (!(data_size >= 0.0)) throw std::invalid_argument("data size must be non-negative");
   if (has_dependency(from, to) || would_create_cycle(from, to)) return false;
+  add_dependency_unchecked(from, to, data_size);
+  return true;
+}
+
+void TaskGraph::add_dependency_unchecked(TaskId from, TaskId to, double data_size) {
   edge_costs_.emplace(key(from, to), data_size);
-  succs_[from].push_back(to);
-  preds_[to].push_back(from);
   // Keep adjacency sorted so iteration order is deterministic and
   // independent of insertion history (PISA mutates structure heavily).
-  std::sort(succs_[from].begin(), succs_[from].end());
-  std::sort(preds_[to].begin(), preds_[to].end());
+  auto& succs = succs_[from];
+  succs.insert(std::lower_bound(succs.begin(), succs.end(), to), to);
+  auto& preds = preds_[to];
+  preds.insert(std::lower_bound(preds.begin(), preds.end(), from), from);
   bump_structure();
-  return true;
 }
 
 bool TaskGraph::remove_dependency(TaskId from, TaskId to) {

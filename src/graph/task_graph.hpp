@@ -60,6 +60,14 @@ class TaskGraph {
   /// would create a cycle.
   bool add_dependency(TaskId from, TaskId to, double data_size);
 
+  /// add_dependency without the duplicate-edge and cycle probes, for
+  /// callers that already know the edge is safe: re-adding an edge that was
+  /// just removed (undo/redo restores the original acyclic graph) or an
+  /// edge pre-validated against the current structure (PISA's AddDependency
+  /// operator filters its candidates with one ancestor sweep). Inserting an
+  /// unsafe edge corrupts the graph, so the precondition is the caller's.
+  void add_dependency_unchecked(TaskId from, TaskId to, double data_size);
+
   /// Removes (from -> to); returns false if it does not exist.
   bool remove_dependency(TaskId from, TaskId to);
 

@@ -7,19 +7,15 @@ void TimelineScratch::reset(std::size_t tasks, std::size_t nodes) {
   for (auto& lane : busy) lane.clear();
   assignment.resize(tasks);
   placed.assign(tasks, 0);
-  pending_preds.assign(tasks, 0);
+  // Sized but not zeroed: TimelineBuilder::init writes every entry right
+  // after reset, so a fill here would be a second pass over the array.
+  pending_preds.resize(tasks);
   data_ready.assign(tasks * nodes, 0.0);
-}
-
-std::unique_ptr<TimelineScratch> TimelineArena::acquire() {
-  if (pool_.empty()) return std::make_unique<TimelineScratch>();
-  auto scratch = std::move(pool_.back());
-  pool_.pop_back();
-  return scratch;
-}
-
-void TimelineArena::release(std::unique_ptr<TimelineScratch> scratch) {
-  if (scratch) pool_.push_back(std::move(scratch));
+  node_avail.assign(nodes, 0.0);
+  row_start.resize(nodes);
+  row_finish.resize(nodes);
+  ready_list.clear();
+  ready_dirty = true;
 }
 
 }  // namespace saga

@@ -34,14 +34,35 @@ struct TimelineScratch {
     TaskId task;
   };
 
-  std::vector<std::vector<Interval>> busy;   // per node, sorted by start
+  /// Reusable scheduler-side temporaries (rank/level/priority tables,
+  /// option lists). Recycled with the scratch block, so a scheduler that
+  /// draws its working vectors from here instead of function-locals runs
+  /// allocation-free through a warm arena. Contents are unspecified between
+  /// uses; callers size them on entry. Slots are named by shape only —
+  /// each scheduler assigns its own meaning.
+  struct Workspace {
+    std::vector<double> d0, d1, d2;
+    std::vector<TaskId> tasks;
+    std::vector<NodeId> nodes;
+    std::vector<std::uint32_t> idx;
+    std::vector<char> flags;
+  };
+
+  std::vector<std::vector<Interval>> busy;   // per node, sorted by (start, end)
   std::vector<Assignment> assignment;        // per task; valid iff placed
   std::vector<char> placed;                  // per task
   std::vector<std::uint32_t> pending_preds;  // per task: unplaced predecessors
   std::vector<double> data_ready;            // T*N memo, see TimelineBuilder
+  std::vector<double> node_avail;            // per node: end of last busy interval
+  std::vector<double> row_start;             // per node: eft_row output, see eft_row
+  std::vector<double> row_finish;            // per node: eft_row output
+  std::vector<TaskId> ready_list;            // ready tasks, id-sorted, lazily rebuilt
+  bool ready_dirty = true;                   // ready_list stale; rebuild on query
+  Workspace ws;
 
   /// Sizes every buffer for (tasks, nodes) and clears logical state,
-  /// reusing existing capacity.
+  /// reusing existing capacity. Workspace vectors are left as-is (callers
+  /// size them on use).
   void reset(std::size_t tasks, std::size_t nodes);
 };
 
@@ -57,12 +78,25 @@ class TimelineArena {
     return view_;
   }
 
+  /// Direct access to the cached view without syncing — for the annealer's
+  /// O(1) weight patches (InstanceView::patch_*) driven by a recorded
+  /// perturbation. Check in_sync_with before relying on its contents.
+  [[nodiscard]] InstanceView& view() noexcept { return view_; }
+
   /// Takes a scratch block from the pool (or allocates the pool's first).
-  /// Contents are stale; callers reset before use.
-  [[nodiscard]] std::unique_ptr<TimelineScratch> acquire();
+  /// Contents are stale; callers reset before use. Inline: this runs twice
+  /// per PISA objective evaluation.
+  [[nodiscard]] std::unique_ptr<TimelineScratch> acquire() {
+    if (pool_.empty()) return std::make_unique<TimelineScratch>();
+    auto scratch = std::move(pool_.back());
+    pool_.pop_back();
+    return scratch;
+  }
 
   /// Returns a scratch block to the pool for reuse.
-  void release(std::unique_ptr<TimelineScratch> scratch);
+  void release(std::unique_ptr<TimelineScratch> scratch) {
+    if (scratch) pool_.push_back(std::move(scratch));
+  }
 
   /// Number of pooled (idle) scratch blocks, for tests and stats.
   [[nodiscard]] std::size_t pooled() const noexcept { return pool_.size(); }

@@ -78,13 +78,11 @@ std::vector<double> static_levels(const ProblemInstance& inst) {
   return out;
 }
 
-std::vector<TaskId> critical_path(const InstanceView& view, double tol) {
+void critical_path(const InstanceView& view, const std::vector<double>& up,
+                   const std::vector<double>& down, std::vector<TaskId>& out, double tol) {
+  out.clear();
   const std::size_t tasks = view.task_count();
-  if (tasks == 0) return {};
-  std::vector<double> up;
-  std::vector<double> down;
-  upward_ranks(view, up);
-  downward_ranks(view, down);
+  if (tasks == 0) return;
 
   // |CP| = max over tasks of rank_u + rank_d; attained by every task on the
   // critical path.
@@ -94,7 +92,6 @@ std::vector<TaskId> critical_path(const InstanceView& view, double tol) {
   const auto on_cp = [&](TaskId t) { return up[t] + down[t] >= cp_value - eps; };
 
   // Walk from a critical source to a sink following critical successors.
-  std::vector<TaskId> path;
   TaskId current = 0;
   bool found = false;
   for (TaskId t = 0; t < tasks; ++t) {
@@ -104,20 +101,29 @@ std::vector<TaskId> critical_path(const InstanceView& view, double tol) {
       break;
     }
   }
-  if (!found) return {};
-  path.push_back(current);
+  if (!found) return;
+  out.push_back(current);
   for (;;) {
     bool advanced = false;
     for (const auto& edge : view.successors(current)) {
       if (on_cp(edge.task)) {
         current = edge.task;
-        path.push_back(current);
+        out.push_back(current);
         advanced = true;
         break;
       }
     }
     if (!advanced) break;
   }
+}
+
+std::vector<TaskId> critical_path(const InstanceView& view, double tol) {
+  std::vector<double> up;
+  std::vector<double> down;
+  upward_ranks(view, up);
+  downward_ranks(view, down);
+  std::vector<TaskId> path;
+  critical_path(view, up, down, path, tol);
   return path;
 }
 

@@ -45,6 +45,14 @@ void static_levels(const InstanceView& view, std::vector<double>& out);
 /// Tasks on the critical path (maximal rank_u + rank_d), as a source-to-sink
 /// chain in execution order. `tol` is the relative tolerance used when
 /// comparing priorities.
+///
+/// The buffer form takes the already-computed rank tables (exactly
+/// `upward_ranks` / `downward_ranks` output) and writes the chain into
+/// `out`, allocation-free when the buffers have capacity. The convenience
+/// forms compute the ranks internally and return a fresh vector.
+void critical_path(const InstanceView& view, const std::vector<double>& up,
+                   const std::vector<double>& down, std::vector<TaskId>& out,
+                   double tol = 1e-9);
 [[nodiscard]] std::vector<TaskId> critical_path(const InstanceView& view, double tol = 1e-9);
 [[nodiscard]] std::vector<TaskId> critical_path(const ProblemInstance& inst,
                                                 double tol = 1e-9);

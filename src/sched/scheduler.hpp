@@ -44,6 +44,18 @@ class Scheduler {
   [[nodiscard]] virtual Schedule schedule(const ProblemInstance& inst,
                                           TimelineArena* arena) const = 0;
 
+  /// Makespan of the schedule this scheduler would produce, without
+  /// materializing the Schedule object. Bit-identical to
+  /// `schedule(inst, arena).makespan()` — the hot-loop form for objectives
+  /// (PISA evaluates two schedulers per annealing step and only needs the
+  /// scalar). The default forwards to schedule(); kernel-migrated
+  /// schedulers override it to read the timeline's running makespan, which
+  /// skips the Schedule allocation entirely.
+  [[nodiscard]] virtual double plan_makespan(const ProblemInstance& inst,
+                                             TimelineArena* arena) const {
+    return schedule(inst, arena).makespan();
+  }
+
   /// Legacy entry point, kept as a forwarding shim so existing callers
   /// don't break. Concrete schedulers re-export it via
   /// `using Scheduler::schedule;`.

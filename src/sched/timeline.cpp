@@ -98,12 +98,60 @@ double TimelineBuilder::earliest_finish(TaskId t, NodeId v, bool insertion) cons
   return earliest_start(t, v, insertion) + exec_time(t, v);
 }
 
-std::vector<TaskId> TimelineBuilder::ready_tasks() const {
-  std::vector<TaskId> out;
-  for (TaskId t = 0; t < view_->task_count(); ++t) {
-    if (ready(t)) out.push_back(t);
+TimelineBuilder::CandidateRow TimelineBuilder::eft_row(TaskId t, bool insertion) {
+  assert(scratch_->pending_preds[t] == 0 && "all predecessors must be placed first");
+  const std::size_t n = view_->node_count();
+  const double* ready = scratch_->data_ready.data() + static_cast<std::size_t>(t) * n;
+  const double* avail = scratch_->node_avail.data();
+  const double* speed = view_->node_speeds().data();
+  const double* exec = view_->exec_row_or_null(t);
+  const double cost = view_->task_cost(t);
+  double* start = scratch_->row_start.data();
+  double* finish = scratch_->row_finish.data();
+  // Append-mode candidates for the whole row in one SoA sweep — identical
+  // arithmetic to max(ready, node_available(v)) + exec_time(t, v) per node.
+  // The cached exec row (small instances) holds exactly cost / speed[v], so
+  // both branches produce the same bits; the cached one skips the division.
+  if (exec != nullptr) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const double s = std::max(ready[v], avail[v]);
+      start[v] = s;
+      finish[v] = s + exec[v];
+    }
+  } else {
+    for (std::size_t v = 0; v < n; ++v) {
+      const double s = std::max(ready[v], avail[v]);
+      start[v] = s;
+      finish[v] = s + cost / speed[v];
+    }
   }
-  return out;
+  if (insertion) {
+    // A gap can only beat appending on lanes where some busy interval ends
+    // after the ready time (otherwise the scalar scan degenerates to
+    // start = ready, which the sweep already produced). Patch those lanes
+    // with the exact gap scan.
+    for (NodeId v = 0; v < n; ++v) {
+      if (avail[v] > ready[v]) {
+        const double s = earliest_start(t, v, /*insertion=*/true);
+        start[v] = s;
+        finish[v] = s + (exec != nullptr ? exec[v] : cost / speed[v]);
+      }
+    }
+  }
+  return {{start, n}, {finish, n}};
+}
+
+TimelineBuilder::NodeChoice TimelineBuilder::best_eft(TaskId t, bool insertion) {
+  const CandidateRow row = eft_row(t, insertion);
+  NodeId best = 0;
+  double best_finish = row.finish[0];
+  for (NodeId v = 1; v < row.finish.size(); ++v) {
+    if (row.finish[v] < best_finish) {
+      best_finish = row.finish[v];
+      best = v;
+    }
+  }
+  return {best, row.start[best], best_finish};
 }
 
 void TimelineBuilder::place(TaskId t, NodeId v, double start) {
@@ -134,17 +182,42 @@ void TimelineBuilder::place(TaskId t, NodeId v, double start) {
   scratch_->placed[t] = 1;
   ++placed_count_;
   makespan_ = std::max(makespan_, finish);
+  // Ends are non-decreasing along a lane, so the lane maximum is
+  // max(previous maximum, the new interval's end).
+  scratch_->node_avail[v] = std::max(scratch_->node_avail[v], iv.end);
+  scratch_->ready_dirty = true;
 
   // Fold t's contribution into each successor's data-ready row; once the
   // last predecessor is placed the row holds max over predecessors of
   // (finish + comm), exactly the value the adjacency walk used to compute.
   const std::size_t nodes = view_->node_count();
-  for (const auto& edge : view_->successors(t)) {
+  const std::size_t succ_base = view_->successors_base(t);
+  const auto succs = view_->successors(t);
+  for (std::size_t i = 0; i < succs.size(); ++i) {
+    const auto& edge = succs[i];
     --scratch_->pending_preds[edge.task];
     double* row = scratch_->data_ready.data() + edge.task * nodes;
-    for (NodeId u = 0; u < nodes; ++u) {
-      const double arrival = finish + view_->comm_time(edge.cost, v, u);
-      if (arrival > row[u]) row[u] = arrival;
+    if (const double* comm = view_->comm_row_or_null(succ_base + i, v)) {
+      // Cached comm row (small instances): exactly cost / strength[v][u]
+      // per lane, +0.0 on the diagonal and all-zero for a zero-cost edge,
+      // so one division-free fold covers every case below bit for bit.
+      for (NodeId u = 0; u < nodes; ++u) {
+        const double arrival = finish + comm[u];
+        if (arrival > row[u]) row[u] = arrival;
+      }
+    } else if (edge.cost == 0.0) {
+      // comm_time is identically zero for a zero-size transfer; the whole
+      // row folds against the bare finish time.
+      for (NodeId u = 0; u < nodes; ++u) row[u] = std::max(row[u], finish);
+    } else {
+      // SoA sweep over one strength row. The diagonal is +inf, so
+      // cost / strength[v] is exactly comm_time's co-located 0 — the
+      // branch-free form divides where the scalar code special-cased.
+      const double* strength = view_->strength_row(v).data();
+      for (NodeId u = 0; u < nodes; ++u) {
+        const double arrival = finish + edge.cost / strength[u];
+        if (arrival > row[u]) row[u] = arrival;
+      }
     }
   }
 }

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/instance_view.hpp"
@@ -23,6 +24,13 @@
 /// with no adjacency walk. Constructed with a TimelineArena, the builder
 /// borrows the arena's cached view and recycled scratch buffers, making
 /// repeated `schedule()` calls allocation-free once the arena is warm.
+///
+/// The row-wise candidate API (`data_ready_row`, `eft_row`, `best_eft`,
+/// `node_available_row`) evaluates a candidate task against **all** nodes
+/// in one contiguous structure-of-arrays sweep over the data-ready memo,
+/// the availability row, and the view's packed speed table — the form the
+/// compiler autovectorizes — and is bit-identical to the scalar
+/// `earliest_start`/`earliest_finish` queries it replaces.
 
 namespace saga {
 
@@ -66,14 +74,55 @@ class TimelineBuilder {
   /// earliest_start + execution time.
   [[nodiscard]] double earliest_finish(TaskId t, NodeId v, bool insertion) const;
 
+  /// One row of per-node candidate values for a ready task, produced by a
+  /// single SoA sweep (see eft_row). Spans point into the builder's scratch
+  /// and are valid until the next eft_row or place call.
+  struct CandidateRow {
+    std::span<const double> start;   ///< earliest_start(t, v, insertion) per node
+    std::span<const double> finish;  ///< start[v] + exec_time(t, v) per node
+  };
+
+  /// Computes earliest start and finish of t across **all** nodes in one
+  /// contiguous sweep over the data-ready row, the availability row, and
+  /// the packed speed table. Bit-identical to querying
+  /// `earliest_start`/`earliest_finish` per node: the append-mode value is
+  /// max(ready, avail) + cost/speed computed element-wise; in insertion
+  /// mode, lanes where a gap could beat appending (some busy interval ends
+  /// after the ready time) are patched with the scalar gap scan.
+  [[nodiscard]] CandidateRow eft_row(TaskId t, bool insertion);
+
+  /// The memoized data-ready row of t (all predecessors must be placed):
+  /// data_ready_time(t, v) for every v as one contiguous span.
+  [[nodiscard]] std::span<const double> data_ready_row(TaskId t) const {
+    const std::size_t nodes = view_->node_count();
+    return {scratch_->data_ready.data() + static_cast<std::size_t>(t) * nodes, nodes};
+  }
+
+  /// node_available(v) for every v as one contiguous span, maintained
+  /// incrementally by place().
+  [[nodiscard]] std::span<const double> node_available_row() const noexcept {
+    return scratch_->node_avail;
+  }
+
+  /// Argmin over the eft_row finish row; the first (lowest-id) node wins
+  /// ties, the same rule as the schedulers' scalar argmin loops.
+  struct NodeChoice {
+    NodeId node = 0;
+    double start = 0.0;
+    double finish = 0.0;
+  };
+  [[nodiscard]] NodeChoice best_eft(TaskId t, bool insertion);
+
+  /// Reusable scheduler-side temporaries pooled with this builder's scratch
+  /// (see TimelineScratch::Workspace).
+  [[nodiscard]] TimelineScratch::Workspace& workspace() noexcept { return scratch_->ws; }
+
   /// Execution time of t on v (cost / speed).
   [[nodiscard]] double exec_time(TaskId t, NodeId v) const { return view_->exec_time(t, v); }
 
-  /// End of the last busy interval on v (0 if idle).
-  [[nodiscard]] double node_available(NodeId v) const {
-    const auto& lane = scratch_->busy[v];
-    return lane.empty() ? 0.0 : lane.back().end;
-  }
+  /// End of the last busy interval on v (0 if idle). O(1): reads the
+  /// availability row place() maintains.
+  [[nodiscard]] double node_available(NodeId v) const { return scratch_->node_avail[v]; }
 
   /// Number of predecessors of t not yet placed.
   [[nodiscard]] std::size_t unplaced_predecessors(TaskId t) const {
@@ -83,8 +132,23 @@ class TimelineBuilder {
     return scratch_->placed[t] == 0 && scratch_->pending_preds[t] == 0;
   }
 
-  /// Tasks whose predecessors are all placed, in id order.
-  [[nodiscard]] std::vector<TaskId> ready_tasks() const;
+  /// Tasks whose predecessors are all placed, in id order. Returns a span
+  /// over an id-sorted list rebuilt on the first query after a placement
+  /// (one O(T) scan, no allocation once warm) — schedulers that place in a
+  /// precomputed priority order never pay for it. Valid until the next
+  /// place call.
+  [[nodiscard]] std::span<const TaskId> ready_tasks() const noexcept {
+    TimelineScratch& s = *scratch_;
+    if (s.ready_dirty) {
+      s.ready_list.clear();
+      const std::size_t tasks = view_->task_count();
+      for (TaskId t = 0; t < tasks; ++t) {
+        if (s.placed[t] == 0 && s.pending_preds[t] == 0) s.ready_list.push_back(t);
+      }
+      s.ready_dirty = false;
+    }
+    return s.ready_list;
+  }
 
   /// Places t on v starting at `start` (which must be >= both the node's
   /// free slot and the data-ready time; checked in debug builds). Updates

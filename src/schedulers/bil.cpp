@@ -1,5 +1,6 @@
 #include "schedulers/bil.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -9,28 +10,51 @@
 
 namespace saga {
 
-Schedule BilScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
+namespace {
+
+void build_bil(TimelineBuilder& builder) {
   const InstanceView& view = builder.view();
   const std::size_t tasks = view.task_count();
   const std::size_t n_nodes = view.node_count();
+  auto& ws = builder.workspace();
 
-  // BIL table, computed bottom-up over a reverse topological order.
-  std::vector<std::vector<double>> bil(tasks, std::vector<double>(n_nodes, 0.0));
+  // BIL table (T*N, row per task), computed bottom-up over a reverse
+  // topological order. The inner contention scan is a row sweep over the
+  // dense strength table: the +inf diagonal makes `cost / strength[v]`
+  // exactly the co-located 0, so no v2 == v branch is needed; min-folds are
+  // insensitive to evaluation order, so the sweep is bit-identical to the
+  // skip-the-diagonal loop it replaces.
+  std::vector<double>& bil = ws.d0;
+  bil.assign(tasks * n_nodes, 0.0);
   const auto order = view.topological_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const TaskId t = *it;
+    const std::size_t succ_base = view.successors_base(t);
+    const auto succs = view.successors(t);
     for (NodeId v = 0; v < n_nodes; ++v) {
+      const double* strength = view.strength_row(v).data();
       double tail = 0.0;
-      for (const auto& edge : view.successors(t)) {
-        double best = bil[edge.task][v];  // keep the successor co-located with t
-        for (NodeId v2 = 0; v2 < n_nodes; ++v2) {
-          if (v2 == v) continue;
-          best = std::min(best, bil[edge.task][v2] + view.comm_time(edge.cost, v, v2));
+      for (std::size_t i = 0; i < succs.size(); ++i) {
+        const auto& edge = succs[i];
+        const double* succ_row = bil.data() + edge.task * n_nodes;
+        double best = succ_row[v];  // keep the successor co-located with t
+        if (const double* comm = view.comm_row_or_null(succ_base + i, v)) {
+          // Cached comm row: exactly cost / strength[v2] per lane (zero on
+          // the diagonal and for zero-cost edges), division-free.
+          for (NodeId v2 = 0; v2 < n_nodes; ++v2) {
+            best = std::min(best, succ_row[v2] + comm[v2]);
+          }
+        } else if (edge.cost == 0.0) {
+          // comm_time is 0 everywhere for a zero-size transfer.
+          for (NodeId v2 = 0; v2 < n_nodes; ++v2) best = std::min(best, succ_row[v2]);
+        } else {
+          for (NodeId v2 = 0; v2 < n_nodes; ++v2) {
+            best = std::min(best, succ_row[v2] + edge.cost / strength[v2]);
+          }
         }
         tail = std::max(tail, best);
       }
-      bil[t][v] = view.exec_time(t, v) + tail;
+      bil[t * n_nodes + v] = view.exec_time(t, v) + tail;
     }
   }
 
@@ -44,29 +68,47 @@ Schedule BilScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
   while (!builder.complete()) {
     TaskId best_task = 0;
     NodeId best_node = 0;
+    double best_start = 0.0;
     double best_key = -std::numeric_limits<double>::infinity();
     bool found = false;
-    for (TaskId t = 0; t < tasks; ++t) {
-      if (!builder.ready(t)) continue;
+    for (TaskId t : builder.ready_tasks()) {
+      const auto row = builder.eft_row(t, /*insertion=*/false);
+      const double* bil_row = bil.data() + t * n_nodes;
       NodeId arg_node = 0;
+      double arg_start = 0.0;
       double best_bim = std::numeric_limits<double>::infinity();
       for (NodeId v = 0; v < n_nodes; ++v) {
-        const double bim = builder.earliest_start(t, v, /*insertion=*/false) + bil[t][v];
+        const double bim = row.start[v] + bil_row[v];
         if (bim < best_bim) {
           best_bim = bim;
           arg_node = v;
+          arg_start = row.start[v];
         }
       }
       if (!found || best_bim > best_key || (best_bim == best_key && t < best_task)) {
         best_key = best_bim;
         best_task = t;
         best_node = arg_node;
+        best_start = arg_start;
         found = true;
       }
     }
-    builder.place_earliest(best_task, best_node, /*insertion=*/false);
+    builder.place(best_task, best_node, best_start);
   }
+}
+
+}  // namespace
+
+Schedule BilScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_bil(builder);
   return builder.to_schedule();
+}
+
+double BilScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_bil(builder);
+  return builder.current_makespan();
 }
 
 

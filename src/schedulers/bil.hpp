@@ -31,6 +31,8 @@ class BilScheduler final : public Scheduler {
   using Scheduler::schedule;
   [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
                                   TimelineArena* arena) const override;
+  [[nodiscard]] double plan_makespan(const ProblemInstance& inst,
+                                     TimelineArena* arena) const override;
 };
 
 }  // namespace saga

@@ -10,16 +10,19 @@
 
 namespace saga {
 
-Schedule CpopScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
+namespace {
+
+void build_cpop(TimelineBuilder& builder) {
   const InstanceView& view = builder.view();
   const std::size_t tasks = view.task_count();
-  std::vector<double> up;
-  std::vector<double> down;
+  auto& ws = builder.workspace();
+  std::vector<double>& up = ws.d0;
+  std::vector<double>& down = ws.d1;
+  std::vector<double>& priority = ws.d2;
   upward_ranks(view, up);
   downward_ranks(view, down);
 
-  std::vector<double> priority(tasks);
+  priority.resize(tasks);
   for (TaskId t = 0; t < tasks; ++t) priority[t] = up[t] + down[t];
 
   // Critical-path tasks and the processor they are pinned to. The general
@@ -27,9 +30,11 @@ Schedule CpopScheduler::schedule(const ProblemInstance& inst, TimelineArena* are
   // critical path; under related machines every task is fastest on the same
   // node, but we evaluate the sum anyway so the implementation stays honest
   // to the published algorithm.
-  const auto cp = critical_path(view);
-  std::vector<bool> on_cp(tasks, false);
-  for (TaskId t : cp) on_cp[t] = true;
+  std::vector<TaskId>& cp = ws.tasks;
+  critical_path(view, up, down, cp);
+  std::vector<char>& on_cp = ws.flags;
+  on_cp.assign(tasks, 0);
+  for (TaskId t : cp) on_cp[t] = 1;
   NodeId cp_node = 0;
   double best_total = std::numeric_limits<double>::infinity();
   for (NodeId v = 0; v < view.node_count(); ++v) {
@@ -45,8 +50,7 @@ Schedule CpopScheduler::schedule(const ProblemInstance& inst, TimelineArena* are
     TaskId next = 0;
     double best_priority = -1.0;
     bool found = false;
-    for (TaskId t = 0; t < tasks; ++t) {
-      if (!builder.ready(t)) continue;
+    for (TaskId t : builder.ready_tasks()) {
       if (!found || priority[t] > best_priority) {
         next = t;
         best_priority = priority[t];
@@ -54,22 +58,27 @@ Schedule CpopScheduler::schedule(const ProblemInstance& inst, TimelineArena* are
       }
     }
 
-    if (on_cp[next]) {
+    if (on_cp[next] != 0) {
       builder.place_earliest(next, cp_node, /*insertion=*/true);
       continue;
     }
-    NodeId best_node = 0;
-    double best_finish = std::numeric_limits<double>::infinity();
-    for (NodeId v = 0; v < view.node_count(); ++v) {
-      const double finish = builder.earliest_finish(next, v, /*insertion=*/true);
-      if (finish < best_finish) {
-        best_finish = finish;
-        best_node = v;
-      }
-    }
-    builder.place_earliest(next, best_node, /*insertion=*/true);
+    const auto choice = builder.best_eft(next, /*insertion=*/true);
+    builder.place(next, choice.node, choice.start);
   }
+}
+
+}  // namespace
+
+Schedule CpopScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_cpop(builder);
   return builder.to_schedule();
+}
+
+double CpopScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_cpop(builder);
+  return builder.current_makespan();
 }
 
 

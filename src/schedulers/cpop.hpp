@@ -21,6 +21,8 @@ class CpopScheduler final : public Scheduler {
   using Scheduler::schedule;
   [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
                                   TimelineArena* arena) const override;
+  [[nodiscard]] double plan_makespan(const ProblemInstance& inst,
+                                     TimelineArena* arena) const override;
 };
 
 }  // namespace saga

@@ -1,5 +1,8 @@
 #include "schedulers/duplex.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "schedulers/maxmin.hpp"
 #include "schedulers/minmin.hpp"
 #include "sched/registry.hpp"
@@ -10,7 +13,16 @@ namespace saga {
 Schedule DuplexScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
   Schedule a = MinMinScheduler{}.schedule(inst, arena);
   Schedule b = MaxMinScheduler{}.schedule(inst, arena);
-  return a.makespan() <= b.makespan() ? a : b;
+  // Move the winner out: the ternary used to copy the whole assignment
+  // vector, which showed up as Duplex losing its arena speedup.
+  return a.makespan() <= b.makespan() ? std::move(a) : std::move(b);
+}
+
+double DuplexScheduler::plan_makespan(const ProblemInstance& inst,
+                                      TimelineArena* arena) const {
+  // a <= b picks a, so the result is exactly min(a, b).
+  return std::min(MinMinScheduler{}.plan_makespan(inst, arena),
+                  MaxMinScheduler{}.plan_makespan(inst, arena));
 }
 
 

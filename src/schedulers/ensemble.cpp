@@ -1,6 +1,8 @@
 #include "schedulers/ensemble.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "sched/registry.hpp"
@@ -13,9 +15,13 @@ EnsembleScheduler::EnsembleScheduler(std::vector<std::string> members, std::uint
   if (members_.empty()) throw std::invalid_argument("ensemble needs at least one member");
   // Construct every member eagerly so a misspelled name or parameter fails
   // here — where spec validation and `saga run --dry-run` can report it —
-  // rather than mid-experiment on the first schedule() call.
+  // rather than mid-experiment on the first schedule() call. The built
+  // members are kept and reused: schedulers are stateless between calls
+  // (randomized ones re-derive their stream from the constructor seed), so
+  // re-construction per call would only cost allocations.
+  built_.reserve(members_.size());
   for (std::size_t i = 0; i < members_.size(); ++i) {
-    (void)make_scheduler(members_[i], derive_seed(seed_, {i}));
+    built_.push_back(make_scheduler(members_[i], derive_seed(seed_, {i})));
   }
 }
 
@@ -23,8 +29,8 @@ NetworkRequirements EnsembleScheduler::requirements() const {
   // The ensemble inherits the union of its members' restrictions: it can
   // only be trusted on networks every member was designed for.
   NetworkRequirements combined;
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    const auto reqs = make_scheduler(members_[i], derive_seed(seed_, {i}))->requirements();
+  for (const auto& member : built_) {
+    const auto reqs = member->requirements();
     combined.homogeneous_node_speeds |= reqs.homogeneous_node_speeds;
     combined.homogeneous_link_strengths |= reqs.homogeneous_link_strengths;
   }
@@ -34,13 +40,23 @@ NetworkRequirements EnsembleScheduler::requirements() const {
 Schedule EnsembleScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
   Schedule best;
   bool first = true;
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    Schedule candidate =
-        make_scheduler(members_[i], derive_seed(seed_, {i}))->schedule(inst, arena);
+  for (const auto& member : built_) {
+    Schedule candidate = member->schedule(inst, arena);
     if (first || candidate.makespan() < best.makespan()) {
       best = std::move(candidate);
       first = false;
     }
+  }
+  return best;
+}
+
+double EnsembleScheduler::plan_makespan(const ProblemInstance& inst,
+                                        TimelineArena* arena) const {
+  // `candidate < best` keeps the first of equals, so the result is exactly
+  // the running min of the members' makespans.
+  double best = built_.front()->plan_makespan(inst, arena);
+  for (std::size_t i = 1; i < built_.size(); ++i) {
+    best = std::min(best, built_[i]->plan_makespan(inst, arena));
   }
   return best;
 }

@@ -26,12 +26,15 @@ class EnsembleScheduler final : public Scheduler {
   using Scheduler::schedule;
   [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
                                   TimelineArena* arena) const override;
+  [[nodiscard]] double plan_makespan(const ProblemInstance& inst,
+                                     TimelineArena* arena) const override;
 
   [[nodiscard]] const std::vector<std::string>& members() const noexcept { return members_; }
 
  private:
   std::vector<std::string> members_;
   std::uint64_t seed_;
+  std::vector<SchedulerPtr> built_;  // members constructed once, reused per call
 };
 
 }  // namespace saga

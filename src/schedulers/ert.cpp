@@ -8,20 +8,19 @@
 
 namespace saga {
 
-Schedule ErtScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
-  const InstanceView& view = builder.view();
+namespace {
+
+void build_ert(TimelineBuilder& builder) {
+  const std::size_t nodes = builder.view().node_count();
   while (!builder.complete()) {
     // Ready task with the earliest minimum data-ready time across nodes.
     TaskId next = 0;
     double best_ready = std::numeric_limits<double>::infinity();
     bool found = false;
-    for (TaskId t = 0; t < view.task_count(); ++t) {
-      if (!builder.ready(t)) continue;
+    for (TaskId t : builder.ready_tasks()) {
+      const auto row = builder.data_ready_row(t);
       double ready = std::numeric_limits<double>::infinity();
-      for (NodeId v = 0; v < view.node_count(); ++v) {
-        ready = std::min(ready, builder.data_ready_time(t, v));
-      }
+      for (NodeId v = 0; v < nodes; ++v) ready = std::min(ready, row[v]);
       if (!found || ready < best_ready) {
         best_ready = ready;
         next = t;
@@ -29,18 +28,23 @@ Schedule ErtScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
       }
     }
 
-    NodeId best_node = 0;
-    double best_finish = std::numeric_limits<double>::infinity();
-    for (NodeId v = 0; v < view.node_count(); ++v) {
-      const double finish = builder.earliest_finish(next, v, /*insertion=*/false);
-      if (finish < best_finish) {
-        best_finish = finish;
-        best_node = v;
-      }
-    }
-    builder.place_earliest(next, best_node, /*insertion=*/false);
+    const auto choice = builder.best_eft(next, /*insertion=*/false);
+    builder.place(next, choice.node, choice.start);
   }
+}
+
+}  // namespace
+
+Schedule ErtScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_ert(builder);
   return builder.to_schedule();
+}
+
+double ErtScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_ert(builder);
+  return builder.current_makespan();
 }
 
 

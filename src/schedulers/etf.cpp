@@ -10,20 +10,22 @@
 
 namespace saga {
 
-Schedule EtfScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
+namespace {
+
+void build_etf(TimelineBuilder& builder) {
   const InstanceView& view = builder.view();
-  std::vector<double> level;
+  auto& ws = builder.workspace();
+  std::vector<double>& level = ws.d0;
   static_levels(view, level);
   while (!builder.complete()) {
     TaskId best_task = 0;
     NodeId best_node = 0;
     double best_start = std::numeric_limits<double>::infinity();
     double best_level = -1.0;
-    for (TaskId t = 0; t < view.task_count(); ++t) {
-      if (!builder.ready(t)) continue;
+    for (TaskId t : builder.ready_tasks()) {
+      const auto row = builder.eft_row(t, /*insertion=*/false);
       for (NodeId v = 0; v < view.node_count(); ++v) {
-        const double start = builder.earliest_start(t, v, /*insertion=*/false);
+        const double start = row.start[v];
         const bool better =
             start < best_start ||
             (start == best_start && (level[t] > best_level ||
@@ -36,9 +38,22 @@ Schedule EtfScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
         }
       }
     }
-    builder.place_earliest(best_task, best_node, /*insertion=*/false);
+    builder.place(best_task, best_node, best_start);
   }
+}
+
+}  // namespace
+
+Schedule EtfScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_etf(builder);
   return builder.to_schedule();
+}
+
+double EtfScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_etf(builder);
+  return builder.current_makespan();
 }
 
 

@@ -36,12 +36,10 @@ NodeId enabling_node(const TimelineBuilder& builder, TaskId t) {
   return enabler;
 }
 
-}  // namespace
-
-Schedule FcpScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
+void build_fcp(TimelineBuilder& builder) {
   const InstanceView& view = builder.view();
-  std::vector<double> rank;
+  auto& ws = builder.workspace();
+  std::vector<double>& rank = ws.d0;
   upward_ranks(view, rank);
 
   // Max-heap of ready tasks by static priority (upward rank, then id).
@@ -51,18 +49,17 @@ Schedule FcpScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     return a.second > b.second;
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> ready(cmp);
-  for (TaskId t = 0; t < view.task_count(); ++t) {
-    if (builder.ready(t)) ready.emplace(rank[t], t);
-  }
+  for (TaskId t : builder.ready_tasks()) ready.emplace(rank[t], t);
 
   while (!ready.empty()) {
     const TaskId t = ready.top().second;
     ready.pop();
 
     // Candidate 1: earliest-idle node.
+    const auto avail = builder.node_available_row();
     NodeId idle_node = 0;
     for (NodeId v = 1; v < view.node_count(); ++v) {
-      if (builder.node_available(v) < builder.node_available(idle_node)) idle_node = v;
+      if (avail[v] < avail[idle_node]) idle_node = v;
     }
     // Candidate 2: the enabling node.
     const NodeId enabler = enabling_node(builder, t);
@@ -76,7 +73,20 @@ Schedule FcpScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
       if (builder.ready(edge.task)) ready.emplace(rank[edge.task], edge.task);
     }
   }
+}
+
+}  // namespace
+
+Schedule FcpScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_fcp(builder);
   return builder.to_schedule();
+}
+
+double FcpScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_fcp(builder);
+  return builder.current_makespan();
 }
 
 

@@ -1,7 +1,6 @@
 #include "schedulers/flb.hpp"
 
 #include <limits>
-#include <vector>
 
 #include "sched/timeline.hpp"
 #include "sched/registry.hpp"
@@ -30,22 +29,18 @@ NodeId enabling_node(const TimelineBuilder& builder, TaskId t) {
   return enabler;
 }
 
-}  // namespace
-
-Schedule FlbScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
+void build_flb(TimelineBuilder& builder) {
   const InstanceView& view = builder.view();
   while (!builder.complete()) {
     TaskId best_task = 0;
     NodeId best_node = 0;
     double best_finish = std::numeric_limits<double>::infinity();
     bool found = false;
-    for (TaskId t = 0; t < view.task_count(); ++t) {
-      if (!builder.ready(t)) continue;
-
+    for (TaskId t : builder.ready_tasks()) {
+      const auto avail = builder.node_available_row();
       NodeId idle_node = 0;
       for (NodeId v = 1; v < view.node_count(); ++v) {
-        if (builder.node_available(v) < builder.node_available(idle_node)) idle_node = v;
+        if (avail[v] < avail[idle_node]) idle_node = v;
       }
       const NodeId enabler = enabling_node(builder, t);
 
@@ -62,7 +57,20 @@ Schedule FlbScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     }
     builder.place_earliest(best_task, best_node, /*insertion=*/false);
   }
+}
+
+}  // namespace
+
+Schedule FlbScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_flb(builder);
   return builder.to_schedule();
+}
+
+double FlbScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_flb(builder);
+  return builder.current_makespan();
 }
 
 

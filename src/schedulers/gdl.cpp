@@ -10,35 +10,51 @@
 
 namespace saga {
 
-Schedule GdlScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
+namespace {
+
+void build_gdl(TimelineBuilder& builder) {
   const InstanceView& view = builder.view();
-  std::vector<double> sl;
-  std::vector<double> mean_exec;
+  auto& ws = builder.workspace();
+  std::vector<double>& sl = ws.d0;
+  std::vector<double>& mean_exec = ws.d1;
   static_levels(view, sl);
   mean_exec_times(view, mean_exec);
   while (!builder.complete()) {
     TaskId best_task = 0;
     NodeId best_node = 0;
+    double best_start = 0.0;
     double best_dl = -std::numeric_limits<double>::infinity();
     bool found = false;
-    for (TaskId t = 0; t < view.task_count(); ++t) {
-      if (!builder.ready(t)) continue;
+    for (TaskId t : builder.ready_tasks()) {
+      const auto row = builder.eft_row(t, /*insertion=*/false);
       for (NodeId v = 0; v < view.node_count(); ++v) {
-        const double start = builder.earliest_start(t, v, /*insertion=*/false);
         const double delta = mean_exec[t] - builder.exec_time(t, v);
-        const double dl = sl[t] - start + delta;
+        const double dl = sl[t] - row.start[v] + delta;
         if (!found || dl > best_dl || (dl == best_dl && t < best_task)) {
           best_dl = dl;
           best_task = t;
           best_node = v;
+          best_start = row.start[v];
           found = true;
         }
       }
     }
-    builder.place_earliest(best_task, best_node, /*insertion=*/false);
+    builder.place(best_task, best_node, best_start);
   }
+}
+
+}  // namespace
+
+Schedule GdlScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_gdl(builder);
   return builder.to_schedule();
+}
+
+double GdlScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_gdl(builder);
+  return builder.current_makespan();
 }
 
 

@@ -56,13 +56,10 @@ void variant_upward_ranks(const InstanceView& view, HeftScheduler::RankStatistic
   }
 }
 
-}  // namespace
-
-Schedule HeftScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
-  const InstanceView& view = builder.view();
-  std::vector<double> rank;
-  variant_upward_ranks(view, variant_.rank, rank);
+void build_heft(TimelineBuilder& builder, const HeftScheduler::Variant& variant) {
+  auto& ws = builder.workspace();
+  std::vector<double>& rank = ws.d0;
+  variant_upward_ranks(builder.view(), variant.rank, rank);
 
   // Process tasks by decreasing upward rank. With strictly positive task
   // costs this order is topological on its own; zero-cost tasks (which PISA
@@ -73,27 +70,30 @@ Schedule HeftScheduler::schedule(const ProblemInstance& inst, TimelineArena* are
     TaskId next = 0;
     double best_rank = -1.0;
     bool found = false;
-    for (TaskId t = 0; t < view.task_count(); ++t) {
-      if (!builder.ready(t)) continue;
+    for (TaskId t : builder.ready_tasks()) {
       if (!found || rank[t] > best_rank) {
         next = t;
         best_rank = rank[t];
         found = true;
       }
     }
-
-    NodeId best_node = 0;
-    double best_finish = std::numeric_limits<double>::infinity();
-    for (NodeId v = 0; v < view.node_count(); ++v) {
-      const double finish = builder.earliest_finish(next, v, variant_.insertion);
-      if (finish < best_finish) {
-        best_finish = finish;
-        best_node = v;
-      }
-    }
-    builder.place_earliest(next, best_node, variant_.insertion);
+    const auto choice = builder.best_eft(next, variant.insertion);
+    builder.place(next, choice.node, choice.start);
   }
+}
+
+}  // namespace
+
+Schedule HeftScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_heft(builder, variant_);
   return builder.to_schedule();
+}
+
+double HeftScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_heft(builder, variant_);
+  return builder.current_makespan();
 }
 
 

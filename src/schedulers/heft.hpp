@@ -41,6 +41,8 @@ class HeftScheduler final : public Scheduler {
   using Scheduler::schedule;
   [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
                                   TimelineArena* arena) const override;
+  [[nodiscard]] double plan_makespan(const ProblemInstance& inst,
+                                     TimelineArena* arena) const override;
 
   [[nodiscard]] const Variant& variant() const noexcept { return variant_; }
 

@@ -1,43 +1,48 @@
 #include "schedulers/maxmin.hpp"
 
-#include <limits>
-
 #include "sched/timeline.hpp"
 #include "sched/registry.hpp"
 #include "schedulers/register.hpp"
 
 namespace saga {
 
-Schedule MaxMinScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
-  const InstanceView& view = builder.view();
+namespace {
+
+void build_maxmin(TimelineBuilder& builder) {
   while (!builder.complete()) {
     TaskId chosen_task = 0;
     NodeId chosen_node = 0;
+    double chosen_start = 0.0;
     double chosen_mct = -1.0;
     bool found = false;
-    for (TaskId t = 0; t < view.task_count(); ++t) {
-      if (!builder.ready(t)) continue;
+    for (TaskId t : builder.ready_tasks()) {
       // Minimum completion time of t across nodes.
-      NodeId arg_node = 0;
-      double mct = std::numeric_limits<double>::infinity();
-      for (NodeId v = 0; v < view.node_count(); ++v) {
-        const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
-        if (finish < mct) {
-          mct = finish;
-          arg_node = v;
-        }
-      }
-      if (!found || mct > chosen_mct) {
-        chosen_mct = mct;
+      const auto choice = builder.best_eft(t, /*insertion=*/false);
+      if (!found || choice.finish > chosen_mct) {
+        chosen_mct = choice.finish;
+        chosen_start = choice.start;
         chosen_task = t;
-        chosen_node = arg_node;
+        chosen_node = choice.node;
         found = true;
       }
     }
-    builder.place_earliest(chosen_task, chosen_node, /*insertion=*/false);
+    builder.place(chosen_task, chosen_node, chosen_start);
   }
+}
+
+}  // namespace
+
+Schedule MaxMinScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_maxmin(builder);
   return builder.to_schedule();
+}
+
+double MaxMinScheduler::plan_makespan(const ProblemInstance& inst,
+                                      TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_maxmin(builder);
+  return builder.current_makespan();
 }
 
 

@@ -1,29 +1,32 @@
 #include "schedulers/mct.hpp"
 
-#include <limits>
-
 #include "sched/timeline.hpp"
 #include "sched/registry.hpp"
 #include "schedulers/register.hpp"
 
 namespace saga {
 
+namespace {
+
+void build_mct(TimelineBuilder& builder) {
+  for (TaskId t : builder.view().topological_order()) {
+    const auto choice = builder.best_eft(t, /*insertion=*/false);
+    builder.place(t, choice.node, choice.start);
+  }
+}
+
+}  // namespace
+
 Schedule MctScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
   TimelineBuilder builder(inst, arena);
-  const InstanceView& view = builder.view();
-  for (TaskId t : view.topological_order()) {
-    NodeId best_node = 0;
-    double best_finish = std::numeric_limits<double>::infinity();
-    for (NodeId v = 0; v < view.node_count(); ++v) {
-      const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
-      if (finish < best_finish) {
-        best_finish = finish;
-        best_node = v;
-      }
-    }
-    builder.place_earliest(t, best_node, /*insertion=*/false);
-  }
+  build_mct(builder);
   return builder.to_schedule();
+}
+
+double MctScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_mct(builder);
+  return builder.current_makespan();
 }
 
 

@@ -6,8 +6,9 @@
 
 namespace saga {
 
-Schedule MetScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
+namespace {
+
+void build_met(TimelineBuilder& builder) {
   const InstanceView& view = builder.view();
   for (TaskId t : view.topological_order()) {
     // Smallest execution time; first (lowest-id) node wins ties.
@@ -22,7 +23,20 @@ Schedule MetScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
     }
     builder.place_earliest(t, best_node, /*insertion=*/false);
   }
+}
+
+}  // namespace
+
+Schedule MetScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_met(builder);
   return builder.to_schedule();
+}
+
+double MetScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_met(builder);
+  return builder.current_makespan();
 }
 
 

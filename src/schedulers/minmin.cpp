@@ -8,27 +8,43 @@
 
 namespace saga {
 
-Schedule MinMinScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
-  const InstanceView& view = builder.view();
+namespace {
+
+void build_minmin(TimelineBuilder& builder) {
+  const std::size_t nodes = builder.view().node_count();
   while (!builder.complete()) {
     TaskId best_task = 0;
     NodeId best_node = 0;
+    double best_start = 0.0;
     double best_finish = std::numeric_limits<double>::infinity();
-    for (TaskId t = 0; t < view.task_count(); ++t) {
-      if (!builder.ready(t)) continue;
-      for (NodeId v = 0; v < view.node_count(); ++v) {
-        const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
-        if (finish < best_finish) {
-          best_finish = finish;
+    for (TaskId t : builder.ready_tasks()) {
+      const auto row = builder.eft_row(t, /*insertion=*/false);
+      for (NodeId v = 0; v < nodes; ++v) {
+        if (row.finish[v] < best_finish) {
+          best_finish = row.finish[v];
+          best_start = row.start[v];
           best_task = t;
           best_node = v;
         }
       }
     }
-    builder.place_earliest(best_task, best_node, /*insertion=*/false);
+    builder.place(best_task, best_node, best_start);
   }
+}
+
+}  // namespace
+
+Schedule MinMinScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_minmin(builder);
   return builder.to_schedule();
+}
+
+double MinMinScheduler::plan_makespan(const ProblemInstance& inst,
+                                      TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_minmin(builder);
+  return builder.current_makespan();
 }
 
 

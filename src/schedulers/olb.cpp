@@ -6,22 +6,36 @@
 
 namespace saga {
 
-Schedule OlbScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  TimelineBuilder builder(inst, arena);
-  const InstanceView& view = builder.view();
-  for (TaskId t : view.topological_order()) {
+namespace {
+
+void build_olb(TimelineBuilder& builder) {
+  const std::size_t nodes = builder.view().node_count();
+  for (TaskId t : builder.view().topological_order()) {
+    const auto avail = builder.node_available_row();
     NodeId best_node = 0;
-    double best_available = builder.node_available(0);
-    for (NodeId v = 1; v < view.node_count(); ++v) {
-      const double available = builder.node_available(v);
-      if (available < best_available) {
-        best_available = available;
+    double best_available = avail[0];
+    for (NodeId v = 1; v < nodes; ++v) {
+      if (avail[v] < best_available) {
+        best_available = avail[v];
         best_node = v;
       }
     }
     builder.place_earliest(t, best_node, /*insertion=*/false);
   }
+}
+
+}  // namespace
+
+Schedule OlbScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_olb(builder);
   return builder.to_schedule();
+}
+
+double OlbScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_olb(builder);
+  return builder.current_makespan();
 }
 
 

@@ -10,30 +10,35 @@
 
 namespace saga {
 
-Schedule WbaScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
-  Rng rng(seed_);
-  TimelineBuilder builder(inst, arena);
+namespace {
+
+void build_wba(TimelineBuilder& builder, std::uint64_t seed, double tolerance) {
+  Rng rng(seed);
   const InstanceView& view = builder.view();
 
-  struct Option {
-    TaskId task;
-    NodeId node;
-    double increase;
-  };
-  std::vector<Option> options;
-  std::vector<std::size_t> candidates;
+  // The option list lives in the pooled workspace, decomposed into parallel
+  // arrays (task, node, increase) so a warm arena makes the whole build
+  // allocation-free.
+  auto& ws = builder.workspace();
+  std::vector<TaskId>& opt_task = ws.tasks;
+  std::vector<NodeId>& opt_node = ws.nodes;
+  std::vector<double>& opt_increase = ws.d0;
+  std::vector<std::uint32_t>& candidates = ws.idx;
 
   while (!builder.complete()) {
-    options.clear();
+    opt_task.clear();
+    opt_node.clear();
+    opt_increase.clear();
     double min_inc = std::numeric_limits<double>::infinity();
     double max_inc = -std::numeric_limits<double>::infinity();
     const double current = builder.current_makespan();
-    for (TaskId t = 0; t < view.task_count(); ++t) {
-      if (!builder.ready(t)) continue;
+    for (TaskId t : builder.ready_tasks()) {
+      const auto row = builder.eft_row(t, /*insertion=*/false);
       for (NodeId v = 0; v < view.node_count(); ++v) {
-        const double finish = builder.earliest_finish(t, v, /*insertion=*/false);
-        const double increase = std::max(0.0, finish - current);
-        options.push_back({t, v, increase});
+        const double increase = std::max(0.0, row.finish[v] - current);
+        opt_task.push_back(t);
+        opt_node.push_back(v);
+        opt_increase.push_back(increase);
         min_inc = std::min(min_inc, increase);
         max_inc = std::max(max_inc, increase);
       }
@@ -41,15 +46,30 @@ Schedule WbaScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
 
     // Keep every option within the tolerance band of the least increase and
     // choose uniformly among them.
-    const double band = min_inc + tolerance_ * (max_inc - min_inc);
+    const double band = min_inc + tolerance * (max_inc - min_inc);
     candidates.clear();
-    for (std::size_t i = 0; i < options.size(); ++i) {
-      if (options[i].increase <= band + 1e-15) candidates.push_back(i);
+    for (std::size_t i = 0; i < opt_increase.size(); ++i) {
+      if (opt_increase[i] <= band + 1e-15) {
+        candidates.push_back(static_cast<std::uint32_t>(i));
+      }
     }
-    const Option& chosen = options[candidates[rng.index(candidates.size())]];
-    builder.place_earliest(chosen.task, chosen.node, /*insertion=*/false);
+    const std::size_t chosen = candidates[rng.index(candidates.size())];
+    builder.place_earliest(opt_task[chosen], opt_node[chosen], /*insertion=*/false);
   }
+}
+
+}  // namespace
+
+Schedule WbaScheduler::schedule(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_wba(builder, seed_, tolerance_);
   return builder.to_schedule();
+}
+
+double WbaScheduler::plan_makespan(const ProblemInstance& inst, TimelineArena* arena) const {
+  TimelineBuilder builder(inst, arena);
+  build_wba(builder, seed_, tolerance_);
+  return builder.current_makespan();
 }
 
 

@@ -28,6 +28,8 @@ class WbaScheduler final : public Scheduler {
   using Scheduler::schedule;
   [[nodiscard]] Schedule schedule(const ProblemInstance& inst,
                                   TimelineArena* arena) const override;
+  [[nodiscard]] double plan_makespan(const ProblemInstance& inst,
+                                     TimelineArena* arena) const override;
 
  private:
   std::uint64_t seed_;

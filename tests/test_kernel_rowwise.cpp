@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/annealer.hpp"
+#include "core/perturbation.hpp"
+#include "graph/instance_view.hpp"
+#include "sched/arena.hpp"
+#include "sched/registry.hpp"
+#include "sched/timeline.hpp"
+
+/// Kernel round 2 property suite: the row-wise candidate API must be
+/// bit-identical to the scalar queries it replaces, the annealer's O(1)
+/// view patches must be indistinguishable from a fresh sync, and the
+/// batched annealer must be deterministic in (seed, K) regardless of how
+/// (or whether) its slots are parallelised.
+
+namespace saga {
+namespace {
+
+/// Random layered DAG + heterogeneous network (same shape the kernel
+/// bench uses, smaller so the walk covers many graphs).
+ProblemInstance fuzzed_instance(std::size_t tasks, std::size_t nodes, std::uint64_t seed) {
+  Rng rng(seed);
+  ProblemInstance inst;
+  std::vector<TaskId> previous;
+  std::vector<TaskId> current;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const TaskId t = inst.graph.add_task(rng.uniform(0.0, 2.0));
+    if (!previous.empty()) {
+      const auto preds = std::min<std::size_t>(previous.size(), 1 + rng.index(3));
+      for (std::size_t p = 0; p < preds; ++p) {
+        // Occasional zero-size transfers exercise comm_time's early-out.
+        const double cost = rng.index(4) == 0 ? 0.0 : rng.uniform(0.1, 1.0);
+        inst.graph.add_dependency(previous[rng.index(previous.size())], t, cost);
+      }
+    }
+    current.push_back(t);
+    if (current.size() == 3) {
+      previous = std::move(current);
+      current.clear();
+    }
+  }
+  inst.network = Network(nodes);
+  for (NodeId v = 0; v < nodes; ++v) inst.network.set_speed(v, rng.uniform(0.2, 2.0));
+  for (NodeId a = 0; a < nodes; ++a) {
+    for (NodeId b = a + 1; b < nodes; ++b) {
+      inst.network.set_strength(a, b, rng.uniform(0.2, 2.0));
+    }
+  }
+  return inst;
+}
+
+bool same_instance(const ProblemInstance& a, const ProblemInstance& b) {
+  if (a.graph.task_count() != b.graph.task_count()) return false;
+  if (a.graph.dependency_count() != b.graph.dependency_count()) return false;
+  for (TaskId t = 0; t < a.graph.task_count(); ++t) {
+    if (a.graph.cost(t) != b.graph.cost(t)) return false;
+    const auto sa = a.graph.successors(t);
+    const auto sb = b.graph.successors(t);
+    if (!std::equal(sa.begin(), sa.end(), sb.begin(), sb.end())) return false;
+    for (const TaskId s : sa) {
+      if (a.graph.dependency_cost(t, s) != b.graph.dependency_cost(t, s)) return false;
+    }
+  }
+  if (a.network.node_count() != b.network.node_count()) return false;
+  for (NodeId v = 0; v < a.network.node_count(); ++v) {
+    if (a.network.speed(v) != b.network.speed(v)) return false;
+    for (NodeId u = 0; u < a.network.node_count(); ++u) {
+      if (a.network.strength(v, u) != b.network.strength(v, u)) return false;
+    }
+  }
+  return true;
+}
+
+// --- eft_row == scalar queries, at every construction step -----------------
+
+TEST(RowWiseCandidates, MatchesScalarQueriesMidConstruction) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto inst = fuzzed_instance(4 + seed % 9, 2 + seed % 5, 100 + seed);
+    Rng rng(7 * seed + 1);
+    TimelineArena arena;
+    TimelineBuilder builder(inst, &arena);
+    const std::size_t nodes = inst.network.node_count();
+    while (!builder.complete()) {
+      const auto ready = builder.ready_tasks();
+      ASSERT_FALSE(ready.empty());
+      for (const TaskId t : ready) {
+        for (const bool insertion : {false, true}) {
+          const auto row = builder.eft_row(t, insertion);
+          ASSERT_EQ(row.start.size(), nodes);
+          for (NodeId v = 0; v < nodes; ++v) {
+            // Bit-exact: the sweep must reproduce the scalar path exactly.
+            EXPECT_EQ(row.start[v], builder.earliest_start(t, v, insertion))
+                << "seed " << seed << " task " << t << " node " << v << " ins " << insertion;
+            EXPECT_EQ(row.finish[v], builder.earliest_finish(t, v, insertion));
+            EXPECT_EQ(builder.data_ready_row(t)[v], builder.data_ready_time(t, v));
+          }
+        }
+      }
+      // Random placement (random ready task, random node, either mode)
+      // drives the walk through diverse partial schedules.
+      const TaskId t = ready[rng.index(ready.size())];
+      const auto v = static_cast<NodeId>(rng.index(nodes));
+      builder.place_earliest(t, v, rng.index(2) == 0);
+    }
+  }
+}
+
+TEST(RowWiseCandidates, ReadyTasksMatchesBruteForce) {
+  const auto inst = fuzzed_instance(12, 3, 5);
+  Rng rng(3);
+  TimelineArena arena;
+  TimelineBuilder builder(inst, &arena);
+  while (!builder.complete()) {
+    std::vector<TaskId> expected;
+    for (TaskId t = 0; t < inst.graph.task_count(); ++t) {
+      if (builder.ready(t)) expected.push_back(t);
+    }
+    const auto ready = builder.ready_tasks();
+    ASSERT_EQ(std::vector<TaskId>(ready.begin(), ready.end()), expected);
+    builder.place_earliest(ready[rng.index(ready.size())],
+                           static_cast<NodeId>(rng.index(inst.network.node_count())), false);
+  }
+  EXPECT_TRUE(builder.ready_tasks().empty());
+}
+
+// --- patched view == freshly synced view -----------------------------------
+
+void expect_view_matches_fresh(const InstanceView& view, const ProblemInstance& inst) {
+  const InstanceView fresh(inst);
+  ASSERT_TRUE(view.in_sync_with(inst));
+  ASSERT_EQ(view.task_count(), fresh.task_count());
+  ASSERT_EQ(view.node_count(), fresh.node_count());
+  const auto topo_a = view.topological_order();
+  const auto topo_b = fresh.topological_order();
+  ASSERT_TRUE(std::equal(topo_a.begin(), topo_a.end(), topo_b.begin(), topo_b.end()));
+  EXPECT_EQ(view.mean_inverse_speed(), fresh.mean_inverse_speed());
+  EXPECT_EQ(view.mean_inverse_strength(), fresh.mean_inverse_strength());
+  for (TaskId t = 0; t < view.task_count(); ++t) {
+    EXPECT_EQ(view.task_cost(t), fresh.task_cost(t));
+    const auto pa = view.predecessors(t);
+    const auto pb = fresh.predecessors(t);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i].task, pb[i].task);
+      EXPECT_EQ(pa[i].cost, pb[i].cost);
+    }
+    const auto sa = view.successors(t);
+    const auto sb = fresh.successors(t);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].task, sb[i].task);
+      EXPECT_EQ(sa[i].cost, sb[i].cost);
+    }
+    for (NodeId v = 0; v < view.node_count(); ++v) {
+      EXPECT_EQ(view.exec_time(t, v), fresh.exec_time(t, v));
+      // The cached exec row, when present, must hold exactly the on-the-fly
+      // quotients.
+      if (const double* exec = view.exec_row_or_null(t)) {
+        EXPECT_EQ(exec[v], fresh.exec_time(t, v));
+      }
+    }
+    const std::size_t base = view.successors_base(t);
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      for (NodeId v = 0; v < view.node_count(); ++v) {
+        if (const double* comm = view.comm_row_or_null(base + i, v)) {
+          for (NodeId u = 0; u < view.node_count(); ++u) {
+            EXPECT_EQ(comm[u], fresh.comm_time(sa[i].cost, v, u));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ViewPatches, PerturbationWalkMatchesFreshSyncEveryStep) {
+  auto config = pisa::PerturbationConfig::generic();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    ProblemInstance state = pisa::random_chain_instance(31 + seed);
+    TimelineArena arena;
+    (void)arena.view_for(state);  // initial sync
+    Rng rng(seed);
+    for (int step = 0; step < 160; ++step) {
+      ASSERT_TRUE(arena.view().in_sync_with(state));
+      const auto applied = pisa::perturb_in_place_recorded(state, config, rng);
+      if (!applied.has_value()) continue;
+      // Apply the recorded perturbation through the patch API, exactly as
+      // the annealer does.
+      auto& view = arena.view();
+      switch (applied->op) {
+        case pisa::PerturbationOp::kChangeNetworkNodeWeight:
+          view.patch_node_speed(state, applied->a, applied->after);
+          break;
+        case pisa::PerturbationOp::kChangeNetworkEdgeWeight:
+          view.patch_link_strength(state, applied->a, applied->b, applied->after);
+          break;
+        case pisa::PerturbationOp::kChangeTaskWeight:
+          view.patch_task_cost(state, applied->a, applied->after);
+          break;
+        case pisa::PerturbationOp::kChangeDependencyWeight:
+          view.patch_dependency_cost(state, applied->a, applied->b, applied->after);
+          break;
+        case pisa::PerturbationOp::kAddDependency:
+          view.patch_add_dependency(state, applied->a, applied->b, applied->after);
+          break;
+        case pisa::PerturbationOp::kRemoveDependency:
+          view.patch_remove_dependency(state, applied->a, applied->b);
+          break;
+      }
+      expect_view_matches_fresh(view, state);
+      if (rng.index(2) == 0) {
+        // Roll back, as a rejected candidate would, and re-verify.
+        pisa::undo_perturbation(state, *applied);
+        switch (applied->op) {
+          case pisa::PerturbationOp::kChangeNetworkNodeWeight:
+            view.patch_node_speed(state, applied->a, applied->before);
+            break;
+          case pisa::PerturbationOp::kChangeNetworkEdgeWeight:
+            view.patch_link_strength(state, applied->a, applied->b, applied->before);
+            break;
+          case pisa::PerturbationOp::kChangeTaskWeight:
+            view.patch_task_cost(state, applied->a, applied->before);
+            break;
+          case pisa::PerturbationOp::kChangeDependencyWeight:
+            view.patch_dependency_cost(state, applied->a, applied->b, applied->before);
+            break;
+          case pisa::PerturbationOp::kAddDependency:
+            view.patch_remove_dependency(state, applied->a, applied->b);
+            break;
+          case pisa::PerturbationOp::kRemoveDependency:
+            view.patch_add_dependency(state, applied->a, applied->b, applied->before);
+            break;
+        }
+        expect_view_matches_fresh(view, state);
+      }
+    }
+  }
+}
+
+TEST(ViewPatches, MakespansThroughPatchedViewMatchFreshEvaluation) {
+  const auto heft = make_scheduler("HEFT", 1);
+  const auto cpop = make_scheduler("CPoP", 2);
+  auto config = pisa::PerturbationConfig::generic();
+  ProblemInstance state = pisa::random_chain_instance(5);
+  TimelineArena arena;
+  Rng rng(17);
+  for (int step = 0; step < 120; ++step) {
+    (void)pisa::perturb_in_place_recorded(state, config, rng);
+    // Arena path syncs (or patches) its cached view; the arena-free path
+    // rebuilds everything from the instance. Identical bits required.
+    EXPECT_EQ(heft->plan_makespan(state, &arena), heft->plan_makespan(state, nullptr));
+    EXPECT_EQ(cpop->plan_makespan(state, &arena), cpop->plan_makespan(state, nullptr));
+  }
+}
+
+// --- batched annealer determinism ------------------------------------------
+
+TEST(BatchAnnealer, DeterministicAcrossRepeatsAndThreadCounts) {
+  const auto target = make_scheduler("HEFT", 1);
+  const auto baseline = make_scheduler("CPoP", 2);
+  const auto config = pisa::PerturbationConfig::generic();
+  const auto initial = pisa::random_chain_instance(11);
+
+  pisa::AnnealingParams params;
+  params.max_iterations = 120;
+  params.batch = 4;
+  const auto serial = pisa::anneal(*target, *baseline, initial, config, params, 99);
+  const auto serial_again = pisa::anneal(*target, *baseline, initial, config, params, 99);
+  EXPECT_EQ(serial.best_ratio, serial_again.best_ratio);
+  EXPECT_EQ(serial.evaluations, serial_again.evaluations);
+  EXPECT_EQ(serial.accepted, serial_again.accepted);
+  EXPECT_EQ(serial.improved, serial_again.improved);
+  EXPECT_TRUE(same_instance(serial.best_instance, serial_again.best_instance));
+
+  for (const std::size_t threads : {2, 4}) {
+    ThreadPool pool(threads);
+    pisa::AnnealingParams pooled = params;
+    pooled.pool = &pool;
+    const auto result = pisa::anneal(*target, *baseline, initial, config, pooled, 99);
+    EXPECT_EQ(result.best_ratio, serial.best_ratio) << threads << " threads";
+    EXPECT_EQ(result.evaluations, serial.evaluations);
+    EXPECT_EQ(result.accepted, serial.accepted);
+    EXPECT_EQ(result.improved, serial.improved);
+    EXPECT_TRUE(same_instance(result.best_instance, serial.best_instance));
+  }
+}
+
+TEST(BatchAnnealer, TypeErasedObjectiveMatchesSchedulerPairPath) {
+  // anneal() runs the templated concrete-lambda path; anneal_objective runs
+  // the std::function path. Same seed, same batch: identical trajectories.
+  const auto target = make_scheduler("HEFT", 1);
+  const auto baseline = make_scheduler("CPoP", 2);
+  const auto config = pisa::PerturbationConfig::generic();
+  const auto initial = pisa::random_chain_instance(3);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4}}) {
+    pisa::AnnealingParams params;
+    params.max_iterations = 80;
+    params.batch = batch;
+    const auto direct = pisa::anneal(*target, *baseline, initial, config, params, 123);
+    const pisa::ArenaObjective objective = [&](const ProblemInstance& inst,
+                                               TimelineArena& arena) {
+      return pisa::makespan_ratio(*target, *baseline, inst, &arena);
+    };
+    const auto erased = pisa::anneal_objective(objective, initial, config, params, 123);
+    EXPECT_EQ(direct.best_ratio, erased.best_ratio) << "batch " << batch;
+    EXPECT_EQ(direct.evaluations, erased.evaluations);
+    EXPECT_EQ(direct.accepted, erased.accepted);
+    EXPECT_TRUE(same_instance(direct.best_instance, erased.best_instance));
+  }
+}
+
+// --- unchecked dependency insertion ----------------------------------------
+
+TEST(UncheckedAdd, MatchesCheckedAddOnPrevalidatedEdges) {
+  const auto base = fuzzed_instance(10, 3, 77);
+  Rng rng(13);
+  TaskGraph checked = base.graph;
+  TaskGraph unchecked = base.graph;
+  for (int i = 0; i < 60; ++i) {
+    const auto from = static_cast<TaskId>(rng.index(base.graph.task_count()));
+    const auto to = static_cast<TaskId>(rng.index(base.graph.task_count()));
+    const double cost = rng.uniform(0.0, 1.0);
+    if (from == to || checked.has_dependency(from, to) ||
+        checked.would_create_cycle(from, to)) {
+      continue;
+    }
+    ASSERT_TRUE(checked.add_dependency(from, to, cost));
+    unchecked.add_dependency_unchecked(from, to, cost);
+    ASSERT_EQ(checked.dependency_count(), unchecked.dependency_count());
+    for (TaskId t = 0; t < checked.task_count(); ++t) {
+      const auto sa = checked.successors(t);
+      const auto sb = unchecked.successors(t);
+      ASSERT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()));
+      const auto pa = checked.predecessors(t);
+      const auto pb = unchecked.predecessors(t);
+      ASSERT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()));
+    }
+    ASSERT_EQ(checked.topological_order(), unchecked.topological_order());
+  }
+}
+
+}  // namespace
+}  // namespace saga

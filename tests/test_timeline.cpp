@@ -24,7 +24,9 @@ TEST(Timeline, InitialState) {
   TimelineBuilder builder(inst);
   EXPECT_EQ(builder.placed_count(), 0u);
   EXPECT_FALSE(builder.complete());
-  EXPECT_EQ(builder.ready_tasks(), std::vector<TaskId>{0});
+  const auto ready = builder.ready_tasks();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 0u);
   EXPECT_TRUE(builder.ready(0));
   EXPECT_FALSE(builder.ready(1));
   EXPECT_EQ(builder.unplaced_predecessors(1), 1u);

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Advisory perf gate for CI: compare a fresh `bench_kernel --smoke` run
+against the committed BENCH_kernel.json.
+
+Usage: perf_smoke.py <fresh.json> <committed.json> [--threshold 0.25]
+
+Exits 1 (loudly) if the fresh PISA mean steps/sec is more than the
+threshold fraction below the committed number. The CI job wiring this up
+is continue-on-error — absolute throughput on shared runners is noisy, so
+the gate flags likely regressions for a human rather than blocking merges.
+"""
+
+import argparse
+import json
+import sys
+
+
+def pisa_mean(path: str) -> float:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return float(doc["pisa"]["mean_steps_per_sec"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="JSON written by bench_kernel --smoke")
+    parser.add_argument("committed", help="committed BENCH_kernel.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    fresh = pisa_mean(args.fresh)
+    committed = pisa_mean(args.committed)
+    ratio = fresh / committed if committed > 0 else float("inf")
+    print(f"PISA mean steps/sec: fresh {fresh:.0f} vs committed {committed:.0f} "
+          f"({ratio:.2f}x)")
+    if fresh < committed * (1.0 - args.threshold):
+        print(f"PERF REGRESSION: more than {args.threshold:.0%} below the "
+              f"committed baseline", file=sys.stderr)
+        return 1
+    print("within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
