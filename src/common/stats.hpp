@@ -1,13 +1,18 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 /// \file stats.hpp
 /// Small descriptive-statistics helpers used by the benchmarking drivers and
 /// the experiment harness (e.g. the box-plot style summaries behind the
-/// paper's Fig. 7/8 makespan distributions and the Fig. 2 gradients).
+/// paper's Fig. 7/8 makespan distributions and the Fig. 2 gradients), plus
+/// the fixed-bucket histogram shared by the service telemetry
+/// (serve/telemetry) and bench_serve.
 
 namespace saga {
 
@@ -36,5 +41,48 @@ struct Summary {
 /// Renders a summary as a compact single-line string, e.g.
 /// "n=1000 min=1.00 q1=1.20 med=1.50 q3=2.10 max=5.30 mean=1.71".
 [[nodiscard]] std::string to_string(const Summary& s);
+
+/// Fixed-bucket histogram with atomic counters: record() is lock-free and
+/// wait-free on platforms with native 64-bit atomics, so concurrent request
+/// handlers can stamp latencies without coordination. Buckets are defined by
+/// their inclusive upper bounds (sorted, strictly increasing); values above
+/// the last bound land in an implicit +inf overflow bucket. Percentile
+/// extraction returns the upper bound of the bucket where the cumulative
+/// count crosses the rank (the Prometheus histogram_quantile convention,
+/// without interpolation — deterministic and monotone).
+class FixedHistogram {
+ public:
+  /// `upper_bounds` must be non-empty, sorted, strictly increasing.
+  explicit FixedHistogram(std::vector<double> upper_bounds);
+
+  /// The bucket ladder used by the serve telemetry: a 1-2-5 decade ladder
+  /// from 1 µs to 10 s (values in microseconds), 22 buckets + overflow.
+  [[nodiscard]] static FixedHistogram latency_us();
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+
+  /// Upper bound of the bucket containing the p-quantile (p in [0, 1]);
+  /// +inf when it lands in the overflow bucket, 0 when the histogram is
+  /// empty. percentile(0.5) / (0.9) / (0.99) are the p50/p90/p99 the
+  /// telemetry and bench_serve report.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+  /// Bucket upper bounds (without the implicit +inf overflow bucket).
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+
+  /// Snapshot of per-bucket counts; one extra trailing entry holds the
+  /// overflow bucket. Taken with relaxed loads: individually exact,
+  /// collectively approximate under concurrent writes.
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
 
 }  // namespace saga

@@ -41,6 +41,7 @@ void ThreadPool::worker_loop() {
       }
       job = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.store(queue_.size(), std::memory_order_relaxed);
     }
     // Counted before running: a future obtained from this job is only
     // satisfied inside job(), so observers that waited on it are guaranteed

@@ -41,6 +41,14 @@ class ThreadPool {
     return jobs_completed_.load(std::memory_order_relaxed);
   }
 
+  /// Jobs submitted but not yet picked up by a worker — the instantaneous
+  /// backlog. Together with jobs_completed this is the service telemetry's
+  /// queue-depth gauge; it is a momentary snapshot, not a synchronization
+  /// point.
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueues a callable; returns a future for its result.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
@@ -50,6 +58,7 @@ class ThreadPool {
     {
       std::lock_guard lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
+      queue_depth_.store(queue_.size(), std::memory_order_relaxed);
     }
     cv_.notify_one();
     return fut;
@@ -65,6 +74,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::atomic<std::size_t> jobs_completed_{0};
+  std::atomic<std::size_t> queue_depth_{0};  // == queue_.size(), maintained under mutex_
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -31,12 +31,7 @@ namespace saga::exp {
 namespace {
 
 std::size_t to_size(const Json& json, const std::string& context) {
-  const double value = json.as_number();
-  if (value < 0.0 || value != std::floor(value) || value > 9.0e15) {
-    throw std::invalid_argument(context + " must be a non-negative integer (got " +
-                                json.dump() + ")" + json.position_suffix());
-  }
-  return static_cast<std::size_t>(value);
+  return static_cast<std::size_t>(json.as_u64(context));
 }
 
 /// Rejects keys outside `allowed`, suggesting the nearest valid one.

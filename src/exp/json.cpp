@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -351,6 +352,15 @@ const JsonArray& Json::as_array() const {
 const JsonObject& Json::as_object() const {
   if (!is_object()) type_error("an object", type());
   return std::get<JsonObject>(value_);
+}
+
+std::uint64_t Json::as_u64(const std::string& what) const {
+  const double value = as_number();
+  if (value < 0.0 || value != std::floor(value) || value > 9.0e15) {
+    throw std::invalid_argument(what + " must be a non-negative integer (got " + dump() + ")" +
+                                position_suffix());
+  }
+  return static_cast<std::uint64_t>(value);
 }
 
 const Json* Json::find(std::string_view key) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -47,6 +48,13 @@ class Json {
   [[nodiscard]] const std::string& as_string() const;
   [[nodiscard]] const JsonArray& as_array() const;
   [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Non-negative integer-valued number; throws std::invalid_argument
+  /// naming `what` (with position context) on negative, fractional, or
+  /// overflowing values. Shared by the spec loader and the wire codec so
+  /// every count/index field rejects the same malformed inputs the same
+  /// way.
+  [[nodiscard]] std::uint64_t as_u64(const std::string& what) const;
 
   /// Object member lookup; null pointer when absent (or not an object).
   [[nodiscard]] const Json* find(std::string_view key) const;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -10,25 +11,32 @@
 
 namespace saga {
 
-namespace {
-
-std::string fmt(double v) {
-  if (std::isinf(v)) return "inf";
+std::string format_exact(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
 
-double parse_double(const std::string& token, int line_no) {
+double parse_exact(const std::string& token, const std::string& what) {
   if (token == "inf") return std::numeric_limits<double>::infinity();
+  if (token == "-inf") return -std::numeric_limits<double>::infinity();
   try {
     std::size_t consumed = 0;
     const double v = std::stod(token, &consumed);
     if (consumed != token.size()) throw std::invalid_argument(token);
     return v;
   } catch (const std::exception&) {
-    throw std::runtime_error("line " + std::to_string(line_no) + ": bad number '" + token + "'");
+    throw std::runtime_error(what + ": bad number '" + token + "'");
   }
+}
+
+namespace {
+
+std::string fmt(double v) { return format_exact(v); }
+
+double parse_double(const std::string& token, int line_no) {
+  return parse_exact(token, "line " + std::to_string(line_no));
 }
 
 /// Reads the next non-empty, non-comment line; throws on EOF.

@@ -27,6 +27,15 @@
 
 namespace saga {
 
+/// Formats a double with enough digits to round-trip exactly; infinities
+/// render as "inf". Shared by the text format below and the JSON wire codec
+/// (serve/codec.hpp), so both interchange formats agree on number text.
+[[nodiscard]] std::string format_exact(double v);
+
+/// Inverse of format_exact: parses "inf" (and "-inf") or a decimal double.
+/// Throws std::runtime_error naming `what` on malformed input.
+[[nodiscard]] double parse_exact(const std::string& token, const std::string& what);
+
 void save_instance(std::ostream& out, const ProblemInstance& inst);
 [[nodiscard]] std::string instance_to_string(const ProblemInstance& inst);
 

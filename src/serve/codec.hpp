@@ -1,0 +1,62 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "exp/json.hpp"
+#include "graph/problem_instance.hpp"
+#include "sched/schedule.hpp"
+
+/// \file codec.hpp
+/// JSON wire codec for problem instances and schedules — the canonical
+/// request/response serialization of the `saga serve` daemon, and the format
+/// the future distributed experiment fabric and plugin ABI will reuse. The
+/// codec is exact: every double renders in shortest round-trip form (via
+/// exp::Json), infinite link strengths as the string "inf", so
+/// encode -> decode -> encode is byte-identical (pinned by
+/// tests/test_serve_codec.cpp).
+///
+/// Instance schema (all fields required; task/node ids are array indices):
+///
+///   {
+///     "format": "saga-instance",
+///     "version": 1,
+///     "tasks": [{"name": "t0", "cost": 1.5}, ...],
+///     "deps":  [{"from": 0, "to": 1, "size": 2.0}, ...]   (from,to) sorted
+///     "nodes": [{"speed": 1.0}, ...],
+///     "links": [{"a": 0, "b": 1, "strength": 2.0}, ...]   every unordered
+///   }                                                     pair exactly once,
+///                                                         (a,b) sorted, a<b
+///
+/// Schedule schema ("makespan" is derived and re-derived on decode):
+///
+///   {
+///     "format": "saga-schedule",
+///     "version": 1,
+///     "makespan": 12.5,
+///     "assignments": [{"task": 0, "node": 1, "start": 0, "finish": 2.5}, ...]
+///   }
+
+namespace saga::serve {
+
+[[nodiscard]] exp::Json instance_to_json(const ProblemInstance& inst);
+
+/// Decodes and validates an instance document; throws std::invalid_argument
+/// (with JSON position context where available) on schema violations:
+/// missing/unknown keys, non-dense ids, duplicate or cycle-closing
+/// dependencies, missing or repeated links.
+[[nodiscard]] ProblemInstance instance_from_json(const exp::Json& json);
+
+[[nodiscard]] exp::Json schedule_to_json(const Schedule& schedule);
+[[nodiscard]] Schedule schedule_from_json(const exp::Json& json);
+
+/// Reads an instance in either interchange format, sniffing the first
+/// non-whitespace byte: '{' selects this JSON codec, anything else the
+/// line-oriented text format of graph/serialization.hpp. Used by the CLI
+/// (`saga schedule`/`validate`/`compare`) and spec instance files, so wire
+/// fixtures produced by `saga generate --json` are consumable everywhere a
+/// text instance is.
+[[nodiscard]] ProblemInstance load_instance_auto(std::istream& in);
+[[nodiscard]] ProblemInstance instance_from_any_string(const std::string& text);
+
+}  // namespace saga::serve

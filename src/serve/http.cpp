@@ -1,0 +1,502 @@
+#include "serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace saga::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64u << 10;
+constexpr int kPollSliceMs = 100;     // stop()-responsiveness of idle waits
+constexpr int kRequestReadMs = 30000; // budget for a request that has started arriving
+constexpr int kClientReadMs = 60000;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Appends whatever is readable within `timeout_ms`. Returns the byte count
+/// (> 0), 0 on timeout/EINTR, -1 on EOF or a hard error.
+int read_chunk(int fd, std::string& buffer) {
+  char tmp[16384];
+  const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+  if (n > 0) {
+    buffer.append(tmp, static_cast<std::size_t>(n));
+    return static_cast<int>(n);
+  }
+  if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) return 0;
+  return -1;
+}
+
+/// poll for readability; 1 readable, 0 timeout, -1 error.
+int wait_readable(int fd, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  const int r = ::poll(&p, 1, timeout_ms);
+  if (r < 0) return errno == EINTR ? 0 : -1;
+  return r;
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-response must not SIGPIPE the
+    // whole daemon.
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+/// Parses the head (request line + headers) in buffer[0, header_end).
+/// Returns false on malformed input.
+bool parse_head(const std::string& buffer, std::size_t header_end, HttpRequest& req) {
+  std::size_t pos = 0;
+  const auto next_line = [&](std::string& line) {
+    const auto eol = buffer.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) return false;
+    line = buffer.substr(pos, eol - pos);
+    pos = eol + 2;
+    return true;
+  };
+
+  std::string line;
+  if (!next_line(line)) return false;
+  const auto sp1 = line.find(' ');
+  const auto sp2 = line.find(' ', sp1 == std::string::npos ? sp1 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  req.version = line.substr(sp2 + 1);
+  if (req.method.empty() || req.target.empty() || req.version.rfind("HTTP/", 0) != 0) {
+    return false;
+  }
+
+  while (pos < header_end) {
+    if (!next_line(line)) break;
+    if (line.empty()) break;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) return false;
+    req.headers.emplace_back(lower(line.substr(0, colon)), trim(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+std::string render_response(const HttpResponse& resp, bool close) {
+  std::string out;
+  out.reserve(256 + resp.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(resp.status);
+  out += ' ';
+  out += status_reason(resp.status);
+  out += "\r\nContent-Type: ";
+  out += resp.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(resp.body.size());
+  out += close ? "\r\nConnection: close" : "\r\nConnection: keep-alive";
+  for (const auto& [name, value] : resp.headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  out += "\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+HttpResponse error_response(int status, const std::string& message) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = "{\"error\": \"" + message + "\"}\n";
+  return resp;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name_lower) const {
+  for (const auto& [name, value] : headers) {
+    if (name == name_lower) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+HttpServer::HttpServer(const Options& options, HttpHandler handler)
+    : options_(options), handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  // Loopback only: the daemon is meant to sit behind a terminating proxy;
+  // binding wildcard by default would silently expose it.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("bind 127.0.0.1:" + std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  std::lock_guard lock(stop_mutex_);
+  stopping_.store(true, std::memory_order_relaxed);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // The pool destructor drains the queue (connections accepted but not yet
+  // picked up still get their buffered requests served — serve_one sees
+  // stopping() and closes after at most one exchange) and joins all
+  // workers, so when stop() returns no request is in flight.
+  pool_.reset();
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    if (stopping()) return;
+    const int r = wait_readable(listen_fd_, kPollSliceMs);
+    if (r <= 0) continue;  // timeout or transient error; re-check stopping
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    pool_->submit([this, fd] { serve_connection(fd); });
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  std::string buffer;
+  try {
+    while (serve_one(fd, buffer)) {
+    }
+  } catch (...) {
+    // Handler exceptions are converted to 500s inside serve_one; anything
+    // reaching here is a framing bug — drop the connection, keep the daemon.
+  }
+  ::close(fd);
+}
+
+bool HttpServer::serve_one(int fd, std::string& buffer) {
+  // Phase 1: wait for a complete request head. While the connection is
+  // idle (no bytes of a new request yet) the wait is bounded by
+  // keep_alive_ms and aborted by a drain; once bytes arrive the request is
+  // considered in flight and gets the full read budget even while
+  // draining.
+  std::size_t header_end;
+  int idle_left_ms = options_.keep_alive_ms;
+  int read_left_ms = kRequestReadMs;
+  bool in_flight = !buffer.empty();
+  for (;;) {
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buffer.size() > kMaxHeaderBytes) {
+      write_all(fd, render_response(error_response(431, "request head too large"), true));
+      return false;
+    }
+    if (!in_flight) {
+      if (stopping() || idle_left_ms <= 0) return false;
+    } else if (read_left_ms <= 0) {
+      write_all(fd, render_response(error_response(408, "timed out reading request"), true));
+      return false;
+    }
+    const int r = wait_readable(fd, kPollSliceMs);
+    if (r < 0) return false;
+    if (r == 0) {
+      (in_flight ? read_left_ms : idle_left_ms) -= kPollSliceMs;
+      continue;
+    }
+    const int got = read_chunk(fd, buffer);
+    if (got < 0) return false;
+    if (got > 0) in_flight = true;
+  }
+
+  HttpRequest req;
+  if (!parse_head(buffer, header_end, req)) {
+    write_all(fd, render_response(error_response(400, "malformed HTTP request"), true));
+    return false;
+  }
+
+  std::size_t content_length = 0;
+  if (const std::string* cl = req.header("content-length")) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+    if (end == cl->c_str() || *end != '\0' || errno == ERANGE) {
+      write_all(fd, render_response(error_response(400, "bad Content-Length"), true));
+      return false;
+    }
+    content_length = static_cast<std::size_t>(v);
+  }
+  if (content_length > options_.max_body) {
+    // Close instead of resyncing: skipping an oversized body would stall
+    // the worker for as long as the client cares to stream. But absorb the
+    // bytes already in flight first — closing with unread data pending
+    // RSTs the connection, which can discard the 413 before the client
+    // reads it.
+    write_all(fd,
+              render_response(error_response(413, "request body exceeds " +
+                                                      std::to_string(options_.max_body) +
+                                                      " bytes"),
+                              true));
+    const std::size_t already = buffer.size() - (header_end + 4);
+    std::size_t remaining = content_length > already ? content_length - already : 0;
+    remaining = std::min<std::size_t>(remaining, 1u << 20);  // bounded: no infinite streams
+    int grace_ms = 1000;
+    std::string sink;
+    while (remaining > 0 && grace_ms > 0) {
+      if (wait_readable(fd, kPollSliceMs) <= 0) {
+        grace_ms -= kPollSliceMs;
+        continue;
+      }
+      sink.clear();
+      const int got = read_chunk(fd, sink);
+      if (got < 0) break;
+      remaining -= std::min<std::size_t>(remaining, static_cast<std::size_t>(got));
+    }
+    return false;
+  }
+
+  const std::size_t total = header_end + 4 + content_length;
+  while (buffer.size() < total) {
+    if (read_left_ms <= 0) {
+      write_all(fd, render_response(error_response(408, "timed out reading request body"), true));
+      return false;
+    }
+    const int r = wait_readable(fd, kPollSliceMs);
+    if (r < 0) return false;
+    if (r == 0) {
+      read_left_ms -= kPollSliceMs;
+      continue;
+    }
+    if (read_chunk(fd, buffer) < 0) return false;
+  }
+  req.body = buffer.substr(header_end + 4, content_length);
+  buffer.erase(0, total);  // keep pipelined follow-up bytes
+
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  HttpResponse resp;
+  try {
+    resp = handler_(req);
+  } catch (const std::exception& e) {
+    resp = error_response(500, std::string("unhandled exception: ") + e.what());
+  } catch (...) {
+    resp = error_response(500, "unhandled exception");
+  }
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string* connection = req.header("connection");
+  const bool close = stopping() || (connection != nullptr && lower(*connection) == "close") ||
+                     req.version == "HTTP/1.0";
+  if (!write_all(fd, render_response(resp, close))) return false;
+  return !close;
+}
+
+HttpClient::HttpClient(std::uint16_t port) : port_(port) { connect_(); }
+
+HttpClient::~HttpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void HttpClient::connect_() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect 127.0.0.1:" + std::to_string(port_));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+HttpResponse HttpClient::request(const std::string& method, const std::string& target,
+                                 const std::string& body, const std::string& content_type) {
+  for (int attempt = 0; ; ++attempt) {
+    const bool fresh = fd_ < 0;
+    if (fresh) connect_();
+
+    std::string req;
+    req.reserve(256 + body.size());
+    req += method + " " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+    if (!body.empty()) req += "Content-Type: " + content_type + "\r\n";
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    req += body;
+
+    const auto retry_or_throw = [&](const char* what) {
+      ::close(fd_);
+      fd_ = -1;
+      // A reused keep-alive connection may have been idle-closed by the
+      // server between requests; retry exactly once on a fresh one.
+      if (fresh || attempt > 0) throw std::runtime_error(what);
+    };
+
+    if (!write_all(fd_, req)) {
+      retry_or_throw("http client: send failed");
+      continue;
+    }
+
+    std::string buffer;
+    std::size_t header_end;
+    int budget_ms = kClientReadMs;
+    bool saw_bytes = false;
+    bool reset = false;
+    for (;;) {
+      header_end = buffer.find("\r\n\r\n");
+      if (header_end != std::string::npos) break;
+      if (budget_ms <= 0) throw std::runtime_error("http client: response timeout");
+      const int r = wait_readable(fd_, kPollSliceMs);
+      if (r < 0) { reset = true; break; }
+      if (r == 0) {
+        budget_ms -= kPollSliceMs;
+        continue;
+      }
+      const int got = read_chunk(fd_, buffer);
+      if (got < 0) { reset = true; break; }
+      saw_bytes = saw_bytes || got > 0;
+    }
+    if (reset) {
+      if (!saw_bytes) {
+        retry_or_throw("http client: connection closed before response");
+        continue;
+      }
+      throw std::runtime_error("http client: connection closed mid-response");
+    }
+
+    HttpRequest head;  // reuse the server-side head parser shape
+    std::string status_line;
+    {
+      const auto eol = buffer.find("\r\n");
+      status_line = buffer.substr(0, eol);
+      std::size_t pos = eol + 2;
+      while (pos < header_end) {
+        const auto line_end = buffer.find("\r\n", pos);
+        const std::string line = buffer.substr(pos, line_end - pos);
+        pos = line_end + 2;
+        if (line.empty()) break;
+        const auto colon = line.find(':');
+        if (colon == std::string::npos) throw std::runtime_error("http client: bad header");
+        head.headers.emplace_back(lower(line.substr(0, colon)), trim(line.substr(colon + 1)));
+      }
+    }
+    if (status_line.rfind("HTTP/", 0) != 0 || status_line.size() < 12) {
+      throw std::runtime_error("http client: bad status line '" + status_line + "'");
+    }
+    HttpResponse resp;
+    resp.status = std::atoi(status_line.c_str() + 9);
+    const std::string* ct = head.header("content-type");
+    if (ct != nullptr) resp.content_type = *ct;
+    resp.headers = head.headers;
+
+    std::size_t content_length = 0;
+    if (const std::string* cl = head.header("content-length")) {
+      content_length = static_cast<std::size_t>(std::strtoull(cl->c_str(), nullptr, 10));
+    }
+    const std::size_t total = header_end + 4 + content_length;
+    while (buffer.size() < total) {
+      if (budget_ms <= 0) throw std::runtime_error("http client: response body timeout");
+      const int r = wait_readable(fd_, kPollSliceMs);
+      if (r < 0) throw std::runtime_error("http client: connection closed mid-body");
+      if (r == 0) {
+        budget_ms -= kPollSliceMs;
+        continue;
+      }
+      if (read_chunk(fd_, buffer) < 0) {
+        throw std::runtime_error("http client: connection closed mid-body");
+      }
+    }
+    resp.body = buffer.substr(header_end + 4, content_length);
+
+    const std::string* connection = head.header("connection");
+    if (connection != nullptr && lower(*connection) == "close") {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return resp;
+  }
+}
+
+HttpResponse HttpClient::fetch(std::uint16_t port, const std::string& method,
+                               const std::string& target, const std::string& body) {
+  HttpClient client(port);
+  return client.request(method, target, body);
+}
+
+}  // namespace saga::serve

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+/// \file http.hpp
+/// Minimal HTTP/1.1 plumbing for the `saga serve` daemon: a loopback TCP
+/// server that parses requests, dispatches them to a handler on a worker
+/// pool, and writes Content-Length framed responses (keep-alive supported),
+/// plus the small blocking client the tests, the smoke probe, and
+/// bench_serve drive it with. Dependency-free (POSIX sockets); HTTPS,
+/// chunked encoding, and proxies are explicitly out of scope — production
+/// deployments put this behind a terminating proxy.
+///
+/// Concurrency model: one acceptor thread hands each connection to the
+/// ThreadPool; a connection occupies its worker for its whole lifetime
+/// (requests on one connection are served in order), so keep at most
+/// `threads` concurrent connections for full throughput — additional
+/// connections queue (visible as saga_queue_depth). stop() drains
+/// gracefully: accepting stops, requests already in flight (or already
+/// buffered on an accepted connection) complete and their responses are
+/// written, then workers join.
+
+namespace saga::serve {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // origin-form, e.g. "/v1/schedule"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;  // names lower-cased
+  std::string body;
+
+  /// First header with the given lower-case name; nullptr when absent.
+  [[nodiscard]] const std::string* header(std::string_view name_lower) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Extra response headers (Content-Type/Length/Connection are emitted
+  /// automatically).
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+[[nodiscard]] std::string_view status_reason(int status);
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;        // 0 = kernel-assigned ephemeral port
+    std::size_t threads = 0;       // worker pool size; 0 = hardware concurrency
+    std::size_t max_body = 8u << 20;  // bytes; larger requests get 413
+    int keep_alive_ms = 5000;      // idle wait for the next request on a connection
+  };
+
+  /// Binds 127.0.0.1:port, starts listening and accepting. Throws
+  /// std::runtime_error (with errno text) when the socket cannot be set up.
+  HttpServer(const Options& options, HttpHandler handler);
+
+  /// Calls stop().
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The actually bound port (the kernel's choice under port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Graceful drain: stop accepting, let handlers in flight (and requests
+  /// already buffered on accepted connections) finish, join all workers.
+  /// Idempotent; safe to call from any thread except a handler.
+  void stop();
+
+  [[nodiscard]] bool stopping() const noexcept {
+    return stopping_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests currently inside the handler (a point-in-time gauge).
+  [[nodiscard]] std::size_t inflight() const noexcept {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// The worker pool (for queue-depth / jobs-completed gauges).
+  [[nodiscard]] const ThreadPool& pool() const noexcept { return *pool_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// One request-response exchange; returns false when the connection
+  /// should close (EOF, error, Connection: close, or draining).
+  bool serve_one(int fd, std::string& buffer);
+
+  Options options_;
+  HttpHandler handler_;
+  std::mutex stop_mutex_;  // serializes concurrent stop() calls
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread acceptor_;
+};
+
+/// Blocking test/bench client: one TCP connection, sequential requests,
+/// transparent reconnect when the server closed the previous exchange.
+class HttpClient {
+ public:
+  /// Connects to 127.0.0.1:port; throws std::runtime_error on failure.
+  explicit HttpClient(std::uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Issues one request and reads the full response. Throws
+  /// std::runtime_error on connection or protocol errors.
+  [[nodiscard]] HttpResponse request(const std::string& method, const std::string& target,
+                                     const std::string& body = {},
+                                     const std::string& content_type = "application/json");
+
+  /// One-shot convenience: connect, request, disconnect.
+  [[nodiscard]] static HttpResponse fetch(std::uint16_t port, const std::string& method,
+                                          const std::string& target,
+                                          const std::string& body = {});
+
+ private:
+  void connect_();
+  std::uint16_t port_;
+  int fd_ = -1;
+};
+
+}  // namespace saga::serve

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/problem_instance.hpp"
+#include "serve/codec.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+
+namespace saga::serve {
+namespace {
+
+using exp::Json;
+using namespace std::chrono_literals;
+
+HttpServer::Options ephemeral(std::size_t threads = 2) {
+  HttpServer::Options options;
+  options.port = 0;  // kernel-assigned; tests never collide
+  options.threads = threads;
+  return options;
+}
+
+std::string schedule_body() {
+  return Json::object({{"scheduler", Json::string("HEFT")},
+                       {"instance", instance_to_json(fig1_instance())}})
+      .dump();
+}
+
+TEST(ServeHttp, HealthzAndMetricsOverTcp) {
+  ScheduleService service;
+  HttpServer server(ephemeral(),
+                    [&service](const HttpRequest& req) { return service.handle(req); });
+  ASSERT_GT(server.port(), 0);
+
+  const HttpResponse healthz = HttpClient::fetch(server.port(), "GET", "/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_EQ(healthz.body, "{\"status\": \"ok\"}\n");
+
+  const HttpResponse metrics = HttpClient::fetch(server.port(), "GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("saga_requests_total"), std::string::npos);
+  EXPECT_NE(metrics.body.find("saga_uptime_seconds"), std::string::npos);
+}
+
+TEST(ServeHttp, SchedulesOverTcpAndKeepsConnectionAlive) {
+  ScheduleService service;
+  HttpServer server(ephemeral(),
+                    [&service](const HttpRequest& req) { return service.handle(req); });
+
+  HttpClient client(server.port());
+  const HttpResponse first = client.request("POST", "/v1/schedule", schedule_body());
+  ASSERT_EQ(first.status, 200) << first.body;
+  EXPECT_NE(Json::parse(first.body).find("makespan"), nullptr);
+
+  const HttpResponse second = client.request("POST", "/v1/schedule", schedule_body());
+  EXPECT_EQ(second.body, first.body);
+  // Both requests rode one keep-alive connection.
+  EXPECT_EQ(server.connections_accepted(), 1u);
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST(ServeHttp, ConcurrentIdenticalRequestsGetByteIdenticalBodies) {
+  ScheduleService service;
+  HttpServer server(ephemeral(4),
+                    [&service](const HttpRequest& req) { return service.handle(req); });
+  const std::string body = schedule_body();
+  const std::string reference = HttpClient::fetch(server.port(), "POST", "/v1/schedule", body).body;
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsEach = 8;
+  std::vector<std::string> bodies[kThreads];
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient client(server.port());
+      for (int i = 0; i < kRequestsEach; ++i) {
+        bodies[t].push_back(client.request("POST", "/v1/schedule", body).body);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& lane : bodies) {
+    for (const auto& b : lane) EXPECT_EQ(b, reference);
+  }
+}
+
+TEST(ServeHttp, OversizedBodyGets413AndErrorsKeepDaemonUp) {
+  ScheduleService service;
+  HttpServer::Options options = ephemeral();
+  options.max_body = 512;
+  HttpServer server(options,
+                    [&service](const HttpRequest& req) { return service.handle(req); });
+
+  const std::string big(4096, 'x');
+  const HttpResponse too_big = HttpClient::fetch(server.port(), "POST", "/v1/schedule", big);
+  EXPECT_EQ(too_big.status, 413);
+
+  const HttpResponse bad = HttpClient::fetch(server.port(), "POST", "/v1/schedule", "not json");
+  EXPECT_EQ(bad.status, 400);
+  const HttpResponse lost = HttpClient::fetch(server.port(), "GET", "/nope");
+  EXPECT_EQ(lost.status, 404);
+
+  // The daemon survived all of it.
+  const HttpResponse ok = HttpClient::fetch(server.port(), "GET", "/healthz");
+  EXPECT_EQ(ok.status, 200);
+}
+
+TEST(ServeHttp, HandlerExceptionsBecome500) {
+  HttpServer server(ephemeral(), [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  const HttpResponse resp = HttpClient::fetch(server.port(), "GET", "/healthz");
+  EXPECT_EQ(resp.status, 500);
+  EXPECT_NE(resp.body.find("handler exploded"), std::string::npos);
+}
+
+TEST(ServeHttp, StopDrainsInFlightRequestsBeforeReturning) {
+  std::promise<void> release;
+  auto gate = release.get_future().share();
+  std::atomic<int> handled{0};
+  HttpServer server(ephemeral(2), [&](const HttpRequest&) {
+    gate.wait();
+    ++handled;
+    HttpResponse resp;
+    resp.body = "{\"done\": true}\n";
+    return resp;
+  });
+  const std::uint16_t port = server.port();
+
+  // A request that blocks inside the handler...
+  auto request = std::async(std::launch::async, [port] {
+    return HttpClient::fetch(port, "GET", "/healthz");
+  });
+  while (server.inflight() == 0) std::this_thread::sleep_for(1ms);
+
+  // ...keeps stop() from completing until it finishes.
+  std::atomic<bool> stopped{false};
+  std::thread stopper([&] {
+    server.stop();
+    stopped.store(true);
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_TRUE(server.stopping());
+  EXPECT_FALSE(stopped.load());  // still draining: the handler holds the gate
+
+  release.set_value();
+  stopper.join();
+  EXPECT_TRUE(stopped.load());
+  EXPECT_EQ(handled.load(), 1);
+
+  // The drained request still got its full response.
+  const HttpResponse resp = request.get();
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "{\"done\": true}\n");
+
+  // After the drain the listener is gone.
+  EXPECT_THROW((void)HttpClient::fetch(port, "GET", "/healthz"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace saga::serve

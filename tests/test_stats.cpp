@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -72,6 +73,60 @@ TEST(Summarize, ToStringContainsFields) {
   EXPECT_NE(text.find("n=2"), std::string::npos);
   EXPECT_NE(text.find("min=1.00"), std::string::npos);
   EXPECT_NE(text.find("max=2.00"), std::string::npos);
+}
+
+TEST(FixedHistogram, RejectsBadBounds) {
+  EXPECT_THROW(FixedHistogram({}), std::invalid_argument);
+  EXPECT_THROW(FixedHistogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(FixedHistogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(FixedHistogram, EmptyReportsZero) {
+  const FixedHistogram h({1.0, 10.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(FixedHistogram, BucketAssignmentUsesInclusiveUpperBounds) {
+  FixedHistogram h({1.0, 10.0, 100.0});
+  h.record(0.5);    // bucket 0
+  h.record(1.0);    // bucket 0 (inclusive)
+  h.record(1.001);  // bucket 1
+  h.record(100.0);  // bucket 2
+  h.record(250.0);  // overflow
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 100.0 + 250.0);
+}
+
+TEST(FixedHistogram, PercentilesReturnBucketUpperBounds) {
+  FixedHistogram h({1.0, 2.0, 5.0, 10.0});
+  for (int i = 0; i < 90; ++i) h.record(1.5);   // bucket le=2
+  for (int i = 0; i < 9; ++i) h.record(4.0);    // bucket le=5
+  h.record(7.0);                                // bucket le=10
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.9), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(FixedHistogram, OverflowPercentileIsInfinity) {
+  FixedHistogram h({1.0});
+  h.record(50.0);
+  EXPECT_TRUE(std::isinf(h.percentile(0.99)));
+}
+
+TEST(FixedHistogram, LatencyLadderCoversMicrosecondsToSeconds) {
+  const FixedHistogram h = FixedHistogram::latency_us();
+  ASSERT_FALSE(h.bounds().empty());
+  EXPECT_DOUBLE_EQ(h.bounds().front(), 1.0);        // 1 µs
+  EXPECT_DOUBLE_EQ(h.bounds().back(), 10'000'000);  // 10 s
 }
 
 }  // namespace

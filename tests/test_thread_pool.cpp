@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -85,6 +87,54 @@ TEST(ThreadPool, SequentialSubmitsRunInOrderOfCompletion) {
   std::vector<int> expected(10);
   std::iota(expected.begin(), expected.end(), 0);
   EXPECT_EQ(order, expected);  // single worker drains FIFO
+}
+
+TEST(ThreadPool, QueueDepthTracksBacklogWhileWorkerIsBusy) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  auto gate = release.get_future().share();
+  auto blocker = pool.submit([gate] { gate.wait(); });
+  // Wait until the single worker holds the blocker, so everything submitted
+  // next must queue.
+  while (pool.jobs_completed() < 1) std::this_thread::yield();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+
+  constexpr int kJobs = 64;
+  std::vector<std::future<int>> futures;
+  futures.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) futures.push_back(pool.submit([i] { return i; }));
+  EXPECT_EQ(pool.queue_depth(), static_cast<std::size_t>(kJobs));
+
+  release.set_value();
+  blocker.get();
+  for (int i = 0; i < kJobs; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+  // Every job was popped before its future was satisfied, so the backlog is
+  // provably empty and the pick-up counter complete.
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.jobs_completed(), static_cast<std::size_t>(kJobs) + 1);
+}
+
+TEST(ThreadPool, CountersStayConsistentUnderConcurrentSubmitters) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kJobsEach = 200;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  std::vector<std::future<void>> futures[kSubmitters];  // one lane per submitter
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kJobsEach; ++i) {
+        futures[s].push_back(pool.submit([&ran] { ++ran; }));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (auto& fs : futures) {
+    for (auto& f : fs) f.get();
+  }
+  EXPECT_EQ(ran.load(), kSubmitters * kJobsEach);
+  EXPECT_EQ(pool.jobs_completed(), static_cast<std::size_t>(kSubmitters * kJobsEach));
+  EXPECT_EQ(pool.queue_depth(), 0u);
 }
 
 TEST(GlobalPool, IsSingleton) { EXPECT_EQ(&global_pool(), &global_pool()); }

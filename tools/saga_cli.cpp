@@ -19,8 +19,11 @@
 ///                                                 fails loudly on missing
 ///                                                 cells or spec mismatch
 ///   saga generate <dataset-spec> <index> [seed]   print an instance
-///                                                 (spec strings work:
-///                                                 `montage?n=50&ccr=1`)
+///                 [--json]                        (spec strings work:
+///                                                 `montage?n=50&ccr=1`);
+///                                                 --json emits the wire
+///                                                 codec (serve/codec.hpp)
+///                                                 instead of the text format
 ///   saga schedule <scheduler-spec> <instance|->   schedule it, print the
 ///            [--repeat N] [--time]                schedule + Gantt;
 ///                                                 --repeat re-runs the
@@ -33,6 +36,14 @@
 ///   saga compare <instance-file> [specs...]       makespans side by side
 ///   saga pisa <target> <baseline> [restarts]      adversarial search
 ///   saga atlas-verify <dir>                       re-verify a PISA atlas
+///   saga serve [--port P] [--threads N]           scheduler-as-a-service
+///              [--max-body BYTES]                 daemon on 127.0.0.1 (see
+///              [--port-file path]                 docs/serve.md); --port 0
+///                                                 picks an ephemeral port,
+///                                                 --port-file records the
+///                                                 bound port for scripts;
+///                                                 SIGINT/SIGTERM drain
+///                                                 gracefully
 ///   saga list [--tags [tag]]                      datasets & schedulers;
 ///             [--datasets [tag]]                  --tags/--datasets
 ///                                                 enumerate the registries
@@ -44,13 +55,21 @@
 ///
 /// "-" reads the instance from stdin, so commands compose:
 ///   saga generate blast 0 | saga schedule HEFT -
+/// Instance-reading commands accept both the text format and the JSON wire
+/// codec (sniffed by the first non-space byte), so --json output feeds
+/// straight back in.
 ///
 /// Exit codes: 0 success, 1 runtime error, 2 usage error.
 
+#include <poll.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +78,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -75,6 +95,9 @@
 #include "sched/arena.hpp"
 #include "sched/registry.hpp"
 #include "sched/schedule_io.hpp"
+#include "serve/codec.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
@@ -95,12 +118,13 @@ constexpr const char* kTopLevelUsage =
     "  simulate <spec.json|-> [--dry-run] [--set key.path=value]...\n"
     "      [--shard i/N] [--out dir] [--resume]\n"
     "  merge <dir>... [--csv path] [--json path] [--atlas dir]\n"
-    "  generate <dataset-spec> <index> [seed]\n"
+    "  generate <dataset-spec> <index> [seed] [--json]\n"
     "  schedule <scheduler-spec> <instance|-> [--repeat N] [--time]\n"
     "  validate <instance-file> <schedule-file>\n"
     "  compare <instance|-> [scheduler-specs...]\n"
     "  pisa <target> <baseline> [restarts]\n"
     "  atlas-verify <dir>\n"
+    "  serve [--port P] [--threads N] [--max-body BYTES] [--port-file path]\n"
     "  list [--tags [tag]] [--datasets [tag]]\n";
 
 std::uint64_t parse_u64(const char* arg, const char* what) {
@@ -114,11 +138,13 @@ std::uint64_t parse_u64(const char* arg, const char* what) {
   return value;
 }
 
+/// Reads an instance in either format — the text format or the JSON wire
+/// codec — sniffed by the first non-space byte.
 ProblemInstance read_instance(const std::string& path) {
-  if (path == "-") return load_instance(std::cin);
+  if (path == "-") return serve::load_instance_auto(std::cin);
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
-  return load_instance(in);
+  return serve::load_instance_auto(in);
 }
 
 int cmd_list(int argc, char** argv) {
@@ -319,11 +345,26 @@ int cmd_merge(int argc, char** argv) {
 }
 
 int cmd_generate(int argc, char** argv) {
-  if (argc < 2) throw UsageError("usage: saga generate <dataset-spec> <index> [seed]");
-  const std::string dataset = argv[0];
-  const auto index = static_cast<std::size_t>(parse_u64(argv[1], "index"));
-  const std::uint64_t seed = argc > 2 ? parse_u64(argv[2], "seed") : 42;
-  save_instance(std::cout, datasets::generate_instance(dataset, seed, index));
+  constexpr const char* kUsage = "usage: saga generate <dataset-spec> <index> [seed] [--json]";
+  std::vector<const char*> positional;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2 || positional.size() > 3) throw UsageError(kUsage);
+  const std::string dataset = positional[0];
+  const auto index = static_cast<std::size_t>(parse_u64(positional[1], "index"));
+  const std::uint64_t seed = positional.size() > 2 ? parse_u64(positional[2], "seed") : 42;
+  const auto inst = datasets::generate_instance(dataset, seed, index);
+  if (json) {
+    std::cout << serve::instance_to_json(inst).dump(2) << "\n";
+  } else {
+    save_instance(std::cout, inst);
+  }
   return EXIT_SUCCESS;
 }
 
@@ -428,6 +469,92 @@ int cmd_pisa(int argc, char** argv) {
   return EXIT_SUCCESS;
 }
 
+/// Self-pipe for async-signal-safe shutdown: the SIGINT/SIGTERM handler
+/// writes one byte; cmd_serve blocks reading the other end.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void serve_signal_handler(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+int cmd_serve(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: saga serve [--port P] [--threads N] [--max-body BYTES] [--port-file path]";
+  serve::HttpServer::Options options;
+  options.port = 8080;
+  std::string port_file;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) throw UsageError(std::string(what) + " needs a value\n" + kUsage);
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      const std::uint64_t port = parse_u64(take("--port"), "port");
+      if (port > 65535) throw UsageError(std::string("--port must be at most 65535\n") + kUsage);
+      options.port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--threads") {
+      options.threads = static_cast<std::size_t>(parse_u64(take("--threads"), "thread count"));
+    } else if (arg == "--max-body") {
+      options.max_body = static_cast<std::size_t>(parse_u64(take("--max-body"), "body limit"));
+    } else if (arg == "--port-file") {
+      port_file = take("--port-file");
+    } else {
+      throw UsageError("unknown option '" + arg + "'\n" + kUsage);
+    }
+  }
+
+  serve::ScheduleService service;
+  // The gauge sampler is installed before the server exists (workers start
+  // handling requests the moment the constructor returns), so it reaches
+  // the server through an atomic pointer published afterwards.
+  auto server_slot = std::make_shared<std::atomic<serve::HttpServer*>>(nullptr);
+  service.set_gauge_sampler([server_slot] {
+    serve::Telemetry::Gauges gauges;
+    if (const serve::HttpServer* server = server_slot->load(std::memory_order_acquire)) {
+      gauges.queue_depth = server->pool().queue_depth();
+      gauges.inflight = server->inflight();
+      gauges.jobs_completed = server->pool().jobs_completed();
+      gauges.connections = server->connections_accepted();
+    }
+    return gauges;
+  });
+  serve::HttpServer server(options,
+                           [&service](const serve::HttpRequest& req) { return service.handle(req); });
+  server_slot->store(&server, std::memory_order_release);
+
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    if (!out) throw std::runtime_error("cannot write " + port_file);
+    out << server.port() << "\n";
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  }
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+
+  std::fprintf(stderr, "saga serve: listening on 127.0.0.1:%u (%zu worker thread(s))\n",
+               static_cast<unsigned>(server.port()), server.pool().thread_count());
+
+  char byte = 0;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "saga serve: draining...\n");
+  server.stop();
+  std::fprintf(stderr, "saga serve: drained; served %llu request(s) over %llu connection(s)\n",
+               static_cast<unsigned long long>(server.requests_served()),
+               static_cast<unsigned long long>(server.connections_accepted()));
+
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  close(g_signal_pipe[0]);
+  close(g_signal_pipe[1]);
+  return EXIT_SUCCESS;
+}
+
 int cmd_atlas_verify(int argc, char** argv) {
   if (argc < 1) throw UsageError("usage: saga atlas-verify <dir>");
   const auto atlas = analysis::Atlas::load(argv[0]);
@@ -461,6 +588,7 @@ int main(int argc, char** argv) {
     if (command == "compare") return cmd_compare(argc - 2, argv + 2);
     if (command == "pisa") return cmd_pisa(argc - 2, argv + 2);
     if (command == "atlas-verify") return cmd_atlas_verify(argc - 2, argv + 2);
+    if (command == "serve") return cmd_serve(argc - 2, argv + 2);
     std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(), kTopLevelUsage);
     return 2;
   } catch (const UsageError& e) {

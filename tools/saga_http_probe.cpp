@@ -1,0 +1,78 @@
+/// saga_http_probe — tiny blocking HTTP client for the serve smoke test
+/// (and for poking a running daemon on machines without curl).
+///
+///   saga_http_probe <port> <method> <path> [body-file|-] [-o outfile]
+///
+/// Issues one request to 127.0.0.1:<port> and writes the response body to
+/// stdout (or `-o outfile`, byte-exact). The status line goes to stderr.
+/// Exit codes: 0 for a 2xx response, 1 for any other status or a transport
+/// error, 2 for a usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/http.hpp"
+
+int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: saga_http_probe <port> <method> <path> [body-file|-] [-o outfile]\n";
+  std::vector<std::string> positional;
+  std::string outfile;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (i + 1 >= argc) {
+        std::fputs(kUsage, stderr);
+        return 2;
+      }
+      outfile = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 3 || positional.size() > 4) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+
+  try {
+    const unsigned long port = std::stoul(positional[0]);
+    if (port == 0 || port > 65535) throw std::runtime_error("port out of range");
+
+    std::string body;
+    if (positional.size() == 4) {
+      if (positional[3] == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        body = buffer.str();
+      } else {
+        std::ifstream in(positional[3], std::ios::binary);
+        if (!in) throw std::runtime_error("cannot open " + positional[3]);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        body = buffer.str();
+      }
+    }
+
+    const saga::serve::HttpResponse resp = saga::serve::HttpClient::fetch(
+        static_cast<std::uint16_t>(port), positional[1], positional[2], body);
+    std::fprintf(stderr, "saga_http_probe: %d %s\n", resp.status,
+                 std::string(saga::serve::status_reason(resp.status)).c_str());
+    if (outfile.empty()) {
+      std::fwrite(resp.body.data(), 1, resp.body.size(), stdout);
+    } else {
+      std::ofstream out(outfile, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write " + outfile);
+      out.write(resp.body.data(), static_cast<std::streamsize>(resp.body.size()));
+    }
+    return resp.status >= 200 && resp.status < 300 ? EXIT_SUCCESS : EXIT_FAILURE;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "saga_http_probe: error: %s\n", e.what());
+    return EXIT_FAILURE;
+  }
+}
