@@ -9,8 +9,12 @@ namespace saga {
 
 namespace {
 
+// getenv is read-only here and every call site runs before any worker thread
+// starts (knob snapshots at startup); nothing in the process calls setenv, so
+// the POSIX getenv/setenv race concurrency-mt-unsafe guards against cannot
+// occur.
 double read_double(const char* name, double fallback) {
-  const char* raw = std::getenv(name);
+  const char* raw = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
   const double value = std::strtod(raw, &end);
@@ -19,7 +23,7 @@ double read_double(const char* name, double fallback) {
 }
 
 std::uint64_t read_u64(const char* name, std::uint64_t fallback) {
-  const char* raw = std::getenv(name);
+  const char* raw = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(raw, &end, 10);

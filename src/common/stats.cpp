@@ -92,10 +92,19 @@ FixedHistogram FixedHistogram::latency_us() {
 void FixedHistogram::record(double value) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const auto bucket = static_cast<std::size_t>(it - bounds_.begin());  // == size(): overflow
+  // Memory order: relaxed everywhere. Each of the three cells (bucket,
+  // count_, sum_) is individually exact because every write is an atomic
+  // RMW; the cells are deliberately NOT updated as one transaction — a
+  // concurrent reader may see count_ ahead of the bucket counts or sum_
+  // behind both. percentile()/counts() are documented snapshots and rank
+  // against the bucket array alone, so no reader needs a happens-before
+  // edge through any of these.
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   // fetch_add on atomic<double> needs C++20 library support GCC ships only
-  // for integral types on some targets; a CAS loop is portable.
+  // for integral types on some targets; a CAS loop is portable. The CAS
+  // needs no ordering either: success only has to publish the new sum
+  // atomically, not any other memory.
   double expected = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(expected, expected + value, std::memory_order_relaxed)) {
   }

@@ -18,7 +18,9 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
     stop_ = true;
@@ -56,6 +58,13 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   // Dynamic scheduling via a shared counter: work items are heterogeneous
   // (different schedulers / instance sizes), so static chunking would leave
   // threads idle.
+  //
+  // Memory order: both atomics are relaxed. `next` only needs the
+  // atomicity of fetch_add — each index is claimed exactly once, and the
+  // results a lane produces are published to the caller through its
+  // future's release/acquire pair, not through `next`. `failed` is a
+  // best-effort early-exit hint; the exception itself travels under
+  // error_mutex and is rethrown only after every future has been joined.
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;

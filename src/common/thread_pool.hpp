@@ -28,6 +28,16 @@ class ThreadPool {
   /// Drains outstanding work and joins all workers.
   ~ThreadPool();
 
+  /// Drains the queue and joins all workers without destroying the pool
+  /// object: after shutdown() returns, no worker thread exists, but
+  /// accessors (thread_count, jobs_completed, queue_depth) remain valid.
+  /// This lets an owner that hands out references to the pool (HttpServer)
+  /// quiesce it *before* overwriting its owning pointer — the pointer write
+  /// would otherwise race with in-flight workers reading it. Idempotent;
+  /// not safe to call concurrently with itself, and must not be called
+  /// from a worker (a thread cannot join itself).
+  void shutdown();
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
@@ -37,6 +47,12 @@ class ThreadPool {
   /// jobs spawned by parallel_for count as one each; the caller's own lane
   /// does not). Monotonic; lets tests and drivers observe that work
   /// actually reached the pool.
+  ///
+  /// Memory order: relaxed. An observer that synchronized with a job's
+  /// completion (future.get(), parallel_for return, pool join) already has a
+  /// happens-before edge to the worker's increment through that mechanism,
+  /// so it reads an up-to-date count; an observer that did not synchronize
+  /// is only entitled to a monotonic lower bound, which relaxed provides.
   [[nodiscard]] std::size_t jobs_completed() const noexcept {
     return jobs_completed_.load(std::memory_order_relaxed);
   }
@@ -45,6 +61,12 @@ class ThreadPool {
   /// backlog. Together with jobs_completed this is the service telemetry's
   /// queue-depth gauge; it is a momentary snapshot, not a synchronization
   /// point.
+  ///
+  /// Memory order: relaxed is sufficient (and the weakest correct order)
+  /// because every write happens under mutex_ — the mutex serializes
+  /// writers, and readers only ever treat the value as a statistical gauge,
+  /// never as a proof that a particular job is or is not queued. No reader
+  /// establishes happens-before through this atomic.
   [[nodiscard]] std::size_t queue_depth() const noexcept {
     return queue_depth_.load(std::memory_order_relaxed);
   }

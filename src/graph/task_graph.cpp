@@ -133,6 +133,7 @@ bool TaskGraph::remove_dependency(TaskId from, TaskId to) {
 
 std::vector<TaskId> TaskGraph::sources() const {
   std::vector<TaskId> out;
+  out.reserve(task_count());
   for (TaskId t = 0; t < task_count(); ++t) {
     if (preds_[t].empty()) out.push_back(t);
   }
@@ -141,6 +142,7 @@ std::vector<TaskId> TaskGraph::sources() const {
 
 std::vector<TaskId> TaskGraph::sinks() const {
   std::vector<TaskId> out;
+  out.reserve(task_count());
   for (TaskId t = 0; t < task_count(); ++t) {
     if (succs_[t].empty()) out.push_back(t);
   }

@@ -32,6 +32,7 @@ const Assignment& Schedule::of_task(TaskId t) const {
 
 std::vector<Assignment> Schedule::on_node(NodeId node) const {
   std::vector<Assignment> out;
+  out.reserve(assignments_.size());
   for (const auto& a : assignments_) {
     if (a.node == node) out.push_back(a);
   }

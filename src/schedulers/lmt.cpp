@@ -28,8 +28,9 @@ Schedule LmtScheduler::schedule(const ProblemInstance& inst, TimelineArena* aren
 
   std::vector<double> mean_exec;
   mean_exec_times(view, mean_exec);
+  std::vector<TaskId> layer;  // hoisted scratch: reuses capacity across levels
   for (std::size_t current = 0; current <= max_level; ++current) {
-    std::vector<TaskId> layer;
+    layer.clear();
     for (TaskId t = 0; t < tasks; ++t) {
       if (level[t] == current) layer.push_back(t);
     }

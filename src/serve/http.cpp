@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -214,10 +215,17 @@ void HttpServer::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  // The pool destructor drains the queue (connections accepted but not yet
-  // picked up still get their buffered requests served — serve_one sees
-  // stopping() and closes after at most one exchange) and joins all
-  // workers, so when stop() returns no request is in flight.
+  // Quiesce, then destroy — in that order. shutdown() drains the queue
+  // (connections accepted but not yet picked up still get their buffered
+  // requests served — serve_one sees stopping() and closes after at most
+  // one exchange) and joins all workers while pool_ itself stays intact:
+  // in-flight handlers may read the pool through pool() right up to their
+  // last instruction (the CLI's /metrics gauge sampler does), so writing
+  // the owning pointer before the join — which is what a bare
+  // pool_.reset() does — is a data race on the pointer (caught by TSan,
+  // pinned by ConcurrencyStress.GaugeSamplerReadsPoolDuringStopDrain).
+  // Once shutdown() returns no worker exists and the reset is unobserved.
+  if (pool_) pool_->shutdown();
   pool_.reset();
 }
 
@@ -460,14 +468,28 @@ HttpResponse HttpClient::request(const std::string& method, const std::string& t
       throw std::runtime_error("http client: bad status line '" + status_line + "'");
     }
     HttpResponse resp;
-    resp.status = std::atoi(status_line.c_str() + 9);
+    {
+      // Checked parse (cert-err34-c): atoi cannot report failure, so a garbled
+      // status line would silently become status 0.
+      const char* first = status_line.c_str() + 9;
+      const char* last = status_line.c_str() + status_line.size();
+      const auto [ptr, ec] = std::from_chars(first, last, resp.status);
+      if (ec != std::errc{} || ptr == first) {
+        throw std::runtime_error("http client: bad status code in '" + status_line + "'");
+      }
+    }
     const std::string* ct = head.header("content-type");
     if (ct != nullptr) resp.content_type = *ct;
     resp.headers = head.headers;
 
     std::size_t content_length = 0;
     if (const std::string* cl = head.header("content-length")) {
-      content_length = static_cast<std::size_t>(std::strtoull(cl->c_str(), nullptr, 10));
+      const char* first = cl->c_str();
+      const char* last = first + cl->size();
+      const auto [ptr, ec] = std::from_chars(first, last, content_length);
+      if (ec != std::errc{} || ptr == first) {
+        throw std::runtime_error("http client: bad content-length '" + *cl + "'");
+      }
     }
     const std::size_t total = header_end + 4 + content_length;
     while (buffer.size() < total) {

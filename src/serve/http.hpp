@@ -85,6 +85,17 @@ class HttpServer {
   /// Idempotent; safe to call from any thread except a handler.
   void stop();
 
+  /// Memory order: relaxed is correct for this flag because it carries no
+  /// payload — nothing is published "along with" it. The actual shutdown
+  /// synchronization is structural: stop() joins the acceptor thread and
+  /// quiesces the worker pool via ThreadPool::shutdown() (which locks the
+  /// queue mutex and joins every worker) before touching any shared state
+  /// — including the pool_ pointer itself, which in-flight handlers read
+  /// through pool() until their last instruction — so every
+  /// cross-thread edge the drain relies on comes from those joins. The
+  /// relaxed flag only bounds *when* idle loops notice the drain, and every
+  /// loop that polls it re-checks at least once per poll slice (100 ms) or
+  /// keep-alive window, so visibility latency is already bounded by design.
   [[nodiscard]] bool stopping() const noexcept {
     return stopping_.load(std::memory_order_relaxed);
   }
@@ -116,6 +127,10 @@ class HttpServer {
   std::mutex stop_mutex_;  // serializes concurrent stop() calls
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  // All four atomics below use relaxed ordering throughout: stopping_ is a
+  // pure flag (see stopping() for why that is sufficient), and the other
+  // three are monotonic gauges/counters written by atomic RMWs — exact
+  // individually, never used to prove ordering between threads.
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> inflight_{0};
   std::atomic<std::uint64_t> connections_{0};

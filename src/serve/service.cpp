@@ -128,6 +128,8 @@ std::string elapsed_us(std::chrono::steady_clock::time_point from) {
   return buf;
 }
 
+// Unique-id generator: the relaxed fetch_add is enough because uniqueness
+// needs only the atomicity of the RMW, not any cross-thread ordering.
 std::atomic<std::uint64_t> next_service_serial{1};
 
 }  // namespace
@@ -143,6 +145,12 @@ double ScheduleService::uptime_seconds() const {
 TimelineArena& ScheduleService::thread_arena(bool& warm) {
   // Keyed by the service's serial, not `this`: a later service reusing a
   // dead one's address must not inherit its arenas.
+  //
+  // Concurrency: the cache is thread_local, so the map and every arena in
+  // it are owned by exactly one worker thread — no atomics or locks needed,
+  // and TSan agrees. The only shared state this function touches is the
+  // telemetry counter, which is an atomic RMW. (Iteration order of the map
+  // never matters: it is looked up by key only, never serialized.)
   thread_local std::unordered_map<std::uint64_t, std::unique_ptr<TimelineArena>> arenas;
   std::unique_ptr<TimelineArena>& slot = arenas[serial_];
   warm = slot != nullptr;

@@ -68,6 +68,12 @@ class ScheduleService {
   /// in-flight requests, pool jobs, connections). The daemon wires this to
   /// its HttpServer; unset, those gauges read zero. The service fills
   /// uptime itself.
+  ///
+  /// Concurrency contract: gauge_sampler_ is a plain (non-atomic) member,
+  /// so this must be called before the HttpServer that dispatches into
+  /// handle() starts — i.e. during daemon setup, single-threaded. The
+  /// HttpServer constructor's thread creation then publishes the value to
+  /// every worker. Calling it while requests are in flight is a data race.
   using GaugeSampler = std::function<Telemetry::Gauges()>;
   void set_gauge_sampler(GaugeSampler sampler) { gauge_sampler_ = std::move(sampler); }
 

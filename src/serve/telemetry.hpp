@@ -17,6 +17,20 @@
 /// nanoseconds against a ~microseconds schedule call. Gauges that live
 /// outside the service (queue depth, in-flight requests, uptime) are
 /// sampled at render time and passed in by the daemon.
+///
+/// Memory-ordering audit (TSan-verified): every counter is written with an
+/// atomic read-modify-write (fetch_add) and read with plain loads, all
+/// relaxed — the weakest correct order here, because
+///   (a) each counter is individually exact: fetch_add never loses an
+///       increment regardless of ordering, and
+///   (b) no reader derives a cross-counter invariant that would need
+///       happens-before: a /metrics render racing a handler may observe
+///       saga_requests_total already bumped while the latency histogram is
+///       not yet (or vice versa) — the exposition is documented as a
+///       statistical snapshot, and Prometheus scrapes tolerate exactly this
+///       kind of skew.
+/// Upgrading these to acquire/release would not tighten any observable
+/// guarantee; it would only tax the request hot path.
 
 namespace saga::serve {
 

@@ -1,0 +1,595 @@
+// saga_lint: project-invariant checker for the saga tree.
+//
+// The golden-pin suites (119 makespans, 64 dataset digests, serve
+// byte-determinism) depend on invariants no compiler enforces: every random
+// stream must derive from an explicit seed, wire-visible floats must go
+// through the one exact-formatting path, serialized output must never
+// iterate an unordered container, and every atomic access must state the
+// memory order it was audited at. This tool makes those invariants
+// machine-checked. It is dependency-free (C++ standard library only), runs
+// as a ctest entry (`ctest -L lint`) and a CI job, and reads an explicit
+// allowlist (tools/saga_lint.allow) for the few legitimate exceptions —
+// every entry there must carry a justification and must still match
+// something, or the lint fails.
+//
+// Rule catalogue (also printed by --list-rules):
+//   banned-random    std::rand/srand/random_device/drand48: entropy sources
+//                    outside the seed-derivation discipline (common/rng).
+//                    Scope: src, tools, tests, bench.
+//   banned-time      time(nullptr)/std::time/clock()/system_clock/
+//                    gettimeofday: wall-clock values feeding logic break
+//                    replay determinism (steady_clock durations are fine).
+//                    Scope: src, tools, tests, bench.
+//   unordered-iter   Range-for or .begin() over a std::unordered_map/set
+//                    in a serialization/codec/hash TU: iteration order is
+//                    implementation-defined, so serialized bytes would be
+//                    too. Scope: wire-visible TUs (see kWireFilePattern).
+//   float-format     A printf float conversion other than %.17g in a
+//                    wire-visible TU: %.17g (== format_exact) is the one
+//                    round-trip-exact, platform-stable rendering the pins
+//                    rely on. Scope: wire-visible TUs.
+//   pragma-once      Every header must contain #pragma once (standalone-
+//                    compile hygiene). Scope: all .hpp.
+//   include-hygiene  No parent-relative includes ("../...") and no
+//                    including .cpp files: both defeat the single -Isrc
+//                    include root the build and clang-tidy rely on.
+//                    Scope: src, tools, tests, bench.
+//   atomic-order     Every atomic load/store/RMW must spell out its
+//                    std::memory_order: a defaulted (seq_cst) access is
+//                    evidence the call site was never audited. Scope: src,
+//                    tools, bench (tests may use defaulted orders — their
+//                    assertions are synchronization points, not hot paths).
+//   using-namespace  `using namespace` at header scope leaks into every
+//                    includer. Scope: all .hpp.
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;  // repo-relative, forward slashes
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  std::string raw_line;  // what the allowlist matches against
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_substring;
+  std::string line_substring;  // empty = any line in the file
+  std::string justification;
+  std::size_t source_line = 0;
+  bool used = false;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"banned-random", "entropy sources outside the seed-derivation discipline"},
+    {"banned-time", "wall-clock values feeding deterministic logic"},
+    {"unordered-iter", "unordered-container iteration in a serialized path"},
+    {"float-format", "wire-visible float formatting that is not %.17g"},
+    {"pragma-once", "header missing #pragma once"},
+    {"include-hygiene", "parent-relative or .cpp include"},
+    {"atomic-order", "atomic access without an explicit memory order"},
+    {"using-namespace", "using namespace at header scope"},
+};
+
+/// TUs whose output is wire-visible (serialized artifacts, wire codecs,
+/// hashes, byte-pinned renders). unordered-iter and float-format apply here.
+const std::regex kWireFilePattern(
+    "(serve/codec|serve/telemetry|exp/json|exp/resultstore|graph/serialization|"
+    "sched/schedule_io|sim/simulator|common/hash|analysis/csv)");
+
+/// atomic-order applies to shipped code only; tests assert through
+/// synchronization points and may use defaulted orders.
+bool atomic_rule_applies(const std::string& rel) {
+  return rel.rfind("src/", 0) == 0 || rel.rfind("tools/", 0) == 0 ||
+         rel.rfind("bench/", 0) == 0;
+}
+
+/// One physical line, split into the code outside comments/strings (string
+/// literal bodies replaced by spaces, so column positions survive), a
+/// parallel copy that keeps string bodies, and the concatenated string
+/// literal bodies alone (for rules that inspect format strings — matching
+/// inside literals only keeps `x % foo` from looking like a conversion).
+struct ScannedLine {
+  std::string code;          // comments stripped, string bodies blanked
+  std::string with_strings;  // comments stripped, string bodies kept
+  std::string strings;       // string literal bodies only, concatenated
+};
+
+/// Strips // and /* */ comments while tracking string/char/raw-string
+/// literals. Stateful across lines (block comments, raw strings).
+class Scanner {
+ public:
+  ScannedLine scan(const std::string& line) {
+    ScannedLine out;
+    out.code.reserve(line.size());
+    out.with_strings.reserve(line.size());
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (state_ == State::kBlockComment) {
+        const auto end = line.find("*/", i);
+        if (end == std::string::npos) return out;  // comment continues
+        i = end + 2;
+        state_ = State::kNormal;
+        continue;
+      }
+      if (state_ == State::kRawString) {
+        const auto end = line.find(raw_terminator_, i);
+        if (end == std::string::npos) {
+          // Raw-string body continues past this line; keep it for
+          // format-string inspection but not as code.
+          out.with_strings += line.substr(i);
+          out.strings += line.substr(i);
+          return out;
+        }
+        out.with_strings += line.substr(i, end - i);
+        out.strings += line.substr(i, end - i);
+        out.code.append(end - i, ' ');
+        i = end + raw_terminator_.size();
+        out.code += '"';
+        out.with_strings += '"';
+        state_ = State::kNormal;
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        state_ = State::kBlockComment;
+        i += 2;
+        continue;
+      }
+      if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
+          (i == 0 || !is_ident(line[i - 1]))) {
+        // R"delim( ... )delim"
+        const auto open = line.find('(', i + 2);
+        if (open != std::string::npos) {
+          // Built with append rather than `")" + ... + "\""`: GCC 12's
+          // -Wrestrict false-positives on const char* + std::string&&.
+          raw_terminator_ = ")";
+          raw_terminator_ += line.substr(i + 2, open - (i + 2));
+          raw_terminator_ += '"';
+          state_ = State::kRawString;
+          out.code += '"';
+          out.with_strings += '"';
+          i = open + 1;
+          continue;
+        }
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        out.code += quote;
+        out.with_strings += quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            out.code += "  ";
+            out.with_strings += line.substr(i, 2);
+            if (quote == '"') out.strings += line.substr(i, 2);
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) break;
+          out.code += ' ';
+          out.with_strings += line[i];
+          if (quote == '"') out.strings += line[i];
+          ++i;
+        }
+        if (i < line.size()) {
+          out.code += quote;
+          out.with_strings += quote;
+          ++i;
+        }
+        if (quote == '"') out.strings += '\n';  // literal boundary
+        continue;
+      }
+      out.code += c;
+      out.with_strings += c;
+      ++i;
+    }
+    return out;
+  }
+
+ private:
+  enum class State { kNormal, kBlockComment, kRawString };
+  static bool is_ident(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  }
+  State state_ = State::kNormal;
+  std::string raw_terminator_;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `token` occurs in `code` with a non-identifier character (or
+/// line edge) on its left. The right edge is shaped by the token itself
+/// (most end in '(' or name a full identifier).
+bool has_token(const std::string& code, std::string_view token) {
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok =
+        end >= code.size() || !is_ident_char(code[end]) || token.back() == '(';
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+void check_file(const fs::path& repo, const fs::path& file, std::vector<Violation>& out) {
+  const std::string rel = fs::relative(file, repo).generic_string();
+  const bool is_header = file.extension() == ".hpp";
+  const bool is_wire = std::regex_search(rel, kWireFilePattern);
+
+  std::ifstream in(file);
+  if (!in) {
+    throw std::runtime_error("cannot read " + rel);
+  }
+  std::vector<std::string> raw_lines;
+  std::string line;
+  while (std::getline(in, line)) raw_lines.push_back(line);
+
+  Scanner scanner;
+  std::vector<ScannedLine> scanned;
+  scanned.reserve(raw_lines.size());
+  for (const auto& l : raw_lines) scanned.push_back(scanner.scan(l));
+
+  const auto add = [&](std::size_t idx, std::string_view rule, std::string message) {
+    out.push_back({rel, idx + 1, std::string(rule), std::move(message), raw_lines[idx]});
+  };
+
+  // pragma-once -------------------------------------------------------------
+  if (is_header) {
+    const bool has_pragma =
+        std::any_of(scanned.begin(), scanned.end(), [](const ScannedLine& s) {
+          return s.code.find("#pragma once") != std::string::npos;
+        });
+    if (!has_pragma) {
+      out.push_back({rel, 1, "pragma-once",
+                     "header is missing #pragma once (standalone-compile hygiene)", ""});
+    }
+  }
+
+  // Names declared as unordered containers in this file (heuristic: the
+  // first identifier after the closing '>' of an unordered_map/set template
+  // argument list, template args joined across at most 3 lines).
+  std::vector<std::string> unordered_names;
+  if (is_wire) {
+    for (std::size_t i = 0; i < scanned.size(); ++i) {
+      const std::string& code = scanned[i].code;
+      for (std::string_view kw : {"unordered_map", "unordered_set"}) {
+        std::size_t pos = code.find(kw);
+        if (pos == std::string::npos) continue;
+        std::string joined = code.substr(pos);
+        for (std::size_t extra = 1; extra <= 3 && i + extra < scanned.size(); ++extra) {
+          joined += ' ';
+          joined += scanned[i + extra].code;
+        }
+        const auto open = joined.find('<');
+        if (open == std::string::npos) continue;
+        int depth = 0;
+        std::size_t j = open;
+        for (; j < joined.size(); ++j) {
+          if (joined[j] == '<') ++depth;
+          if (joined[j] == '>' && --depth == 0) break;
+        }
+        if (depth != 0) continue;
+        ++j;
+        while (j < joined.size() &&
+               (std::isspace(static_cast<unsigned char>(joined[j])) != 0 || joined[j] == '&' ||
+                joined[j] == '*')) {
+          ++j;
+        }
+        std::string name;
+        while (j < joined.size() && is_ident_char(joined[j])) name += joined[j++];
+        if (!name.empty()) unordered_names.push_back(name);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < scanned.size(); ++i) {
+    const std::string& code = scanned[i].code;
+    const std::string& with_strings = scanned[i].with_strings;
+
+    // banned-random ---------------------------------------------------------
+    for (std::string_view token :
+         {"std::rand", "srand(", "random_device", "drand48", "lrand48"}) {
+      if (has_token(code, token)) {
+        std::string msg = "'";
+        msg += token;
+        msg +=
+            "' is a nondeterministic entropy source; derive streams from an explicit "
+            "seed via common/rng instead";
+        add(i, "banned-random", msg);
+      }
+    }
+    if (has_token(code, "rand(") && code.find("srand(") == std::string::npos) {
+      add(i, "banned-random",
+          "'rand()' is a nondeterministic entropy source; derive streams from an explicit "
+          "seed via common/rng instead");
+    }
+
+    // banned-time -----------------------------------------------------------
+    for (std::string_view token : {"time(nullptr)", "time(NULL)", "time(0)", "std::time(",
+                                   "clock(", "system_clock", "gettimeofday", "localtime",
+                                   "gmtime("}) {
+      if (has_token(code, token)) {
+        std::string msg = "'";
+        msg += token;
+        msg +=
+            "' reads the wall clock; deterministic logic must not depend on it "
+            "(steady_clock durations for timeouts/telemetry are fine)";
+        add(i, "banned-time", msg);
+      }
+    }
+
+    // unordered-iter --------------------------------------------------------
+    if (is_wire) {
+      for (const std::string& name : unordered_names) {
+        if (code.find("for") != std::string::npos &&
+            code.find(": " + name) != std::string::npos) {
+          add(i, "unordered-iter",
+              "range-for over unordered container '" + name +
+                  "' in a wire-visible TU: iteration order is implementation-defined");
+        }
+        if (code.find(name + ".begin()") != std::string::npos) {
+          add(i, "unordered-iter",
+              "iteration over unordered container '" + name +
+                  "' in a wire-visible TU: iteration order is implementation-defined");
+        }
+      }
+    }
+
+    // float-format ----------------------------------------------------------
+    if (is_wire) {
+      // Find printf float conversions inside string literals.
+      static const std::regex kFloatConversion("%[-+ #0-9.*]*l?[efgEFG]");
+      const std::string& literals = scanned[i].strings;
+      auto begin = std::sregex_iterator(literals.begin(), literals.end(),
+                                        kFloatConversion);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string conversion = it->str();
+        if (conversion == "%.17g") continue;  // the format_exact contract
+        add(i, "float-format",
+            "float conversion '" + conversion +
+                "' in a wire-visible TU; wire floats must use the %.17g/format_exact "
+                "path so pins stay bit-identical");
+      }
+    }
+
+    // include-hygiene -------------------------------------------------------
+    if (with_strings.find("#include \"..") != std::string::npos) {
+      add(i, "include-hygiene",
+          "parent-relative include: include repo headers by their src-rooted path");
+    }
+    if (with_strings.find("#include") != std::string::npos &&
+        with_strings.find(".cpp\"") != std::string::npos) {
+      add(i, "include-hygiene", "including a .cpp file: move shared code into a header");
+    }
+
+    // atomic-order ----------------------------------------------------------
+    if (atomic_rule_applies(rel)) {
+      for (std::string_view op :
+           {".load(", ".store(", ".fetch_add(", ".fetch_sub(", ".fetch_and(", ".fetch_or(",
+            ".fetch_xor(", ".exchange(", ".compare_exchange_weak(",
+            ".compare_exchange_strong(", ".test_and_set("}) {
+        std::size_t pos = code.find(op);
+        while (pos != std::string::npos) {
+          // Join the call's argument list across at most 4 following lines
+          // and require an explicit memory order in it.
+          std::string call = code.substr(pos);
+          for (std::size_t extra = 1; extra <= 4 && i + extra < scanned.size(); ++extra) {
+            int depth = 0;
+            bool closed = false;
+            for (const char c : call) {
+              if (c == '(') ++depth;
+              if (c == ')' && --depth == 0) {
+                closed = true;
+                break;
+              }
+            }
+            if (closed) break;
+            call += ' ';
+            call += scanned[i + extra].code;
+          }
+          // Truncate at the call's closing paren.
+          int depth = 0;
+          std::size_t end = call.size();
+          for (std::size_t j = 0; j < call.size(); ++j) {
+            if (call[j] == '(') ++depth;
+            if (call[j] == ')' && --depth == 0) {
+              end = j;
+              break;
+            }
+          }
+          call = call.substr(0, end);
+          if (call.find("memory_order") == std::string::npos) {
+            add(i, "atomic-order",
+                "atomic access '" + std::string(op.substr(1)) +
+                    "...)' without an explicit std::memory_order: state the audited "
+                    "order (and the invariant that makes it sufficient)");
+          }
+          pos = code.find(op, pos + op.size());
+        }
+      }
+    }
+
+    // using-namespace -------------------------------------------------------
+    if (is_header && has_token(code, "using namespace")) {
+      add(i, "using-namespace",
+          "'using namespace' in a header leaks into every includer");
+    }
+  }
+}
+
+std::vector<AllowEntry> load_allowlist(const fs::path& path) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  if (!in) return entries;  // absent allowlist = empty allowlist
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    // rule|path-substring|line-substring|justification
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, '|')) fields.push_back(field);
+    const auto trim = [](std::string s) {
+      const auto a = s.find_first_not_of(" \t");
+      if (a == std::string::npos) return std::string();
+      const auto b = s.find_last_not_of(" \t");
+      return s.substr(a, b - a + 1);
+    };
+    if (fields.size() != 4 || trim(fields[3]).empty()) {
+      throw std::runtime_error(
+          path.generic_string() + ":" + std::to_string(lineno) +
+          ": allowlist entries need 4 |-separated fields: "
+          "rule|path-substring|line-substring|justification (justification mandatory)");
+    }
+    AllowEntry entry;
+    entry.rule = trim(fields[0]);
+    entry.path_substring = trim(fields[1]);
+    entry.line_substring = trim(fields[2]);
+    entry.justification = trim(fields[3]);
+    entry.source_line = lineno;
+    const bool known = std::any_of(std::begin(kRules), std::end(kRules), [&](const RuleInfo& r) {
+      return r.name == entry.rule;
+    });
+    if (!known) {
+      throw std::runtime_error(path.generic_string() + ":" + std::to_string(lineno) +
+                               ": unknown rule '" + entry.rule + "'");
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+int run(int argc, char** argv) {
+  fs::path repo = ".";
+  fs::path allow_path;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const RuleInfo& rule : kRules) {
+        std::cout << rule.name << "\t" << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--repo" && i + 1 < argc) {
+      repo = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allow_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "usage: saga_lint [--repo DIR] [--allowlist FILE] [--list-rules] [dirs...]\n";
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "tools", "tests", "bench"};
+  if (allow_path.empty()) allow_path = repo / "tools" / "saga_lint.allow";
+
+  std::vector<AllowEntry> allowlist = load_allowlist(allow_path);
+
+  std::vector<Violation> violations;
+  std::size_t files = 0;
+  for (const std::string& dir : dirs) {
+    const fs::path root = repo / dir;
+    if (!fs::exists(root)) {
+      std::cerr << "saga_lint: no such directory: " << root.generic_string() << "\n";
+      return 2;
+    }
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".cpp" || ext == ".hpp") paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());  // deterministic report order
+    for (const auto& path : paths) {
+      ++files;
+      check_file(repo, path, violations);
+    }
+  }
+
+  // Apply the allowlist.
+  std::vector<Violation> remaining;
+  for (const Violation& v : violations) {
+    bool allowed = false;
+    for (AllowEntry& entry : allowlist) {
+      if (entry.rule != v.rule) continue;
+      if (v.file.find(entry.path_substring) == std::string::npos) continue;
+      if (!entry.line_substring.empty() &&
+          v.raw_line.find(entry.line_substring) == std::string::npos) {
+        continue;
+      }
+      entry.used = true;
+      allowed = true;
+      break;
+    }
+    if (!allowed) remaining.push_back(v);
+  }
+
+  int failures = 0;
+  for (const Violation& v : remaining) {
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
+    ++failures;
+  }
+  // A stale entry means the exception it justified no longer exists; keeping
+  // it would let the violation silently come back.
+  for (const AllowEntry& entry : allowlist) {
+    if (!entry.used) {
+      std::cout << allow_path.generic_string() << ":" << entry.source_line
+                << ": [stale-allow] entry '" << entry.rule << "|" << entry.path_substring
+                << "' matched nothing; remove it\n";
+      ++failures;
+    }
+  }
+
+  if (failures > 0) {
+    std::cout << "saga_lint: " << failures << " finding(s) across " << files << " file(s)\n";
+    return 1;
+  }
+  std::cout << "saga_lint: clean (" << files << " files, "
+            << std::size(kRules) << " rules, " << allowlist.size()
+            << " allowlisted exception(s))\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "saga_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
