@@ -7,6 +7,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -79,6 +80,30 @@ class ThreadPool {
     auto fut = task->get_future();
     {
       std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+      queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Bounded-submit seam for backpressure (the `saga serve` daemon's
+  /// accept loop): enqueues the callable only while fewer than `max_queue`
+  /// jobs are waiting, so a producer that outruns the workers fails fast
+  /// instead of growing the queue without bound. Returns the job's future
+  /// on success, std::nullopt when the queue is full. The check and the
+  /// enqueue happen under one lock, so concurrent try_submit calls never
+  /// overshoot the bound (workers may drain the queue concurrently, which
+  /// only ever makes room). `max_queue` must be > 0.
+  template <typename F>
+  auto try_submit(F&& fn, std::size_t max_queue)
+      -> std::optional<std::future<std::invoke_result_t<F>>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_.size() >= max_queue) return std::nullopt;
       queue_.emplace_back([task] { (*task)(); });
       queue_depth_.store(queue_.size(), std::memory_order_relaxed);
     }

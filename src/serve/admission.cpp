@@ -1,0 +1,40 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace saga::serve {
+
+int AdmissionController::retry_after_seconds(std::size_t queued,
+                                             std::size_t inflight) const noexcept {
+  // p50 of observed service time; the histogram reports the bucket upper
+  // bound (0 when empty, +inf when everything overflowed the ladder).
+  double p50_us = service_us_.count() == 0 ? 0.0 : service_us_.percentile(0.5);
+  if (!std::isfinite(p50_us)) p50_us = 60e6;
+  // Work ahead of a retrying client: everything queued, everything in
+  // flight, plus its own request.
+  const double backlog = static_cast<double>(queued) + static_cast<double>(inflight) + 1.0;
+  const double seconds = std::ceil(p50_us * backlog / 1e6);
+  return static_cast<int>(std::clamp(seconds, 1.0, 60.0));
+}
+
+HttpResponse AdmissionController::shed_response(std::size_t queued, std::size_t inflight) {
+  shed_total_.fetch_add(1, std::memory_order_relaxed);  // exact monotone tally
+  HttpResponse resp;
+  resp.status = 429;
+  resp.body = shed_body();
+  resp.headers.emplace_back("Retry-After", std::to_string(retry_after_seconds(queued, inflight)));
+  return resp;
+}
+
+const std::string& AdmissionController::shed_body() {
+  // Fixed bytes on purpose: overload answers must be byte-identical so the
+  // shed path is as pinnable as the success path. Load-derived advice
+  // travels in the Retry-After header only.
+  static const std::string body =
+      "{\"error\": \"too many requests: the scheduling queue is full; "
+      "retry after the number of seconds in the Retry-After header\"}\n";
+  return body;
+}
+
+}  // namespace saga::serve

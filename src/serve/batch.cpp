@@ -1,0 +1,125 @@
+#include "serve/batch.hpp"
+
+#include <chrono>
+#include <exception>
+#include <future>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace saga::serve {
+
+/// One gather window's membership. members[0] is the leader; followers
+/// append under mutex_ while the batch is open. Pointers into member
+/// stacks (dedup bytes, work) stay valid because every member blocks until
+/// the leader fulfils its promise.
+struct BatchGatherer::Batch {
+  struct Member {
+    const std::string* dedup;
+    const Work* work;
+    std::promise<HttpResponse> promise;  // unused for the leader (slot 0)
+  };
+  std::vector<Member> members;
+  bool closed = false;
+  std::condition_variable full;  // signals the leader when max_batch is reached
+};
+
+HttpResponse BatchGatherer::run(const std::string& group, const std::string& dedup,
+                                const Work& work) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<Batch> batch;
+  std::future<HttpResponse> ticket;
+  {
+    std::unique_lock lock(mutex_);
+    auto it = open_.find(group);
+    if (it != open_.end() && !it->second->closed &&
+        it->second->members.size() < options_.max_batch) {
+      // Join the open batch as a follower.
+      batch = it->second;
+      batch->members.push_back(Batch::Member{&dedup, &work, {}});
+      ticket = batch->members.back().promise.get_future();
+      if (batch->members.size() >= options_.max_batch) {
+        batch->closed = true;
+        open_.erase(it);
+        batch->full.notify_one();
+      }
+      batch.reset();
+    } else {
+      // Open a new batch and lead it. A closed-but-still-present entry
+      // cannot be joined, so replace it.
+      batch = std::make_shared<Batch>();
+      batch->members.push_back(Batch::Member{&dedup, &work, {}});
+      open_[group] = batch;
+    }
+  }
+
+  if (!batch) return ticket.get();  // follower: rethrows the work's exception
+
+  // Leader: give followers up to window_us to join, then close the batch
+  // so late arrivals start their own.
+  {
+    std::unique_lock lock(mutex_);
+    batch->full.wait_for(lock, std::chrono::microseconds(options_.window_us),
+                         [&] { return batch->closed; });
+    if (!batch->closed) {
+      batch->closed = true;
+      auto it = open_.find(group);
+      if (it != open_.end() && it->second == batch) open_.erase(it);
+    }
+  }
+
+  // Execute the pass on this thread (one shared warm arena). Members with
+  // byte-identical requests reuse the first execution — the service's
+  // determinism contract makes responses a pure function of the bytes.
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  struct Outcome {
+    HttpResponse response;
+    bool failed = false;
+    std::string error;  // what() of the work's exception
+  };
+  std::vector<Outcome> outcomes(batch->members.size());
+  std::vector<std::size_t> source(batch->members.size());
+  for (std::size_t i = 0; i < batch->members.size(); ++i) {
+    source[i] = i;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (*batch->members[j].dedup == *batch->members[i].dedup) {
+        source[i] = j;
+        break;
+      }
+    }
+    if (source[i] != i) {
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    try {
+      outcomes[i].response = (*batch->members[i].work)();
+    } catch (const std::exception& e) {
+      outcomes[i].failed = true;
+      outcomes[i].error = e.what();
+    } catch (...) {
+      outcomes[i].failed = true;
+      outcomes[i].error = "batched request failed with a non-standard exception";
+    }
+  }
+  // Failures are materialized into the message once and every member gets
+  // its OWN freshly-allocated runtime_error (c_str() defeats COW string
+  // sharing): handing one exception_ptr to several members would have them
+  // concurrently read and release a single shared exception object. The
+  // service maps anything thrown inside batched work to a 500 with the
+  // message, so the type narrowing is not observable through HTTP.
+  for (std::size_t i = 1; i < batch->members.size(); ++i) {
+    const Outcome& out = outcomes[source[i]];
+    if (out.failed) {
+      batch->members[i].promise.set_exception(
+          std::make_exception_ptr(std::runtime_error(out.error.c_str())));
+    } else {
+      batch->members[i].promise.set_value(out.response);
+    }
+  }
+  const Outcome& mine = outcomes[source[0]];
+  if (mine.failed) throw std::runtime_error(mine.error.c_str());
+  return mine.response;
+}
+
+}  // namespace saga::serve

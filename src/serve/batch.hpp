@@ -1,0 +1,105 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "serve/http.hpp"
+
+/// \file batch.hpp
+/// Cross-request batching for the `saga serve` daemon. Tiny `/v1/schedule`
+/// requests (same dataset family, instances under a size threshold) that
+/// arrive within a short gather window are coalesced onto one worker pass:
+/// the first member of a group becomes the *leader*, waits up to
+/// `window_us` for followers to join (closing early at `max_batch`), then
+/// executes every member's work sequentially on its own thread — i.e. over
+/// one shared warm TimelineArena — while followers block on their response
+/// future. Members whose request bytes are identical share a single
+/// execution (legal because the service contract makes responses a pure
+/// function of the request bytes).
+///
+/// Determinism: batching changes *where* a request executes, never *what*
+/// it computes — each member runs the exact same code path as the
+/// unbatched service, so responses stay byte-identical to the unbatched
+/// path regardless of batch composition, window, or thread count (pinned
+/// by the serve determinism suite).
+///
+/// Latency trade-off: under light load a leader pays up to `window_us`
+/// extra latency waiting for followers that never come, which is why the
+/// window defaults to 0 (disabled) and is sized in microseconds.
+///
+/// Thread-safety: `run` is safe to call concurrently from every worker; a
+/// follower's exception-free completion is guaranteed because a leader
+/// always fulfils every member promise. A failed execution surfaces on
+/// every affected member as its own `std::runtime_error` carrying the
+/// original exception's what() — never a shared exception object, which
+/// concurrent members would race to read and release.
+
+namespace saga::serve {
+
+struct BatchOptions {
+  /// Gather window in microseconds; 0 disables batching entirely.
+  std::uint32_t window_us = 0;
+  /// Close the window early once this many members gathered (>= 1).
+  std::size_t max_batch = 8;
+  /// Only instances with at most this many tasks are batch-eligible —
+  /// batching exists to amortize per-request overhead on *tiny* requests;
+  /// serializing large schedules behind one leader would cost throughput.
+  std::size_t max_tasks = 64;
+
+  [[nodiscard]] bool enabled() const noexcept { return window_us > 0 && max_batch > 0; }
+};
+
+class BatchGatherer {
+ public:
+  using Work = std::function<HttpResponse()>;
+
+  explicit BatchGatherer(const BatchOptions& options) : options_(options) {}
+
+  BatchGatherer(const BatchGatherer&) = delete;
+  BatchGatherer& operator=(const BatchGatherer&) = delete;
+
+  /// Executes `work` and returns its response — possibly on another
+  /// member's thread. Requests sharing `group` (dataset family, or
+  /// "@inline") gather onto one pass; members whose `dedup` bytes match a
+  /// batch-mate reuse its execution. Blocks the caller until its response
+  /// exists; rethrows whatever `work` threw.
+  [[nodiscard]] HttpResponse run(const std::string& group, const std::string& dedup,
+                                 const Work& work);
+
+  /// Requests that went through run(). Relaxed loads/RMWs throughout the
+  /// counters: monotone tallies, individually exact, never used for
+  /// cross-thread ordering (the promise/future pair carries the real
+  /// happens-before between leader and followers).
+  [[nodiscard]] std::uint64_t requests_total() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  /// Gather passes executed (each pass = one leader sweep).
+  [[nodiscard]] std::uint64_t passes_total() const noexcept {
+    return passes_.load(std::memory_order_relaxed);
+  }
+  /// Members answered from a byte-identical batch-mate's execution.
+  [[nodiscard]] std::uint64_t coalesced_total() const noexcept {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const BatchOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Batch;
+
+  BatchOptions options_;
+  std::mutex mutex_;  // guards open_ and every Batch's membership/closed state
+  std::unordered_map<std::string, std::shared_ptr<Batch>> open_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> passes_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+}  // namespace saga::serve

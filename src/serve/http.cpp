@@ -11,18 +11,35 @@
 #include <cctype>
 #include <cerrno>
 #include <charconv>
-#include <cstdlib>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
+
+#include "exp/json.hpp"
+#include "serve/admission.hpp"
 
 namespace saga::serve {
 
 namespace {
 
+using SteadyClock = std::chrono::steady_clock;
+
 constexpr std::size_t kMaxHeaderBytes = 64u << 10;
 constexpr int kPollSliceMs = 100;     // stop()-responsiveness of idle waits
 constexpr int kRequestReadMs = 30000; // budget for a request that has started arriving
 constexpr int kClientReadMs = 60000;
+
+/// Wall-clock deadline `ms` from now. Read budgets are tracked against
+/// steady_clock deadlines, never by decrementing a per-poll-slice budget:
+/// poll() can return early on EINTR (wait_readable maps it to 0, the same
+/// as a timeout), and charging a full slice for an interrupted wait would
+/// silently shorten the real budget under signal load.
+SteadyClock::time_point deadline_in(int ms) {
+  return SteadyClock::now() + std::chrono::milliseconds(ms);
+}
+
+bool expired(SteadyClock::time_point deadline) { return SteadyClock::now() >= deadline; }
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
@@ -111,17 +128,19 @@ bool parse_head(const std::string& buffer, std::size_t header_end, HttpRequest& 
   return true;
 }
 
-std::string render_response(const HttpResponse& resp, bool close) {
+/// Response head shared by the buffered and chunked paths; `framing` is
+/// the Content-Length or Transfer-Encoding header line (without CRLF).
+std::string render_head(const HttpResponse& resp, const std::string& framing, bool close) {
   std::string out;
-  out.reserve(256 + resp.body.size());
+  out.reserve(256);
   out += "HTTP/1.1 ";
   out += std::to_string(resp.status);
   out += ' ';
   out += status_reason(resp.status);
   out += "\r\nContent-Type: ";
   out += resp.content_type;
-  out += "\r\nContent-Length: ";
-  out += std::to_string(resp.body.size());
+  out += "\r\n";
+  out += framing;
   out += close ? "\r\nConnection: close" : "\r\nConnection: keep-alive";
   for (const auto& [name, value] : resp.headers) {
     out += "\r\n";
@@ -130,14 +149,49 @@ std::string render_response(const HttpResponse& resp, bool close) {
     out += value;
   }
   out += "\r\n\r\n";
+  return out;
+}
+
+std::string render_response(const HttpResponse& resp, bool close) {
+  std::string out = render_head(resp, "Content-Length: " + std::to_string(resp.body.size()), close);
   out += resp.body;
   return out;
+}
+
+/// Writes a streaming response as Transfer-Encoding: chunked. Returns
+/// false when the connection must close (write failure, or the source
+/// threw mid-stream — the head is already on the wire, so the only honest
+/// signal left is truncating the chunked framing).
+bool write_chunked(int fd, const HttpResponse& resp, bool close) {
+  if (!write_all(fd, render_head(resp, "Transfer-Encoding: chunked", close))) return false;
+  std::string frame;
+  for (;;) {
+    std::string chunk;
+    try {
+      chunk = resp.chunk_source();
+    } catch (...) {
+      return false;  // truncate: the client sees a missing final chunk
+    }
+    if (chunk.empty()) break;
+    frame.clear();
+    char size_hex[32];
+    std::snprintf(size_hex, sizeof size_hex, "%zx", chunk.size());
+    frame += size_hex;
+    frame += "\r\n";
+    frame += chunk;
+    frame += "\r\n";
+    if (!write_all(fd, frame)) return false;
+  }
+  return write_all(fd, "0\r\n\r\n");
 }
 
 HttpResponse error_response(int status, const std::string& message) {
   HttpResponse resp;
   resp.status = status;
-  resp.body = "{\"error\": \"" + message + "\"}\n";
+  // Escape through the JSON writer: exception messages routinely carry
+  // quotes and backslashes (file paths, quoted spec strings), and raw
+  // concatenation would emit invalid JSON for exactly those bodies.
+  resp.body = exp::Json::object({{"error", exp::Json::string(message)}}).dump() + "\n";
   return resp;
 }
 
@@ -159,6 +213,7 @@ std::string_view status_reason(int status) {
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
@@ -237,8 +292,34 @@ void HttpServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     connections_.fetch_add(1, std::memory_order_relaxed);
-    pool_->submit([this, fd] { serve_connection(fd); });
+    if (options_.max_pending == 0) {
+      pool_->submit([this, fd] { serve_connection(fd); });
+    } else if (!pool_->try_submit([this, fd] { serve_connection(fd); }, options_.max_pending)) {
+      shed_connection(fd);
+    }
   }
+}
+
+void HttpServer::shed_connection(int fd) {
+  // Best-effort canned 429: this connection's request was never read (it
+  // never reached a worker), so drain whatever already sits in the socket
+  // once — closing with unread bytes pending makes the kernel RST, which
+  // can destroy the response before the client sees it — then answer and
+  // close. Under a real flood even the write may fail; connections_shed()
+  // is the authoritative tally either way.
+  accept_sheds_.fetch_add(1, std::memory_order_relaxed);
+  std::string sink;
+  if (wait_readable(fd, kPollSliceMs) > 0) read_chunk(fd, sink);
+  HttpResponse resp;
+  if (options_.admission != nullptr) {
+    resp = options_.admission->shed_response(pool_->queue_depth(), inflight());
+  } else {
+    resp.status = 429;
+    resp.body = AdmissionController::shed_body();
+    resp.headers.emplace_back("Retry-After", "1");
+  }
+  write_all(fd, render_response(resp, true));
+  ::close(fd);
 }
 
 void HttpServer::serve_connection(int fd) {
@@ -262,9 +343,9 @@ bool HttpServer::serve_one(int fd, std::string& buffer) {
   // considered in flight and gets the full read budget even while
   // draining.
   std::size_t header_end;
-  int idle_left_ms = options_.keep_alive_ms;
-  int read_left_ms = kRequestReadMs;
   bool in_flight = !buffer.empty();
+  const auto idle_deadline = deadline_in(options_.keep_alive_ms);
+  auto read_deadline = in_flight ? deadline_in(kRequestReadMs) : SteadyClock::time_point{};
   for (;;) {
     header_end = buffer.find("\r\n\r\n");
     if (header_end != std::string::npos) break;
@@ -273,20 +354,20 @@ bool HttpServer::serve_one(int fd, std::string& buffer) {
       return false;
     }
     if (!in_flight) {
-      if (stopping() || idle_left_ms <= 0) return false;
-    } else if (read_left_ms <= 0) {
+      if (stopping() || expired(idle_deadline)) return false;
+    } else if (expired(read_deadline)) {
       write_all(fd, render_response(error_response(408, "timed out reading request"), true));
       return false;
     }
     const int r = wait_readable(fd, kPollSliceMs);
     if (r < 0) return false;
-    if (r == 0) {
-      (in_flight ? read_left_ms : idle_left_ms) -= kPollSliceMs;
-      continue;
-    }
+    if (r == 0) continue;  // poll timeout or EINTR: deadlines charge real elapsed time only
     const int got = read_chunk(fd, buffer);
     if (got < 0) return false;
-    if (got > 0) in_flight = true;
+    if (got > 0 && !in_flight) {
+      in_flight = true;
+      read_deadline = deadline_in(kRequestReadMs);
+    }
   }
 
   HttpRequest req;
@@ -295,16 +376,31 @@ bool HttpServer::serve_one(int fd, std::string& buffer) {
     return false;
   }
 
+  // Content-Length: digits only, every occurrence must agree. from_chars
+  // into an unsigned type rejects sign characters and whitespace outright
+  // and ptr != last rejects trailers — strtoull accepted " +1" and wrapped
+  // "-1" to ~2^64, which turned a malformed request into a spurious 413.
+  // Duplicate headers with differing values are request smuggling bait;
+  // reject rather than pick one.
   std::size_t content_length = 0;
-  if (const std::string* cl = req.header("content-length")) {
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
-    if (end == cl->c_str() || *end != '\0' || errno == ERANGE) {
+  bool have_length = false;
+  for (const auto& [name, value] : req.headers) {
+    if (name != "content-length") continue;
+    std::size_t parsed = 0;
+    const char* first = value.c_str();
+    const char* last = first + value.size();
+    const auto [ptr, ec] = std::from_chars(first, last, parsed);
+    if (ec != std::errc{} || ptr != last) {
       write_all(fd, render_response(error_response(400, "bad Content-Length"), true));
       return false;
     }
-    content_length = static_cast<std::size_t>(v);
+    if (have_length && parsed != content_length) {
+      write_all(fd,
+                render_response(error_response(400, "conflicting Content-Length headers"), true));
+      return false;
+    }
+    content_length = parsed;
+    have_length = true;
   }
   if (content_length > options_.max_body) {
     // Close instead of resyncing: skipping an oversized body would stall
@@ -320,13 +416,10 @@ bool HttpServer::serve_one(int fd, std::string& buffer) {
     const std::size_t already = buffer.size() - (header_end + 4);
     std::size_t remaining = content_length > already ? content_length - already : 0;
     remaining = std::min<std::size_t>(remaining, 1u << 20);  // bounded: no infinite streams
-    int grace_ms = 1000;
+    const auto grace_deadline = deadline_in(1000);
     std::string sink;
-    while (remaining > 0 && grace_ms > 0) {
-      if (wait_readable(fd, kPollSliceMs) <= 0) {
-        grace_ms -= kPollSliceMs;
-        continue;
-      }
+    while (remaining > 0 && !expired(grace_deadline)) {
+      if (wait_readable(fd, kPollSliceMs) <= 0) continue;
       sink.clear();
       const int got = read_chunk(fd, sink);
       if (got < 0) break;
@@ -337,16 +430,13 @@ bool HttpServer::serve_one(int fd, std::string& buffer) {
 
   const std::size_t total = header_end + 4 + content_length;
   while (buffer.size() < total) {
-    if (read_left_ms <= 0) {
+    if (expired(read_deadline)) {
       write_all(fd, render_response(error_response(408, "timed out reading request body"), true));
       return false;
     }
     const int r = wait_readable(fd, kPollSliceMs);
     if (r < 0) return false;
-    if (r == 0) {
-      read_left_ms -= kPollSliceMs;
-      continue;
-    }
+    if (r == 0) continue;
     if (read_chunk(fd, buffer) < 0) return false;
   }
   req.body = buffer.substr(header_end + 4, content_length);
@@ -367,6 +457,27 @@ bool HttpServer::serve_one(int fd, std::string& buffer) {
   const std::string* connection = req.header("connection");
   const bool close = stopping() || (connection != nullptr && lower(*connection) == "close") ||
                      req.version == "HTTP/1.0";
+  if (resp.chunk_source) {
+    if (req.version == "HTTP/1.0") {
+      // HTTP/1.0 requesters cannot parse chunked framing: drain the stream
+      // into a buffered body (byte-identical per the streaming contract).
+      // The head has not been sent yet, so a mid-drain throw can still
+      // become an honest 500 here.
+      std::string drained;
+      try {
+        for (std::string c; !(c = resp.chunk_source()).empty();) drained += c;
+        resp.body = std::move(drained);
+      } catch (const std::exception& e) {
+        resp = error_response(500, std::string("unhandled exception: ") + e.what());
+      } catch (...) {
+        resp = error_response(500, "unhandled exception");
+      }
+      resp.chunk_source = nullptr;
+    } else {
+      if (!write_chunked(fd, resp, close)) return false;
+      return !close;
+    }
+  }
   if (!write_all(fd, render_response(resp, close))) return false;
   return !close;
 }
@@ -423,19 +534,16 @@ HttpResponse HttpClient::request(const std::string& method, const std::string& t
 
     std::string buffer;
     std::size_t header_end;
-    int budget_ms = kClientReadMs;
+    const auto read_deadline = deadline_in(kClientReadMs);
     bool saw_bytes = false;
     bool reset = false;
     for (;;) {
       header_end = buffer.find("\r\n\r\n");
       if (header_end != std::string::npos) break;
-      if (budget_ms <= 0) throw std::runtime_error("http client: response timeout");
+      if (expired(read_deadline)) throw std::runtime_error("http client: response timeout");
       const int r = wait_readable(fd_, kPollSliceMs);
       if (r < 0) { reset = true; break; }
-      if (r == 0) {
-        budget_ms -= kPollSliceMs;
-        continue;
-      }
+      if (r == 0) continue;
       const int got = read_chunk(fd_, buffer);
       if (got < 0) { reset = true; break; }
       saw_bytes = saw_bytes || got > 0;
@@ -482,29 +590,65 @@ HttpResponse HttpClient::request(const std::string& method, const std::string& t
     if (ct != nullptr) resp.content_type = *ct;
     resp.headers = head.headers;
 
-    std::size_t content_length = 0;
-    if (const std::string* cl = head.header("content-length")) {
-      const char* first = cl->c_str();
-      const char* last = first + cl->size();
-      const auto [ptr, ec] = std::from_chars(first, last, content_length);
-      if (ec != std::errc{} || ptr == first) {
-        throw std::runtime_error("http client: bad content-length '" + *cl + "'");
+    // Pull at least one more byte into `buffer` (or fail) until it holds
+    // `bytes`; shared by the Content-Length and chunked body readers.
+    const auto need = [&](std::size_t bytes) {
+      while (buffer.size() < bytes) {
+        if (expired(read_deadline)) {
+          throw std::runtime_error("http client: response body timeout");
+        }
+        const int r = wait_readable(fd_, kPollSliceMs);
+        if (r < 0) throw std::runtime_error("http client: connection closed mid-body");
+        if (r == 0) continue;
+        if (read_chunk(fd_, buffer) < 0) {
+          throw std::runtime_error("http client: connection closed mid-body");
+        }
       }
+    };
+
+    const std::string* te = head.header("transfer-encoding");
+    if (te != nullptr && lower(*te) == "chunked") {
+      // De-chunk: hex size line, that many bytes, CRLF; a zero-size chunk
+      // ends the body. The server never emits extensions or trailers.
+      std::string decoded;
+      std::size_t pos = header_end + 4;
+      for (;;) {
+        std::size_t eol;
+        while ((eol = buffer.find("\r\n", pos)) == std::string::npos) {
+          need(buffer.size() + 1);
+        }
+        std::size_t chunk_size = 0;
+        const char* first = buffer.c_str() + pos;
+        const char* last = buffer.c_str() + eol;
+        const auto [ptr, ec] = std::from_chars(first, last, chunk_size, 16);
+        if (ec != std::errc{} || ptr != last) {
+          throw std::runtime_error("http client: bad chunk size '" +
+                                   buffer.substr(pos, eol - pos) + "'");
+        }
+        pos = eol + 2;
+        if (chunk_size == 0) {
+          need(pos + 2);  // CRLF closing the zero-size chunk
+          pos += 2;
+          break;
+        }
+        need(pos + chunk_size + 2);
+        decoded.append(buffer, pos, chunk_size);
+        pos += chunk_size + 2;
+      }
+      resp.body = std::move(decoded);
+    } else {
+      std::size_t content_length = 0;
+      if (const std::string* cl = head.header("content-length")) {
+        const char* first = cl->c_str();
+        const char* last = first + cl->size();
+        const auto [ptr, ec] = std::from_chars(first, last, content_length);
+        if (ec != std::errc{} || ptr == first) {
+          throw std::runtime_error("http client: bad content-length '" + *cl + "'");
+        }
+      }
+      need(header_end + 4 + content_length);
+      resp.body = buffer.substr(header_end + 4, content_length);
     }
-    const std::size_t total = header_end + 4 + content_length;
-    while (buffer.size() < total) {
-      if (budget_ms <= 0) throw std::runtime_error("http client: response body timeout");
-      const int r = wait_readable(fd_, kPollSliceMs);
-      if (r < 0) throw std::runtime_error("http client: connection closed mid-body");
-      if (r == 0) {
-        budget_ms -= kPollSliceMs;
-        continue;
-      }
-      if (read_chunk(fd_, buffer) < 0) {
-        throw std::runtime_error("http client: connection closed mid-body");
-      }
-    }
-    resp.body = buffer.substr(header_end + 4, content_length);
 
     const std::string* connection = head.header("connection");
     if (connection != nullptr && lower(*connection) == "close") {

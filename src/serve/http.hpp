@@ -34,6 +34,8 @@
 
 namespace saga::serve {
 
+class AdmissionController;
+
 struct HttpRequest {
   std::string method;   // "GET", "POST", ...
   std::string target;   // origin-form, e.g. "/v1/schedule"
@@ -52,6 +54,18 @@ struct HttpResponse {
   /// Extra response headers (Content-Type/Length/Connection are emitted
   /// automatically).
   std::vector<std::pair<std::string, std::string>> headers;
+  /// Streaming body: when set, the response is sent with
+  /// `Transfer-Encoding: chunked` — the head goes out first, then the
+  /// source is pulled repeatedly on the serving worker's thread; each
+  /// non-empty return is one chunk, an empty return ends the body. `body`
+  /// must be empty. The de-chunked byte stream must equal what the
+  /// buffered path would have produced (the serve determinism pins compare
+  /// exactly that). If the source throws mid-stream the connection is
+  /// closed without the final chunk, which clients see as truncation (the
+  /// status line has already been sent, so no error response is possible).
+  /// HTTP/1.0 requesters cannot parse chunked framing; for them the stream
+  /// is drained into a buffered Content-Length response instead.
+  std::function<std::string()> chunk_source;
 };
 
 [[nodiscard]] std::string_view status_reason(int status);
@@ -65,6 +79,19 @@ class HttpServer {
     std::size_t threads = 0;       // worker pool size; 0 = hardware concurrency
     std::size_t max_body = 8u << 20;  // bytes; larger requests get 413
     int keep_alive_ms = 5000;      // idle wait for the next request on a connection
+    /// Accept-level backstop (0 = unlimited): connections are handed to the
+    /// pool through ThreadPool::try_submit with this queue bound; when even
+    /// that many connections are already waiting, the acceptor answers a
+    /// best-effort canned 429 and closes instead of queueing. This layer is
+    /// path-blind (the request was never read), so it is memory protection
+    /// against pathological floods, not admission control — size it well
+    /// above the AdmissionController's max_queue so scrapes are never
+    /// caught by it in practice.
+    std::size_t max_pending = 0;
+    /// Shared admission controller; only consulted for the max_pending
+    /// backstop's canned 429 (shed counting + Retry-After). May be null.
+    /// Not owned; must outlive the server.
+    AdmissionController* admission = nullptr;
   };
 
   /// Binds 127.0.0.1:port, starts listening and accepting. Throws
@@ -108,6 +135,10 @@ class HttpServer {
   [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
     return connections_.load(std::memory_order_relaxed);
   }
+  /// Connections rejected by the accept-level max_pending backstop.
+  [[nodiscard]] std::uint64_t connections_shed() const noexcept {
+    return accept_sheds_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return requests_.load(std::memory_order_relaxed);
   }
@@ -117,6 +148,8 @@ class HttpServer {
 
  private:
   void accept_loop();
+  /// Answers a best-effort canned 429 and closes; max_pending backstop.
+  void shed_connection(int fd);
   void serve_connection(int fd);
   /// One request-response exchange; returns false when the connection
   /// should close (EOF, error, Connection: close, or draining).
@@ -127,13 +160,14 @@ class HttpServer {
   std::mutex stop_mutex_;  // serializes concurrent stop() calls
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
-  // All four atomics below use relaxed ordering throughout: stopping_ is a
+  // All five atomics below use relaxed ordering throughout: stopping_ is a
   // pure flag (see stopping() for why that is sufficient), and the other
-  // three are monotonic gauges/counters written by atomic RMWs — exact
+  // four are monotonic gauges/counters written by atomic RMWs — exact
   // individually, never used to prove ordering between threads.
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> inflight_{0};
   std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> accept_sheds_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::unique_ptr<ThreadPool> pool_;
   std::thread acceptor_;

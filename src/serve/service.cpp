@@ -14,6 +14,7 @@
 #include "exp/json.hpp"
 #include "sched/arena.hpp"
 #include "sched/registry.hpp"
+#include "serve/admission.hpp"
 #include "serve/codec.hpp"
 
 namespace saga::serve {
@@ -128,15 +129,30 @@ std::string elapsed_us(std::chrono::steady_clock::time_point from) {
   return buf;
 }
 
+/// Batch group key: requests may only gather with batch-mates from the
+/// same dataset family (the spec up to '?'), so one pass touches related
+/// generator state; inline-instance requests form their own group.
+std::string batch_group(const Json& body) {
+  const Json* dataset = body.find("dataset");
+  if (dataset == nullptr || !dataset->is_string()) return "@inline";
+  const std::string& spec = dataset->as_string();
+  return spec.substr(0, spec.find('?'));
+}
+
 // Unique-id generator: the relaxed fetch_add is enough because uniqueness
 // needs only the atomicity of the RMW, not any cross-thread ordering.
 std::atomic<std::uint64_t> next_service_serial{1};
 
 }  // namespace
 
-ScheduleService::ScheduleService()
-    : start_(std::chrono::steady_clock::now()),
-      serial_(next_service_serial.fetch_add(1, std::memory_order_relaxed)) {}
+ScheduleService::ScheduleService() : ScheduleService(Options{}) {}
+
+ScheduleService::ScheduleService(const Options& options)
+    : options_(options),
+      start_(std::chrono::steady_clock::now()),
+      serial_(next_service_serial.fetch_add(1, std::memory_order_relaxed)) {
+  if (options_.batch.enabled()) batcher_ = std::make_unique<BatchGatherer>(options_.batch);
+}
 
 double ScheduleService::uptime_seconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
@@ -162,6 +178,28 @@ TimelineArena& ScheduleService::thread_arena(bool& warm) {
 HttpResponse ScheduleService::handle(const HttpRequest& req) {
   const auto started = std::chrono::steady_clock::now();
   const Endpoint endpoint = classify(req.target);
+  const bool workload = endpoint == Endpoint::kSchedule || endpoint == Endpoint::kCompare;
+
+  // Admission control: only the scheduling workload is subject to
+  // shedding — /metrics and /healthz classify as their own endpoints and
+  // never reach this check, so scrapes and liveness probes survive
+  // overload by construction (AdmissionController::exempt_target states
+  // the same contract for the accept-level backstop).
+  if (workload && options_.admission != nullptr) {
+    Telemetry::Gauges load;
+    if (gauge_sampler_) load = gauge_sampler_();
+    if (!options_.admission->admit(load.queue_depth, load.inflight)) {
+      HttpResponse shed = options_.admission->shed_response(load.queue_depth, load.inflight);
+      // No timing header on the shed fast path: apart from Retry-After the
+      // whole answer is deterministic.
+      const double latency_us =
+          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - started)
+              .count();
+      telemetry_.record_request(endpoint, shed.status, latency_us);
+      return shed;
+    }
+  }
+
   HttpResponse resp;
   try {
     resp = route(req, endpoint);
@@ -172,7 +210,7 @@ HttpResponse ScheduleService::handle(const HttpRequest& req) {
   } catch (...) {
     resp = error_response(500, "unknown internal error");
   }
-  if (endpoint == Endpoint::kSchedule || endpoint == Endpoint::kCompare) {
+  if (workload) {
     // Wall-clock timing travels as a header so identical request bodies
     // keep byte-identical response bodies.
     resp.headers.emplace_back("X-Saga-Timing-Us", elapsed_us(started));
@@ -181,6 +219,11 @@ HttpResponse ScheduleService::handle(const HttpRequest& req) {
       std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - started)
           .count();
   telemetry_.record_request(endpoint, resp.status, latency_us);
+  if (workload && resp.status == 200 && options_.admission != nullptr) {
+    // Successful workload requests only: feeding shed fast-paths or error
+    // turnarounds into the estimate would drag Retry-After toward zero.
+    options_.admission->record_service_us(latency_us);
+  }
   return resp;
 }
 
@@ -235,25 +278,37 @@ HttpResponse ScheduleService::handle_schedule(const HttpRequest& req) {
   const SchedulerPtr scheduler = decode([&] { return SchedulerRegistry::instance().make(spec, seed); });
   const ProblemInstance inst = resolve_instance(body, seed);
 
-  bool warm = false;
-  TimelineArena& arena = thread_arena(warm);
-  const auto run_started = std::chrono::steady_clock::now();
-  const Schedule schedule = scheduler->schedule(inst, &arena);
-  const std::string schedule_us = elapsed_us(run_started);
+  const auto run = [&]() -> HttpResponse {
+    bool warm = false;
+    TimelineArena& arena = thread_arena(warm);
+    const auto run_started = std::chrono::steady_clock::now();
+    const Schedule schedule = scheduler->schedule(inst, &arena);
+    const std::string schedule_us = elapsed_us(run_started);
 
-  Json out = Json::object({{"scheduler", Json::string(spec)},
-                           {"tasks", Json::number(static_cast<double>(inst.graph.task_count()))},
-                           {"nodes", Json::number(static_cast<double>(inst.network.node_count()))},
-                           {"makespan", Json::number(schedule.makespan())},
-                           {"schedule", schedule_to_json(schedule)}});
-  if (timings) {
-    // Opt-in and documented as nondeterministic: embedding wall-clock time
-    // forfeits byte-identical responses.
-    out.set("timing_us", Json::object({{"schedule", Json::string(schedule_us)}}));
+    Json out = Json::object({{"scheduler", Json::string(spec)},
+                             {"tasks", Json::number(static_cast<double>(inst.graph.task_count()))},
+                             {"nodes", Json::number(static_cast<double>(inst.network.node_count()))},
+                             {"makespan", Json::number(schedule.makespan())},
+                             {"schedule", schedule_to_json(schedule)}});
+    if (timings) {
+      // Opt-in and documented as nondeterministic: embedding wall-clock time
+      // forfeits byte-identical responses.
+      out.set("timing_us", Json::object({{"schedule", Json::string(schedule_us)}}));
+    }
+    HttpResponse resp;
+    resp.body = out.dump() + "\n";
+    return resp;
+  };
+
+  // Tiny deterministic requests gather onto one warm pass; `timings`
+  // bodies are excluded because their responses are not pure functions of
+  // the request bytes (dedup would hand one member another's wall-clock).
+  if (batcher_ != nullptr && !timings && inst.graph.task_count() <= options_.batch.max_tasks) {
+    // Captured locals stay valid across threads: every batch member blocks
+    // inside run() until its response exists.
+    return batcher_->run(batch_group(body), req.body, run);
   }
-  HttpResponse resp;
-  resp.body = out.dump() + "\n";
-  return resp;
+  return run();
 }
 
 HttpResponse ScheduleService::handle_compare(const HttpRequest& req) {
@@ -281,7 +336,70 @@ HttpResponse ScheduleService::handle_compare(const HttpRequest& req) {
     schedulers.push_back(decode([&] { return SchedulerRegistry::instance().make(spec, seed); }));
     names.push_back(spec);
   }
-  const ProblemInstance inst = resolve_instance(body, seed);
+  ProblemInstance inst = resolve_instance(body, seed);
+
+  // Large rosters stream row-by-row as chunks instead of buffering the
+  // whole body; each row is computed when its chunk is pulled (on the
+  // serving worker's thread, so the warm arena still applies) and the
+  // spliced chunks are byte-identical to the buffered body — pinned by the
+  // determinism suite. `timings` bodies stay buffered: timing_us trails
+  // the document and would force buffering anyway.
+  if (options_.stream_rows_threshold != 0 && !timings &&
+      spec_array.size() >= options_.stream_rows_threshold) {
+    struct StreamState {
+      ProblemInstance inst;
+      std::vector<std::string> names;
+      std::vector<SchedulerPtr> schedulers;
+      TimelineArena* arena = nullptr;
+      std::vector<double> makespans;
+      std::size_t best = 0;
+      std::size_t stage = 0;  // 0 = prefix, 1..n = rows, n+1 = suffix, then end
+    };
+    auto state = std::make_shared<StreamState>();
+    state->inst = std::move(inst);
+    state->names = std::move(names);
+    state->schedulers = std::move(schedulers);
+    state->makespans.reserve(state->schedulers.size());
+
+    HttpResponse resp;
+    resp.chunk_source = [this, state]() -> std::string {
+      const std::size_t n = state->schedulers.size();
+      if (state->stage == 0) {
+        ++state->stage;
+        return "{\"tasks\": " +
+               Json::number(static_cast<double>(state->inst.graph.task_count())).dump() +
+               ", \"nodes\": " +
+               Json::number(static_cast<double>(state->inst.network.node_count())).dump() +
+               ", \"rows\": [";
+      }
+      if (state->stage <= n) {
+        const std::size_t i = state->stage - 1;
+        ++state->stage;
+        if (state->arena == nullptr) {
+          // One arena acquisition per request, exactly like the buffered
+          // path — keeps the arena-reuse telemetry identical.
+          bool warm = false;
+          state->arena = &thread_arena(warm);
+        }
+        const double makespan = state->schedulers[i]->plan_makespan(state->inst, state->arena);
+        state->makespans.push_back(makespan);
+        if (makespan < state->makespans[state->best]) state->best = i;
+        const Json row = Json::object({{"scheduler", Json::string(state->names[i])},
+                                       {"makespan", Json::number(makespan)}});
+        return (i == 0 ? "" : ", ") + row.dump();
+      }
+      if (state->stage == n + 1) {
+        ++state->stage;
+        return "], \"best\": " +
+               Json::object({{"scheduler", Json::string(state->names[state->best])},
+                             {"makespan", Json::number(state->makespans[state->best])}})
+                   .dump() +
+               "}\n";
+      }
+      return {};
+    };
+    return resp;
+  }
 
   bool warm = false;
   TimelineArena& arena = thread_arena(warm);
@@ -317,6 +435,12 @@ HttpResponse ScheduleService::handle_metrics() {
   Telemetry::Gauges gauges;
   if (gauge_sampler_) gauges = gauge_sampler_();
   gauges.uptime_seconds = uptime_seconds();
+  if (options_.admission != nullptr) gauges.admission_shed = options_.admission->shed_total();
+  if (batcher_ != nullptr) {
+    gauges.batch_requests = batcher_->requests_total();
+    gauges.batch_passes = batcher_->passes_total();
+    gauges.batch_coalesced = batcher_->coalesced_total();
+  }
   HttpResponse resp;
   resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
   resp.body = telemetry_.render_prometheus(gauges);

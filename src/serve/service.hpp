@@ -1,10 +1,13 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "serve/batch.hpp"
 #include "serve/http.hpp"
 #include "serve/telemetry.hpp"
 
@@ -55,7 +58,24 @@ namespace serve {
 
 class ScheduleService {
  public:
+  struct Options {
+    /// Shared admission controller; null admits everything. Not owned and
+    /// must outlive the service. Only /v1/schedule and /v1/compare are
+    /// subject to shedding — /metrics, /healthz, and error paths are
+    /// structurally exempt (they never reach the admission check).
+    AdmissionController* admission = nullptr;
+    /// Cross-request batching for tiny /v1/schedule requests; disabled by
+    /// default (window_us == 0). See serve/batch.hpp for the contract.
+    BatchOptions batch;
+    /// /v1/compare rosters with at least this many schedulers stream their
+    /// response as Transfer-Encoding: chunked, one row per chunk (the
+    /// de-chunked bytes equal the buffered body exactly). Smaller rosters
+    /// — and any `"timings": true` request — stay buffered. 0 disables.
+    std::size_t stream_rows_threshold = 8;
+  };
+
   ScheduleService();
+  explicit ScheduleService(const Options& options);
 
   /// Handles one request; never throws. Records endpoint, status class, and
   /// handler latency in telemetry(). Thread-safe: called concurrently from
@@ -63,6 +83,9 @@ class ScheduleService {
   [[nodiscard]] HttpResponse handle(const HttpRequest& req);
 
   [[nodiscard]] const Telemetry& telemetry() const noexcept { return telemetry_; }
+
+  /// The batch gatherer; null when batching is disabled.
+  [[nodiscard]] const BatchGatherer* batcher() const noexcept { return batcher_.get(); }
 
   /// Supplies the point-in-time gauges /metrics reports (queue depth,
   /// in-flight requests, pool jobs, connections). The daemon wires this to
@@ -89,8 +112,10 @@ class ScheduleService {
   /// already existed (telemetry's arena-reuse hit).
   [[nodiscard]] TimelineArena& thread_arena(bool& warm);
 
+  Options options_;
   Telemetry telemetry_;
   GaugeSampler gauge_sampler_;
+  std::unique_ptr<BatchGatherer> batcher_;  // non-null iff options_.batch.enabled()
   std::chrono::steady_clock::time_point start_;
   std::uint64_t serial_;  // distinguishes services sharing one thread's cache
 };

@@ -167,7 +167,120 @@ foreach(needle
   endif()
 endforeach()
 
-# 7. Graceful drain: SIGTERM, then the process exits and reports its tally.
+# 7. Overload: a second daemon with tight admission limits (one worker,
+# max-queue 1) is hit with six concurrent slow GA requests. At least one
+# must be shed with the deterministic 429 body, none may 5xx, /metrics must
+# survive the overload, and plain requests must succeed again afterwards.
+file(WRITE ${WORK_DIR}/slow_req.json
+  "{\"scheduler\": \"GA\", \"dataset\": \"chains?chains=8&length=25\", \"seed\": 7}")
+set(PORT_FILE2 ${WORK_DIR}/port2)
+set(LOG_FILE2 ${WORK_DIR}/daemon2.log)
+set(PID_FILE2 ${WORK_DIR}/pid2)
+execute_process(COMMAND sh -c
+  "${SAGA_CLI} serve --port 0 --threads 1 --max-queue 1 --max-inflight 1 --port-file ${PORT_FILE2} >/dev/null 2>${LOG_FILE2} & echo $! > ${PID_FILE2}"
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "failed to launch the overload daemon")
+endif()
+file(READ ${PID_FILE2} DAEMON2_PID)
+string(STRIP "${DAEMON2_PID}" DAEMON2_PID)
+set(PORT2 "")
+foreach(attempt RANGE 100)
+  if(EXISTS ${PORT_FILE2})
+    file(READ ${PORT_FILE2} PORT2)
+    string(STRIP "${PORT2}" PORT2)
+    if(PORT2)
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT PORT2)
+  file(READ ${LOG_FILE2} log)
+  message(FATAL_ERROR "overload daemon never wrote its port file; log:\n${log}")
+endif()
+
+# Six concurrent slow requests against one worker: the first occupies the
+# worker (~70 ms), the rest pile onto the queue past max-queue. Each probe
+# runs in the background and records its exit code once its body is final.
+foreach(i RANGE 1 6)
+  execute_process(COMMAND sh -c
+    "( ${SAGA_PROBE} ${PORT2} POST /v1/schedule ${WORK_DIR}/slow_req.json -o ${WORK_DIR}/over_${i}.body ; echo $? > ${WORK_DIR}/over_${i}.rv ) > /dev/null 2>&1 &"
+    RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "failed to launch overload probe ${i}")
+  endif()
+endforeach()
+
+# Scrapes are never shed: /metrics answers even while the queue is full
+# (it waits its turn behind the backlog, but it is not refused).
+set(PORT1 ${PORT})
+set(PORT ${PORT2})
+probe(overload_metrics 0 GET /metrics "" "")
+
+# Collect every probe's exit code (written after its body file is final).
+foreach(i RANGE 1 6)
+  set(waited 0)
+  while(NOT EXISTS ${WORK_DIR}/over_${i}.rv AND waited LESS 100)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+    math(EXPR waited "${waited} + 1")
+  endwhile()
+  if(NOT EXISTS ${WORK_DIR}/over_${i}.rv)
+    message(FATAL_ERROR "overload probe ${i} never finished")
+  endif()
+endforeach()
+
+# Every response is either a scheduled 200 or the canned deterministic 429
+# — anything else (especially a 5xx) fails the smoke.
+set(shed_count 0)
+set(first_shed_body "")
+foreach(i RANGE 1 6)
+  file(READ ${WORK_DIR}/over_${i}.rv over_rv)
+  string(STRIP "${over_rv}" over_rv)
+  file(READ ${WORK_DIR}/over_${i}.body over_body)
+  if(over_rv EQUAL 0)
+    if(NOT over_body MATCHES "\"makespan\"")
+      message(FATAL_ERROR "overload probe ${i} succeeded without a makespan: ${over_body}")
+    endif()
+  else()
+    if(NOT over_body MATCHES "too many requests")
+      message(FATAL_ERROR "overload probe ${i} failed with a non-429 body: ${over_body}")
+    endif()
+    math(EXPR shed_count "${shed_count} + 1")
+    if(first_shed_body STREQUAL "")
+      set(first_shed_body "${over_body}")
+    elseif(NOT over_body STREQUAL first_shed_body)
+      message(FATAL_ERROR "shed bodies differ (expected deterministic 429):\n${first_shed_body}\nvs\n${over_body}")
+    endif()
+  endif()
+endforeach()
+if(shed_count EQUAL 0)
+  message(FATAL_ERROR "overload run shed nothing; admission control never engaged")
+endif()
+
+# Recovery: once the backlog drains, plain requests are admitted again and
+# the shed tally is visible in /metrics.
+probe(overload_recovered 0 POST /v1/schedule ${WORK_DIR}/schedule_dataset_req.json "")
+probe(overload_metrics_after 0 GET /metrics "" "")
+set(PORT ${PORT1})
+if(NOT overload_metrics_after_body MATCHES "saga_admission_shed_total [1-9]")
+  message(FATAL_ERROR "/metrics does not report the sheds:\n${overload_metrics_after_body}")
+endif()
+
+execute_process(COMMAND kill -TERM ${DAEMON2_PID} RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "could not signal the overload daemon (pid ${DAEMON2_PID})")
+endif()
+foreach(attempt RANGE 100)
+  execute_process(COMMAND kill -0 ${DAEMON2_PID}
+    RESULT_VARIABLE rv ERROR_QUIET OUTPUT_QUIET)
+  if(NOT rv EQUAL 0)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+
+# 8. Graceful drain: SIGTERM, then the process exits and reports its tally.
 execute_process(COMMAND kill -TERM ${DAEMON_PID} RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
   message(FATAL_ERROR "could not signal the daemon (pid ${DAEMON_PID})")

@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/json.hpp"
+#include "graph/problem_instance.hpp"
+#include "serve/admission.hpp"
+#include "serve/batch.hpp"
+#include "serve/codec.hpp"
+#include "serve/service.hpp"
+
+/// Admission-control and cross-request batching contracts: the policy
+/// pieces in isolation (AdmissionController, BatchGatherer), then the
+/// ScheduleService wiring under synthetic pressure — unit-level so the 429
+/// path is deterministic, no real socket load needed.
+
+namespace saga::serve {
+namespace {
+
+using exp::Json;
+
+HttpRequest make_request(const std::string& method, const std::string& target,
+                         const std::string& body = {}) {
+  HttpRequest req;
+  req.method = method;
+  req.target = target;
+  req.version = "HTTP/1.1";
+  req.body = body;
+  return req;
+}
+
+std::string schedule_body() {
+  return Json::object({{"scheduler", Json::string("HEFT")},
+                       {"instance", instance_to_json(fig1_instance())}})
+      .dump();
+}
+
+const std::string* header_of(const HttpResponse& resp, const std::string& name) {
+  for (const auto& [key, value] : resp.headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+TEST(AdmissionPolicy, ZeroLimitsAdmitEverythingAndAxesAreIndependent) {
+  const AdmissionController unlimited(AdmissionController::Limits{0, 0});
+  EXPECT_TRUE(unlimited.admit(1'000'000, 1'000'000));
+
+  const AdmissionController queue_only(AdmissionController::Limits{2, 0});
+  EXPECT_TRUE(queue_only.admit(2, 1'000));   // at the limit: admitted
+  EXPECT_FALSE(queue_only.admit(3, 0));      // over the queue limit
+  EXPECT_TRUE(queue_only.admit(0, 1'000));   // inflight axis unlimited
+
+  const AdmissionController inflight_only(AdmissionController::Limits{0, 4});
+  EXPECT_TRUE(inflight_only.admit(1'000, 4));
+  EXPECT_FALSE(inflight_only.admit(0, 5));
+
+  EXPECT_TRUE(AdmissionController::exempt_target("/healthz"));
+  EXPECT_TRUE(AdmissionController::exempt_target("/metrics"));
+  EXPECT_FALSE(AdmissionController::exempt_target("/v1/schedule"));
+  EXPECT_FALSE(AdmissionController::exempt_target("/v1/compare"));
+}
+
+TEST(AdmissionPolicy, RetryAfterDerivesFromObservedP50AndBacklog) {
+  AdmissionController admission(AdmissionController::Limits{1, 0});
+  // No observations yet: the estimate floors at 1 second.
+  EXPECT_EQ(admission.retry_after_seconds(10, 2), 1);
+
+  // p50 lands on the 5e5 µs bucket bound (0.5 s); backlog of
+  // queued=3 + inflight=1 + itself=1 → ceil(0.5 * 5) = 3 seconds.
+  for (int i = 0; i < 8; ++i) admission.record_service_us(5e5);
+  EXPECT_EQ(admission.retry_after_seconds(3, 1), 3);
+
+  // The advice is clamped to 60 seconds no matter the backlog.
+  EXPECT_EQ(admission.retry_after_seconds(1'000, 1'000), 60);
+}
+
+TEST(AdmissionPolicy, ShedResponseIsDeterministicAndCounted) {
+  AdmissionController admission(AdmissionController::Limits{1, 0});
+  EXPECT_EQ(admission.shed_total(), 0u);
+
+  const HttpResponse first = admission.shed_response(5, 2);
+  const HttpResponse second = admission.shed_response(5, 2);
+  EXPECT_EQ(first.status, 429);
+  EXPECT_EQ(first.body, AdmissionController::shed_body());
+  EXPECT_EQ(second.body, first.body);  // byte-identical overload answers
+  EXPECT_EQ(admission.shed_total(), 2u);
+
+  // The fixed body is valid JSON with the documented error key.
+  const Json parsed = Json::parse(first.body);
+  ASSERT_NE(parsed.find("error"), nullptr);
+
+  // Load-derived advice travels in the header, not the body.
+  const std::string* retry = header_of(first, "Retry-After");
+  ASSERT_NE(retry, nullptr);
+  EXPECT_GE(std::stoi(*retry), 1);
+  EXPECT_LE(std::stoi(*retry), 60);
+}
+
+TEST(ServeServiceAdmission, ShedsUnderSyntheticQueuePressureAndRecovers) {
+  AdmissionController admission(AdmissionController::Limits{2, 0});
+  ScheduleService::Options options;
+  options.admission = &admission;
+  ScheduleService service(options);
+
+  std::atomic<std::size_t> queue_depth{0};
+  service.set_gauge_sampler([&queue_depth] {
+    Telemetry::Gauges gauges;
+    gauges.queue_depth = queue_depth.load(std::memory_order_relaxed);
+    return gauges;
+  });
+
+  const std::string good = schedule_body();
+  ASSERT_EQ(service.handle(make_request("POST", "/v1/schedule", good)).status, 200);
+
+  queue_depth.store(3, std::memory_order_relaxed);  // over max_queue = 2
+  const HttpResponse shed = service.handle(make_request("POST", "/v1/schedule", good));
+  EXPECT_EQ(shed.status, 429);
+  EXPECT_EQ(shed.body, AdmissionController::shed_body());
+  ASSERT_NE(header_of(shed, "Retry-After"), nullptr);
+  // The shed fast path carries no wall-clock header: apart from
+  // Retry-After the whole answer is deterministic.
+  EXPECT_EQ(header_of(shed, "X-Saga-Timing-Us"), nullptr);
+
+  const HttpResponse again = service.handle(make_request("POST", "/v1/compare", good));
+  EXPECT_EQ(again.status, 429);
+  EXPECT_EQ(again.body, shed.body);
+
+  // Scrapes and liveness probes are never shed, even at full pressure.
+  EXPECT_EQ(service.handle(make_request("GET", "/healthz")).status, 200);
+  const HttpResponse metrics = service.handle(make_request("GET", "/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("saga_admission_shed_total 2"), std::string::npos)
+      << metrics.body;
+
+  // Sheds are accounted into the regular status-class counters.
+  EXPECT_EQ(service.telemetry().requests(Endpoint::kSchedule, 4), 1u);
+  EXPECT_EQ(service.telemetry().requests(Endpoint::kCompare, 4), 1u);
+
+  // Pressure gone: the same request is admitted again.
+  queue_depth.store(0, std::memory_order_relaxed);
+  EXPECT_EQ(service.handle(make_request("POST", "/v1/schedule", good)).status, 200);
+  EXPECT_EQ(admission.shed_total(), 2u);
+}
+
+TEST(ServeServiceAdmission, InflightAxisShedsIndependently) {
+  AdmissionController admission(AdmissionController::Limits{0, 1});
+  ScheduleService::Options options;
+  options.admission = &admission;
+  ScheduleService service(options);
+
+  std::atomic<std::size_t> inflight{0};
+  service.set_gauge_sampler([&inflight] {
+    Telemetry::Gauges gauges;
+    gauges.inflight = inflight.load(std::memory_order_relaxed);
+    return gauges;
+  });
+
+  const std::string good = schedule_body();
+  inflight.store(1, std::memory_order_relaxed);
+  EXPECT_EQ(service.handle(make_request("POST", "/v1/schedule", good)).status, 200);
+  inflight.store(2, std::memory_order_relaxed);
+  EXPECT_EQ(service.handle(make_request("POST", "/v1/schedule", good)).status, 429);
+}
+
+TEST(BatchGather, PairGathersOntoOnePassAndDedupsIdenticalBytes) {
+  BatchOptions options;
+  options.window_us = 10'000'000;  // never expires: max_batch closes the window
+  options.max_batch = 2;
+  BatchGatherer gatherer(options);
+
+  std::atomic<int> executions{0};
+  const std::string bytes = "identical-request-bytes";
+  const BatchGatherer::Work work = [&executions] {
+    executions.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse resp;
+    resp.body = "shared\n";
+    return resp;
+  };
+
+  HttpResponse a, b;
+  std::thread first([&] { a = gatherer.run("chains", bytes, work); });
+  std::thread second([&] { b = gatherer.run("chains", bytes, work); });
+  first.join();
+  second.join();
+
+  EXPECT_EQ(a.body, "shared\n");
+  EXPECT_EQ(b.body, "shared\n");
+  EXPECT_EQ(executions.load(), 1);  // byte-identical members share one execution
+  EXPECT_EQ(gatherer.requests_total(), 2u);
+  EXPECT_EQ(gatherer.passes_total(), 1u);
+  EXPECT_EQ(gatherer.coalesced_total(), 1u);
+}
+
+TEST(BatchGather, DistinctMembersEachRunAndGetTheirOwnResponse) {
+  BatchOptions options;
+  options.window_us = 10'000'000;
+  options.max_batch = 2;
+  BatchGatherer gatherer(options);
+
+  const std::string bytes_a = "request-a";
+  const std::string bytes_b = "request-b";
+  const auto work_for = [](const char* label) {
+    return BatchGatherer::Work([label] {
+      HttpResponse resp;
+      resp.body = label;
+      return resp;
+    });
+  };
+  const BatchGatherer::Work work_a = work_for("a\n");
+  const BatchGatherer::Work work_b = work_for("b\n");
+
+  HttpResponse a, b;
+  std::thread first([&] { a = gatherer.run("chains", bytes_a, work_a); });
+  std::thread second([&] { b = gatherer.run("chains", bytes_b, work_b); });
+  first.join();
+  second.join();
+
+  EXPECT_EQ(a.body, "a\n");
+  EXPECT_EQ(b.body, "b\n");
+  EXPECT_EQ(gatherer.passes_total(), 1u);
+  EXPECT_EQ(gatherer.coalesced_total(), 0u);
+}
+
+TEST(BatchGather, ExceptionsPropagateToEveryDedupedMember) {
+  BatchOptions options;
+  options.window_us = 10'000'000;
+  options.max_batch = 2;
+  BatchGatherer gatherer(options);
+
+  const std::string bytes = "explodes";
+  const BatchGatherer::Work work = []() -> HttpResponse {
+    throw std::runtime_error("work failed");
+  };
+
+  std::atomic<int> throws{0};
+  const auto member = [&gatherer, &bytes, &work, &throws] {
+    try {
+      (void)gatherer.run("chains", bytes, work);
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "work failed");
+      throws.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread first(member);
+  std::thread second(member);
+  first.join();
+  second.join();
+  EXPECT_EQ(throws.load(), 2);
+}
+
+TEST(BatchGather, SequentialCallsAndSeparateGroupsDoNotGather) {
+  BatchOptions options;
+  options.window_us = 100;  // expires almost immediately: no followers
+  options.max_batch = 8;
+  BatchGatherer gatherer(options);
+
+  const std::string bytes = "solo";
+  const BatchGatherer::Work work = [] {
+    HttpResponse resp;
+    resp.body = "ok\n";
+    return resp;
+  };
+  EXPECT_EQ(gatherer.run("g1", bytes, work).body, "ok\n");
+  EXPECT_EQ(gatherer.run("g1", bytes, work).body, "ok\n");
+  EXPECT_EQ(gatherer.run("g2", bytes, work).body, "ok\n");
+  EXPECT_EQ(gatherer.requests_total(), 3u);
+  EXPECT_EQ(gatherer.passes_total(), 3u);  // each call led its own pass
+  EXPECT_EQ(gatherer.coalesced_total(), 0u);
+}
+
+TEST(ServeServiceBatch, BatchedResponsesAreByteIdenticalToUnbatched) {
+  ScheduleService plain;
+  const std::vector<std::string> bodies = {
+      R"({"scheduler": "HEFT", "dataset": "chains?length=8"})",
+      R"({"scheduler": "CPoP", "dataset": "chains?length=8"})",
+      schedule_body(),
+  };
+  std::vector<std::string> reference;
+  for (const auto& body : bodies) {
+    const HttpResponse resp = plain.handle(make_request("POST", "/v1/schedule", body));
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    reference.push_back(resp.body);
+  }
+
+  // 1 and 4 concurrent clients: batch composition varies run to run, the
+  // bytes must not.
+  for (const int thread_count : {1, 4}) {
+    ScheduleService::Options options;
+    options.batch.window_us = 500;
+    options.batch.max_batch = 4;
+    ScheduleService batched(options);
+    ASSERT_NE(batched.batcher(), nullptr);
+
+    constexpr int kRoundsEach = 8;
+    std::vector<std::vector<std::string>> got(static_cast<std::size_t>(thread_count));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < thread_count; ++t) {
+      threads.emplace_back([&batched, &bodies, &got, t] {
+        for (int round = 0; round < kRoundsEach; ++round) {
+          for (const auto& body : bodies) {
+            got[static_cast<std::size_t>(t)].push_back(
+                batched.handle(make_request("POST", "/v1/schedule", body)).body);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    for (const auto& lane : got) {
+      ASSERT_EQ(lane.size(), kRoundsEach * bodies.size());
+      for (std::size_t i = 0; i < lane.size(); ++i) {
+        EXPECT_EQ(lane[i], reference[i % bodies.size()]) << "thread count " << thread_count;
+      }
+    }
+    EXPECT_EQ(batched.batcher()->requests_total(),
+              static_cast<std::uint64_t>(thread_count) * kRoundsEach * bodies.size());
+    EXPECT_GE(batched.batcher()->passes_total(), 1u);
+  }
+}
+
+TEST(ServeServiceBatch, TimingsRequestsBypassTheGatherer) {
+  ScheduleService::Options options;
+  options.batch.window_us = 500;
+  options.batch.max_batch = 4;
+  ScheduleService service(options);
+  const std::string body =
+      R"({"scheduler": "HEFT", "dataset": "chains?length=8", "timings": true})";
+  const HttpResponse resp = service.handle(make_request("POST", "/v1/schedule", body));
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  // Nondeterministic bodies must not be dedup candidates.
+  EXPECT_EQ(service.batcher()->requests_total(), 0u);
+}
+
+TEST(ServeServiceBatch, BatchCountersSurfaceInMetrics) {
+  ScheduleService::Options options;
+  options.batch.window_us = 100;
+  options.batch.max_batch = 2;
+  ScheduleService service(options);
+  ASSERT_EQ(
+      service
+          .handle(make_request("POST", "/v1/schedule",
+                               R"({"scheduler": "HEFT", "dataset": "chains?length=8"})"))
+          .status,
+      200);
+  const HttpResponse metrics = service.handle(make_request("GET", "/metrics"));
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("saga_batch_requests_total 1"), std::string::npos) << metrics.body;
+  EXPECT_NE(metrics.body.find("saga_batch_passes_total 1"), std::string::npos) << metrics.body;
+  EXPECT_NE(metrics.body.find("saga_batch_coalesced_total 0"), std::string::npos) << metrics.body;
+}
+
+}  // namespace
+}  // namespace saga::serve

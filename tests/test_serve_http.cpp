@@ -1,5 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -9,6 +16,7 @@
 #include <vector>
 
 #include "graph/problem_instance.hpp"
+#include "serve/admission.hpp"
 #include "serve/codec.hpp"
 #include "serve/http.hpp"
 #include "serve/service.hpp"
@@ -30,6 +38,66 @@ std::string schedule_body() {
   return Json::object({{"scheduler", Json::string("HEFT")},
                        {"instance", instance_to_json(fig1_instance())}})
       .dump();
+}
+
+const std::string* header_of(const HttpResponse& resp, const std::string& name_lower) {
+  for (const auto& [key, value] : resp.headers) {
+    if (key == name_lower) return &value;
+  }
+  return nullptr;
+}
+
+/// Raw loopback socket, for sending deliberately malformed or partial
+/// bytes the HttpClient would never produce.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+void raw_send(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until the server closes the connection (every exchange below
+/// either provokes a framing error or carries Connection: close).
+std::string raw_read_to_eof(int fd, int timeout_ms = 5000) {
+  std::string out;
+  char tmp[4096];
+  while (timeout_ms > 0) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, 100);
+    if (r == 0) {
+      timeout_ms -= 100;
+      continue;
+    }
+    if (r < 0) break;
+    const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+    if (n <= 0) break;
+    out.append(tmp, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+/// One-shot raw exchange: connect, send, read to EOF, close.
+std::string raw_exchange(std::uint16_t port, const std::string& request) {
+  const int fd = raw_connect(port);
+  raw_send(fd, request);
+  const std::string response = raw_read_to_eof(fd);
+  ::close(fd);
+  return response;
 }
 
 TEST(ServeHttp, HealthzAndMetricsOverTcp) {
@@ -118,6 +186,194 @@ TEST(ServeHttp, HandlerExceptionsBecome500) {
   const HttpResponse resp = HttpClient::fetch(server.port(), "GET", "/healthz");
   EXPECT_EQ(resp.status, 500);
   EXPECT_NE(resp.body.find("handler exploded"), std::string::npos);
+}
+
+TEST(ServeHttp, ErrorBodiesEscapeQuotesAndBackslashes) {
+  // Regression: error_response used to splice the exception message into
+  // the JSON body with raw concatenation, so any message carrying '"' or
+  // '\' produced invalid JSON on the wire.
+  HttpServer server(ephemeral(), [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error(R"(bad spec "HEFT\2" at C:\tmp\spec)");
+  });
+  const HttpResponse resp = HttpClient::fetch(server.port(), "GET", "/healthz");
+  EXPECT_EQ(resp.status, 500);
+  const Json parsed = Json::parse(resp.body);  // throws if the escaping is wrong
+  ASSERT_NE(parsed.find("error"), nullptr);
+  EXPECT_EQ(parsed.find("error")->as_string(),
+            R"(unhandled exception: bad spec "HEFT\2" at C:\tmp\spec)");
+}
+
+TEST(ServeHttp, ContentLengthIsParsedStrictly) {
+  ScheduleService service;
+  HttpServer server(ephemeral(),
+                    [&service](const HttpRequest& req) { return service.handle(req); });
+  const std::uint16_t port = server.port();
+
+  const auto framed = [](const std::string& length_headers, const std::string& body) {
+    return "POST /v1/schedule HTTP/1.1\r\nHost: x\r\nConnection: close\r\n" + length_headers +
+           "\r\n" + body;
+  };
+
+  // Regression: strtoull accepted sign characters, so "-1" wrapped to
+  // ~2^64 and was answered with a wrong-cause 413. All of these are 400s.
+  for (const std::string bad : {"Content-Length: -1\r\n", "Content-Length: +5\r\n",
+                                "Content-Length: 5 5\r\n", "Content-Length: 0x10\r\n",
+                                "Content-Length: 18446744073709551616\r\n"}) {
+    const std::string resp = raw_exchange(port, framed(bad, "hello"));
+    EXPECT_NE(resp.find("HTTP/1.1 400 "), std::string::npos) << bad << resp;
+    EXPECT_NE(resp.find("bad Content-Length"), std::string::npos) << bad << resp;
+    EXPECT_EQ(resp.find("413"), std::string::npos) << bad << resp;
+  }
+
+  // Duplicate Content-Length headers that disagree are smuggling bait: 400.
+  const std::string conflict = raw_exchange(
+      port, framed("Content-Length: 5\r\nContent-Length: 6\r\n", "hello!"));
+  EXPECT_NE(conflict.find("HTTP/1.1 400 "), std::string::npos) << conflict;
+  EXPECT_NE(conflict.find("conflicting Content-Length"), std::string::npos) << conflict;
+
+  // Duplicates that agree are framed normally (the 400 here is the JSON
+  // parser's, proving the body was read and dispatched).
+  const std::string agree = raw_exchange(
+      port, framed("Content-Length: 5\r\nContent-Length: 5\r\n", "hello"));
+  EXPECT_NE(agree.find("HTTP/1.1 400 "), std::string::npos) << agree;
+  EXPECT_EQ(agree.find("Content-Length headers"), std::string::npos) << agree;
+}
+
+TEST(ServeHttp, SignalStormDoesNotErodeRequestReadBudget) {
+  // Regression: the request read budget was decremented one poll slice
+  // (100 ms) per wait_readable return, and EINTR returns the same 0 as a
+  // timeout — under a signal storm the 30 s budget eroded at the signal
+  // rate and a slow-but-live client got a spurious 408. Budgets are now
+  // steady_clock deadlines, so interruptions charge only real elapsed time.
+  struct sigaction noop{};
+  noop.sa_handler = [](int) {};
+  sigemptyset(&noop.sa_mask);
+  noop.sa_flags = 0;  // deliberately no SA_RESTART: poll must see EINTR
+  struct sigaction previous{};
+  ASSERT_EQ(sigaction(SIGUSR1, &noop, &previous), 0);
+
+  ScheduleService service;
+  HttpServer server(ephemeral(1),
+                    [&service](const HttpRequest& req) { return service.handle(req); });
+
+  // Block SIGUSR1 in this thread (and the storm thread, which inherits the
+  // mask) so the storm lands on the server's threads, which were created
+  // above with it unblocked.
+  sigset_t storm_set, old_mask;
+  sigemptyset(&storm_set);
+  sigaddset(&storm_set, SIGUSR1);
+  ASSERT_EQ(pthread_sigmask(SIG_BLOCK, &storm_set, &old_mask), 0);
+
+  std::atomic<bool> storming{true};
+  std::thread stormer([&storming] {
+    while (storming.load(std::memory_order_relaxed)) {
+      kill(getpid(), SIGUSR1);
+      std::this_thread::sleep_for(500us);
+    }
+  });
+
+  const int fd = raw_connect(server.port());
+  // Start a request but stall before completing the head: the worker is
+  // now in flight, polling under the storm.
+  raw_send(fd, "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n");
+  std::this_thread::sleep_for(1200ms);
+  raw_send(fd, "\r\n");
+  const std::string response = raw_read_to_eof(fd);
+  ::close(fd);
+
+  storming.store(false, std::memory_order_relaxed);
+  stormer.join();
+  ASSERT_EQ(pthread_sigmask(SIG_SETMASK, &old_mask, nullptr), 0);
+  ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
+
+  // 1.2 s of storm must not exhaust a 30 s budget (the old arithmetic
+  // burned it ~100-200x fast and answered 408).
+  EXPECT_NE(response.find("HTTP/1.1 200 "), std::string::npos) << response;
+  EXPECT_EQ(response.find("408"), std::string::npos) << response;
+}
+
+TEST(ServeHttp, AcceptBackstopShedsWithCanned429AndRecovers) {
+  std::promise<void> release;
+  auto gate = release.get_future().share();
+  AdmissionController admission(AdmissionController::Limits{1, 0});
+  HttpServer::Options options = ephemeral(1);
+  options.max_pending = 1;
+  options.admission = &admission;
+  HttpServer server(options, [&gate](const HttpRequest&) {
+    gate.wait();
+    HttpResponse resp;
+    resp.body = "{\"done\": true}\n";
+    return resp;
+  });
+  const std::uint16_t port = server.port();
+
+  // First connection occupies the lone worker inside the handler...
+  auto first = std::async(std::launch::async,
+                          [port] { return HttpClient::fetch(port, "GET", "/healthz"); });
+  while (server.inflight() == 0) std::this_thread::sleep_for(1ms);
+  // ...the second fills the one pending slot...
+  auto second = std::async(std::launch::async,
+                           [port] { return HttpClient::fetch(port, "GET", "/healthz"); });
+  while (server.pool().queue_depth() == 0) std::this_thread::sleep_for(1ms);
+
+  // ...so the third is shed at accept with the canned deterministic 429.
+  const HttpResponse shed = HttpClient::fetch(port, "GET", "/healthz");
+  EXPECT_EQ(shed.status, 429);
+  EXPECT_EQ(shed.body, AdmissionController::shed_body());
+  EXPECT_NE(header_of(shed, "retry-after"), nullptr);
+  EXPECT_EQ(server.connections_shed(), 1u);
+  EXPECT_EQ(admission.shed_total(), 1u);
+
+  // The queued and in-flight requests were never disturbed, and new
+  // connections are admitted again once the backlog drains.
+  release.set_value();
+  EXPECT_EQ(first.get().status, 200);
+  EXPECT_EQ(second.get().status, 200);
+  const HttpResponse after = HttpClient::fetch(port, "GET", "/healthz");
+  EXPECT_EQ(after.status, 200);
+  EXPECT_EQ(server.connections_shed(), 1u);
+}
+
+TEST(ServeHttp, StreamedCompareIsChunkedAndByteIdenticalOverTcp) {
+  const std::string body =
+      R"({"schedulers": ["HEFT", "CPoP", "MCT", "HEFT", "CPoP", "MCT", "HEFT", "CPoP"],)"
+      R"( "dataset": "chains?length=8"})";
+
+  ScheduleService streaming;  // default threshold: 8 schedulers stream
+  HttpServer server(ephemeral(),
+                    [&streaming](const HttpRequest& req) { return streaming.handle(req); });
+
+  ScheduleService::Options buffered_options;
+  buffered_options.stream_rows_threshold = 0;
+  ScheduleService buffered(buffered_options);
+  HttpServer buffered_server(
+      ephemeral(), [&buffered](const HttpRequest& req) { return buffered.handle(req); });
+  const std::string reference =
+      HttpClient::fetch(buffered_server.port(), "POST", "/v1/compare", body).body;
+
+  // The chunked response de-chunks to the buffered bytes, and the
+  // connection stays usable afterwards (framing consumed exactly).
+  HttpClient client(server.port());
+  const HttpResponse streamed = client.request("POST", "/v1/compare", body);
+  EXPECT_EQ(streamed.status, 200);
+  const std::string* te = header_of(streamed, "transfer-encoding");
+  ASSERT_NE(te, nullptr);
+  EXPECT_EQ(*te, "chunked");
+  EXPECT_EQ(streamed.body, reference);
+  EXPECT_EQ(client.request("GET", "/healthz").status, 200);
+  EXPECT_EQ(server.connections_accepted(), 1u);
+
+  // HTTP/1.0 requesters cannot parse chunked framing; they get the same
+  // bytes buffered with a Content-Length instead.
+  const std::string legacy = raw_exchange(
+      server.port(), "POST /v1/compare HTTP/1.0\r\nHost: x\r\nContent-Length: " +
+                         std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(legacy.find("HTTP/1.1 200 "), std::string::npos) << legacy;
+  EXPECT_EQ(legacy.find("Transfer-Encoding"), std::string::npos) << legacy;
+  EXPECT_NE(legacy.find("Content-Length: "), std::string::npos) << legacy;
+  const std::size_t split = legacy.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  EXPECT_EQ(legacy.substr(split + 4), reference);
 }
 
 TEST(ServeHttp, StopDrainsInFlightRequestsBeforeReturning) {

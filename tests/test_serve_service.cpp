@@ -101,6 +101,47 @@ TEST(ServeService, CompareRanksSchedulers) {
   EXPECT_DOUBLE_EQ(out.find("best")->find("makespan")->as_number(), best);
 }
 
+TEST(ServeService, StreamedCompareEqualsBufferedByteForByte) {
+  // Eight schedulers meets the default stream_rows_threshold: the response
+  // arrives as a chunk source instead of a buffered body.
+  const std::string body =
+      R"({"schedulers": ["HEFT", "CPoP", "MCT", "HEFT", "CPoP", "MCT", "HEFT", "CPoP"],)"
+      R"( "dataset": "chains?length=8"})";
+
+  ScheduleService streaming;
+  const HttpResponse streamed = streaming.handle(make_request("POST", "/v1/compare", body));
+  ASSERT_EQ(streamed.status, 200);
+  ASSERT_TRUE(static_cast<bool>(streamed.chunk_source));
+  EXPECT_TRUE(streamed.body.empty());
+  std::string spliced;
+  for (std::string chunk; !(chunk = streamed.chunk_source()).empty();) spliced += chunk;
+
+  ScheduleService::Options buffered_options;
+  buffered_options.stream_rows_threshold = 0;  // force the buffered path
+  ScheduleService buffered(buffered_options);
+  const HttpResponse reference = buffered.handle(make_request("POST", "/v1/compare", body));
+  ASSERT_EQ(reference.status, 200);
+  EXPECT_FALSE(static_cast<bool>(reference.chunk_source));
+
+  // The spliced chunks are the buffered body, byte for byte.
+  EXPECT_EQ(spliced, reference.body);
+  const Json out = Json::parse(spliced);
+  EXPECT_EQ(out.find("rows")->as_array().size(), 8u);
+
+  // Small rosters and timings requests stay buffered.
+  const HttpResponse small = streaming.handle(make_request(
+      "POST", "/v1/compare", R"({"schedulers": ["HEFT", "CPoP"], "dataset": "chains?length=8"})"));
+  ASSERT_EQ(small.status, 200);
+  EXPECT_FALSE(static_cast<bool>(small.chunk_source));
+  const std::string timed_body =
+      R"({"schedulers": ["HEFT", "CPoP", "MCT", "HEFT", "CPoP", "MCT", "HEFT", "CPoP"],)"
+      R"( "dataset": "chains?length=8", "timings": true})";
+  const HttpResponse timed = streaming.handle(make_request("POST", "/v1/compare", timed_body));
+  ASSERT_EQ(timed.status, 200);
+  EXPECT_FALSE(static_cast<bool>(timed.chunk_source));
+  EXPECT_NE(Json::parse(timed.body).find("timing_us"), nullptr);
+}
+
 TEST(ServeService, IdenticalRequestsAreByteIdenticalAcrossThreads) {
   ScheduleService service;
   const std::string body = schedule_body("HEFT", fig1_instance());

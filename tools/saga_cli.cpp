@@ -95,6 +95,7 @@
 #include "sched/arena.hpp"
 #include "sched/registry.hpp"
 #include "sched/schedule_io.hpp"
+#include "serve/admission.hpp"
 #include "serve/codec.hpp"
 #include "serve/http.hpp"
 #include "serve/service.hpp"
@@ -480,9 +481,12 @@ extern "C" void serve_signal_handler(int) {
 
 int cmd_serve(int argc, char** argv) {
   constexpr const char* kUsage =
-      "usage: saga serve [--port P] [--threads N] [--max-body BYTES] [--port-file path]";
+      "usage: saga serve [--port P] [--threads N] [--max-body BYTES] [--port-file path]\n"
+      "                  [--max-queue N] [--max-inflight M] [--batch-window USEC] [--batch-max K]";
   serve::HttpServer::Options options;
   options.port = 8080;
+  serve::AdmissionController::Limits limits;
+  serve::BatchOptions batch;
   std::string port_file;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -498,6 +502,19 @@ int cmd_serve(int argc, char** argv) {
       options.threads = static_cast<std::size_t>(parse_u64(take("--threads"), "thread count"));
     } else if (arg == "--max-body") {
       options.max_body = static_cast<std::size_t>(parse_u64(take("--max-body"), "body limit"));
+    } else if (arg == "--max-queue") {
+      limits.max_queue = static_cast<std::size_t>(parse_u64(take("--max-queue"), "queue limit"));
+    } else if (arg == "--max-inflight") {
+      limits.max_inflight =
+          static_cast<std::size_t>(parse_u64(take("--max-inflight"), "in-flight limit"));
+    } else if (arg == "--batch-window") {
+      batch.window_us =
+          static_cast<std::uint32_t>(parse_u64(take("--batch-window"), "batch window"));
+    } else if (arg == "--batch-max") {
+      batch.max_batch = static_cast<std::size_t>(parse_u64(take("--batch-max"), "batch size"));
+      if (batch.max_batch == 0) {
+        throw UsageError(std::string("--batch-max must be at least 1\n") + kUsage);
+      }
     } else if (arg == "--port-file") {
       port_file = take("--port-file");
     } else {
@@ -505,7 +522,20 @@ int cmd_serve(int argc, char** argv) {
     }
   }
 
-  serve::ScheduleService service;
+  // Static lifetime: in-flight handlers and the accept backstop may touch
+  // the controller right up to server.stop() below; outliving everything in
+  // this frame is the simplest safe arrangement for a process-long daemon.
+  static serve::AdmissionController admission(limits);
+  serve::ScheduleService::Options service_options;
+  service_options.admission = &admission;
+  service_options.batch = batch;
+  serve::ScheduleService service(service_options);
+  if (limits.max_queue != 0) {
+    // Accept-level backstop, sized well above the path-aware limit so
+    // /metrics scrapes are shed by neither layer in practice.
+    options.max_pending = std::max<std::size_t>(64, 8 * limits.max_queue);
+    options.admission = &admission;
+  }
   // The gauge sampler is installed before the server exists (workers start
   // handling requests the moment the constructor returns), so it reaches
   // the server through an atomic pointer published afterwards.
